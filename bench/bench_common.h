@@ -1,0 +1,43 @@
+// Shared configuration for the reproduction benches. Every bench binary
+// regenerates one table or figure of the paper at simulator scale; set
+// PS3_FAST=1 (or PS3_ROWS / PS3_PARTS / PS3_TRAINQ / PS3_TESTQ) to shrink.
+#ifndef PS3_BENCH_BENCH_COMMON_H_
+#define PS3_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace ps3::bench {
+
+/// Default bench scale: 100k rows over 400 partitions (the paper's 1000
+/// partitions scaled to this simulator), 96 training / 40 test queries.
+inline eval::ExperimentConfig BenchConfig(const std::string& dataset,
+                                          size_t rows = 100000,
+                                          size_t partitions = 400) {
+  eval::ExperimentConfig cfg;
+  cfg.dataset = dataset;
+  cfg.rows = rows;
+  cfg.partitions = partitions;
+  cfg.train_queries = 96;
+  cfg.test_queries = 40;
+  cfg.ps3.feature_selection.restarts = 1;
+  cfg.ps3.feature_selection.eval_queries = 5;
+  cfg.lss.eval_queries = 5;
+  cfg.ApplyEnvOverrides();
+  return cfg;
+}
+
+/// Budget grid used by the error-curve figures.
+inline std::vector<double> BenchBudgets() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6};
+}
+
+/// Runs per stochastic method (the paper averages 10; scaled down).
+inline constexpr int kRuns = 3;
+
+}  // namespace ps3::bench
+
+#endif  // PS3_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,38 @@
+// Figure 10 (Appendix C.2): impact of the budget decay rate alpha on the
+// KDD dataset, with the learned funnel regressors and with an oracle that
+// classifies partitions by their true contribution.
+#include <memory>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ps3;
+  auto cfg = bench::BenchConfig("kdd", 40000, 200);
+  cfg.train_queries = 48;
+  cfg.test_queries = 16;
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+
+  const std::vector<double> budgets = {0.02, 0.05, 0.1, 0.2, 0.4};
+  for (bool oracle : {false, true}) {
+    eval::Report report(std::string("Figure 10 — KDD alpha sweep, ") +
+                        (oracle ? "oracle" : "learned") +
+                        " regressors (avg_rel_err)");
+    std::vector<std::string> header{"alpha"};
+    for (double b : budgets) header.push_back(eval::Pct(b, 0));
+    report.SetHeader(header);
+    for (double alpha : {1.0, 2.0, 3.0, 5.0}) {
+      core::Ps3Model model = exp.ps3_model();
+      model.options.alpha = alpha;
+      auto picker =
+          oracle ? exp.MakeOracle(&model) : exp.MakePs3With(&model);
+      std::vector<std::string> cells{eval::Num(alpha, 1)};
+      for (double b : budgets) {
+        cells.push_back(eval::Num(exp.Evaluate(*picker, b, 1).avg_rel_error));
+      }
+      report.AddRow(cells);
+    }
+    report.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 3: error vs sampling budget on the four datasets for Random,
+// Random+Filter, LSS and PS3, under all three error metrics. Also prints
+// the headline data-read reduction of PS3 vs the baselines at PS3's
+// smallest-budget error (the paper's 2.7x-70x numbers).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace ps3::bench {
+namespace {
+
+struct Curve {
+  std::string method;
+  std::vector<double> budgets;
+  std::vector<query::ErrorMetrics> errors;
+};
+
+/// Smallest budget at which `curve` reaches error <= target (linear
+/// interpolation between grid points); 1.0 if never.
+double BudgetForError(const Curve& curve, double target) {
+  for (size_t i = 0; i < curve.budgets.size(); ++i) {
+    double e = curve.errors[i].avg_rel_error;
+    if (e <= target) {
+      if (i == 0) return curve.budgets[0];
+      double e0 = curve.errors[i - 1].avg_rel_error;
+      double b0 = curve.budgets[i - 1];
+      double t = (e0 - target) / std::max(1e-12, e0 - e);
+      return b0 + t * (curve.budgets[i] - b0);
+    }
+  }
+  return 1.0;
+}
+
+void RunDataset(const std::string& dataset) {
+  eval::Experiment exp(BenchConfig(dataset));
+  exp.TrainModels();
+
+  std::vector<std::pair<std::string, std::unique_ptr<core::PartitionPicker>>>
+      methods;
+  methods.emplace_back("random", exp.MakeRandom());
+  methods.emplace_back("random+filter", exp.MakeRandomFilter());
+  methods.emplace_back("lss", exp.MakeLss());
+  methods.emplace_back("ps3", exp.MakePs3());
+
+  eval::Report report("Figure 3 — " + dataset +
+                      " (error vs data read)");
+  report.SetHeader({"budget", "method", "missed_groups", "avg_rel_err",
+                    "abs_over_true"});
+  std::vector<Curve> curves;
+  for (const auto& [name, picker] : methods) {
+    Curve c;
+    c.method = name;
+    for (double b : BenchBudgets()) {
+      int runs = name == "ps3" ? 1 : kRuns;
+      auto m = exp.Evaluate(*picker, b, runs);
+      c.budgets.push_back(b);
+      c.errors.push_back(m);
+      report.AddRow({eval::Pct(b), name, eval::Num(m.missed_groups),
+                     eval::Num(m.avg_rel_error), eval::Num(m.abs_over_true)});
+    }
+    curves.push_back(std::move(c));
+  }
+  report.Print();
+
+  // Headline: budget reduction vs baselines at PS3's 5%-budget error.
+  const Curve& ps3 = curves.back();
+  double target = ps3.errors[2].avg_rel_error;  // error at 5% budget
+  double ps3_budget = BudgetForError(ps3, target);
+  eval::Report headline("Figure 3 — " + dataset +
+                        " read reduction at matched error (avg_rel_err=" +
+                        eval::Num(target, 3) + ")");
+  headline.SetHeader({"method", "budget_needed", "reduction_vs_ps3"});
+  for (const Curve& c : curves) {
+    double b = BudgetForError(c, target);
+    headline.AddRow({c.method, eval::Pct(b),
+                     eval::Num(b / std::max(1e-9, ps3_budget), 1) + "x"});
+  }
+  headline.Print();
+}
+
+}  // namespace
+}  // namespace ps3::bench
+
+int main() {
+  for (const char* dataset : {"tpch", "tpcds", "aria", "kdd"}) {
+    ps3::bench::RunDataset(dataset);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 4: lesion study and factor analysis on the Aria dataset.
+// Top: PS3 with each component (clustering / outliers / regressors)
+// disabled while the others stay on. Bottom: starting from random
+// sampling, the filter plus each single component enabled on its own.
+#include <memory>
+
+#include "bench_common.h"
+
+namespace ps3::bench {
+namespace {
+
+core::Ps3Model Variant(const core::Ps3Model& base, bool cluster,
+                       bool outlier, bool regressor) {
+  core::Ps3Model m = base;
+  m.options.use_clustering = cluster;
+  m.options.use_outliers = outlier;
+  m.options.use_regressors = regressor;
+  return m;
+}
+
+}  // namespace
+}  // namespace ps3::bench
+
+int main() {
+  using namespace ps3;
+  using bench::Variant;
+  eval::Experiment exp(bench::BenchConfig("aria"));
+  exp.TrainModels();
+  const core::Ps3Model& full = exp.ps3_model();
+
+  struct Row {
+    std::string name;
+    core::Ps3Model model;
+  };
+  std::vector<Row> lesions = {
+      {"ps3 (full)", Variant(full, true, true, true)},
+      {"w/o cluster", Variant(full, false, true, true)},
+      {"w/o outlier", Variant(full, true, false, true)},
+      {"w/o regressor", Variant(full, true, true, false)},
+  };
+  eval::Report lesion_report("Figure 4 (top) — Aria lesion study "
+                             "(avg_rel_err)");
+  std::vector<std::string> header{"method"};
+  for (double b : bench::BenchBudgets()) header.push_back(eval::Pct(b, 0));
+  lesion_report.SetHeader(header);
+  for (const auto& row : lesions) {
+    auto picker = exp.MakePs3With(&row.model);
+    std::vector<std::string> cells{row.name};
+    for (double b : bench::BenchBudgets()) {
+      cells.push_back(eval::Num(exp.Evaluate(*picker, b, 2).avg_rel_error));
+    }
+    lesion_report.AddRow(cells);
+  }
+  lesion_report.Print();
+
+  // Factor analysis: random -> +filter -> +single component (on top of the
+  // filter, not cumulative).
+  eval::Report factor_report("Figure 4 (bottom) — Aria factor analysis "
+                             "(avg_rel_err)");
+  factor_report.SetHeader(header);
+  {
+    auto random = exp.MakeRandom();
+    std::vector<std::string> cells{"random"};
+    for (double b : bench::BenchBudgets()) {
+      cells.push_back(
+          eval::Num(exp.Evaluate(*random, b, bench::kRuns).avg_rel_error));
+    }
+    factor_report.AddRow(cells);
+  }
+  std::vector<std::pair<std::string, core::Ps3Model>> factors = {
+      {"+filter", Variant(full, false, false, false)},
+      {"+outlier", Variant(full, false, true, false)},
+      {"+regressor", Variant(full, false, false, true)},
+      {"+cluster", Variant(full, true, false, false)},
+  };
+  for (const auto& [name, model] : factors) {
+    auto picker = exp.MakePs3With(&model);
+    std::vector<std::string> cells{name};
+    for (double b : bench::BenchBudgets()) {
+      cells.push_back(
+          eval::Num(exp.Evaluate(*picker, b, 2).avg_rel_error));
+    }
+    factor_report.AddRow(cells);
+  }
+  factor_report.Print();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 5: regressor feature importance (gain) aggregated by sketch
+// family, per dataset. The paper reports the share of total gain each
+// family contributes across the k funnel regressors.
+#include "bench_common.h"
+
+int main() {
+  using namespace ps3;
+  eval::Report report("Figure 5 — regressor feature importance by family "
+                      "(% of total gain)");
+  report.SetHeader({"dataset", "selectivity", "hh", "dv", "measure"});
+  for (const char* dataset : {"tpch", "tpcds", "aria", "kdd"}) {
+    auto cfg = bench::BenchConfig(dataset);
+    cfg.test_queries = 4;  // only training is needed here
+    cfg.ps3.feature_selection.enabled = false;
+    eval::Experiment exp(cfg);
+    exp.TrainModels();
+    const auto& imp = exp.ps3_model().category_importance;
+    auto pct = [&](featurize::FeatureCategory cat) {
+      return eval::Pct(imp[static_cast<size_t>(cat)], 1);
+    };
+    report.AddRow({dataset, pct(featurize::FeatureCategory::kSelectivity),
+                   pct(featurize::FeatureCategory::kHeavyHitter),
+                   pct(featurize::FeatureCategory::kDistinctValue),
+                   pct(featurize::FeatureCategory::kMeasure)});
+  }
+  report.Print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6: PS3 vs baselines on the paper's six alternate dataset/layout
+// combinations (TPCDS sorted by p_promo_sk / cs_net_profit, Aria by
+// AppInfo_Version / IngestionTime, KDD by service+flag / src+dst bytes).
+#include <memory>
+
+#include "bench_common.h"
+
+namespace ps3::bench {
+namespace {
+
+void RunLayout(const std::string& dataset,
+               const std::vector<std::string>& layout) {
+  auto cfg = BenchConfig(dataset, 40000, 200);
+  cfg.layout = layout;
+  cfg.train_queries = 48;
+  cfg.test_queries = 20;
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+
+  std::string title = "Figure 6 — " + dataset + " sorted by ";
+  for (const auto& c : layout) title += c + " ";
+  eval::Report report(title + "(avg_rel_err)");
+  std::vector<std::string> header{"method"};
+  for (double b : BenchBudgets()) header.push_back(eval::Pct(b, 0));
+  report.SetHeader(header);
+
+  std::vector<std::pair<std::string, std::unique_ptr<core::PartitionPicker>>>
+      methods;
+  methods.emplace_back("random", exp.MakeRandom());
+  methods.emplace_back("random+filter", exp.MakeRandomFilter());
+  methods.emplace_back("lss", exp.MakeLss());
+  methods.emplace_back("ps3", exp.MakePs3());
+  for (const auto& [name, picker] : methods) {
+    std::vector<std::string> cells{name};
+    for (double b : BenchBudgets()) {
+      int runs = name == "ps3" ? 1 : kRuns;
+      cells.push_back(eval::Num(exp.Evaluate(*picker, b, runs).avg_rel_error));
+    }
+    report.AddRow(cells);
+  }
+  report.Print();
+}
+
+}  // namespace
+}  // namespace ps3::bench
+
+int main() {
+  ps3::bench::RunLayout("tpcds", {"p_promo_sk"});
+  ps3::bench::RunLayout("tpcds", {"cs_net_profit"});
+  ps3::bench::RunLayout("aria", {"AppInfo_Version"});
+  ps3::bench::RunLayout("aria", {"PipelineInfo_IngestionTime"});
+  ps3::bench::RunLayout("kdd", {"service", "flag"});
+  ps3::bench::RunLayout("kdd", {"src_bytes", "dst_bytes"});
+  return 0;
+}

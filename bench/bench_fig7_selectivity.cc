@@ -1,0 +1,63 @@
+// Figure 7: error breakdown by true query selectivity on TPC-H*. PS3's
+// filter dominates for selective queries; the learned components help most
+// for non-selective ones.
+#include <memory>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ps3;
+  auto cfg = bench::BenchConfig("tpch");
+  cfg.test_queries = 48;  // more tests so each selectivity bucket is filled
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+
+  struct Bucket {
+    double lo, hi;
+    std::vector<size_t> tests;
+  };
+  std::vector<Bucket> buckets = {{0.0, 0.2, {}},
+                                 {0.2, 0.5, {}},
+                                 {0.5, 0.8, {}},
+                                 {0.8, 1.01, {}}};
+  for (size_t i = 0; i < exp.tests().size(); ++i) {
+    double s = exp.tests()[i].true_selectivity;
+    for (auto& b : buckets) {
+      if (s >= b.lo && s < b.hi) b.tests.push_back(i);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::unique_ptr<core::PartitionPicker>>>
+      methods;
+  methods.emplace_back("random", exp.MakeRandom());
+  methods.emplace_back("random+filter", exp.MakeRandomFilter());
+  methods.emplace_back("ps3", exp.MakePs3());
+
+  for (double budget : {0.05, 0.2}) {
+    eval::Report report("Figure 7 — TPC-H* error by query selectivity at " +
+                        eval::Pct(budget, 0) + " budget (avg_rel_err)");
+    report.SetHeader({"selectivity", "#queries", "random", "random+filter",
+                      "ps3"});
+    for (const auto& b : buckets) {
+      std::vector<std::string> cells{
+          "[" + eval::Num(b.lo, 1) + "," + eval::Num(b.hi, 1) + ")",
+          std::to_string(b.tests.size())};
+      for (const auto& [name, picker] : methods) {
+        if (b.tests.empty()) {
+          cells.push_back("-");
+          continue;
+        }
+        query::ErrorMetrics acc;
+        for (size_t ti : b.tests) {
+          acc += exp.EvaluateQuery(*picker, exp.tests()[ti], budget,
+                                   name == "ps3" ? 1 : bench::kRuns);
+        }
+        acc /= static_cast<double>(b.tests.size());
+        cells.push_back(eval::Num(acc.avg_rel_error));
+      }
+      report.AddRow(cells);
+    }
+    report.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8: TPC-H* (sf=1 analog) under a random layout, and the effect of
+// the partition count (1k vs 10k in the paper; scaled here) on the default
+// l_shipdate layout.
+#include <memory>
+
+#include "bench_common.h"
+
+namespace ps3::bench {
+namespace {
+
+void Run(const std::string& title, const std::vector<std::string>& layout,
+         size_t partitions) {
+  auto cfg = BenchConfig("tpch", 48000, partitions);
+  cfg.layout = layout;
+  cfg.train_queries = 48;
+  cfg.test_queries = 20;
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+
+  eval::Report report(title + " (avg_rel_err)");
+  std::vector<std::string> header{"method"};
+  for (double b : BenchBudgets()) header.push_back(eval::Pct(b, 0));
+  report.SetHeader(header);
+  auto rf = exp.MakeRandomFilter();
+  auto ps3 = exp.MakePs3();
+  for (const auto& [name, picker] :
+       std::vector<std::pair<std::string, core::PartitionPicker*>>{
+           {"random+filter", rf.get()}, {"ps3", ps3.get()}}) {
+    std::vector<std::string> cells{name};
+    for (double b : BenchBudgets()) {
+      int runs = name == "ps3" ? 1 : kRuns;
+      cells.push_back(
+          eval::Num(exp.Evaluate(*picker, b, runs).avg_rel_error));
+    }
+    report.AddRow(cells);
+  }
+  report.Print();
+}
+
+}  // namespace
+}  // namespace ps3::bench
+
+int main() {
+  // Paper: random layout (1k parts), l_shipdate layout at 1k and 10k
+  // partitions; here 150 and 600 partitions at simulator scale.
+  ps3::bench::Run("Figure 8 — random layout, 150 parts",
+                  {"__random__"}, 150);
+  ps3::bench::Run("Figure 8 — l_shipdate layout, 150 parts",
+                  {"l_shipdate"}, 150);
+  ps3::bench::Run("Figure 8 — l_shipdate layout, 600 parts",
+                  {"l_shipdate"}, 600);
+  return 0;
+}

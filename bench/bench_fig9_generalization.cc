@@ -1,0 +1,88 @@
+// Figures 9 and 11: generalization to unseen TPC-H template queries. PS3
+// is trained on the random workload of §5.1.2 and tested on instantiations
+// of the 11 supported TPC-H query templates; the bench prints the
+// per-template error grid (Figure 11) plus the average/best/worst summary
+// (Figure 9).
+#include <limits>
+#include <memory>
+
+#include "bench_common.h"
+#include "workload/tpch_queries.h"
+
+int main() {
+  using namespace ps3;
+  auto cfg = bench::BenchConfig("tpch");
+  cfg.test_queries = 4;  // replaced by templates below
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  auto rf = exp.MakeRandomFilter();
+
+  const std::vector<double> budgets = bench::BenchBudgets();
+  eval::Report grid("Figure 11 — per-TPC-H-template avg_rel_err "
+                    "(rows: Qn method)");
+  std::vector<std::string> header{"query", "method"};
+  for (double b : budgets) header.push_back(eval::Pct(b, 0));
+  grid.SetHeader(header);
+
+  struct TemplateResult {
+    int id;
+    std::vector<double> ps3_err;  // per budget
+  };
+  std::vector<TemplateResult> results;
+  constexpr size_t kInstances = 5;  // paper uses 20 per template
+  for (int tq : workload::kTpchTemplates) {
+    exp.SetTests(workload::MakeTpchQuerySet(exp.table().table(), tq,
+                                            kInstances, 4242));
+    TemplateResult res;
+    res.id = tq;
+    std::vector<std::string> ps3_cells{"Q" + std::to_string(tq), "ps3"};
+    std::vector<std::string> rf_cells{"Q" + std::to_string(tq),
+                                      "random+filter"};
+    for (double b : budgets) {
+      double e_ps3 = exp.Evaluate(*ps3, b, 1).avg_rel_error;
+      double e_rf = exp.Evaluate(*rf, b, bench::kRuns).avg_rel_error;
+      res.ps3_err.push_back(e_ps3);
+      ps3_cells.push_back(eval::Num(e_ps3));
+      rf_cells.push_back(eval::Num(e_rf));
+    }
+    grid.AddRow(ps3_cells);
+    grid.AddRow(rf_cells);
+    results.push_back(std::move(res));
+  }
+  grid.Print();
+
+  // Figure 9 summary: average across templates, plus best/worst template
+  // judged by error at the 10% budget (index 3 in the grid).
+  size_t ref = 3;
+  double best = std::numeric_limits<double>::max(), worst = -1.0;
+  int best_q = 0, worst_q = 0;
+  std::vector<double> avg(budgets.size(), 0.0);
+  for (const auto& r : results) {
+    for (size_t i = 0; i < budgets.size(); ++i) {
+      avg[i] += r.ps3_err[i] / static_cast<double>(results.size());
+    }
+    if (r.ps3_err[ref] < best) {
+      best = r.ps3_err[ref];
+      best_q = r.id;
+    }
+    if (r.ps3_err[ref] > worst) {
+      worst = r.ps3_err[ref];
+      worst_q = r.id;
+    }
+  }
+  eval::Report summary("Figure 9 — generalization summary (ps3 "
+                       "avg_rel_err across templates)");
+  std::vector<std::string> sum_header{"series"};
+  for (double b : budgets) sum_header.push_back(eval::Pct(b, 0));
+  summary.SetHeader(sum_header);
+  std::vector<std::string> avg_cells{"average"};
+  for (double v : avg) avg_cells.push_back(eval::Num(v));
+  summary.AddRow(avg_cells);
+  summary.AddRow({"best template", "Q" + std::to_string(best_q) + " @10%: " +
+                                       eval::Num(best)});
+  summary.AddRow({"worst template", "Q" + std::to_string(worst_q) +
+                                        " @10%: " + eval::Num(worst)});
+  summary.Print();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Table 3: query latency and total compute speedups when reading 1%, 5%
+// and 10% of the TPC-H* partitions, regenerated with the cluster cost
+// model (see eval/cost_model.h for the substitution rationale).
+#include "eval/cost_model.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace ps3::eval;
+  ClusterModel model;  // TPC-H* sf=1000 scale: 2844 partitions
+  CostEstimate full = SimulateRead(model, 1.0);
+
+  Report report("Table 3 — speedups on TPC-H* (cost model)");
+  report.SetHeader({"fraction read", "query latency", "total compute"});
+  for (double f : {0.01, 0.05, 0.10}) {
+    CostEstimate est = SimulateRead(model, f);
+    report.AddRow({Pct(f, 0), Num(full.latency_s / est.latency_s, 1) + "x",
+                   Num(full.compute_s / est.compute_s, 1) + "x"});
+  }
+  report.AddRow({"100%", "1.0x", "1.0x"});
+  report.Print();
+  return 0;
+}

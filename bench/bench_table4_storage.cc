@@ -1,0 +1,22 @@
+// Table 4: per-partition storage overhead of the summary statistics (KB)
+// split by sketch family, for each dataset.
+#include "bench_common.h"
+
+int main() {
+  using namespace ps3;
+  eval::Report report("Table 4 — per-partition statistics storage (KB)");
+  report.SetHeader({"dataset", "total", "histogram", "hh", "akmv",
+                    "measure"});
+  for (const char* dataset : {"tpch", "tpcds", "aria", "kdd"}) {
+    auto cfg = bench::BenchConfig(dataset);
+    cfg.build_workload = false;  // statistics only
+    eval::Experiment exp(cfg);
+    auto r = exp.stats().ComputeStorageReport();
+    report.AddRow({dataset, eval::Num(r.total_kb, 2),
+                   eval::Num(r.histogram_kb, 2),
+                   eval::Num(r.heavy_hitter_kb, 2),
+                   eval::Num(r.akmv_kb, 2), eval::Num(r.measure_kb, 2)});
+  }
+  report.Print();
+  return 0;
+}

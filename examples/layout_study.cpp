@@ -1,0 +1,57 @@
+// Scenario: a storage engineer evaluating whether PS3 is worth enabling
+// for a dataset under its *current* layout (PS3 is layout-agnostic but its
+// gains depend on how correlated the layout is, §5.5.1). The example
+// compares PS3 vs uniform sampling on three layouts of the same intrusion
+// -detection log: sorted by connection count (default), sorted by service
+// and flag, and fully shuffled.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+using namespace ps3;
+
+int main() {
+  struct LayoutCase {
+    const char* label;
+    std::vector<std::string> sort_cols;
+  };
+  std::vector<LayoutCase> layouts = {
+      {"sorted by count (default)", {}},
+      {"sorted by service, flag", {"service", "flag"}},
+      {"random layout", {"__random__"}},
+  };
+
+  for (const auto& layout : layouts) {
+    eval::ExperimentConfig cfg;
+    cfg.dataset = "kdd";
+    cfg.rows = 30000;
+    cfg.partitions = 150;
+    cfg.train_queries = 32;
+    cfg.test_queries = 16;
+    cfg.layout = layout.sort_cols;
+    cfg.ps3.feature_selection.restarts = 1;
+    cfg.ps3.feature_selection.eval_queries = 4;
+    cfg.lss.eval_queries = 4;
+    eval::Experiment exp(cfg);
+    exp.TrainModels();
+    auto ps3 = exp.MakePs3();
+    auto random = exp.MakeRandom();
+
+    std::printf("=== KDD, %s ===\n", layout.label);
+    std::printf("%8s %16s %16s %10s\n", "budget", "random_rel_err",
+                "ps3_rel_err", "gain");
+    for (double b : {0.02, 0.05, 0.1, 0.2}) {
+      double rnd = exp.Evaluate(*random, b, 3).avg_rel_error;
+      double ps = exp.Evaluate(*ps3, b, 1).avg_rel_error;
+      std::printf("%7.0f%% %15.2f%% %15.2f%% %9.1fx\n", 100.0 * b,
+                  100.0 * rnd, 100.0 * ps, rnd / std::max(1e-9, ps));
+    }
+    std::printf("\n");
+  }
+  std::printf("Takeaway: the more the layout correlates with query "
+              "columns, the larger PS3's advantage; on a random layout "
+              "uniform sampling is already near-optimal (Figure 8).\n");
+  return 0;
+}

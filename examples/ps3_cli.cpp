@@ -1,0 +1,154 @@
+// ps3_cli — command-line driver for the full PS3 lifecycle.
+//
+// Subcommands:
+//   train  --dataset <tpch|tpcds|aria|kdd> --model <path>
+//          [--rows N] [--partitions N] [--train-queries N] [--seed N]
+//       Generates the dataset, builds statistics, trains a picker and
+//       saves the model file.
+//   eval   --dataset <name> --model <path> [--budget FRAC] [--queries N]
+//       Reloads the model and reports accuracy of PS3 vs uniform sampling
+//       on freshly sampled queries.
+//
+// The dataset is regenerated deterministically from the seed, standing in
+// for "the table already in the cluster"; only the *model* crosses the
+// process boundary, as in a real deployment.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/model_io.h"
+#include "core/ps3_picker.h"
+#include "core/ps3_trainer.h"
+#include "core/random_picker.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+using namespace ps3;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string dataset = "aria";
+  std::string model_path = "ps3_model.bin";
+  size_t rows = 50000;
+  size_t partitions = 250;
+  size_t train_queries = 48;
+  size_t eval_queries = 16;
+  double budget = 0.05;
+  uint64_t seed = 7;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ps3_cli train --dataset <tpch|tpcds|aria|kdd> --model <path>\n"
+      "                [--rows N] [--partitions N] [--train-queries N]\n"
+      "                [--seed N]\n"
+      "  ps3_cli eval  --dataset <name> --model <path> [--budget FRAC]\n"
+      "                [--queries N] [--seed N]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--dataset") {
+      out->dataset = value;
+    } else if (flag == "--model") {
+      out->model_path = value;
+    } else if (flag == "--rows") {
+      out->rows = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--partitions") {
+      out->partitions = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--train-queries") {
+      out->train_queries = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--queries") {
+      out->eval_queries = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--budget") {
+      out->budget = std::strtod(value, nullptr);
+    } else if (flag == "--seed") {
+      out->seed = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return out->command == "train" || out->command == "eval";
+}
+
+eval::ExperimentConfig MakeConfig(const Args& args) {
+  eval::ExperimentConfig cfg;
+  cfg.dataset = args.dataset;
+  cfg.rows = args.rows;
+  cfg.partitions = args.partitions;
+  cfg.train_queries = args.train_queries;
+  cfg.test_queries = args.eval_queries;
+  cfg.seed = args.seed;
+  cfg.ps3.feature_selection.restarts = 1;
+  cfg.ps3.feature_selection.eval_queries = 4;
+  cfg.lss.eval_queries = 4;
+  return cfg;
+}
+
+int RunTrain(const Args& args) {
+  std::printf("building %s (%zu rows, %zu partitions) ...\n",
+              args.dataset.c_str(), args.rows, args.partitions);
+  eval::Experiment exp(MakeConfig(args));
+  std::printf("statistics: %.1f KB/partition; training on %zu queries "
+              "...\n",
+              exp.stats().ComputeStorageReport().total_kb,
+              exp.training_data().num_queries());
+  exp.TrainModels();
+  Status s = core::SaveModel(exp.ps3_model(), args.model_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("model written to %s (%zu regressors, alpha=%.1f)\n",
+              args.model_path.c_str(), exp.ps3_model().regressors.size(),
+              exp.ps3_model().options.alpha);
+  return 0;
+}
+
+int RunEval(const Args& args) {
+  auto loaded = core::LoadModel(args.model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto cfg = MakeConfig(args);
+  cfg.train_queries = 1;  // only the held-out evaluation set is needed
+  eval::Experiment exp(cfg);
+
+  auto ps3 = exp.MakePs3With(&*loaded);
+  auto random = exp.MakeRandomFilter();
+  eval::Report report("PS3 vs uniform sampling on " + args.dataset + " at " +
+                      eval::Pct(args.budget, 0) + " budget (" +
+                      std::to_string(exp.tests().size()) + " queries)");
+  report.SetHeader({"method", "missed_groups", "avg_rel_err",
+                    "abs_over_true"});
+  for (const auto& [name, picker] :
+       std::vector<std::pair<std::string, core::PartitionPicker*>>{
+           {"ps3", ps3.get()}, {"random+filter", random.get()}}) {
+    auto m = exp.Evaluate(*picker, args.budget, name == "ps3" ? 1 : 3);
+    report.AddRow({name, eval::Num(m.missed_groups),
+                   eval::Num(m.avg_rel_error), eval::Num(m.abs_over_true)});
+  }
+  report.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  return args.command == "train" ? RunTrain(args) : RunEval(args);
+}

@@ -1,0 +1,91 @@
+#include "cluster/agglomerative.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace ps3::cluster {
+
+Clustering Agglomerative(const std::vector<std::vector<double>>& points,
+                         size_t k, Linkage linkage) {
+  const size_t n = points.size();
+  assert(k >= 1 && k <= n);
+
+  // Distance matrix. Ward works on squared Euclidean distances; single
+  // linkage is monotone in either, so squared distances serve both.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = SquaredL2(points[i], points[j]);
+      if (linkage == Linkage::kWard) d *= 0.5;  // Ward's initial d^2/2 form
+      dist[i][j] = dist[j][i] = d;
+    }
+  }
+
+  std::vector<bool> alive(n, true);
+  std::vector<size_t> size(n, 1);
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+
+  size_t clusters = n;
+  while (clusters > k) {
+    // Find the closest alive pair.
+    double best = std::numeric_limits<double>::max();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        if (dist[i][j] < best) {
+          best = dist[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge bj into bi; Lance-Williams update of distances to bi.
+    for (size_t h = 0; h < n; ++h) {
+      if (!alive[h] || h == bi || h == bj) continue;
+      double d_new;
+      if (linkage == Linkage::kSingle) {
+        d_new = std::min(dist[bi][h], dist[bj][h]);
+      } else {
+        double ni = static_cast<double>(size[bi]);
+        double nj = static_cast<double>(size[bj]);
+        double nh = static_cast<double>(size[h]);
+        double denom = ni + nj + nh;
+        d_new = ((ni + nh) * dist[bi][h] + (nj + nh) * dist[bj][h] -
+                 nh * dist[bi][bj]) /
+                denom;
+      }
+      dist[bi][h] = dist[h][bi] = d_new;
+    }
+    size[bi] += size[bj];
+    alive[bj] = false;
+    parent[bj] = static_cast<int>(bi);
+    --clusters;
+  }
+
+  // Path-compress to alive roots and densify labels.
+  auto find_root = [&parent](size_t x) {
+    while (parent[x] != static_cast<int>(x)) {
+      x = static_cast<size_t>(parent[x]);
+    }
+    return x;
+  };
+  std::vector<int> label(n, -1);
+  Clustering result;
+  result.k = k;
+  result.assignment.resize(n);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = find_root(i);
+    if (label[root] < 0) label[root] = next++;
+    result.assignment[i] = label[root];
+  }
+  assert(static_cast<size_t>(next) == k);
+  return result;
+}
+
+}  // namespace ps3::cluster

@@ -1,0 +1,24 @@
+// Hierarchical agglomerative clustering with single and Ward linkage
+// (Lance-Williams updates), compared against k-means in §5.5.5 / Table 6.
+#ifndef PS3_CLUSTER_AGGLOMERATIVE_H_
+#define PS3_CLUSTER_AGGLOMERATIVE_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+
+namespace ps3::cluster {
+
+enum class Linkage {
+  kSingle,  ///< min pairwise distance between merged clusters
+  kWard,    ///< minimum variance increase
+};
+
+/// Merges bottom-up until `k` clusters remain. O(n^2) memory, O(n^3) worst
+/// case time — fine for the partition counts PS3 deals with.
+Clustering Agglomerative(const std::vector<std::vector<double>>& points,
+                         size_t k, Linkage linkage);
+
+}  // namespace ps3::cluster
+
+#endif  // PS3_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,34 @@
+#include "cluster/exemplar.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace ps3::cluster {
+
+size_t MedianExemplar(const std::vector<std::vector<double>>& points,
+                      const std::vector<size_t>& members) {
+  assert(!members.empty());
+  std::vector<const std::vector<double>*> rows;
+  rows.reserve(members.size());
+  for (size_t m : members) rows.push_back(&points[m]);
+  std::vector<double> median = ComponentwiseMedian(rows);
+  double best = std::numeric_limits<double>::max();
+  size_t best_m = members[0];
+  for (size_t m : members) {
+    double d = SquaredL2(points[m], median);
+    if (d < best) {
+      best = d;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+size_t RandomExemplar(const std::vector<size_t>& members, RandomEngine* rng) {
+  assert(!members.empty());
+  return members[rng->NextUint64(members.size())];
+}
+
+}  // namespace ps3::cluster

@@ -1,0 +1,24 @@
+// Cluster exemplar selection (§4.2): the default (biased) estimator picks
+// the member closest to the cluster's component-wise median feature vector;
+// the unbiased variant (Appendix D) picks a uniformly random member.
+#ifndef PS3_CLUSTER_EXEMPLAR_H_
+#define PS3_CLUSTER_EXEMPLAR_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace ps3::cluster {
+
+/// Index (into `members`' values) of the member whose vector is closest to
+/// the component-wise median of the cluster. `points` holds all points;
+/// `members` the point indices in this cluster.
+size_t MedianExemplar(const std::vector<std::vector<double>>& points,
+                      const std::vector<size_t>& members);
+
+/// Uniformly random member (unbiased estimator).
+size_t RandomExemplar(const std::vector<size_t>& members, RandomEngine* rng);
+
+}  // namespace ps3::cluster
+
+#endif  // PS3_CLUSTER_EXEMPLAR_H_

@@ -1,0 +1,123 @@
+#include "cluster/kmeans.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace ps3::cluster {
+
+std::vector<std::vector<size_t>> Clustering::Members() const {
+  std::vector<std::vector<size_t>> out(k);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    out[static_cast<size_t>(assignment[i])].push_back(i);
+  }
+  return out;
+}
+
+Clustering KMeans(const std::vector<std::vector<double>>& points, size_t k,
+                  const KMeansParams& params) {
+  const size_t n = points.size();
+  assert(k >= 1 && k <= n);
+  const size_t dim = points[0].size();
+  RandomEngine rng(params.seed);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng.NextUint64(n)]);
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredL2(points[i], centers.back());
+      if (d < dist2[i]) dist2[i] = d;
+      total += dist2[i];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      // All remaining points coincide with centers; pick arbitrarily.
+      chosen = rng.NextUint64(n);
+    } else {
+      double target = rng.NextDouble() * total;
+      chosen = n - 1;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += dist2[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+
+  Clustering result;
+  result.k = k;
+  result.assignment.assign(n, 0);
+  std::vector<size_t> counts(k, 0);
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredL2(points[i], centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Update.
+    for (auto& c : centers) c.assign(dim, 0.0);
+    counts.assign(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto& c = centers[static_cast<size_t>(result.assignment[i])];
+      for (size_t d = 0; d < dim; ++d) c[d] += points[i][d];
+      ++counts[static_cast<size_t>(result.assignment[i])];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with a random point to keep all k
+        // clusters non-empty (each cluster must produce one exemplar).
+        size_t p = rng.NextUint64(n);
+        centers[c] = points[p];
+        changed = true;
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        centers[c][d] /= static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // Final fix-up: guarantee non-empty clusters by stealing from the largest.
+  counts.assign(k, 0);
+  for (int a : result.assignment) ++counts[static_cast<size_t>(a)];
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) continue;
+    size_t donor = 0;
+    for (size_t d = 1; d < k; ++d) {
+      if (counts[d] > counts[donor]) donor = d;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<size_t>(result.assignment[i]) == donor) {
+        result.assignment[i] = static_cast<int>(c);
+        --counts[donor];
+        ++counts[c];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ps3::cluster

@@ -1,0 +1,32 @@
+// Lloyd's k-means with k-means++ initialization, used by PS3's
+// sample-via-clustering step (§4.2).
+#ifndef PS3_CLUSTER_KMEANS_H_
+#define PS3_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace ps3::cluster {
+
+/// Cluster assignment for each input point; `k` clusters, every cluster
+/// non-empty (guaranteed by the implementations when k <= #points).
+struct Clustering {
+  std::vector<int> assignment;
+  size_t k = 0;
+
+  std::vector<std::vector<size_t>> Members() const;
+};
+
+struct KMeansParams {
+  int max_iters = 25;
+  uint64_t seed = 17;
+};
+
+/// `points`: n rows of equal dimension. Requires 1 <= k <= n.
+Clustering KMeans(const std::vector<std::vector<double>>& points, size_t k,
+                  const KMeansParams& params = {});
+
+}  // namespace ps3::cluster
+
+#endif  // PS3_CLUSTER_KMEANS_H_

@@ -1,0 +1,33 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace ps3 {
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashDouble(double v, uint64_t salt) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix64(bits ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace ps3

@@ -1,0 +1,45 @@
+// Hashing primitives shared by the sketches (AKMV, histograms over string
+// columns) and the query engine's group-by hash table.
+#ifndef PS3_COMMON_HASH_H_
+#define PS3_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ps3 {
+
+/// 64-bit FNV-1a over raw bytes.
+uint64_t Fnv1a64(const void* data, size_t len);
+
+/// FNV-1a over a string.
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Strong avalanche mixer (finalizer from MurmurHash3).
+uint64_t Mix64(uint64_t x);
+
+/// Hash of a 64-bit integer (e.g. a dictionary code) with a per-use salt so
+/// distinct sketches see independent hash functions.
+inline uint64_t HashInt(int64_t v, uint64_t salt = 0) {
+  return Mix64(static_cast<uint64_t>(v) ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+/// Hash of a double; canonicalizes -0.0 to 0.0 first so equal values hash
+/// equally.
+uint64_t HashDouble(double v, uint64_t salt = 0);
+
+/// Maps a 64-bit hash to a uniform double in [0, 1); used by KMV-style
+/// distinct-value estimators.
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace ps3
+
+#endif  // PS3_COMMON_HASH_H_

@@ -1,0 +1,153 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ps3 {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+RandomEngine::RandomEngine(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t RandomEngine::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double RandomEngine::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t RandomEngine::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling, with rejection to keep
+  // the distribution exactly uniform.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t RandomEngine::NextInt64(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double RandomEngine::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; avoid log(0) by nudging u1 away from zero.
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double RandomEngine::NextExponential(double lambda) {
+  assert(lambda > 0);
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+bool RandomEngine::NextBool(double p_true) { return NextDouble() < p_true; }
+
+RandomEngine RandomEngine::Fork() { return RandomEngine(Next()); }
+
+ZipfSampler::ZipfSampler(size_t n, double skew) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(RandomEngine* rng) const {
+  double u = rng->NextDouble();
+  // Binary search for the first CDF entry >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  assert(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k,
+                                             RandomEngine* rng) {
+  assert(k <= n);
+  if (k == n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm needs a membership test; for the sizes PS3 deals with
+  // (thousands of partitions) a sorted vector probe is cheap enough and
+  // avoids hash-set overhead.
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  auto contains = [&chosen](size_t v) {
+    for (size_t c : chosen)
+      if (c == v) return true;
+    return false;
+  };
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = rng->NextUint64(j + 1);
+    if (contains(t)) {
+      chosen.push_back(j);
+    } else {
+      chosen.push_back(t);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace ps3

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for data generation,
+// sampling and learning. All PS3 components take an explicit engine (or a
+// seed) so experiments are reproducible run to run.
+#ifndef PS3_COMMON_RANDOM_H_
+#define PS3_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps3 {
+
+/// SplitMix64: used to seed the main generator and as a cheap stateless
+/// mixer. Reference: Steele et al., "Fast splittable pseudorandom number
+/// generators".
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** engine. Small, fast, and good statistical quality; a
+/// deliberate stand-in for std::mt19937_64 with far less state.
+class RandomEngine {
+ public:
+  using result_type = uint64_t;
+
+  explicit RandomEngine(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponential with the given rate (lambda > 0).
+  double NextExponential(double lambda);
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true);
+
+  /// Fork a statistically independent engine (for per-partition streams).
+  RandomEngine Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Samples from a Zipf distribution over {0, 1, ..., n-1} with exponent
+/// `skew` (the paper's TPC-H* generator uses skew = 1). Uses the
+/// precomputed-CDF method: O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew);
+
+  /// Draws a rank; rank 0 is the most frequent value.
+  size_t Sample(RandomEngine* rng) const;
+
+  /// Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Floyd's algorithm: k distinct indices sampled uniformly from [0, n).
+/// Result is in no particular order.
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k,
+                                             RandomEngine* rng);
+
+/// In-place Fisher-Yates shuffle.
+template <typename T>
+void Shuffle(std::vector<T>* v, RandomEngine* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = rng->NextUint64(i);
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace ps3
+
+#endif  // PS3_COMMON_RANDOM_H_

@@ -1,0 +1,149 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ps3 {
+
+void BinaryWriter::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::PutDoubleVector(const std::vector<double>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (double d : v) PutDouble(d);
+}
+
+void BinaryWriter::PutBoolVector(const std::vector<bool>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (bool b : v) PutU8(b ? 1 : 0);
+}
+
+Status BinaryWriter::WriteFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for write");
+  }
+  size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (written != buffer_.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for read");
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  size_t read = data.empty() ? 0 : std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size()) {
+    return Status::Internal("short read from '" + path + "'");
+  }
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::Need(size_t bytes) const {
+  if (pos_ + bytes > data_.size()) {
+    return Status::OutOfRange("truncated input");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  PS3_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  PS3_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  PS3_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> BinaryReader::GetI32() {
+  auto v = GetU32();
+  if (!v.ok()) return v.status();
+  return static_cast<int32_t>(*v);
+}
+
+Result<double> BinaryReader::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t b = *bits;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  auto len = GetU32();
+  if (!len.ok()) return len.status();
+  PS3_RETURN_IF_ERROR(Need(*len));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<std::vector<double>> BinaryReader::GetDoubleVector() {
+  auto len = GetU32();
+  if (!len.ok()) return len.status();
+  PS3_RETURN_IF_ERROR(Need(static_cast<size_t>(*len) * 8));
+  std::vector<double> v;
+  v.reserve(*len);
+  for (uint32_t i = 0; i < *len; ++i) v.push_back(*GetDouble());
+  return v;
+}
+
+Result<std::vector<bool>> BinaryReader::GetBoolVector() {
+  auto len = GetU32();
+  if (!len.ok()) return len.status();
+  PS3_RETURN_IF_ERROR(Need(*len));
+  std::vector<bool> v;
+  v.reserve(*len);
+  for (uint32_t i = 0; i < *len; ++i) v.push_back(*GetU8() != 0);
+  return v;
+}
+
+}  // namespace ps3

@@ -1,0 +1,63 @@
+// Minimal binary serialization used to persist trained PS3 models
+// (offline training runs in a different process than query optimization).
+// Little-endian, bounds-checked on read; not cross-endian portable.
+#ifndef PS3_COMMON_SERIALIZE_H_
+#define PS3_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ps3 {
+
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutDouble(double v);
+  void PutString(const std::string& s);
+  void PutDoubleVector(const std::vector<double>& v);
+  void PutBoolVector(const std::vector<bool>& v);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  /// Writes the buffer to a file; truncates existing content.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> data)
+      : data_(std::move(data)) {}
+
+  /// Loads a whole file into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int32_t> GetI32();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<std::vector<double>> GetDoubleVector();
+  Result<std::vector<bool>> GetBoolVector();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t bytes) const;
+
+  std::vector<uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ps3
+
+#endif  // PS3_COMMON_SERIALIZE_H_

@@ -1,0 +1,107 @@
+// Minimal Status / Result error-handling vocabulary, in the style of
+// Arrow/Abseil. Used at API boundaries where user input (queries, workload
+// specs) can be malformed; internal invariant violations use assertions.
+#ifndef PS3_COMMON_STATUS_H_
+#define PS3_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ps3 {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Keeps call sites explicit without
+/// exceptions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(v_).ok() && "OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define PS3_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::ps3::Status ps3_status_ = (expr);        \
+    if (!ps3_status_.ok()) return ps3_status_; \
+  } while (0)
+
+}  // namespace ps3
+
+#endif  // PS3_COMMON_STATUS_H_

@@ -1,0 +1,26 @@
+// String formatting helpers used by benches and reports.
+#ifndef PS3_COMMON_STRING_UTIL_H_
+#define PS3_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace ps3 {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace ps3
+
+#endif  // PS3_COMMON_STRING_UTIL_H_

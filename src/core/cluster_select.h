@@ -1,0 +1,48 @@
+// Sample-via-clustering (§4.2): cluster a set of candidate partitions on
+// their (normalized, masked) feature vectors and return one weighted
+// exemplar per cluster. Shared by the PS3 picker, the feature selection
+// search, and the clustering benchmarks.
+#ifndef PS3_CORE_CLUSTER_SELECT_H_
+#define PS3_CORE_CLUSTER_SELECT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/picker.h"
+#include "core/ps3_model.h"
+#include "featurize/feature_schema.h"
+#include "featurize/featurizer.h"
+
+namespace ps3::core {
+
+struct ClusterSelectOptions {
+  ClusterAlgo algo = ClusterAlgo::kKMeans;
+  bool unbiased_exemplar = false;
+  /// Per-StatKind exclusion mask for the distance computation, or null.
+  const std::vector<bool>* excluded_kinds = nullptr;
+  /// Lloyd iteration cap; selection quality saturates quickly, so callers
+  /// on hot paths (feature selection, near-full budgets) lower this.
+  int kmeans_iters = 25;
+};
+
+/// Clusters `members` (partition ids) into `n_clusters` groups using the
+/// rows of `normalized` as coordinates and returns one exemplar per
+/// cluster, weighted by cluster size. Requires 1 <= n_clusters <=
+/// members.size().
+Selection ClusterSelect(const featurize::FeatureMatrix& normalized,
+                        const featurize::FeatureSchema& schema,
+                        const std::vector<size_t>& members, size_t n_clusters,
+                        const ClusterSelectOptions& options,
+                        RandomEngine* rng);
+
+/// Extracts clustering coordinates for `members`: feature dimensions that
+/// are not excluded by kind and not constant across members.
+std::vector<std::vector<double>> BuildClusterPoints(
+    const featurize::FeatureMatrix& normalized,
+    const featurize::FeatureSchema& schema,
+    const std::vector<size_t>& members,
+    const std::vector<bool>* excluded_kinds);
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_CLUSTER_SELECT_H_

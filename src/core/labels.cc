@@ -1,0 +1,103 @@
+#include "core/labels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ps3::core {
+
+namespace {
+// Caps pathological ratios (tiny/negative denominators) without disturbing
+// the > 0 and top-1% structure the funnel thresholds rely on.
+constexpr double kMaxContribution = 10.0;
+constexpr double kDenomEpsilon = 1e-12;
+}  // namespace
+
+std::vector<double> ComputeContributions(
+    const query::Query& query,
+    const std::vector<query::PartitionAnswer>& per_partition,
+    const query::QueryAnswer& exact) {
+  const size_t n_aggs = query.aggregates.size();
+  std::vector<double> contribution(per_partition.size(), 0.0);
+  for (size_t p = 0; p < per_partition.size(); ++p) {
+    double best = 0.0;
+    for (const auto& [key, accs] : per_partition[p]) {
+      auto it = exact.find(key);
+      if (it == exact.end()) continue;
+      for (size_t a = 0; a < n_aggs; ++a) {
+        double total = it->second[a];
+        if (std::fabs(total) < kDenomEpsilon) continue;
+        double part_val = query::FinalizeAgg(query.aggregates[a].func,
+                                             accs[a]);
+        double ratio = part_val / total;
+        if (ratio > best) best = ratio;
+      }
+    }
+    contribution[p] = Clamp(best, 0.0, kMaxContribution);
+  }
+  return contribution;
+}
+
+std::vector<double> ChooseThresholds(
+    const std::vector<std::vector<double>>& contributions, int k_models,
+    double top_fraction) {
+  assert(k_models >= 1);
+  std::vector<double> flat;
+  for (const auto& c : contributions) {
+    flat.insert(flat.end(), c.begin(), c.end());
+  }
+  std::sort(flat.begin(), flat.end());
+  const double n = static_cast<double>(flat.size());
+
+  // Fraction of (query, partition) pairs with non-zero contribution.
+  size_t nonzero =
+      flat.end() - std::upper_bound(flat.begin(), flat.end(), 0.0);
+  double f1 = n > 0 ? static_cast<double>(nonzero) / n : 0.0;
+  f1 = std::max(f1, 1e-6);
+  double fk = std::min(top_fraction, f1);
+
+  std::vector<double> thresholds(k_models);
+  thresholds[0] = 0.0;  // model 1: any non-zero contribution
+  for (int i = 1; i < k_models; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(k_models - 1);
+    // Geometric interpolation of pass fractions: counts passing model i
+    // shrink exponentially toward the top `fk` fraction.
+    double frac = f1 * std::pow(fk / f1, t);
+    double q = 1.0 - frac;
+    thresholds[i] =
+        flat.empty() ? 0.0 : QuantileSorted(flat, Clamp(q, 0.0, 1.0));
+    // Keep thresholds strictly non-decreasing.
+    thresholds[i] = std::max(thresholds[i], thresholds[i - 1]);
+  }
+  return thresholds;
+}
+
+std::vector<double> MakeFunnelLabels(
+    const std::vector<std::vector<double>>& contributions, double threshold) {
+  std::vector<double> labels;
+  size_t total = 0;
+  for (const auto& c : contributions) total += c.size();
+  labels.reserve(total);
+  for (const auto& c : contributions) {
+    const double n = static_cast<double>(c.size());
+    size_t positive = 0;
+    for (double v : c) {
+      if (v > threshold) ++positive;
+    }
+    size_t negative = c.size() - positive;
+    // Scale so each query's positive class carries total weight sqrt(c*n)
+    // independent of imbalance (Appendix B.2); c = n here.
+    double pos_label =
+        positive > 0 ? std::sqrt(n / static_cast<double>(positive)) : 0.0;
+    double neg_label =
+        negative > 0 ? -std::sqrt(n / static_cast<double>(negative)) : 0.0;
+    for (double v : c) {
+      labels.push_back(v > threshold ? pos_label : neg_label);
+    }
+  }
+  return labels;
+}
+
+}  // namespace ps3::core

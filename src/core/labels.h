@@ -1,0 +1,38 @@
+// Partition contribution and training-label generation (§4.3, Algorithm 4).
+#ifndef PS3_CORE_LABELS_H_
+#define PS3_CORE_LABELS_H_
+
+#include <vector>
+
+#include "query/evaluator.h"
+#include "query/query.h"
+
+namespace ps3::core {
+
+/// Contribution of each partition to a query's answer: the largest relative
+/// contribution to any group and any aggregate,
+///   max_{g in G} max_j A_{g,i}[j] / A_g[j],
+/// floored at 0 and clamped above to keep outlying ratios finite.
+std::vector<double> ComputeContributions(
+    const query::Query& query,
+    const std::vector<query::PartitionAnswer>& per_partition,
+    const query::QueryAnswer& exact);
+
+/// Threshold selection for the k funnel models: exponentially spaced pass
+/// fractions from "any non-zero contribution" (model 1, threshold 0) down
+/// to the top 1% of partition contributions (model k). Thresholds are
+/// global quantiles over all training (query, partition) pairs.
+std::vector<double> ChooseThresholds(
+    const std::vector<std::vector<double>>& contributions, int k_models,
+    double top_fraction = 0.01);
+
+/// Label generation for one model (Algorithm 4): per query, partitions with
+/// contribution above the threshold get +sqrt(c / positive) and the rest
+/// -sqrt(c / negative), so each query's positives carry equal total weight
+/// regardless of class imbalance. Returns labels stacked query-major.
+std::vector<double> MakeFunnelLabels(
+    const std::vector<std::vector<double>>& contributions, double threshold);
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_LABELS_H_

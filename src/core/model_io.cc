@@ -1,0 +1,115 @@
+#include "core/model_io.h"
+
+#include "common/serialize.h"
+
+namespace ps3::core {
+
+namespace {
+constexpr uint32_t kMagic = 0x50533301;  // "PS3" + format version 1
+}  // namespace
+
+Status SaveModel(const Ps3Model& model, const std::string& path) {
+  BinaryWriter w;
+  w.PutU32(kMagic);
+  // Pick-time options.
+  const Ps3Options& o = model.options;
+  w.PutDouble(o.alpha);
+  w.PutDouble(o.outlier_budget_frac);
+  w.PutU32(static_cast<uint32_t>(o.outlier_max_group_size));
+  w.PutDouble(o.outlier_rel_size);
+  w.PutU32(static_cast<uint32_t>(o.max_clauses_for_clustering));
+  w.PutU8(o.use_clustering ? 1 : 0);
+  w.PutU8(o.use_outliers ? 1 : 0);
+  w.PutU8(o.use_regressors ? 1 : 0);
+  w.PutU8(o.unbiased_exemplar ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>(o.cluster_algo));
+  // Trained artifacts.
+  model.normalizer.Serialize(&w);
+  w.PutDoubleVector(model.thresholds);
+  w.PutU32(static_cast<uint32_t>(model.regressors.size()));
+  for (const auto& regr : model.regressors) regr.Serialize(&w);
+  w.PutBoolVector(model.excluded_kinds);
+  for (double g : model.category_importance) w.PutDouble(g);
+  return w.WriteFile(path);
+}
+
+Result<Ps3Model> LoadModel(const std::string& path) {
+  auto reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  BinaryReader& r = *reader;
+
+  auto magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return Status::InvalidArgument("not a PS3 model file (bad magic)");
+  }
+  Ps3Model model;
+  Ps3Options& o = model.options;
+#define PS3_READ(field, getter)            \
+  do {                                     \
+    auto v = r.getter();                   \
+    if (!v.ok()) return v.status();        \
+    field = std::move(v).value();          \
+  } while (0)
+  PS3_READ(o.alpha, GetDouble);
+  PS3_READ(o.outlier_budget_frac, GetDouble);
+  {
+    auto v = r.GetU32();
+    if (!v.ok()) return v.status();
+    o.outlier_max_group_size = *v;
+  }
+  PS3_READ(o.outlier_rel_size, GetDouble);
+  {
+    auto v = r.GetU32();
+    if (!v.ok()) return v.status();
+    o.max_clauses_for_clustering = *v;
+  }
+  auto flag = [&r](bool* out) -> Status {
+    auto v = r.GetU8();
+    if (!v.ok()) return v.status();
+    *out = *v != 0;
+    return Status::OK();
+  };
+  PS3_RETURN_IF_ERROR(flag(&o.use_clustering));
+  PS3_RETURN_IF_ERROR(flag(&o.use_outliers));
+  PS3_RETURN_IF_ERROR(flag(&o.use_regressors));
+  PS3_RETURN_IF_ERROR(flag(&o.unbiased_exemplar));
+  {
+    auto v = r.GetU8();
+    if (!v.ok()) return v.status();
+    if (*v > static_cast<uint8_t>(ClusterAlgo::kHacWard)) {
+      return Status::OutOfRange("corrupt model: bad cluster algorithm");
+    }
+    o.cluster_algo = static_cast<ClusterAlgo>(*v);
+  }
+
+  auto norm = featurize::FeatureNormalizer::Deserialize(&r);
+  if (!norm.ok()) return norm.status();
+  model.normalizer = std::move(norm).value();
+  PS3_READ(model.thresholds, GetDoubleVector);
+  auto n_regr = r.GetU32();
+  if (!n_regr.ok()) return n_regr.status();
+  for (uint32_t i = 0; i < *n_regr; ++i) {
+    auto regr = ml::Gbdt::Deserialize(&r);
+    if (!regr.ok()) return regr.status();
+    model.regressors.push_back(std::move(regr).value());
+  }
+  PS3_READ(model.excluded_kinds, GetBoolVector);
+  if (model.excluded_kinds.size() !=
+      static_cast<size_t>(featurize::kNumStatKinds)) {
+    return Status::OutOfRange("corrupt model: bad feature-kind mask size");
+  }
+  for (double& g : model.category_importance) {
+    auto v = r.GetDouble();
+    if (!v.ok()) return v.status();
+    g = *v;
+  }
+#undef PS3_READ
+  if (model.thresholds.size() != model.regressors.size()) {
+    return Status::OutOfRange("corrupt model: thresholds/regressors "
+                              "mismatch");
+  }
+  return model;
+}
+
+}  // namespace ps3::core

@@ -1,0 +1,26 @@
+// Persistence for trained PS3 models: offline training (per dataset,
+// layout and workload, §2.3.2) runs once; the query optimizer loads the
+// model file and picks partitions without retraining.
+#ifndef PS3_CORE_MODEL_IO_H_
+#define PS3_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/ps3_model.h"
+
+namespace ps3::core {
+
+/// Serializes everything Pick() needs: pick-time options, thresholds,
+/// funnel regressors, normalizer, clustering feature mask and the Figure 5
+/// importance summary. Training-only options (GBDT params, feature
+/// selection budgets) are not persisted.
+Status SaveModel(const Ps3Model& model, const std::string& path);
+
+/// Loads a model written by SaveModel; rejects unknown versions and
+/// corrupt content.
+Result<Ps3Model> LoadModel(const std::string& path);
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_MODEL_IO_H_

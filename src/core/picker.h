@@ -1,0 +1,52 @@
+// Common interface for partition pickers: given a query and a sampling
+// budget (number of partitions to read), produce weighted partition
+// choices (§2.4).
+#ifndef PS3_CORE_PICKER_H_
+#define PS3_CORE_PICKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "featurize/featurizer.h"
+#include "query/evaluator.h"
+#include "query/query.h"
+#include "stats/table_stats.h"
+#include "storage/table.h"
+
+namespace ps3::core {
+
+/// Everything a picker may consult at query-optimization time. Note that
+/// pickers never touch raw partition data — only statistics.
+struct PickerContext {
+  const storage::PartitionedTable* table = nullptr;
+  const stats::TableStats* stats = nullptr;
+  const featurize::Featurizer* featurizer = nullptr;
+};
+
+struct Selection {
+  std::vector<query::WeightedPartition> parts;
+
+  size_t NumPartitions() const { return parts.size(); }
+};
+
+/// Optional instrumentation filled by Pick (Table 5).
+struct PickTelemetry {
+  double total_ms = 0.0;
+  double clustering_ms = 0.0;
+};
+
+class PartitionPicker {
+ public:
+  virtual ~PartitionPicker() = default;
+  virtual std::string name() const = 0;
+
+  /// Chooses at most `budget` partitions and their weights.
+  virtual Selection Pick(const query::Query& query, size_t budget,
+                         RandomEngine* rng,
+                         PickTelemetry* telemetry = nullptr) const = 0;
+};
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_PICKER_H_

@@ -1,0 +1,67 @@
+// Trained PS3 artifacts and configuration knobs. One model per (dataset,
+// layout, workload); §2.1 "Generalization".
+#ifndef PS3_CORE_PS3_MODEL_H_
+#define PS3_CORE_PS3_MODEL_H_
+
+#include <array>
+#include <vector>
+
+#include "featurize/feature_schema.h"
+#include "featurize/normalizer.h"
+#include "ml/gbdt.h"
+
+namespace ps3::core {
+
+enum class ClusterAlgo { kKMeans, kHacSingle, kHacWard };
+
+struct FeatureSelectionOptions {
+  bool enabled = true;
+  /// Outer random-restart count of Algorithm 3 (paper uses 10; scaled down
+  /// for the simulator's budget).
+  int restarts = 2;
+  /// Training queries used to score a candidate feature set.
+  int eval_queries = 6;
+  /// Sampling budget (fraction of partitions) used during scoring.
+  double budget_frac = 0.1;
+  uint64_t seed = 99;
+};
+
+struct Ps3Options {
+  int k_models = 4;                     ///< funnel depth (§4.3)
+  double alpha = 2.0;                   ///< budget decay rate (§4.3)
+  double outlier_budget_frac = 0.1;     ///< §4.4
+  size_t outlier_max_group_size = 10;   ///< bitmap group "small" absolute cap
+  double outlier_rel_size = 0.1;        ///< and relative cap vs largest group
+  size_t max_clauses_for_clustering = 10;  ///< B.1 fallback to random
+  // Lesion switches (§5.4.1).
+  bool use_clustering = true;
+  bool use_outliers = true;
+  bool use_regressors = true;
+  /// Appendix D: pick cluster exemplars at random (unbiased estimator)
+  /// instead of closest-to-median (biased, default).
+  bool unbiased_exemplar = false;
+  ClusterAlgo cluster_algo = ClusterAlgo::kKMeans;
+  ml::GbdtParams gbdt = DefaultGbdtParams();
+  FeatureSelectionOptions feature_selection;
+
+  static ml::GbdtParams DefaultGbdtParams();
+};
+
+struct Ps3Model {
+  Ps3Options options;
+  featurize::FeatureNormalizer normalizer;
+  /// k regressors, ordered least to most selective (funnel order).
+  std::vector<ml::Gbdt> regressors;
+  /// Contribution thresholds the regressors were trained against.
+  std::vector<double> thresholds;
+  /// StatKinds excluded from clustering distance (Algorithm 3 output).
+  std::vector<bool> excluded_kinds =
+      std::vector<bool>(featurize::kNumStatKinds, false);
+  /// Aggregated regressor gain by feature category (Figure 5); sums to 1
+  /// when any split happened.
+  std::array<double, 4> category_importance = {0, 0, 0, 0};
+};
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_PS3_MODEL_H_

@@ -1,0 +1,85 @@
+#include "core/ps3_trainer.h"
+
+#include <cassert>
+
+#include "core/feature_selection.h"
+#include "core/labels.h"
+#include "ml/binned.h"
+
+namespace ps3::core {
+
+ml::GbdtParams Ps3Options::DefaultGbdtParams() {
+  ml::GbdtParams p;
+  p.num_trees = 20;
+  p.learning_rate = 0.25;
+  p.subsample = 0.8;
+  p.tree.max_depth = 3;
+  p.tree.lambda = 1.0;
+  p.tree.min_samples_leaf = 8;
+  p.tree.colsample = 0.35;
+  return p;
+}
+
+Ps3Model TrainPs3(const PickerContext& ctx, const TrainingData& data,
+                  const Ps3Options& options) {
+  Ps3Model model;
+  model.options = options;
+
+  // 1. Fit the feature normalizer on the raw training features.
+  std::vector<const featurize::FeatureMatrix*> raw;
+  raw.reserve(data.features.size());
+  for (const auto& fm : data.features) raw.push_back(&fm);
+  const featurize::FeatureSchema& schema =
+      ctx.featurizer->feature_schema();
+  model.normalizer.Fit(schema, raw);
+
+  // 2. Stack normalized features into one design matrix and bin it once;
+  // the k funnel regressors share the quantization.
+  const size_t n_parts = ctx.featurizer->num_partitions();
+  const size_t m = schema.num_features();
+  const size_t rows = data.num_queries() * n_parts;
+  std::vector<double> stacked;
+  stacked.reserve(rows * m);
+  for (const auto& fm : data.features) {
+    featurize::FeatureMatrix norm = fm;  // copy, then normalize in place
+    model.normalizer.Apply(&norm);
+    stacked.insert(stacked.end(), norm.data.begin(), norm.data.end());
+  }
+  ml::ConstMatrixView X{stacked.data(), rows, m};
+  ml::BinnedDataset binned = ml::BinnedDataset::Build(X);
+
+  // 3. Train the funnel regressors on exponentially-spaced contribution
+  // thresholds (§4.3).
+  model.thresholds = ChooseThresholds(data.contributions, options.k_models);
+  std::array<double, 4> category_gain = {0, 0, 0, 0};
+  for (int i = 0; i < options.k_models; ++i) {
+    std::vector<double> y =
+        MakeFunnelLabels(data.contributions, model.thresholds[i]);
+    assert(y.size() == rows);
+    ml::GbdtParams params = options.gbdt;
+    params.seed = options.gbdt.seed + static_cast<uint64_t>(i) * 7919;
+    model.regressors.push_back(ml::Gbdt::Train(binned, y, params));
+    // Aggregate gain by feature category for Figure 5.
+    const auto& gain = model.regressors.back().feature_gain();
+    for (size_t j = 0; j < m; ++j) {
+      auto cat = featurize::CategoryOf(schema.def(j).kind);
+      category_gain[static_cast<size_t>(cat)] += gain[j];
+    }
+  }
+  double total = category_gain[0] + category_gain[1] + category_gain[2] +
+                 category_gain[3];
+  if (total > 0.0) {
+    for (auto& g : category_gain) g /= total;
+  }
+  model.category_importance = category_gain;
+
+  // 4. Clustering feature selection (Algorithm 3).
+  if (options.feature_selection.enabled) {
+    model.excluded_kinds = SelectClusterFeatures(
+        ctx, data, model.normalizer, options.cluster_algo,
+        options.feature_selection);
+  }
+  return model;
+}
+
+}  // namespace ps3::core

@@ -1,0 +1,19 @@
+// Offline training of the PS3 model (§2.3.2): normalizer fitting, funnel
+// regressors over Algorithm 4 labels, Figure 5 importance aggregation, and
+// the clustering feature selection of Algorithm 3.
+#ifndef PS3_CORE_PS3_TRAINER_H_
+#define PS3_CORE_PS3_TRAINER_H_
+
+#include "core/picker.h"
+#include "core/ps3_model.h"
+#include "core/training_data.h"
+
+namespace ps3::core {
+
+/// Trains the complete PS3 model from pre-built training data.
+Ps3Model TrainPs3(const PickerContext& ctx, const TrainingData& data,
+                  const Ps3Options& options);
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_PS3_TRAINER_H_

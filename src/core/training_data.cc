@@ -1,0 +1,26 @@
+#include "core/training_data.h"
+
+#include "core/labels.h"
+
+namespace ps3::core {
+
+TrainingData BuildTrainingData(const PickerContext& ctx,
+                               std::vector<query::Query> queries) {
+  TrainingData data;
+  data.queries = std::move(queries);
+  const size_t nq = data.queries.size();
+  data.features.reserve(nq);
+  data.answers.reserve(nq);
+  data.exact.reserve(nq);
+  data.contributions.reserve(nq);
+  for (const auto& q : data.queries) {
+    data.features.push_back(ctx.featurizer->BuildFeatures(q));
+    data.answers.push_back(query::EvaluateAllPartitions(q, *ctx.table));
+    data.exact.push_back(query::ExactAnswer(q, data.answers.back()));
+    data.contributions.push_back(
+        ComputeContributions(q, data.answers.back(), data.exact.back()));
+  }
+  return data;
+}
+
+}  // namespace ps3::core

@@ -1,0 +1,46 @@
+#include "eval/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ps3::eval {
+
+CostEstimate SimulateRead(const ClusterModel& model, double fraction) {
+  CostEstimate out;
+  size_t n_tasks = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(model.total_partitions)));
+  n_tasks = std::max<size_t>(1, n_tasks);
+
+  RandomEngine rng(model.seed);
+  // Lognormal task durations: median task_mean_s * exp(-sigma^2/2), heavy
+  // right tail produces stragglers.
+  double mu = std::log(model.task_mean_s) -
+              0.5 * model.task_sigma * model.task_sigma;
+  std::vector<double> durations(n_tasks);
+  for (auto& d : durations) {
+    d = std::exp(mu + model.task_sigma * rng.NextGaussian());
+    out.compute_s += d;
+  }
+
+  // List scheduling on `workers` slots: earliest-available-slot gets the
+  // next task. A min-heap of slot completion times gives the makespan.
+  std::priority_queue<double, std::vector<double>, std::greater<>> slots;
+  size_t w = std::min(model.workers, n_tasks);
+  for (size_t i = 0; i < w; ++i) slots.push(0.0);
+  double makespan = 0.0;
+  for (double d : durations) {
+    double free_at = slots.top();
+    slots.pop();
+    double done = free_at + d;
+    makespan = std::max(makespan, done);
+    slots.push(done);
+  }
+  out.latency_s = model.startup_s + makespan;
+  return out;
+}
+
+}  // namespace ps3::eval

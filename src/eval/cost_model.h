@@ -1,0 +1,35 @@
+// Cluster cost model for Table 3. The paper measures query latency and
+// total compute time on SCOPE clusters; we replace the cluster with a
+// small scheduling simulation: reading a fraction f of partitions spawns
+// f*N tasks with heavy-tailed durations over W workers plus a fixed job
+// startup cost. Total compute is the sum of task durations (near linear in
+// f); latency is the simulated makespan (sublinear gains, dominated by
+// startup and stragglers), matching the shape the paper reports.
+#ifndef PS3_EVAL_COST_MODEL_H_
+#define PS3_EVAL_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ps3::eval {
+
+struct ClusterModel {
+  size_t total_partitions = 2844;  ///< TPC-H* sf=1000 partition count
+  size_t workers = 256;            ///< concurrent task slots for this job
+  double task_mean_s = 30.0;       ///< mean per-partition scan time
+  double task_sigma = 0.6;         ///< lognormal shape (stragglers)
+  double startup_s = 20.0;         ///< job submission / scheduling floor
+  uint64_t seed = 2020;
+};
+
+struct CostEstimate {
+  double latency_s = 0.0;        ///< simulated makespan incl. startup
+  double compute_s = 0.0;        ///< sum of task durations
+};
+
+/// Simulates reading `ceil(fraction * total_partitions)` partitions.
+CostEstimate SimulateRead(const ClusterModel& model, double fraction);
+
+}  // namespace ps3::eval
+
+#endif  // PS3_EVAL_COST_MODEL_H_

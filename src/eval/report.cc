@@ -1,0 +1,62 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace ps3::eval {
+
+void Report::SetHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Report::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Report::Render() const {
+  std::vector<size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::string out = "== " + title_ + " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      out.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Report::Print() const {
+  std::fputs(Render().c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+std::string Num(double v, int digits) {
+  return StrFormat("%.*f", digits, v);
+}
+
+std::string Pct(double v, int digits) {
+  return StrFormat("%.*f%%", digits, v * 100.0);
+}
+
+}  // namespace ps3::eval

@@ -1,0 +1,36 @@
+// Plain-text table rendering for bench output: the bench binaries print
+// the same rows/series the paper's tables and figures report.
+#ifndef PS3_EVAL_REPORT_H_
+#define PS3_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace ps3::eval {
+
+class Report {
+ public:
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  std::string Render() const;
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals ("0.0123").
+std::string Num(double v, int digits = 4);
+/// Formats a fraction as a percentage ("12.5%").
+std::string Pct(double v, int digits = 1);
+
+}  // namespace ps3::eval
+
+#endif  // PS3_EVAL_REPORT_H_

@@ -1,0 +1,153 @@
+#include "featurize/feature_schema.h"
+
+#include "common/string_util.h"
+
+namespace ps3::featurize {
+
+FeatureCategory CategoryOf(StatKind kind) {
+  switch (kind) {
+    case StatKind::kSelUpper:
+    case StatKind::kSelIndep:
+    case StatKind::kSelMin:
+    case StatKind::kSelMax:
+      return FeatureCategory::kSelectivity;
+    case StatKind::kHhBitmap:
+    case StatKind::kNumHh:
+    case StatKind::kAvgHh:
+    case StatKind::kMaxHh:
+      return FeatureCategory::kHeavyHitter;
+    case StatKind::kNumDv:
+    case StatKind::kAvgDv:
+    case StatKind::kMaxDv:
+    case StatKind::kMinDv:
+    case StatKind::kSumDv:
+      return FeatureCategory::kDistinctValue;
+    default:
+      return FeatureCategory::kMeasure;
+  }
+}
+
+const char* StatKindName(StatKind kind) {
+  switch (kind) {
+    case StatKind::kSelUpper:
+      return "selectivity_upper";
+    case StatKind::kSelIndep:
+      return "selectivity_indep";
+    case StatKind::kSelMin:
+      return "selectivity_min";
+    case StatKind::kSelMax:
+      return "selectivity_max";
+    case StatKind::kHhBitmap:
+      return "hh_bitmap";
+    case StatKind::kMean:
+      return "x";
+    case StatKind::kMeanSq:
+      return "x2";
+    case StatKind::kStd:
+      return "std";
+    case StatKind::kMin:
+      return "min(x)";
+    case StatKind::kMax:
+      return "max(x)";
+    case StatKind::kLogMean:
+      return "log(x)";
+    case StatKind::kLogMeanSq:
+      return "log2(x)";
+    case StatKind::kLogMin:
+      return "min(log(x))";
+    case StatKind::kLogMax:
+      return "max(log(x))";
+    case StatKind::kNumDv:
+      return "#dv";
+    case StatKind::kAvgDv:
+      return "avg_dv";
+    case StatKind::kMaxDv:
+      return "max_dv";
+    case StatKind::kMinDv:
+      return "min_dv";
+    case StatKind::kSumDv:
+      return "sum_dv";
+    case StatKind::kNumHh:
+      return "#hh";
+    case StatKind::kAvgHh:
+      return "avg_hh";
+    case StatKind::kMaxHh:
+      return "max_hh";
+  }
+  return "?";
+}
+
+const char* FeatureCategoryName(FeatureCategory cat) {
+  switch (cat) {
+    case FeatureCategory::kSelectivity:
+      return "selectivity";
+    case FeatureCategory::kMeasure:
+      return "measure";
+    case FeatureCategory::kDistinctValue:
+      return "dv";
+    case FeatureCategory::kHeavyHitter:
+      return "hh";
+  }
+  return "?";
+}
+
+FeatureSchema FeatureSchema::Build(const storage::Schema& schema,
+                                   const stats::TableStats& stats) {
+  FeatureSchema fs;
+  auto add = [&fs](StatKind kind, int column, int bit, std::string name) {
+    fs.defs_.push_back({kind, column, bit, std::move(name)});
+    return fs.defs_.size() - 1;
+  };
+
+  // Query-level selectivity features first.
+  fs.sel_upper_ = add(StatKind::kSelUpper, -1, -1, "selectivity_upper");
+  fs.sel_indep_ = add(StatKind::kSelIndep, -1, -1, "selectivity_indep");
+  fs.sel_min_ = add(StatKind::kSelMin, -1, -1, "selectivity_min");
+  fs.sel_max_ = add(StatKind::kSelMax, -1, -1, "selectivity_max");
+
+  static constexpr StatKind kMeasureKinds[] = {
+      StatKind::kMean,   StatKind::kMeanSq,    StatKind::kStd,
+      StatKind::kMin,    StatKind::kMax,       StatKind::kLogMean,
+      StatKind::kLogMeanSq, StatKind::kLogMin, StatKind::kLogMax,
+  };
+  static constexpr StatKind kDvKinds[] = {
+      StatKind::kNumDv, StatKind::kAvgDv, StatKind::kMaxDv,
+      StatKind::kMinDv, StatKind::kSumDv,
+  };
+  static constexpr StatKind kHhKinds[] = {
+      StatKind::kNumHh,
+      StatKind::kAvgHh,
+      StatKind::kMaxHh,
+  };
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const std::string& col = schema.field(c).name;
+    // Measure sketches do not apply to categorical columns (§3.2 zeroes
+    // them); we simply omit those features, which is equivalent and keeps
+    // the vector small.
+    if (schema.IsNumeric(c)) {
+      for (StatKind k : kMeasureKinds) {
+        add(k, static_cast<int>(c), -1,
+            std::string(StatKindName(k)) + ":" + col);
+      }
+    }
+    for (StatKind k : kDvKinds) {
+      add(k, static_cast<int>(c), -1,
+          std::string(StatKindName(k)) + ":" + col);
+    }
+    for (StatKind k : kHhKinds) {
+      add(k, static_cast<int>(c), -1,
+          std::string(StatKindName(k)) + ":" + col);
+    }
+    if (stats.num_partitions() > 0 && stats.has_bitmap(c)) {
+      size_t bits = stats.global_heavy_hitters(c).size();
+      for (size_t b = 0; b < bits; ++b) {
+        add(StatKind::kHhBitmap, static_cast<int>(c), static_cast<int>(b),
+            StrFormat("hh_bitmap[%zu]:%s", b, col.c_str()));
+      }
+    }
+  }
+  return fs;
+}
+
+}  // namespace ps3::featurize

@@ -1,0 +1,93 @@
+// Feature-vector schema (§3.2, Table 2). The schema is determined entirely
+// by the table schema, so all queries over a dataset share it. Each
+// feature is identified by a statistic kind (the granularity at which the
+// clustering feature selection of Algorithm 3 operates) and, except for
+// the query-level selectivity features, a column.
+#ifndef PS3_FEATURIZE_FEATURE_SCHEMA_H_
+#define PS3_FEATURIZE_FEATURE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/table_stats.h"
+#include "storage/schema.h"
+
+namespace ps3::featurize {
+
+enum class StatKind : int {
+  // Query-specific selectivity estimates (§3.2).
+  kSelUpper = 0,
+  kSelIndep,
+  kSelMin,
+  kSelMax,
+  // Occurrence bitmap of global heavy hitters (grouping columns only).
+  kHhBitmap,
+  // Measures.
+  kMean,
+  kMeanSq,
+  kStd,
+  kMin,
+  kMax,
+  kLogMean,
+  kLogMeanSq,
+  kLogMin,
+  kLogMax,
+  // Distinct values (AKMV).
+  kNumDv,
+  kAvgDv,
+  kMaxDv,
+  kMinDv,
+  kSumDv,
+  // Heavy hitters.
+  kNumHh,
+  kAvgHh,
+  kMaxHh,
+};
+
+inline constexpr int kNumStatKinds = 22;
+
+/// The four feature families of Figure 5.
+enum class FeatureCategory {
+  kSelectivity,
+  kMeasure,
+  kDistinctValue,
+  kHeavyHitter,
+};
+
+FeatureCategory CategoryOf(StatKind kind);
+const char* StatKindName(StatKind kind);
+const char* FeatureCategoryName(FeatureCategory cat);
+
+struct FeatureDef {
+  StatKind kind;
+  int column;  ///< -1 for query-level (selectivity) features
+  int bit;     ///< bitmap bit index, -1 otherwise
+  std::string name;
+};
+
+class FeatureSchema {
+ public:
+  /// Derives the feature layout from the table schema and the bitmap
+  /// configuration recorded in `stats` (which grouping columns carry
+  /// occurrence bitmaps and how many bits each has).
+  static FeatureSchema Build(const storage::Schema& schema,
+                             const stats::TableStats& stats);
+
+  size_t num_features() const { return defs_.size(); }
+  const FeatureDef& def(size_t i) const { return defs_[i]; }
+  const std::vector<FeatureDef>& defs() const { return defs_; }
+
+  /// Indices of the four selectivity features.
+  size_t sel_upper_index() const { return sel_upper_; }
+  size_t sel_indep_index() const { return sel_indep_; }
+  size_t sel_min_index() const { return sel_min_; }
+  size_t sel_max_index() const { return sel_max_; }
+
+ private:
+  std::vector<FeatureDef> defs_;
+  size_t sel_upper_ = 0, sel_indep_ = 0, sel_min_ = 0, sel_max_ = 0;
+};
+
+}  // namespace ps3::featurize
+
+#endif  // PS3_FEATURIZE_FEATURE_SCHEMA_H_

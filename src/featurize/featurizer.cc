@@ -1,0 +1,115 @@
+#include "featurize/featurizer.h"
+
+#include <cassert>
+
+namespace ps3::featurize {
+
+namespace {
+
+double StaticFeatureValue(const stats::TableStats& stats, size_t part,
+                          const FeatureDef& def) {
+  const stats::ColumnStats& cs =
+      stats.partition(part).columns[static_cast<size_t>(def.column)];
+  switch (def.kind) {
+    case StatKind::kMean:
+      return cs.measures.mean();
+    case StatKind::kMeanSq:
+      return cs.measures.mean_sq();
+    case StatKind::kStd:
+      return cs.measures.std_dev();
+    case StatKind::kMin:
+      return cs.measures.min();
+    case StatKind::kMax:
+      return cs.measures.max();
+    case StatKind::kLogMean:
+      return cs.measures.log_mean();
+    case StatKind::kLogMeanSq:
+      return cs.measures.log_mean_sq();
+    case StatKind::kLogMin:
+      return cs.measures.has_log() ? cs.measures.log_min() : 0.0;
+    case StatKind::kLogMax:
+      return cs.measures.has_log() ? cs.measures.log_max() : 0.0;
+    case StatKind::kNumDv:
+      return cs.akmv.EstimateDistinct();
+    case StatKind::kAvgDv:
+      return cs.akmv.avg_frequency();
+    case StatKind::kMaxDv:
+      return cs.akmv.max_frequency();
+    case StatKind::kMinDv:
+      return cs.akmv.min_frequency();
+    case StatKind::kSumDv:
+      return cs.akmv.sum_frequency();
+    case StatKind::kNumHh:
+      return static_cast<double>(cs.heavy_hitters.NumHeavyHitters());
+    case StatKind::kAvgHh:
+      return cs.heavy_hitters.AvgFrequency();
+    case StatKind::kMaxHh:
+      return cs.heavy_hitters.MaxFrequency();
+    case StatKind::kHhBitmap: {
+      const auto& bm = stats.occurrence_bitmap(
+          part, static_cast<size_t>(def.column));
+      return def.bit < static_cast<int>(bm.size())
+                 ? static_cast<double>(bm[def.bit])
+                 : 0.0;
+    }
+    default:
+      return 0.0;  // selectivity features are query-specific
+  }
+}
+
+}  // namespace
+
+Featurizer::Featurizer(const storage::Schema& schema,
+                       const stats::TableStats* stats)
+    : table_schema_(schema), stats_(stats) {
+  schema_ = FeatureSchema::Build(schema, *stats);
+  const size_t n = stats->num_partitions();
+  const size_t m = schema_.num_features();
+  static_features_ = FeatureMatrix(n, m);
+  feature_column_.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    feature_column_[j] = schema_.def(j).column;
+  }
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t j = 0; j < m; ++j) {
+      if (feature_column_[j] < 0) continue;
+      static_features_.At(p, j) = StaticFeatureValue(*stats, p,
+                                                     schema_.def(j));
+    }
+  }
+}
+
+FeatureMatrix Featurizer::BuildFeatures(const query::Query& query) const {
+  FeatureMatrix out = static_features_;
+  const auto used = query.UsedColumns();
+  // Mask: zero features of columns the query does not touch.
+  std::vector<bool> column_used(table_schema_.num_columns(), false);
+  for (size_t c : used) column_used[c] = true;
+  for (size_t j = 0; j < out.m; ++j) {
+    int col = feature_column_[j];
+    if (col >= 0 && !column_used[static_cast<size_t>(col)]) {
+      for (size_t p = 0; p < out.n; ++p) out.At(p, j) = 0.0;
+    }
+  }
+  // Query-specific selectivity features.
+  auto sel = ComputeSelectivity(query);
+  for (size_t p = 0; p < out.n; ++p) {
+    out.At(p, schema_.sel_upper_index()) = sel[p].upper;
+    out.At(p, schema_.sel_indep_index()) = sel[p].indep;
+    out.At(p, schema_.sel_min_index()) = sel[p].min_clause;
+    out.At(p, schema_.sel_max_index()) = sel[p].max_clause;
+  }
+  return out;
+}
+
+std::vector<SelectivityFeatures> Featurizer::ComputeSelectivity(
+    const query::Query& query) const {
+  std::vector<SelectivityFeatures> out;
+  out.reserve(stats_->num_partitions());
+  for (size_t p = 0; p < stats_->num_partitions(); ++p) {
+    out.push_back(EstimateSelectivity(query, stats_->partition(p)));
+  }
+  return out;
+}
+
+}  // namespace ps3::featurize

@@ -1,0 +1,62 @@
+// Builds per-partition feature matrices for a query: precomputed column
+// statistics, query-dependent column masking, and query-specific
+// selectivity estimates (§3.2).
+#ifndef PS3_FEATURIZE_FEATURIZER_H_
+#define PS3_FEATURIZE_FEATURIZER_H_
+
+#include <vector>
+
+#include "featurize/feature_schema.h"
+#include "featurize/selectivity.h"
+#include "query/query.h"
+#include "stats/table_stats.h"
+#include "storage/schema.h"
+
+namespace ps3::featurize {
+
+/// Dense row-major matrix of partition features (N partitions x M features).
+struct FeatureMatrix {
+  size_t n = 0;
+  size_t m = 0;
+  std::vector<double> data;
+
+  FeatureMatrix() = default;
+  FeatureMatrix(size_t rows, size_t cols)
+      : n(rows), m(cols), data(rows * cols, 0.0) {}
+
+  double& At(size_t i, size_t j) { return data[i * m + j]; }
+  double At(size_t i, size_t j) const { return data[i * m + j]; }
+  const double* Row(size_t i) const { return data.data() + i * m; }
+  double* Row(size_t i) { return data.data() + i * m; }
+};
+
+class Featurizer {
+ public:
+  /// Precomputes the static (query-independent) feature matrix.
+  Featurizer(const storage::Schema& schema, const stats::TableStats* stats);
+
+  const FeatureSchema& feature_schema() const { return schema_; }
+  const stats::TableStats& stats() const { return *stats_; }
+  size_t num_partitions() const { return stats_->num_partitions(); }
+
+  /// Full (unnormalized) feature matrix for a query: static features with
+  /// unused columns masked to zero, plus the selectivity features.
+  FeatureMatrix BuildFeatures(const query::Query& query) const;
+
+  /// Selectivity features only, one entry per partition (cheaper than
+  /// BuildFeatures; used by the predicate filter of every method).
+  std::vector<SelectivityFeatures> ComputeSelectivity(
+      const query::Query& query) const;
+
+ private:
+  storage::Schema table_schema_;
+  const stats::TableStats* stats_;
+  FeatureSchema schema_;
+  FeatureMatrix static_features_;
+  // For masking: per feature, the column it belongs to (-1 = query level).
+  std::vector<int> feature_column_;
+};
+
+}  // namespace ps3::featurize
+
+#endif  // PS3_FEATURIZE_FEATURIZER_H_

@@ -1,0 +1,83 @@
+#include "featurize/normalizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ps3::featurize {
+
+double FeatureNormalizer::Transform(StatKind kind, double v) {
+  if (CategoryOf(kind) == FeatureCategory::kSelectivity) {
+    return std::cbrt(v);
+  }
+  // Signed log1p keeps ordering and handles negatives (e.g. min(x)).
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+void FeatureNormalizer::Fit(const FeatureSchema& schema,
+                            const std::vector<const FeatureMatrix*>& training) {
+  const size_t m = schema.num_features();
+  kinds_.resize(m);
+  for (size_t j = 0; j < m; ++j) kinds_[j] = schema.def(j).kind;
+  scale_.assign(m, 1.0);
+
+  std::vector<double> sum(m, 0.0);
+  size_t rows = 0;
+  for (const FeatureMatrix* fm : training) {
+    assert(fm->m == m);
+    for (size_t i = 0; i < fm->n; ++i) {
+      const double* row = fm->Row(i);
+      for (size_t j = 0; j < m; ++j) {
+        sum[j] += std::fabs(Transform(kinds_[j], row[j]));
+      }
+    }
+    rows += fm->n;
+  }
+  if (rows == 0) return;
+  for (size_t j = 0; j < m; ++j) {
+    double mean = sum[j] / static_cast<double>(rows);
+    // Average is more robust to outliers than max (Appendix B.1). Features
+    // that are identically ~0 in training keep scale 1.
+    scale_[j] = mean > 1e-12 ? mean : 1.0;
+  }
+}
+
+void FeatureNormalizer::Serialize(BinaryWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(kinds_.size()));
+  for (StatKind k : kinds_) w->PutI32(static_cast<int32_t>(k));
+  w->PutDoubleVector(scale_);
+}
+
+Result<FeatureNormalizer> FeatureNormalizer::Deserialize(BinaryReader* r) {
+  FeatureNormalizer norm;
+  auto count = r->GetU32();
+  if (!count.ok()) return count.status();
+  norm.kinds_.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto k = r->GetI32();
+    if (!k.ok()) return k.status();
+    if (*k < 0 || *k >= kNumStatKinds) {
+      return Status::OutOfRange("corrupt normalizer: bad StatKind");
+    }
+    norm.kinds_.push_back(static_cast<StatKind>(*k));
+  }
+  auto scale = r->GetDoubleVector();
+  if (!scale.ok()) return scale.status();
+  norm.scale_ = std::move(scale).value();
+  if (norm.scale_.size() != norm.kinds_.size()) {
+    return Status::OutOfRange("corrupt normalizer: size mismatch");
+  }
+  return norm;
+}
+
+void FeatureNormalizer::Apply(FeatureMatrix* features) const {
+  assert(fitted());
+  assert(features->m == scale_.size());
+  for (size_t i = 0; i < features->n; ++i) {
+    double* row = features->Row(i);
+    for (size_t j = 0; j < features->m; ++j) {
+      row[j] = Transform(kinds_[j], row[j]) / scale_[j];
+    }
+  }
+}
+
+}  // namespace ps3::featurize

@@ -1,0 +1,43 @@
+// Feature normalization (Appendix B.1): a skew-reducing transform (signed
+// log1p for statistics, cube root for selectivities) followed by division
+// by the feature's average magnitude over the training workload. Test-time
+// features are normalized with the training-set scales.
+#ifndef PS3_FEATURIZE_NORMALIZER_H_
+#define PS3_FEATURIZE_NORMALIZER_H_
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "featurize/featurizer.h"
+
+namespace ps3::featurize {
+
+class FeatureNormalizer {
+ public:
+  FeatureNormalizer() = default;
+
+  /// Computes per-feature scales from raw training feature matrices.
+  void Fit(const FeatureSchema& schema,
+           const std::vector<const FeatureMatrix*>& training);
+
+  /// Applies transform + scaling in place. Must be Fit first.
+  void Apply(FeatureMatrix* features) const;
+
+  bool fitted() const { return !scale_.empty(); }
+  const std::vector<double>& scales() const { return scale_; }
+
+  /// The transform applied before scaling (exposed for tests).
+  static double Transform(StatKind kind, double v);
+
+  /// Binary persistence.
+  void Serialize(BinaryWriter* w) const;
+  static Result<FeatureNormalizer> Deserialize(BinaryReader* r);
+
+ private:
+  std::vector<StatKind> kinds_;  // per feature
+  std::vector<double> scale_;    // per feature; > 0
+};
+
+}  // namespace ps3::featurize
+
+#endif  // PS3_FEATURIZE_NORMALIZER_H_

@@ -1,0 +1,313 @@
+#include "featurize/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/math_util.h"
+
+namespace ps3::featurize {
+
+namespace {
+
+using query::Clause;
+using query::CompareOp;
+using query::Predicate;
+using stats::ColumnStats;
+using stats::PartitionStats;
+
+/// (lower bound, estimate, upper bound) for one predicate subtree.
+struct SelTriple {
+  double lower = 0.0;
+  double est = 0.0;
+  double upper = 0.0;
+};
+
+/// Numeric interval with open/closed endpoints.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_incl = true;
+  bool hi_incl = true;
+  bool empty = false;
+
+  void IntersectWith(const Interval& o) {
+    if (o.lo > lo || (o.lo == lo && !o.lo_incl)) {
+      lo = o.lo;
+      lo_incl = o.lo_incl;
+    }
+    if (o.hi < hi || (o.hi == hi && !o.hi_incl)) {
+      hi = o.hi;
+      hi_incl = o.hi_incl;
+    }
+    if (lo > hi || (lo == hi && !(lo_incl && hi_incl))) empty = true;
+  }
+};
+
+Interval ClauseToInterval(const Clause& c) {
+  Interval iv;
+  switch (c.op) {
+    case CompareOp::kLt:
+      iv.hi = c.value;
+      iv.hi_incl = false;
+      break;
+    case CompareOp::kLe:
+      iv.hi = c.value;
+      break;
+    case CompareOp::kGt:
+      iv.lo = c.value;
+      iv.lo_incl = false;
+      break;
+    case CompareOp::kGe:
+      iv.lo = c.value;
+      break;
+    case CompareOp::kEq:
+      iv.lo = iv.hi = c.value;
+      break;
+    case CompareOp::kNe:
+      break;  // handled separately (not interval-shaped)
+  }
+  return iv;
+}
+
+/// Evaluates a numeric interval clause against a column's sketches.
+SelTriple EvalInterval(const ColumnStats& cs, const Interval& iv) {
+  SelTriple t;
+  if (iv.empty) return t;
+  const auto& hist = cs.histogram;
+  if (hist.total_count() == 0) return t;
+  // Clip infinite endpoints to the observed min/max; a clipped endpoint is
+  // always inclusive (the original constraint is slack there).
+  double lo = iv.lo, hi = iv.hi;
+  bool lo_incl = iv.lo_incl, hi_incl = iv.hi_incl;
+  if (lo < hist.min()) {
+    lo = hist.min();
+    lo_incl = true;
+  }
+  if (hi > hist.max()) {
+    hi = hist.max();
+    hi_incl = true;
+  }
+  if (lo > hi) return t;
+  auto bounds = hist.RangeSelectivityBounds(lo, hi, lo_incl, hi_incl);
+  t.lower = bounds.lower;
+  t.upper = bounds.upper;
+  if (iv.lo == iv.hi) {
+    // Point predicate: interpolation degenerates, use the density model.
+    t.est = hist.PointSelectivity(iv.lo);
+    t.lower = 0.0;
+  } else {
+    t.est = hist.RangeSelectivity(lo, hi, iv.lo_incl, iv.hi_incl);
+  }
+  t.est = Clamp(t.est, t.lower, t.upper);
+  return t;
+}
+
+/// Evaluates a categorical IN clause (set of codes) against sketches.
+SelTriple EvalIn(const ColumnStats& cs, const std::set<int32_t>& codes) {
+  SelTriple t;
+  if (codes.empty()) return t;
+  if (cs.exact_freq.valid()) {
+    double f = 0.0;
+    for (int32_t code : codes) f += cs.exact_freq.Frequency(code);
+    t.lower = t.est = t.upper = std::min(1.0, f);
+    return t;
+  }
+  // Fall back to heavy hitters: a tracked code contributes its measured
+  // frequency; an untracked code may still be present with frequency below
+  // the support threshold.
+  const double n = static_cast<double>(cs.heavy_hitters.rows_seen());
+  if (n == 0) return t;
+  const double support = cs.heavy_hitters.support();
+  auto items = cs.heavy_hitters.Items();
+  double hh_mass = 0.0;
+  for (const auto& e : items) hh_mass += static_cast<double>(e.count) / n;
+  double residual = std::max(0.0, 1.0 - hh_mass);
+  double ndv = std::max(1.0, cs.akmv.EstimateDistinct());
+  double residual_share =
+      residual / std::max(1.0, ndv - static_cast<double>(items.size()));
+  for (int32_t code : codes) {
+    const sketch::HeavyHitterEntry* found = nullptr;
+    for (const auto& e : items) {
+      if (e.key == code) {
+        found = &e;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      double f = static_cast<double>(found->count) / n;
+      t.lower += f;
+      t.est += f;
+      t.upper += std::min(1.0, f + support / 10.0);  // lossy-counting slack
+    } else {
+      // Possibly present but below the support threshold.
+      t.est += residual_share;
+      t.upper += std::min(support, residual);
+    }
+  }
+  t.lower = Clamp(t.lower, 0.0, 1.0);
+  t.upper = Clamp(t.upper, 0.0, 1.0);
+  t.est = Clamp(t.est, t.lower, t.upper);
+  return t;
+}
+
+SelTriple Invert(const SelTriple& t) {
+  return SelTriple{1.0 - t.upper, 1.0 - t.est, 1.0 - t.lower};
+}
+
+class Estimator {
+ public:
+  explicit Estimator(const PartitionStats& ps) : ps_(ps) {}
+
+  SelTriple EvalNode(const Predicate& p) {
+    switch (p.kind()) {
+      case Predicate::Kind::kTrue:
+        return {1.0, 1.0, 1.0};
+      case Predicate::Kind::kClause:
+        return EvalLeaf(p.clause());
+      case Predicate::Kind::kNot: {
+        SelTriple t = Invert(EvalNode(*p.children()[0]));
+        return t;
+      }
+      case Predicate::Kind::kAnd:
+        return EvalAnd(p);
+      case Predicate::Kind::kOr:
+        return EvalOr(p);
+    }
+    return {};
+  }
+
+  const std::vector<double>& clause_estimates() const {
+    return clause_ests_;
+  }
+
+ private:
+  SelTriple Record(SelTriple t) {
+    clause_ests_.push_back(t.est);
+    return t;
+  }
+
+  SelTriple EvalLeaf(const Clause& c) {
+    const ColumnStats& cs = ps_.columns[c.column];
+    if (c.categorical) {
+      return Record(EvalIn(cs, {c.in_codes.begin(), c.in_codes.end()}));
+    }
+    if (c.op == CompareOp::kNe) {
+      Interval iv;
+      iv.lo = iv.hi = c.value;
+      return Record(Invert(EvalInterval(cs, iv)));
+    }
+    return Record(EvalInterval(cs, ClauseToInterval(c)));
+  }
+
+  /// AND: intersect numeric intervals / categorical IN-sets per column
+  /// before estimation ("clauses on the same column evaluated jointly").
+  SelTriple EvalAnd(const Predicate& p) {
+    std::map<size_t, Interval> intervals;
+    std::map<size_t, std::set<int32_t>> in_sets;
+    std::vector<SelTriple> parts;
+    for (const auto& child : p.children()) {
+      if (child->kind() == Predicate::Kind::kClause) {
+        const Clause& c = child->clause();
+        if (!c.categorical && c.op != CompareOp::kNe) {
+          auto [it, fresh] = intervals.try_emplace(c.column,
+                                                   ClauseToInterval(c));
+          if (!fresh) it->second.IntersectWith(ClauseToInterval(c));
+          continue;
+        }
+        if (c.categorical) {
+          std::set<int32_t> codes(c.in_codes.begin(), c.in_codes.end());
+          auto [it, fresh] = in_sets.try_emplace(c.column, std::move(codes));
+          if (!fresh) {
+            std::set<int32_t> merged;
+            std::set_intersection(it->second.begin(), it->second.end(),
+                                  codes.begin(), codes.end(),
+                                  std::inserter(merged, merged.begin()));
+            it->second = std::move(merged);
+          }
+          continue;
+        }
+      }
+      parts.push_back(EvalNode(*child));
+    }
+    for (const auto& [col, iv] : intervals) {
+      parts.push_back(Record(EvalInterval(ps_.columns[col], iv)));
+    }
+    for (const auto& [col, codes] : in_sets) {
+      parts.push_back(Record(EvalIn(ps_.columns[col], codes)));
+    }
+    SelTriple out{1.0, 1.0, 1.0};
+    double frechet = 1.0 - static_cast<double>(parts.size());
+    for (const auto& t : parts) {
+      out.upper = std::min(out.upper, t.upper);
+      out.est *= t.est;
+      frechet += t.lower;
+    }
+    out.lower = Clamp(frechet, 0.0, out.upper);
+    out.est = Clamp(out.est, out.lower, out.upper);
+    return out;
+  }
+
+  /// OR: union categorical IN-sets per column; per the paper the `indep`
+  /// estimate of an OR is the min of its clause estimates.
+  SelTriple EvalOr(const Predicate& p) {
+    std::map<size_t, std::set<int32_t>> in_sets;
+    std::vector<SelTriple> parts;
+    for (const auto& child : p.children()) {
+      if (child->kind() == Predicate::Kind::kClause &&
+          child->clause().categorical) {
+        const Clause& c = child->clause();
+        auto& codes = in_sets[c.column];
+        codes.insert(c.in_codes.begin(), c.in_codes.end());
+        continue;
+      }
+      parts.push_back(EvalNode(*child));
+    }
+    for (const auto& [col, codes] : in_sets) {
+      parts.push_back(Record(EvalIn(ps_.columns[col], codes)));
+    }
+    SelTriple out{0.0, 0.0, 0.0};
+    bool first = true;
+    for (const auto& t : parts) {
+      out.upper += t.upper;
+      out.lower = std::max(out.lower, t.lower);
+      out.est = first ? t.est : std::min(out.est, t.est);
+      first = false;
+    }
+    out.upper = Clamp(out.upper, 0.0, 1.0);
+    out.est = Clamp(out.est, out.lower, out.upper);
+    return out;
+  }
+
+  const PartitionStats& ps_;
+  std::vector<double> clause_ests_;
+};
+
+}  // namespace
+
+SelectivityFeatures EstimateSelectivity(const query::Query& query,
+                                        const stats::PartitionStats& ps) {
+  SelectivityFeatures out;
+  if (!query.predicate ||
+      query.predicate->kind() == Predicate::Kind::kTrue) {
+    out.lower = 1.0;
+    return out;
+  }
+  Estimator est(ps);
+  SelTriple t = est.EvalNode(*query.predicate);
+  out.upper = t.upper;
+  out.indep = t.est;
+  out.lower = t.lower;
+  const auto& clause_ests = est.clause_estimates();
+  if (!clause_ests.empty()) {
+    out.min_clause = *std::min_element(clause_ests.begin(),
+                                       clause_ests.end());
+    out.max_clause = *std::max_element(clause_ests.begin(),
+                                       clause_ests.end());
+  }
+  return out;
+}
+
+}  // namespace ps3::featurize

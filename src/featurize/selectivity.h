@@ -1,0 +1,36 @@
+// Query-specific selectivity estimation from per-partition sketches
+// (§3.2). Produces the four selectivity features plus a hard lower bound:
+//   - upper: sound upper bound on the fraction of rows matching the
+//     predicate (upper == 0 implies no row matches -> partition prunable
+//     with perfect recall);
+//   - indep: estimate assuming clause independence (per the paper: product
+//     for ANDs, min of clause selectivities for ORs);
+//   - min/max: min and max of the individual clause estimates;
+//   - lower: sound lower bound (used for negations).
+//
+// Clauses on the same column under one AND/OR are evaluated jointly
+// (intervals intersected, IN-sets intersected/unioned) before estimation.
+#ifndef PS3_FEATURIZE_SELECTIVITY_H_
+#define PS3_FEATURIZE_SELECTIVITY_H_
+
+#include "query/query.h"
+#include "stats/table_stats.h"
+
+namespace ps3::featurize {
+
+struct SelectivityFeatures {
+  double upper = 1.0;
+  double indep = 1.0;
+  double min_clause = 1.0;
+  double max_clause = 1.0;
+  double lower = 0.0;
+};
+
+/// Estimates predicate selectivity for one partition. A query without a
+/// predicate yields all-ones (and lower == 1).
+SelectivityFeatures EstimateSelectivity(const query::Query& query,
+                                        const stats::PartitionStats& ps);
+
+}  // namespace ps3::featurize
+
+#endif  // PS3_FEATURIZE_SELECTIVITY_H_

@@ -1,0 +1,45 @@
+#include "ml/binned.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps3::ml {
+
+BinnedDataset BinnedDataset::Build(ConstMatrixView X, int max_bins) {
+  assert(max_bins >= 2 && max_bins <= 65535);
+  BinnedDataset out;
+  out.n_ = X.n;
+  out.m_ = X.m;
+  out.edges_.resize(X.m);
+  out.bins_.resize(X.n * X.m);
+
+  std::vector<double> col(X.n);
+  for (size_t j = 0; j < X.m; ++j) {
+    for (size_t i = 0; i < X.n; ++i) col[i] = X.At(i, j);
+    std::sort(col.begin(), col.end());
+    // Candidate edges at uniform quantiles; dedupe to drop empty bins.
+    auto& edges = out.edges_[j];
+    for (int b = 1; b < max_bins; ++b) {
+      size_t idx = (static_cast<size_t>(b) * X.n) / max_bins;
+      if (idx >= X.n) break;
+      double e = col[idx];
+      if (edges.empty() || e > edges.back()) edges.push_back(e);
+    }
+    // Drop the top edge if it equals the max (nothing would go right).
+    while (!edges.empty() && edges.back() >= col.back()) edges.pop_back();
+    for (size_t i = 0; i < X.n; ++i) {
+      out.bins_[i * X.m + j] = out.BinOf(j, X.At(i, j));
+    }
+  }
+  return out;
+}
+
+uint16_t BinnedDataset::BinOf(size_t j, double v) const {
+  const auto& edges = edges_[j];
+  // First edge >= v; bin b covers (edges[b-1], edges[b]].
+  size_t b = static_cast<size_t>(
+      std::lower_bound(edges.begin(), edges.end(), v) - edges.begin());
+  return static_cast<uint16_t>(b);
+}
+
+}  // namespace ps3::ml

@@ -1,0 +1,47 @@
+// Feature quantization for histogram-based tree learning. Each feature is
+// discretized into at most `max_bins + 1` ordinal bins using training-set
+// quantiles; split finding then scans per-bin gradient histograms instead
+// of sorted raw values.
+#ifndef PS3_ML_BINNED_H_
+#define PS3_ML_BINNED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix_view.h"
+
+namespace ps3::ml {
+
+class BinnedDataset {
+ public:
+  static constexpr int kDefaultMaxBins = 32;
+
+  /// Quantizes `X`. Bin edges are (deduplicated) quantiles per feature.
+  static BinnedDataset Build(ConstMatrixView X, int max_bins = kDefaultMaxBins);
+
+  size_t num_rows() const { return n_; }
+  size_t num_features() const { return m_; }
+
+  /// Bin of row i, feature j (0 .. NumBins(j)-1).
+  uint16_t BinAt(size_t i, size_t j) const { return bins_[i * m_ + j]; }
+
+  /// Number of bins for feature j (== edges.size() + 1).
+  size_t NumBins(size_t j) const { return edges_[j].size() + 1; }
+
+  /// Split thresholds: a split at bin b sends rows with value <= Edge(j, b)
+  /// left. Valid for b in [0, NumBins(j) - 2].
+  double Edge(size_t j, size_t b) const { return edges_[j][b]; }
+
+  /// Bin index for a raw feature value (used at prediction time in tests).
+  uint16_t BinOf(size_t j, double v) const;
+
+ private:
+  size_t n_ = 0;
+  size_t m_ = 0;
+  std::vector<uint16_t> bins_;              // n x m
+  std::vector<std::vector<double>> edges_;  // per feature, ascending
+};
+
+}  // namespace ps3::ml
+
+#endif  // PS3_ML_BINNED_H_

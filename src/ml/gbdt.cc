@@ -1,0 +1,99 @@
+#include "ml/gbdt.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace ps3::ml {
+
+Gbdt Gbdt::Train(const BinnedDataset& binned, const std::vector<double>& y,
+                 const GbdtParams& params) {
+  assert(binned.num_rows() == y.size());
+  Gbdt model;
+  model.learning_rate_ = params.learning_rate;
+  model.feature_gain_.assign(binned.num_features(), 0.0);
+
+  const size_t n = binned.num_rows();
+  if (n == 0) return model;
+  model.base_score_ =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+
+  RandomEngine rng(params.seed);
+  std::vector<double> pred(n, model.base_score_);
+  std::vector<double> grad(n);
+  for (int t = 0; t < params.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+
+    std::vector<uint32_t> rows;
+    if (params.subsample >= 1.0) {
+      rows.resize(n);
+      for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+    } else {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(params.subsample * static_cast<double>(n)));
+      auto picked = SampleWithoutReplacement(n, k, &rng);
+      rows.assign(picked.begin(), picked.end());
+    }
+
+    RegressionTree tree =
+        RegressionTree::Fit(binned, grad, std::move(rows), params.tree, &rng,
+                            &model.feature_gain_);
+    // Update predictions on all rows (not just the subsample): the next
+    // round's gradients need them.
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] += params.learning_rate * tree.PredictBinned(binned, i);
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  // Normalize gain importance to fractions (Figure 5 reports percentages).
+  double total_gain = std::accumulate(model.feature_gain_.begin(),
+                                      model.feature_gain_.end(), 0.0);
+  if (total_gain > 0.0) {
+    for (double& g : model.feature_gain_) g /= total_gain;
+  }
+  return model;
+}
+
+void Gbdt::Serialize(BinaryWriter* w) const {
+  w->PutDouble(base_score_);
+  w->PutDouble(learning_rate_);
+  w->PutU32(static_cast<uint32_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.Serialize(w);
+  w->PutDoubleVector(feature_gain_);
+}
+
+Result<Gbdt> Gbdt::Deserialize(BinaryReader* r) {
+  Gbdt model;
+  auto base = r->GetDouble();
+  if (!base.ok()) return base.status();
+  model.base_score_ = *base;
+  auto lr = r->GetDouble();
+  if (!lr.ok()) return lr.status();
+  model.learning_rate_ = *lr;
+  auto count = r->GetU32();
+  if (!count.ok()) return count.status();
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto tree = RegressionTree::Deserialize(r);
+    if (!tree.ok()) return tree.status();
+    model.trees_.push_back(std::move(tree).value());
+  }
+  auto gain = r->GetDoubleVector();
+  if (!gain.ok()) return gain.status();
+  model.feature_gain_ = std::move(gain).value();
+  return model;
+}
+
+double Gbdt::Predict(const double* row) const {
+  double out = base_score_;
+  for (const auto& tree : trees_) {
+    out += learning_rate_ * tree.Predict(row);
+  }
+  return out;
+}
+
+std::vector<double> Gbdt::PredictMatrix(ConstMatrixView X) const {
+  std::vector<double> out(X.n);
+  for (size_t i = 0; i < X.n; ++i) out[i] = Predict(X.Row(i));
+  return out;
+}
+
+}  // namespace ps3::ml

@@ -1,0 +1,53 @@
+// Gradient-boosted regression trees with squared-error loss — the
+// from-scratch stand-in for the paper's XGBoost regressors (§4.3).
+// Reports per-feature "gain" importance as used in Figure 5.
+#ifndef PS3_ML_GBDT_H_
+#define PS3_ML_GBDT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/binned.h"
+#include "ml/matrix_view.h"
+#include "ml/tree.h"
+
+namespace ps3::ml {
+
+struct GbdtParams {
+  int num_trees = 25;
+  double learning_rate = 0.2;
+  double subsample = 1.0;  ///< row fraction per tree
+  TreeParams tree;
+  uint64_t seed = 0xC0FFEE;
+};
+
+class Gbdt {
+ public:
+  /// Trains on a pre-binned design matrix (so several models over the same
+  /// features — PS3 trains k of them — share the quantization cost).
+  static Gbdt Train(const BinnedDataset& binned, const std::vector<double>& y,
+                    const GbdtParams& params);
+
+  double Predict(const double* row) const;
+  std::vector<double> PredictMatrix(ConstMatrixView X) const;
+
+  /// Total split gain per feature, normalized to sum to 1 (0 if no splits).
+  const std::vector<double>& feature_gain() const { return feature_gain_; }
+
+  double base_score() const { return base_score_; }
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Binary persistence.
+  void Serialize(BinaryWriter* w) const;
+  static Result<Gbdt> Deserialize(BinaryReader* r);
+
+ private:
+  double base_score_ = 0.0;
+  double learning_rate_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> feature_gain_;
+};
+
+}  // namespace ps3::ml
+
+#endif  // PS3_ML_GBDT_H_

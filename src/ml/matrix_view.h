@@ -1,0 +1,20 @@
+// Non-owning row-major matrix view used by the learning components.
+#ifndef PS3_ML_MATRIX_VIEW_H_
+#define PS3_ML_MATRIX_VIEW_H_
+
+#include <cstddef>
+
+namespace ps3::ml {
+
+struct ConstMatrixView {
+  const double* data = nullptr;
+  size_t n = 0;  ///< rows
+  size_t m = 0;  ///< columns
+
+  const double* Row(size_t i) const { return data + i * m; }
+  double At(size_t i, size_t j) const { return data[i * m + j]; }
+};
+
+}  // namespace ps3::ml
+
+#endif  // PS3_ML_MATRIX_VIEW_H_

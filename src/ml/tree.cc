@@ -1,0 +1,206 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps3::ml {
+
+namespace {
+
+struct SplitChoice {
+  double gain = 0.0;
+  int feature = -1;
+  uint16_t bin = 0;  // rows with BinAt <= bin go left
+};
+
+double LeafObjective(double grad_sum, size_t count, double lambda) {
+  double denom = static_cast<double>(count) + lambda;
+  return grad_sum * grad_sum / denom;
+}
+
+}  // namespace
+
+RegressionTree RegressionTree::Fit(const BinnedDataset& data,
+                                   const std::vector<double>& grad,
+                                   std::vector<uint32_t> rows,
+                                   const TreeParams& params,
+                                   RandomEngine* rng,
+                                   std::vector<double>* feature_gain) {
+  RegressionTree tree;
+  // Per-tree feature subsample.
+  std::vector<uint32_t> features;
+  const size_t m = data.num_features();
+  if (params.colsample >= 1.0) {
+    features.resize(m);
+    for (size_t j = 0; j < m; ++j) features[j] = static_cast<uint32_t>(j);
+  } else {
+    size_t k = std::max<size_t>(
+        1, static_cast<size_t>(params.colsample * static_cast<double>(m)));
+    auto picked = SampleWithoutReplacement(m, k, rng);
+    features.assign(picked.begin(), picked.end());
+  }
+  tree.GrowNode(data, grad, rows, 0, rows.size(), 0, params, features,
+                feature_gain);
+  return tree;
+}
+
+int RegressionTree::GrowNode(const BinnedDataset& data,
+                             const std::vector<double>& grad,
+                             std::vector<uint32_t>& rows, size_t begin,
+                             size_t end, int depth, const TreeParams& params,
+                             const std::vector<uint32_t>& features,
+                             std::vector<double>* feature_gain) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  NodeStats total;
+  for (size_t i = begin; i < end; ++i) {
+    total.grad_sum += grad[rows[i]];
+    ++total.count;
+  }
+  const double leaf_value =
+      -total.grad_sum / (static_cast<double>(total.count) + params.lambda);
+
+  auto make_leaf = [&]() {
+    nodes_[node_id].value = leaf_value;
+    return node_id;
+  };
+  if (depth >= params.max_depth ||
+      total.count < 2 * static_cast<size_t>(params.min_samples_leaf)) {
+    return make_leaf();
+  }
+
+  // Histogram split search over the feature subset.
+  SplitChoice best;
+  const double parent_obj =
+      LeafObjective(total.grad_sum, total.count, params.lambda);
+  std::vector<NodeStats> hist;
+  for (uint32_t f : features) {
+    const size_t bins = data.NumBins(f);
+    if (bins < 2) continue;
+    hist.assign(bins, NodeStats{});
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t r = rows[i];
+      NodeStats& cell = hist[data.BinAt(r, f)];
+      cell.grad_sum += grad[r];
+      ++cell.count;
+    }
+    double gl = 0.0;
+    size_t nl = 0;
+    for (size_t b = 0; b + 1 < bins; ++b) {
+      gl += hist[b].grad_sum;
+      nl += hist[b].count;
+      size_t nr = total.count - nl;
+      if (nl < static_cast<size_t>(params.min_samples_leaf) ||
+          nr < static_cast<size_t>(params.min_samples_leaf)) {
+        continue;
+      }
+      double gain = LeafObjective(gl, nl, params.lambda) +
+                    LeafObjective(total.grad_sum - gl, nr, params.lambda) -
+                    parent_obj;
+      if (gain > best.gain) {
+        best = {gain, static_cast<int>(f), static_cast<uint16_t>(b)};
+      }
+    }
+  }
+  if (best.feature < 0 || best.gain <= params.min_split_gain) {
+    return make_leaf();
+  }
+  if (feature_gain != nullptr) {
+    (*feature_gain)[static_cast<size_t>(best.feature)] += best.gain;
+  }
+
+  // Stable in-place partition: left = bins <= split bin.
+  auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<ptrdiff_t>(begin),
+      rows.begin() + static_cast<ptrdiff_t>(end), [&](uint32_t r) {
+        return data.BinAt(r, static_cast<size_t>(best.feature)) <= best.bin;
+      });
+  size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  assert(mid > begin && mid < end);
+
+  nodes_[node_id].feature = best.feature;
+  nodes_[node_id].bin = best.bin;
+  nodes_[node_id].threshold =
+      data.Edge(static_cast<size_t>(best.feature), best.bin);
+  int left = GrowNode(data, grad, rows, begin, mid, depth + 1, params,
+                      features, feature_gain);
+  int right = GrowNode(data, grad, rows, mid, end, depth + 1, params,
+                       features, feature_gain);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const double* row) const {
+  if (nodes_.empty()) return 0.0;
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& nd = nodes_[cur];
+    cur = row[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[cur].value;
+}
+
+void RegressionTree::Serialize(BinaryWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    w->PutI32(n.feature);
+    w->PutDouble(n.threshold);
+    w->PutU32(n.bin);
+    w->PutI32(n.left);
+    w->PutI32(n.right);
+    w->PutDouble(n.value);
+  }
+}
+
+Result<RegressionTree> RegressionTree::Deserialize(BinaryReader* r) {
+  auto count = r->GetU32();
+  if (!count.ok()) return count.status();
+  RegressionTree tree;
+  tree.nodes_.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Node n;
+    auto feature = r->GetI32();
+    if (!feature.ok()) return feature.status();
+    n.feature = *feature;
+    auto threshold = r->GetDouble();
+    if (!threshold.ok()) return threshold.status();
+    n.threshold = *threshold;
+    auto bin = r->GetU32();
+    if (!bin.ok()) return bin.status();
+    n.bin = static_cast<uint16_t>(*bin);
+    auto left = r->GetI32();
+    if (!left.ok()) return left.status();
+    n.left = *left;
+    auto right = r->GetI32();
+    if (!right.ok()) return right.status();
+    n.right = *right;
+    auto value = r->GetDouble();
+    if (!value.ok()) return value.status();
+    n.value = *value;
+    // Child indices must stay inside the node array.
+    int max_idx = static_cast<int>(*count);
+    if (n.feature >= 0 && (n.left < 0 || n.left >= max_idx || n.right < 0 ||
+                           n.right >= max_idx)) {
+      return Status::OutOfRange("corrupt tree: child index out of range");
+    }
+    tree.nodes_.push_back(n);
+  }
+  return tree;
+}
+
+double RegressionTree::PredictBinned(const BinnedDataset& data,
+                                     size_t row) const {
+  if (nodes_.empty()) return 0.0;
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& nd = nodes_[cur];
+    cur = data.BinAt(row, static_cast<size_t>(nd.feature)) <= nd.bin
+              ? nd.left
+              : nd.right;
+  }
+  return nodes_[cur].value;
+}
+
+}  // namespace ps3::ml

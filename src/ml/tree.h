@@ -1,0 +1,75 @@
+// Single regression tree grown greedily with histogram split finding.
+// Squared-error objective with L2 leaf regularization (XGBoost-style
+// gain/leaf formulas with hessian == sample count).
+#ifndef PS3_ML_TREE_H_
+#define PS3_ML_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serialize.h"
+#include "ml/binned.h"
+#include "ml/matrix_view.h"
+
+namespace ps3::ml {
+
+struct TreeParams {
+  int max_depth = 3;
+  double lambda = 1.0;          ///< L2 regularization on leaf values
+  int min_samples_leaf = 8;
+  double min_split_gain = 1e-9;
+  double colsample = 1.0;       ///< fraction of features tried per tree
+};
+
+class RegressionTree {
+ public:
+  /// Fits to gradients: leaf values approximate -mean(grad) (Newton step
+  /// for squared loss). `rows` selects the training subset. `feature_gain`
+  /// accumulates split gains per feature (may be null).
+  static RegressionTree Fit(const BinnedDataset& data,
+                            const std::vector<double>& grad,
+                            std::vector<uint32_t> rows,
+                            const TreeParams& params, RandomEngine* rng,
+                            std::vector<double>* feature_gain);
+
+  /// Prediction from raw feature values.
+  double Predict(const double* row) const;
+
+  /// Prediction for a row of the training dataset (bin comparison; exactly
+  /// matches Predict on the raw values the bins came from).
+  double PredictBinned(const BinnedDataset& data, size_t row) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Binary persistence (model files; see core/Ps3Model Save/Load).
+  void Serialize(BinaryWriter* w) const;
+  static Result<RegressionTree> Deserialize(BinaryReader* r);
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left if value <= threshold
+    uint16_t bin = 0;        // go left if bin <= this
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      // leaf output
+  };
+
+  struct NodeStats {
+    double grad_sum = 0.0;
+    size_t count = 0;
+  };
+
+  int GrowNode(const BinnedDataset& data, const std::vector<double>& grad,
+               std::vector<uint32_t>& rows, size_t begin, size_t end,
+               int depth, const TreeParams& params,
+               const std::vector<uint32_t>& features,
+               std::vector<double>* feature_gain);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ps3::ml
+
+#endif  // PS3_ML_TREE_H_

@@ -1,0 +1,107 @@
+#include "query/evaluator.h"
+
+#include <cstring>
+
+namespace ps3::query {
+
+namespace {
+
+int64_t EncodeGroupValue(const storage::Partition& part, size_t col,
+                         size_t row) {
+  const auto& schema = part.table().schema();
+  if (schema.IsCategorical(col)) {
+    return part.CodeAt(col, row);
+  }
+  double v = part.NumericAt(col, row);
+  if (v == 0.0) v = 0.0;  // canonicalize -0.0
+  int64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+PartitionAnswer EvaluateOnPartition(const Query& query,
+                                    const storage::Partition& part) {
+  PartitionAnswer answer;
+  const PredicatePtr& pred = query.EffectivePredicate();
+  const size_t n_aggs = query.aggregates.size();
+  GroupKey key(query.group_by.size());
+  for (size_t r = 0; r < part.num_rows(); ++r) {
+    if (!pred->Matches(part, r)) continue;
+    for (size_t g = 0; g < query.group_by.size(); ++g) {
+      key[g] = EncodeGroupValue(part, query.group_by[g], r);
+    }
+    auto [it, inserted] = answer.try_emplace(key);
+    if (inserted) it->second.resize(n_aggs);
+    for (size_t a = 0; a < n_aggs; ++a) {
+      const Aggregate& agg = query.aggregates[a];
+      if (agg.filter && !agg.filter->Matches(part, r)) continue;
+      AggAccum& acc = it->second[a];
+      acc.count += 1.0;
+      if (agg.expr) acc.sum += agg.expr->Eval(part, r);
+    }
+  }
+  return answer;
+}
+
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::PartitionedTable& table) {
+  std::vector<PartitionAnswer> out;
+  out.reserve(table.num_partitions());
+  for (size_t i = 0; i < table.num_partitions(); ++i) {
+    out.push_back(EvaluateOnPartition(query, table.partition(i)));
+  }
+  return out;
+}
+
+double FinalizeAgg(AggFunc func, const AggAccum& acc) {
+  switch (func) {
+    case AggFunc::kSum:
+      return acc.sum;
+    case AggFunc::kCount:
+      return acc.count;
+    case AggFunc::kAvg:
+      return acc.count > 0.0 ? acc.sum / acc.count : 0.0;
+  }
+  return 0.0;
+}
+
+QueryAnswer CombineWeighted(
+    const Query& query, const std::vector<PartitionAnswer>& per_partition,
+    const std::vector<WeightedPartition>& selection) {
+  PartitionAnswer merged;
+  const size_t n_aggs = query.aggregates.size();
+  for (const auto& wp : selection) {
+    const PartitionAnswer& pa = per_partition[wp.partition];
+    for (const auto& [key, accs] : pa) {
+      auto [it, inserted] = merged.try_emplace(key);
+      if (inserted) it->second.resize(n_aggs);
+      for (size_t a = 0; a < n_aggs; ++a) {
+        it->second[a].Add(accs[a], wp.weight);
+      }
+    }
+  }
+  QueryAnswer out;
+  out.reserve(merged.size());
+  for (const auto& [key, accs] : merged) {
+    std::vector<double> vals(n_aggs);
+    for (size_t a = 0; a < n_aggs; ++a) {
+      vals[a] = FinalizeAgg(query.aggregates[a].func, accs[a]);
+    }
+    out.emplace(key, std::move(vals));
+  }
+  return out;
+}
+
+QueryAnswer ExactAnswer(const Query& query,
+                        const std::vector<PartitionAnswer>& per_partition) {
+  std::vector<WeightedPartition> all;
+  all.reserve(per_partition.size());
+  for (size_t i = 0; i < per_partition.size(); ++i) {
+    all.push_back({i, 1.0});
+  }
+  return CombineWeighted(query, per_partition, all);
+}
+
+}  // namespace ps3::query

@@ -1,0 +1,79 @@
+// Exact per-partition query evaluation and weighted combination (§2.4).
+//
+// Each partition produces a PartitionAnswer: group key -> per-aggregate
+// (sum, count) accumulators. Weighted combination scales accumulators by
+// the partition weight and finalizes SUM/COUNT/AVG at the end, which makes
+// AVG correct under weighting (weighted sum / weighted count).
+#ifndef PS3_QUERY_EVALUATOR_H_
+#define PS3_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace ps3::query {
+
+/// Group-by key: one 64-bit encoding per group column (dictionary code for
+/// categoricals, raw double bits for numerics).
+using GroupKey = std::vector<int64_t>;
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (int64_t v : k) h = HashCombine(h, HashInt(v));
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Accumulator for one aggregate within one group.
+struct AggAccum {
+  double sum = 0.0;
+  double count = 0.0;
+
+  void Add(const AggAccum& other, double weight) {
+    sum += other.sum * weight;
+    count += other.count * weight;
+  }
+};
+
+using PartitionAnswer =
+    std::unordered_map<GroupKey, std::vector<AggAccum>, GroupKeyHash>;
+
+/// Finalized answer: group key -> one value per aggregate.
+using QueryAnswer =
+    std::unordered_map<GroupKey, std::vector<double>, GroupKeyHash>;
+
+/// Evaluates the query exactly on one partition.
+PartitionAnswer EvaluateOnPartition(const Query& query,
+                                    const storage::Partition& part);
+
+/// Evaluates the query exactly on every partition.
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::PartitionedTable& table);
+
+/// One weighted partition choice (§2.4).
+struct WeightedPartition {
+  size_t partition = 0;
+  double weight = 1.0;
+};
+
+/// Combines per-partition answers with weights: A~_g = sum_j w_j A_{g,p_j},
+/// then finalizes each aggregate (AVG = weighted sum / weighted count).
+QueryAnswer CombineWeighted(const Query& query,
+                            const std::vector<PartitionAnswer>& per_partition,
+                            const std::vector<WeightedPartition>& selection);
+
+/// Exact answer: every partition with weight 1.
+QueryAnswer ExactAnswer(const Query& query,
+                        const std::vector<PartitionAnswer>& per_partition);
+
+/// Finalizes a single accumulator for an aggregate function.
+double FinalizeAgg(AggFunc func, const AggAccum& acc);
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_EVALUATOR_H_

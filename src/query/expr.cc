@@ -1,0 +1,101 @@
+#include "query/expr.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace ps3::query {
+
+ExprPtr Expr::Column(size_t col) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kColumn));
+  e->column_ = col;
+  return e;
+}
+
+ExprPtr Expr::Const(double value) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kConst));
+  e->constant_ = value;
+  return e;
+}
+
+ExprPtr Expr::Add(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kAdd));
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+ExprPtr Expr::Sub(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kSub));
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+ExprPtr Expr::Mul(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kMul));
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+ExprPtr Expr::Div(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kDiv));
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+double Expr::Eval(const storage::Partition& part, size_t row) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return part.NumericAt(column_, row);
+    case Kind::kConst:
+      return constant_;
+    case Kind::kAdd:
+      return lhs_->Eval(part, row) + rhs_->Eval(part, row);
+    case Kind::kSub:
+      return lhs_->Eval(part, row) - rhs_->Eval(part, row);
+    case Kind::kMul:
+      return lhs_->Eval(part, row) * rhs_->Eval(part, row);
+    case Kind::kDiv: {
+      double d = rhs_->Eval(part, row);
+      return d == 0.0 ? 0.0 : lhs_->Eval(part, row) / d;
+    }
+  }
+  return 0.0;
+}
+
+void Expr::CollectColumns(std::set<size_t>* cols) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      cols->insert(column_);
+      break;
+    case Kind::kConst:
+      break;
+    default:
+      lhs_->CollectColumns(cols);
+      rhs_->CollectColumns(cols);
+  }
+}
+
+std::string Expr::ToString(const storage::Schema& schema) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return schema.field(column_).name;
+    case Kind::kConst:
+      return StrFormat("%g", constant_);
+    case Kind::kAdd:
+      return "(" + lhs_->ToString(schema) + " + " + rhs_->ToString(schema) +
+             ")";
+    case Kind::kSub:
+      return "(" + lhs_->ToString(schema) + " - " + rhs_->ToString(schema) +
+             ")";
+    case Kind::kMul:
+      return "(" + lhs_->ToString(schema) + " * " + rhs_->ToString(schema) +
+             ")";
+    case Kind::kDiv:
+      return "(" + lhs_->ToString(schema) + " / " + rhs_->ToString(schema) +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace ps3::query

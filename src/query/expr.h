@@ -1,0 +1,59 @@
+// Scalar expressions in the SELECT clause: columns, constants, and the
+// arithmetic combinations the paper supports (§2.2: +, -, and * / in some
+// cases). Expressions are immutable trees shared via shared_ptr so queries
+// are cheap to copy.
+#ifndef PS3_QUERY_EXPR_H_
+#define PS3_QUERY_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "storage/partition.h"
+#include "storage/schema.h"
+
+namespace ps3::query {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind { kColumn, kConst, kAdd, kSub, kMul, kDiv };
+
+  /// Reference to a numeric column by index.
+  static ExprPtr Column(size_t col);
+  static ExprPtr Const(double value);
+  static ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  size_t column() const { return column_; }
+  double constant() const { return constant_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Evaluates on one row of a partition.
+  double Eval(const storage::Partition& part, size_t row) const;
+
+  /// Adds all referenced column indices to `cols`.
+  void CollectColumns(std::set<size_t>* cols) const;
+
+  /// Rendering like "(l_extendedprice * (1 - l_discount))".
+  std::string ToString(const storage::Schema& schema) const;
+
+ private:
+  Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  size_t column_ = 0;
+  double constant_ = 0.0;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_EXPR_H_

@@ -1,0 +1,73 @@
+#include "query/metrics.h"
+
+#include <cmath>
+
+namespace ps3::query {
+
+ErrorMetrics& ErrorMetrics::operator+=(const ErrorMetrics& o) {
+  missed_groups += o.missed_groups;
+  avg_rel_error += o.avg_rel_error;
+  abs_over_true += o.abs_over_true;
+  return *this;
+}
+
+ErrorMetrics& ErrorMetrics::operator/=(double d) {
+  missed_groups /= d;
+  avg_rel_error /= d;
+  abs_over_true /= d;
+  return *this;
+}
+
+ErrorMetrics ComputeErrorMetrics(const Query& query, const QueryAnswer& exact,
+                                 const QueryAnswer& estimate) {
+  ErrorMetrics m;
+  if (exact.empty()) return m;
+  const size_t n_aggs = query.aggregates.size();
+  size_t missed = 0;
+  double rel_sum = 0.0;
+  size_t rel_count = 0;
+  std::vector<double> abs_err_sum(n_aggs, 0.0);
+  std::vector<double> abs_true_sum(n_aggs, 0.0);
+
+  for (const auto& [key, truth] : exact) {
+    auto it = estimate.find(key);
+    const std::vector<double>* est = it == estimate.end() ? nullptr
+                                                          : &it->second;
+    if (est == nullptr) ++missed;
+    for (size_t a = 0; a < n_aggs; ++a) {
+      double t = truth[a];
+      double e = est != nullptr ? (*est)[a] : 0.0;
+      double abs_err = std::fabs(e - t);
+      abs_err_sum[a] += abs_err;
+      abs_true_sum[a] += std::fabs(t);
+      // Relative error; a missed group counts as 1 (§5.1.4).
+      double rel;
+      if (est == nullptr) {
+        rel = 1.0;
+      } else if (std::fabs(t) > 1e-12) {
+        rel = abs_err / std::fabs(t);
+      } else {
+        rel = std::fabs(e) > 1e-12 ? 1.0 : 0.0;
+      }
+      rel_sum += rel;
+      ++rel_count;
+    }
+  }
+  m.missed_groups =
+      static_cast<double>(missed) / static_cast<double>(exact.size());
+  m.avg_rel_error =
+      rel_count > 0 ? rel_sum / static_cast<double>(rel_count) : 0.0;
+  double aot = 0.0;
+  size_t aot_count = 0;
+  for (size_t a = 0; a < n_aggs; ++a) {
+    if (abs_true_sum[a] > 1e-12) {
+      aot += abs_err_sum[a] / abs_true_sum[a];
+      ++aot_count;
+    }
+  }
+  m.abs_over_true =
+      aot_count > 0 ? aot / static_cast<double>(aot_count) : 0.0;
+  return m;
+}
+
+}  // namespace ps3::query

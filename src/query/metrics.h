@@ -1,0 +1,30 @@
+// Error metrics for approximate answers (§5.1.4): missed groups, average
+// relative error (missed groups count as relative error 1), and average
+// absolute error over the average true value.
+#ifndef PS3_QUERY_METRICS_H_
+#define PS3_QUERY_METRICS_H_
+
+#include "query/evaluator.h"
+#include "query/query.h"
+
+namespace ps3::query {
+
+struct ErrorMetrics {
+  double missed_groups = 0.0;   ///< fraction of true groups absent
+  double avg_rel_error = 0.0;   ///< mean per-(group, aggregate) |err|/|true|
+  double abs_over_true = 0.0;   ///< mean_g |err| / mean_g |true|, averaged
+                                ///< over aggregates
+
+  ErrorMetrics& operator+=(const ErrorMetrics& o);
+  ErrorMetrics& operator/=(double d);
+};
+
+/// Compares an estimate against the exact answer. Groups present in the
+/// estimate but not in the truth are ignored (they cannot occur with
+/// weighted combination of true partial answers).
+ErrorMetrics ComputeErrorMetrics(const Query& query, const QueryAnswer& exact,
+                                 const QueryAnswer& estimate);
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_METRICS_H_

@@ -1,0 +1,175 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace ps3::query {
+
+bool Clause::Matches(const storage::Partition& part, size_t row) const {
+  if (categorical) {
+    int32_t code = part.CodeAt(column, row);
+    return std::find(in_codes.begin(), in_codes.end(), code) !=
+           in_codes.end();
+  }
+  double v = part.NumericAt(column, row);
+  switch (op) {
+    case CompareOp::kLt:
+      return v < value;
+    case CompareOp::kLe:
+      return v <= value;
+    case CompareOp::kGt:
+      return v > value;
+    case CompareOp::kGe:
+      return v >= value;
+    case CompareOp::kEq:
+      return v == value;
+    case CompareOp::kNe:
+      return v != value;
+  }
+  return false;
+}
+
+std::string Clause::ToString(const storage::Schema& schema) const {
+  const std::string& name = schema.field(column).name;
+  if (categorical) {
+    std::vector<std::string> vals;
+    vals.reserve(in_codes.size());
+    for (int32_t c : in_codes) vals.push_back(StrFormat("#%d", c));
+    return name + " IN (" + Join(vals, ", ") + ")";
+  }
+  const char* op_s = "?";
+  switch (op) {
+    case CompareOp::kLt:
+      op_s = "<";
+      break;
+    case CompareOp::kLe:
+      op_s = "<=";
+      break;
+    case CompareOp::kGt:
+      op_s = ">";
+      break;
+    case CompareOp::kGe:
+      op_s = ">=";
+      break;
+    case CompareOp::kEq:
+      op_s = "=";
+      break;
+    case CompareOp::kNe:
+      op_s = "!=";
+      break;
+  }
+  return StrFormat("%s %s %g", name.c_str(), op_s, value);
+}
+
+PredicatePtr Predicate::True() {
+  static const PredicatePtr kTruePred(new Predicate(Kind::kTrue));
+  return kTruePred;
+}
+
+PredicatePtr Predicate::MakeClause(Clause clause) {
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kClause));
+  p->clause_ = std::move(clause);
+  return p;
+}
+
+PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kAnd));
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kOr));
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr child) {
+  assert(child);
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kNot));
+  p->children_.push_back(std::move(child));
+  return p;
+}
+
+PredicatePtr Predicate::NumericCompare(size_t column, CompareOp op,
+                                       double value) {
+  Clause c;
+  c.column = column;
+  c.categorical = false;
+  c.op = op;
+  c.value = value;
+  return MakeClause(std::move(c));
+}
+
+PredicatePtr Predicate::CategoricalIn(size_t column,
+                                      std::vector<int32_t> codes) {
+  Clause c;
+  c.column = column;
+  c.categorical = true;
+  c.in_codes = std::move(codes);
+  return MakeClause(std::move(c));
+}
+
+bool Predicate::Matches(const storage::Partition& part, size_t row) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kClause:
+      return clause_.Matches(part, row);
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c->Matches(part, row)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c->Matches(part, row)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !children_[0]->Matches(part, row);
+  }
+  return false;
+}
+
+void Predicate::CollectColumns(std::set<size_t>* cols) const {
+  if (kind_ == Kind::kClause) {
+    cols->insert(clause_.column);
+    return;
+  }
+  for (const auto& c : children_) c->CollectColumns(cols);
+}
+
+size_t Predicate::NumClauses() const {
+  if (kind_ == Kind::kClause) return 1;
+  size_t n = 0;
+  for (const auto& c : children_) n += c->NumClauses();
+  return n;
+}
+
+std::string Predicate::ToString(const storage::Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kClause:
+      return clause_.ToString(schema);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const auto& c : children_) parts.push_back(c->ToString(schema));
+      return "(" + Join(parts, kind_ == Kind::kAnd ? " AND " : " OR ") + ")";
+    }
+    case Kind::kNot:
+      return "NOT " + children_[0]->ToString(schema);
+  }
+  return "?";
+}
+
+}  // namespace ps3::query

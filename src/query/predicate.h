@@ -1,0 +1,77 @@
+// Predicate ASTs (§2.2): conjunctions, disjunctions and negations over
+// single-column clauses. Numeric clauses are comparisons against a
+// constant; categorical clauses are equality / IN over dictionary codes.
+#ifndef PS3_QUERY_PREDICATE_H_
+#define PS3_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/partition.h"
+#include "storage/schema.h"
+
+namespace ps3::query {
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// One single-column clause, `c op v` or `c IN (...)`.
+struct Clause {
+  size_t column = 0;
+  bool categorical = false;
+  // Numeric clause:
+  CompareOp op = CompareOp::kLt;
+  double value = 0.0;
+  // Categorical clause: row matches if its code is in `in_codes`
+  // (single-element set == equality test).
+  std::vector<int32_t> in_codes;
+
+  bool Matches(const storage::Partition& part, size_t row) const;
+  std::string ToString(const storage::Schema& schema) const;
+};
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+class Predicate {
+ public:
+  enum class Kind { kTrue, kClause, kAnd, kOr, kNot };
+
+  static PredicatePtr True();
+  static PredicatePtr MakeClause(Clause clause);
+  static PredicatePtr And(std::vector<PredicatePtr> children);
+  static PredicatePtr Or(std::vector<PredicatePtr> children);
+  static PredicatePtr Not(PredicatePtr child);
+
+  // Convenience clause builders.
+  static PredicatePtr NumericCompare(size_t column, CompareOp op,
+                                     double value);
+  static PredicatePtr CategoricalIn(size_t column,
+                                    std::vector<int32_t> codes);
+
+  Kind kind() const { return kind_; }
+  const Clause& clause() const { return clause_; }
+  const std::vector<PredicatePtr>& children() const { return children_; }
+
+  bool Matches(const storage::Partition& part, size_t row) const;
+
+  void CollectColumns(std::set<size_t>* cols) const;
+
+  /// Number of leaf clauses (PS3 falls back to random sampling above 10,
+  /// Appendix B.1).
+  size_t NumClauses() const;
+
+  std::string ToString(const storage::Schema& schema) const;
+
+ private:
+  explicit Predicate(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Clause clause_;
+  std::vector<PredicatePtr> children_;
+};
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_PREDICATE_H_

@@ -1,0 +1,81 @@
+#include "query/query.h"
+
+#include "common/string_util.h"
+
+namespace ps3::query {
+
+Aggregate Aggregate::Sum(ExprPtr e, std::string name) {
+  Aggregate a;
+  a.func = AggFunc::kSum;
+  a.expr = std::move(e);
+  a.name = std::move(name);
+  return a;
+}
+
+Aggregate Aggregate::Count(std::string name) {
+  Aggregate a;
+  a.func = AggFunc::kCount;
+  a.name = std::move(name);
+  return a;
+}
+
+Aggregate Aggregate::Avg(ExprPtr e, std::string name) {
+  Aggregate a;
+  a.func = AggFunc::kAvg;
+  a.expr = std::move(e);
+  a.name = std::move(name);
+  return a;
+}
+
+Aggregate Aggregate::SumCase(ExprPtr e, PredicatePtr filter,
+                             std::string name) {
+  Aggregate a;
+  a.func = AggFunc::kSum;
+  a.expr = std::move(e);
+  a.filter = std::move(filter);
+  a.name = std::move(name);
+  return a;
+}
+
+std::set<size_t> Query::UsedColumns() const {
+  std::set<size_t> cols;
+  for (const auto& agg : aggregates) {
+    if (agg.expr) agg.expr->CollectColumns(&cols);
+    if (agg.filter) agg.filter->CollectColumns(&cols);
+  }
+  if (predicate) predicate->CollectColumns(&cols);
+  for (size_t g : group_by) cols.insert(g);
+  return cols;
+}
+
+size_t Query::NumPredicateClauses() const {
+  return predicate ? predicate->NumClauses() : 0;
+}
+
+const PredicatePtr& Query::EffectivePredicate() const {
+  static const PredicatePtr kTrue = Predicate::True();
+  return predicate ? predicate : kTrue;
+}
+
+std::string Query::ToString(const storage::Schema& schema) const {
+  std::vector<std::string> sel;
+  for (const auto& agg : aggregates) {
+    std::string body = agg.expr ? agg.expr->ToString(schema) : "*";
+    const char* fn = agg.func == AggFunc::kSum
+                         ? "SUM"
+                         : (agg.func == AggFunc::kCount ? "COUNT" : "AVG");
+    std::string s = StrFormat("%s(%s)", fn, body.c_str());
+    if (agg.filter) s += " FILTER " + agg.filter->ToString(schema);
+    sel.push_back(std::move(s));
+  }
+  std::string out = "SELECT " + Join(sel, ", ");
+  if (predicate) out += " WHERE " + predicate->ToString(schema);
+  if (!group_by.empty()) {
+    std::vector<std::string> g;
+    for (size_t c : group_by) g.push_back(schema.field(c).name);
+    out += " GROUP BY " + Join(g, ", ");
+  }
+  return out;
+}
+
+}  // namespace ps3::query

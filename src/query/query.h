@@ -1,0 +1,51 @@
+// Query representation: aggregates + predicate + group-by (§2.2).
+#ifndef PS3_QUERY_QUERY_H_
+#define PS3_QUERY_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "query/predicate.h"
+#include "storage/schema.h"
+
+namespace ps3::query {
+
+enum class AggFunc { kSum, kCount, kAvg };
+
+/// One aggregate in the SELECT list. COUNT(*) leaves `expr` null.
+/// `filter` implements the CASE-condition rewrite (§2.2): the aggregate
+/// only accumulates rows matching both the query predicate and `filter`.
+struct Aggregate {
+  AggFunc func = AggFunc::kSum;
+  ExprPtr expr;
+  PredicatePtr filter;  // null = no CASE condition
+  std::string name;
+
+  static Aggregate Sum(ExprPtr e, std::string name = "sum");
+  static Aggregate Count(std::string name = "count");
+  static Aggregate Avg(ExprPtr e, std::string name = "avg");
+  static Aggregate SumCase(ExprPtr e, PredicatePtr filter,
+                           std::string name = "sum_case");
+};
+
+struct Query {
+  std::vector<Aggregate> aggregates;
+  PredicatePtr predicate;        // null treated as TRUE
+  std::vector<size_t> group_by;  // column indices; empty = single group
+
+  /// All columns referenced anywhere (aggregates, predicate, group-by).
+  std::set<size_t> UsedColumns() const;
+
+  /// Leaf clause count across the query predicate (not CASE filters).
+  size_t NumPredicateClauses() const;
+
+  const PredicatePtr& EffectivePredicate() const;
+
+  std::string ToString(const storage::Schema& schema) const;
+};
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_QUERY_H_

@@ -1,0 +1,67 @@
+#include "sketch/akmv.h"
+
+#include "common/hash.h"
+
+namespace ps3::sketch {
+
+void AkmvSketch::UpdateHash(uint64_t hash) {
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    ++it->second;
+    return;
+  }
+  if (entries_.size() < static_cast<size_t>(k_)) {
+    entries_.emplace(hash, 1);
+    return;
+  }
+  // Full: only admit hashes smaller than the current k-th minimum.
+  auto last = std::prev(entries_.end());
+  if (hash < last->first) {
+    entries_.erase(last);
+    entries_.emplace(hash, 1);
+  }
+}
+
+double AkmvSketch::EstimateDistinct() const {
+  if (entries_.empty()) return 0.0;
+  if (!saturated()) return static_cast<double>(entries_.size());
+  double u_k = HashToUnit(entries_.rbegin()->first);
+  if (u_k <= 0.0) return static_cast<double>(entries_.size());
+  return static_cast<double>(k_ - 1) / u_k;
+}
+
+double AkmvSketch::avg_frequency() const {
+  if (entries_.empty()) return 0.0;
+  return sum_frequency() / static_cast<double>(entries_.size());
+}
+
+double AkmvSketch::max_frequency() const {
+  uint64_t m = 0;
+  for (const auto& [h, c] : entries_) {
+    if (c > m) m = c;
+  }
+  return static_cast<double>(m);
+}
+
+double AkmvSketch::min_frequency() const {
+  if (entries_.empty()) return 0.0;
+  uint64_t m = ~0ULL;
+  for (const auto& [h, c] : entries_) {
+    if (c < m) m = c;
+  }
+  return static_cast<double>(m);
+}
+
+double AkmvSketch::sum_frequency() const {
+  double s = 0.0;
+  for (const auto& [h, c] : entries_) s += static_cast<double>(c);
+  return s;
+}
+
+size_t AkmvSketch::SerializedBytes() const {
+  // hash (8B) + count (4B) per tracked value, plus k.
+  return entries_.size() * (sizeof(uint64_t) + sizeof(uint32_t)) +
+         sizeof(uint32_t);
+}
+
+}  // namespace ps3::sketch

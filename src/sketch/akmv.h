@@ -1,0 +1,50 @@
+// AKMV (augmented k-minimum-values) sketch for distinct-value estimation
+// (§3.1; Beyer et al., SIGMOD'07). Tracks the k smallest distinct hashed
+// values of a column together with their multiplicities in the partition.
+#ifndef PS3_SKETCH_AKMV_H_
+#define PS3_SKETCH_AKMV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace ps3::sketch {
+
+class AkmvSketch {
+ public:
+  static constexpr int kDefaultK = 128;
+
+  explicit AkmvSketch(int k = kDefaultK) : k_(k) {}
+
+  /// Feeds one already-hashed value (hash identity == value identity).
+  void UpdateHash(uint64_t hash);
+
+  /// Number of (distinct) hashes currently tracked; min(k, true ndv).
+  size_t num_tracked() const { return entries_.size(); }
+  bool saturated() const { return entries_.size() >= static_cast<size_t>(k_); }
+
+  /// Estimated number of distinct values: exact when not saturated,
+  /// otherwise the KMV estimator (k-1)/u_k with u_k the k-th smallest
+  /// hash mapped to (0, 1).
+  double EstimateDistinct() const;
+
+  /// Frequency statistics of the tracked values (the k min-hash values form
+  /// a uniform sample of the distinct values). Counts are per-partition
+  /// multiplicities. All return 0 for an empty sketch.
+  double avg_frequency() const;
+  double max_frequency() const;
+  double min_frequency() const;
+  double sum_frequency() const;
+
+  size_t SerializedBytes() const;
+
+  const std::map<uint64_t, uint64_t>& entries() const { return entries_; }
+
+ private:
+  int k_;
+  std::map<uint64_t, uint64_t> entries_;  // hash -> multiplicity
+};
+
+}  // namespace ps3::sketch
+
+#endif  // PS3_SKETCH_AKMV_H_

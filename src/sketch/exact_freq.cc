@@ -1,0 +1,36 @@
+#include "sketch/exact_freq.h"
+
+#include <cassert>
+
+namespace ps3::sketch {
+
+void ExactFrequencyTable::Update(int64_t key) {
+  ++n_;
+  if (!valid_) return;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counts_.size() >= max_distinct_) {
+    valid_ = false;
+    counts_.clear();
+    return;
+  }
+  counts_.emplace(key, 1);
+}
+
+double ExactFrequencyTable::Frequency(int64_t key) const {
+  assert(valid_);
+  if (n_ == 0) return 0.0;
+  auto it = counts_.find(key);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(n_);
+}
+
+size_t ExactFrequencyTable::SerializedBytes() const {
+  if (!valid_) return 1;
+  return counts_.size() * (sizeof(int64_t) + sizeof(uint32_t)) + 1;
+}
+
+}  // namespace ps3::sketch

@@ -1,0 +1,48 @@
+// Exact frequency table for low-cardinality categorical columns (§3.2's
+// "special case": if a string column has a small number of distinct values,
+// all distinct values and their frequencies are stored exactly). Disables
+// itself when the domain exceeds the cap.
+#ifndef PS3_SKETCH_EXACT_FREQ_H_
+#define PS3_SKETCH_EXACT_FREQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace ps3::sketch {
+
+class ExactFrequencyTable {
+ public:
+  static constexpr size_t kDefaultMaxDistinct = 256;
+
+  explicit ExactFrequencyTable(size_t max_distinct = kDefaultMaxDistinct)
+      : max_distinct_(max_distinct) {}
+
+  void Update(int64_t key);
+
+  /// False once the column proved to have more than max_distinct values;
+  /// the table is then empty and queries must fall back to other sketches.
+  bool valid() const { return valid_; }
+  size_t rows_seen() const { return n_; }
+  size_t num_distinct() const { return counts_.size(); }
+
+  /// Exact frequency fraction of `key`; 0 when absent. Must not be called
+  /// on an invalid table.
+  double Frequency(int64_t key) const;
+
+  const std::unordered_map<int64_t, uint64_t>& counts() const {
+    return counts_;
+  }
+
+  size_t SerializedBytes() const;
+
+ private:
+  size_t max_distinct_;
+  bool valid_ = true;
+  size_t n_ = 0;
+  std::unordered_map<int64_t, uint64_t> counts_;
+};
+
+}  // namespace ps3::sketch
+
+#endif  // PS3_SKETCH_EXACT_FREQ_H_

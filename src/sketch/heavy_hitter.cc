@@ -1,0 +1,74 @@
+#include "sketch/heavy_hitter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ps3::sketch {
+
+HeavyHitters::HeavyHitters(double support, double error)
+    : support_(support), error_(error > 0.0 ? error : support / 10.0) {
+  assert(support_ > 0.0 && support_ <= 1.0);
+  bucket_width_ = static_cast<size_t>(std::ceil(1.0 / error_));
+}
+
+void HeavyHitters::Update(int64_t key) {
+  ++n_;
+  auto it = cells_.find(key);
+  if (it != cells_.end()) {
+    ++it->second.count;
+  } else {
+    cells_.emplace(key, Cell{1, static_cast<uint64_t>(current_bucket_ - 1)});
+  }
+  if (n_ % bucket_width_ == 0) {
+    MaybePrune();
+    ++current_bucket_;
+  }
+}
+
+void HeavyHitters::MaybePrune() {
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->second.count + it->second.delta <= current_bucket_) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<HeavyHitterEntry> HeavyHitters::Items() const {
+  std::vector<HeavyHitterEntry> out;
+  if (n_ == 0) return out;
+  double threshold = (support_ - error_) * static_cast<double>(n_);
+  for (const auto& [key, cell] : cells_) {
+    if (static_cast<double>(cell.count) >= threshold) {
+      out.push_back({key, cell.count});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitterEntry& a, const HeavyHitterEntry& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  return out;
+}
+
+double HeavyHitters::AvgFrequency() const {
+  auto items = Items();
+  if (items.empty() || n_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& e : items) s += static_cast<double>(e.count);
+  return s / static_cast<double>(items.size()) / static_cast<double>(n_);
+}
+
+double HeavyHitters::MaxFrequency() const {
+  auto items = Items();
+  if (items.empty() || n_ == 0) return 0.0;
+  return static_cast<double>(items[0].count) / static_cast<double>(n_);
+}
+
+size_t HeavyHitters::SerializedBytes() const {
+  // Only reported heavy hitters are persisted: key (8B) + count (4B).
+  return Items().size() * (sizeof(int64_t) + sizeof(uint32_t));
+}
+
+}  // namespace ps3::sketch

@@ -1,0 +1,63 @@
+// Heavy hitters by lossy counting (§3.1; Manku & Motwani, VLDB'02).
+// Tracks items appearing in at least `support` fraction of the rows; the
+// dictionary is bounded by O(1/support) entries after pruning. Keys are
+// 64-bit value identities: dictionary codes for categorical columns, the
+// raw bit pattern for numeric columns.
+#ifndef PS3_SKETCH_HEAVY_HITTER_H_
+#define PS3_SKETCH_HEAVY_HITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ps3::sketch {
+
+struct HeavyHitterEntry {
+  int64_t key;
+  uint64_t count;  // lower-bound count (true count - delta <= count)
+};
+
+class HeavyHitters {
+ public:
+  /// `support`: minimum frequency fraction to report (default 1%, giving a
+  /// dictionary of at most ~100 items as in the paper). `error` defaults to
+  /// support / 10.
+  explicit HeavyHitters(double support = 0.01, double error = 0.0);
+
+  void Update(int64_t key);
+
+  /// Items with estimated frequency >= (support - error) * n, descending
+  /// by count.
+  std::vector<HeavyHitterEntry> Items() const;
+
+  size_t rows_seen() const { return n_; }
+  double support() const { return support_; }
+
+  /// Number of reported heavy hitters.
+  size_t NumHeavyHitters() const { return Items().size(); }
+  /// Average / max frequency (as fractions of rows) among heavy hitters.
+  double AvgFrequency() const;
+  double MaxFrequency() const;
+
+  size_t SerializedBytes() const;
+
+ private:
+  struct Cell {
+    uint64_t count;
+    uint64_t delta;
+  };
+
+  void MaybePrune();
+
+  double support_;
+  double error_;
+  size_t bucket_width_;
+  size_t n_ = 0;
+  size_t current_bucket_ = 1;
+  std::unordered_map<int64_t, Cell> cells_;
+};
+
+}  // namespace ps3::sketch
+
+#endif  // PS3_SKETCH_HEAVY_HITTER_H_

@@ -1,0 +1,132 @@
+#include "sketch/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+
+namespace ps3::sketch {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             int num_buckets) {
+  assert(num_buckets > 0);
+  EquiDepthHistogram h;
+  h.n_ = values.size();
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+
+  const size_t n = values.size();
+  const size_t b = static_cast<size_t>(num_buckets);
+  // Edge i sits at the i/b quantile. Duplicate-heavy data can produce
+  // repeated edges; such degenerate buckets simply carry zero width.
+  h.edges_.resize(b + 1);
+  for (size_t i = 0; i <= b; ++i) {
+    size_t idx = std::min(n - 1, (i * n) / b);
+    h.edges_[i] = (i == b) ? values.back() : values[idx];
+  }
+  h.edges_[0] = values.front();
+
+  // Exact per-bucket counts: bucket j covers (edges[j], edges[j+1]] except
+  // bucket 0 which also includes its left edge.
+  h.counts_.assign(b, 0);
+  h.cum_.assign(b, 0);
+  for (size_t j = 0; j < b; ++j) {
+    auto lo_it = (j == 0) ? values.begin()
+                          : std::upper_bound(values.begin(), values.end(),
+                                             h.edges_[j]);
+    auto hi_it =
+        std::upper_bound(values.begin(), values.end(), h.edges_[j + 1]);
+    h.counts_[j] = static_cast<size_t>(hi_it - lo_it);
+    h.cum_[j] = (j == 0 ? 0 : h.cum_[j - 1]) + h.counts_[j];
+  }
+  // Rounding at quantile edges cannot lose rows: last cum must equal n.
+  assert(h.cum_.back() == n);
+  return h;
+}
+
+double EquiDepthHistogram::CdfLe(double x) const {
+  if (n_ == 0) return 0.0;
+  if (x < edges_.front()) return 0.0;
+  if (x >= edges_.back()) return 1.0;
+  // Find bucket j with edges[j] <= x < edges[j+1].
+  size_t j = static_cast<size_t>(
+      std::upper_bound(edges_.begin(), edges_.end(), x) - edges_.begin());
+  assert(j >= 1);
+  j -= 1;
+  if (j >= counts_.size()) j = counts_.size() - 1;
+  double below = (j == 0) ? 0.0 : static_cast<double>(cum_[j - 1]);
+  double width = edges_[j + 1] - edges_[j];
+  double frac = width > 0.0 ? (x - edges_[j]) / width : 1.0;
+  return (below + frac * static_cast<double>(counts_[j])) /
+         static_cast<double>(n_);
+}
+
+double EquiDepthHistogram::RangeSelectivity(double lo, double hi,
+                                            bool lo_inclusive,
+                                            bool hi_inclusive) const {
+  if (n_ == 0 || lo > hi) return 0.0;
+  // Continuous approximation: inclusivity only matters at exact ties, which
+  // the interpolation smooths over; nudge by an epsilon of the data span so
+  // closed endpoints capture edge-valued rows.
+  double span = edges_.empty() ? 0.0 : (edges_.back() - edges_.front());
+  double eps = span > 0.0 ? span * 1e-12 : 1e-12;
+  double hi_adj = hi_inclusive ? hi : hi - eps;
+  double lo_adj = lo_inclusive ? lo - eps : lo;
+  double sel = CdfLe(hi_adj) - CdfLe(lo_adj);
+  return sel < 0.0 ? 0.0 : sel;
+}
+
+EquiDepthHistogram::Bounds EquiDepthHistogram::RangeSelectivityBounds(
+    double lo, double hi, bool lo_inclusive, bool hi_inclusive) const {
+  Bounds b;
+  if (n_ == 0 || lo > hi) return b;
+  if (hi < edges_.front() || lo > edges_.back()) return b;
+  double lower_rows = 0.0, upper_rows = 0.0;
+  for (size_t j = 0; j < counts_.size(); ++j) {
+    double bl = edges_[j], bh = edges_[j + 1];
+    // Overlap test is permissive at edges (closed on both sides) so the
+    // upper bound never misses boundary-valued rows.
+    bool overlaps = bh >= lo && bl <= hi;
+    if (!overlaps) continue;
+    upper_rows += static_cast<double>(counts_[j]);
+    // Containment for the lower bound must respect endpoint exclusivity:
+    // bucket j holds values in (bl, bh] (bucket 0 also holds bl).
+    bool hi_ok = hi_inclusive ? bh <= hi : bh < hi;
+    bool lo_ok = bl >= lo;
+    if (j == 0 && !lo_inclusive && bl <= lo) lo_ok = false;
+    if (lo_ok && hi_ok) lower_rows += static_cast<double>(counts_[j]);
+  }
+  b.lower = lower_rows / static_cast<double>(n_);
+  b.upper = upper_rows / static_cast<double>(n_);
+  return b;
+}
+
+double EquiDepthHistogram::PointSelectivity(double x) const {
+  if (n_ == 0) return 0.0;
+  if (x < edges_.front() || x > edges_.back()) return 0.0;
+  // Walk all buckets containing x. Duplicate-valued data produces repeated
+  // edges, so several zero-width buckets can sit at the same value; their
+  // mass is exact. A non-degenerate bucket containing x contributes via a
+  // coarse density model: assume `width + 1` equally likely integer-ish
+  // values, which keeps the estimate conservative for wide buckets.
+  double mass = 0.0;
+  for (size_t j = 0; j < counts_.size(); ++j) {
+    double bl = edges_[j], bh = edges_[j + 1];
+    bool contains = (j == 0) ? (x >= bl && x <= bh) : (x > bl && x <= bh);
+    bool degenerate_at_x = bl == bh && bl == x;
+    if (!contains && !degenerate_at_x) continue;
+    double bucket_mass =
+        static_cast<double>(counts_[j]) / static_cast<double>(n_);
+    double width = bh - bl;
+    mass += width <= 0.0 ? bucket_mass
+                         : bucket_mass / std::max(1.0, width + 1.0);
+  }
+  return mass;
+}
+
+size_t EquiDepthHistogram::SerializedBytes() const {
+  return edges_.size() * sizeof(double) + counts_.size() * sizeof(uint32_t) +
+         sizeof(uint64_t);
+}
+
+}  // namespace ps3::sketch

@@ -1,0 +1,66 @@
+// Equi-depth histogram (§3.1): 10 buckets by default. For string columns
+// the histogram is built over hashes of the values mapped to [0, 1).
+// Construction sorts a copy of the column slice (O(Rb log Rb), as in the
+// paper's Table 1); storage is O(#buckets).
+#ifndef PS3_SKETCH_HISTOGRAM_H_
+#define PS3_SKETCH_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps3::sketch {
+
+class EquiDepthHistogram {
+ public:
+  static constexpr int kDefaultBuckets = 10;
+
+  /// Builds from (unsorted) values. `values` is consumed by sorting a copy.
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  int num_buckets = kDefaultBuckets);
+
+  size_t total_count() const { return n_; }
+  size_t num_buckets() const { return counts_.size(); }
+  const std::vector<double>& edges() const { return edges_; }
+  const std::vector<size_t>& bucket_counts() const { return counts_; }
+
+  double min() const { return edges_.empty() ? 0.0 : edges_.front(); }
+  double max() const { return edges_.empty() ? 0.0 : edges_.back(); }
+
+  /// Estimated fraction of values <= x (continuous interpolation within a
+  /// bucket). Exact at bucket edges.
+  double CdfLe(double x) const;
+
+  /// Estimated fraction of values in the closed/open range, using the
+  /// continuous approximation; `lo > hi` yields 0.
+  double RangeSelectivity(double lo, double hi, bool lo_inclusive,
+                          bool hi_inclusive) const;
+
+  /// Hard bounds on the range selectivity at bucket granularity: `lower`
+  /// counts only buckets fully contained in the range, `upper` counts every
+  /// bucket that overlaps it. upper == 0 guarantees no row matches (the
+  /// perfect-recall property the partition filter relies on, §3.2).
+  struct Bounds {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  Bounds RangeSelectivityBounds(double lo, double hi, bool lo_inclusive = true,
+                                bool hi_inclusive = true) const;
+
+  /// Estimated fraction of rows equal to x: mass of x's bucket scaled by
+  /// the bucket's value width (a coarse density estimate, refined by the
+  /// exact-frequency and heavy-hitter paths in the selectivity estimator).
+  double PointSelectivity(double x) const;
+
+  size_t SerializedBytes() const;
+
+ private:
+  std::vector<double> edges_;   // num_buckets + 1 boundaries
+  std::vector<size_t> counts_;  // rows per bucket
+  std::vector<size_t> cum_;     // cumulative rows at bucket ends
+  size_t n_ = 0;
+};
+
+}  // namespace ps3::sketch
+
+#endif  // PS3_SKETCH_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+#include "sketch/measures.h"
+
+#include <cmath>
+
+namespace ps3::sketch {
+
+void Measures::Update(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  sum_ += v;
+  sum_sq_ += v * v;
+  if (v > 0.0) {
+    double lv = std::log(v);
+    if (all_positive_) {
+      if (count_ == 0) {
+        log_min_ = log_max_ = lv;
+      } else {
+        if (lv < log_min_) log_min_ = lv;
+        if (lv > log_max_) log_max_ = lv;
+      }
+      log_sum_ += lv;
+      log_sum_sq_ += lv * lv;
+    }
+  } else {
+    all_positive_ = false;
+    log_sum_ = log_sum_sq_ = log_min_ = log_max_ = 0.0;
+  }
+  ++count_;
+}
+
+double Measures::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Measures::mean_sq() const {
+  return count_ == 0 ? 0.0 : sum_sq_ / static_cast<double>(count_);
+}
+
+double Measures::std_dev() const {
+  if (count_ == 0) return 0.0;
+  double var = mean_sq() - mean() * mean();
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Measures::log_mean() const {
+  return has_log() ? log_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Measures::log_mean_sq() const {
+  return has_log() ? log_sum_sq_ / static_cast<double>(count_) : 0.0;
+}
+
+size_t Measures::SerializedBytes() const {
+  // count + {min,max,sum,sumsq} + 4 log measures + flag byte.
+  return sizeof(uint64_t) + 8 * sizeof(double) + 1;
+}
+
+}  // namespace ps3::sketch

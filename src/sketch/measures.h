@@ -1,0 +1,54 @@
+// Measures sketch (§3.1): min, max, first and second moments of a numeric
+// column, plus the same measures over log(x) when every value is positive.
+// O(1) space, one pass.
+#ifndef PS3_SKETCH_MEASURES_H_
+#define PS3_SKETCH_MEASURES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ps3::sketch {
+
+class Measures {
+ public:
+  void Update(double v);
+
+  size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  double sum_sq() const { return sum_sq_; }
+
+  /// First moment E[x]; 0 if empty.
+  double mean() const;
+  /// Second moment E[x^2]; 0 if empty.
+  double mean_sq() const;
+  /// Population standard deviation; 0 if empty.
+  double std_dev() const;
+
+  /// True when all observed values were > 0, so the log measures are valid.
+  bool has_log() const { return count_ > 0 && all_positive_; }
+  double log_mean() const;
+  double log_mean_sq() const;
+  double log_min() const { return log_min_; }
+  double log_max() const { return log_max_; }
+
+  /// Serialized footprint: fixed set of doubles + count.
+  size_t SerializedBytes() const;
+
+ private:
+  size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  bool all_positive_ = true;
+  double log_sum_ = 0.0;
+  double log_sum_sq_ = 0.0;
+  double log_min_ = 0.0;
+  double log_max_ = 0.0;
+};
+
+}  // namespace ps3::sketch
+
+#endif  // PS3_SKETCH_MEASURES_H_

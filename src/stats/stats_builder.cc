@@ -1,0 +1,124 @@
+#include "stats/stats_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace ps3::stats {
+
+namespace {
+
+/// 64-bit identity for a numeric value (bit pattern, -0.0 canonicalized).
+int64_t NumericKey(double v) {
+  if (v == 0.0) v = 0.0;
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+ColumnStats StatsBuilder::BuildColumn(const storage::Partition& part,
+                                      size_t col) const {
+  const auto& schema = part.table().schema();
+  ColumnStats cs;
+  cs.categorical = schema.IsCategorical(col);
+  cs.akmv = sketch::AkmvSketch(options_.akmv_k);
+  cs.heavy_hitters = sketch::HeavyHitters(options_.hh_support);
+  cs.exact_freq =
+      sketch::ExactFrequencyTable(options_.exact_freq_max_distinct);
+
+  std::vector<double> hist_values;
+  hist_values.reserve(part.num_rows());
+
+  if (cs.categorical) {
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      int32_t code = part.CodeAt(col, r);
+      uint64_t h = HashInt(code);
+      // Histogram over hashes of the strings (§3.1).
+      hist_values.push_back(HashToUnit(h));
+      cs.akmv.UpdateHash(h);
+      cs.heavy_hitters.Update(code);
+      cs.exact_freq.Update(code);
+    }
+  } else {
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      double v = part.NumericAt(col, r);
+      cs.measures.Update(v);
+      hist_values.push_back(v);
+      cs.akmv.UpdateHash(HashDouble(v));
+      cs.heavy_hitters.Update(NumericKey(v));
+    }
+  }
+  cs.histogram = sketch::EquiDepthHistogram::Build(std::move(hist_values),
+                                                   options_.histogram_buckets);
+  return cs;
+}
+
+TableStats StatsBuilder::Build(const storage::PartitionedTable& table) const {
+  TableStats stats;
+  const size_t n_parts = table.num_partitions();
+  const size_t n_cols = table.schema().num_columns();
+
+  stats.partitions_.resize(n_parts);
+  for (size_t p = 0; p < n_parts; ++p) {
+    storage::Partition part = table.partition(p);
+    stats.partitions_[p].num_rows = part.num_rows();
+    stats.partitions_[p].columns.reserve(n_cols);
+    for (size_t c = 0; c < n_cols; ++c) {
+      stats.partitions_[p].columns.push_back(BuildColumn(part, c));
+    }
+  }
+
+  // Global heavy hitters (§3.2): combine per-partition heavy hitters,
+  // weight by their (lower-bound) counts, keep the top bitmap_k keys.
+  stats.global_hh_.resize(n_cols);
+  std::unordered_set<size_t> grouping(options_.grouping_columns.begin(),
+                                      options_.grouping_columns.end());
+  for (size_t c = 0; c < n_cols; ++c) {
+    if (!grouping.count(c)) continue;
+    std::unordered_map<int64_t, uint64_t> combined;
+    for (size_t p = 0; p < n_parts; ++p) {
+      for (const auto& item :
+           stats.partitions_[p].columns[c].heavy_hitters.Items()) {
+        combined[item.key] += item.count;
+      }
+    }
+    std::vector<std::pair<int64_t, uint64_t>> ranked(combined.begin(),
+                                                     combined.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    size_t k = std::min(options_.bitmap_k, ranked.size());
+    stats.global_hh_[c].reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      stats.global_hh_[c].push_back(ranked[i].first);
+    }
+  }
+
+  // Occurrence bitmaps: bit i set when global HH i is a local HH.
+  stats.bitmaps_.resize(n_parts);
+  for (size_t p = 0; p < n_parts; ++p) {
+    stats.bitmaps_[p].resize(n_cols);
+    for (size_t c = 0; c < n_cols; ++c) {
+      const auto& ghh = stats.global_hh_[c];
+      if (ghh.empty()) continue;
+      std::unordered_set<int64_t> local;
+      for (const auto& item :
+           stats.partitions_[p].columns[c].heavy_hitters.Items()) {
+        local.insert(item.key);
+      }
+      auto& bm = stats.bitmaps_[p][c];
+      bm.resize(ghh.size());
+      for (size_t i = 0; i < ghh.size(); ++i) {
+        bm[i] = local.count(ghh[i]) ? 1 : 0;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ps3::stats

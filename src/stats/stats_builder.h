@@ -1,0 +1,41 @@
+// Builds per-partition sketches in a single pass over each partition
+// (§2.3.1), then derives global heavy hitters and occurrence bitmaps.
+#ifndef PS3_STATS_STATS_BUILDER_H_
+#define PS3_STATS_STATS_BUILDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/table_stats.h"
+#include "storage/table.h"
+
+namespace ps3::stats {
+
+struct StatsOptions {
+  int histogram_buckets = sketch::EquiDepthHistogram::kDefaultBuckets;
+  int akmv_k = sketch::AkmvSketch::kDefaultK;
+  double hh_support = 0.01;
+  size_t exact_freq_max_distinct = sketch::ExactFrequencyTable::
+      kDefaultMaxDistinct;
+  /// Occurrence-bitmap capacity per column (paper caps k at 25).
+  size_t bitmap_k = 25;
+  /// Columns eligible for GROUP BY; only these get occurrence bitmaps.
+  std::vector<size_t> grouping_columns;
+};
+
+class StatsBuilder {
+ public:
+  explicit StatsBuilder(StatsOptions options) : options_(std::move(options)) {}
+
+  /// Builds statistics for every partition of the table.
+  TableStats Build(const storage::PartitionedTable& table) const;
+
+ private:
+  ColumnStats BuildColumn(const storage::Partition& part, size_t col) const;
+
+  StatsOptions options_;
+};
+
+}  // namespace ps3::stats
+
+#endif  // PS3_STATS_STATS_BUILDER_H_

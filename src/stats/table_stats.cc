@@ -1,0 +1,43 @@
+#include "stats/table_stats.h"
+
+namespace ps3::stats {
+
+size_t ColumnStats::MeasureBytes() const {
+  return categorical ? 0 : measures.SerializedBytes();
+}
+
+size_t ColumnStats::HeavyHitterBytes() const {
+  return heavy_hitters.SerializedBytes();
+}
+
+StorageReport TableStats::ComputeStorageReport() const {
+  StorageReport report;
+  if (partitions_.empty()) return report;
+  double hist = 0, hh = 0, akmv = 0, measure = 0;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    for (size_t c = 0; c < partitions_[p].columns.size(); ++c) {
+      const ColumnStats& cs = partitions_[p].columns[c];
+      // The exact frequency table replaces fine-grained histogram buckets
+      // for small-domain strings (§3.2), so it is accounted with the
+      // histogram family; bitmaps are derived from heavy hitters.
+      hist += static_cast<double>(cs.HistogramBytes() +
+                                  cs.exact_freq.SerializedBytes());
+      hh += static_cast<double>(cs.HeavyHitterBytes());
+      if (!bitmaps_.empty() && !bitmaps_[p][c].empty()) {
+        hh += static_cast<double>((bitmaps_[p][c].size() + 7) / 8);
+      }
+      akmv += static_cast<double>(cs.AkmvBytes());
+      measure += static_cast<double>(cs.MeasureBytes());
+    }
+  }
+  const double n = static_cast<double>(partitions_.size()) * 1024.0;
+  report.histogram_kb = hist / n;
+  report.heavy_hitter_kb = hh / n;
+  report.akmv_kb = akmv / n;
+  report.measure_kb = measure / n;
+  report.total_kb = report.histogram_kb + report.heavy_hitter_kb +
+                    report.akmv_kb + report.measure_kb;
+  return report;
+}
+
+}  // namespace ps3::stats

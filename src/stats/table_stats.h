@@ -1,0 +1,91 @@
+// Per-partition summary statistics: one sketch bundle per column per
+// partition (§3.1), plus table-level derived state — global heavy hitters
+// and per-partition occurrence bitmaps (§3.2).
+#ifndef PS3_STATS_TABLE_STATS_H_
+#define PS3_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sketch/akmv.h"
+#include "sketch/exact_freq.h"
+#include "sketch/heavy_hitter.h"
+#include "sketch/histogram.h"
+#include "sketch/measures.h"
+#include "storage/table.h"
+
+namespace ps3::stats {
+
+/// All sketches for one column of one partition. Measures and the exact
+/// frequency table are type-dependent (numeric vs categorical); histogram,
+/// AKMV and heavy hitters exist for every column.
+struct ColumnStats {
+  bool categorical = false;
+  sketch::Measures measures;                  // numeric only
+  sketch::EquiDepthHistogram histogram;       // hashed values if categorical
+  sketch::AkmvSketch akmv;
+  sketch::HeavyHitters heavy_hitters{0.01};
+  sketch::ExactFrequencyTable exact_freq;     // categorical only
+
+  /// Serialized footprint split by sketch family (Table 4 columns).
+  size_t HistogramBytes() const { return histogram.SerializedBytes(); }
+  size_t MeasureBytes() const;
+  size_t AkmvBytes() const { return akmv.SerializedBytes(); }
+  size_t HeavyHitterBytes() const;
+};
+
+struct PartitionStats {
+  size_t num_rows = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Storage-overhead accounting for Table 4.
+struct StorageReport {
+  double total_kb = 0.0;
+  double histogram_kb = 0.0;
+  double heavy_hitter_kb = 0.0;
+  double akmv_kb = 0.0;
+  double measure_kb = 0.0;
+};
+
+class TableStats {
+ public:
+  size_t num_partitions() const { return partitions_.size(); }
+  size_t num_columns() const {
+    return partitions_.empty() ? 0 : partitions_[0].columns.size();
+  }
+
+  const PartitionStats& partition(size_t i) const { return partitions_[i]; }
+
+  /// Global heavy-hitter keys for a column (bitmap-bearing columns only;
+  /// empty otherwise), most frequent first, capped at bitmap capacity.
+  const std::vector<int64_t>& global_heavy_hitters(size_t col) const {
+    return global_hh_[col];
+  }
+
+  /// Occurrence bitmap (§3.2): bit i of partition p / column c is set when
+  /// global heavy hitter i is also a heavy hitter of partition p.
+  const std::vector<uint8_t>& occurrence_bitmap(size_t part,
+                                                size_t col) const {
+    return bitmaps_[part][col];
+  }
+
+  /// True when the column carries occurrence bitmaps (grouping columns).
+  bool has_bitmap(size_t col) const { return !global_hh_[col].empty(); }
+
+  /// Average per-partition storage (in KB) by sketch family.
+  StorageReport ComputeStorageReport() const;
+
+ private:
+  friend class StatsBuilder;
+
+  std::vector<PartitionStats> partitions_;
+  std::vector<std::vector<int64_t>> global_hh_;  // per column
+  // bitmaps_[partition][column] -> bit per global heavy hitter
+  std::vector<std::vector<std::vector<uint8_t>>> bitmaps_;
+};
+
+}  // namespace ps3::stats
+
+#endif  // PS3_STATS_TABLE_STATS_H_

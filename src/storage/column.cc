@@ -1,0 +1,59 @@
+#include "storage/column.h"
+
+#include <cassert>
+
+namespace ps3::storage {
+
+int32_t Dictionary::GetOrAdd(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+int32_t Dictionary::Find(const std::string& value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Column::Column(ColumnType type) : type_(type) {
+  if (type_ == ColumnType::kCategorical) {
+    dict_ = std::make_shared<Dictionary>();
+  }
+}
+
+Column Column::MakeNumeric() { return Column(ColumnType::kNumeric); }
+Column Column::MakeCategorical() { return Column(ColumnType::kCategorical); }
+
+void Column::AppendNumeric(double v) {
+  assert(is_numeric());
+  numeric_.push_back(v);
+}
+
+void Column::AppendCategorical(const std::string& v) {
+  assert(!is_numeric());
+  codes_.push_back(dict_->GetOrAdd(v));
+}
+
+void Column::AppendCode(int32_t code) {
+  assert(!is_numeric());
+  assert(code >= 0 && static_cast<size_t>(code) < dict_->size());
+  codes_.push_back(code);
+}
+
+Column Column::Permute(const std::vector<size_t>& perm) const {
+  Column out(type_);
+  if (is_numeric()) {
+    out.numeric_.reserve(perm.size());
+    for (size_t src : perm) out.numeric_.push_back(numeric_[src]);
+  } else {
+    out.dict_ = dict_;
+    out.codes_.reserve(perm.size());
+    for (size_t src : perm) out.codes_.push_back(codes_[src]);
+  }
+  return out;
+}
+
+}  // namespace ps3::storage

@@ -1,0 +1,85 @@
+// Columnar storage. A Column is either numeric (vector<double>) or
+// categorical (vector<int32_t> codes plus a shared Dictionary mapping
+// code -> string). All rows are dense; PS3's query scope has no NULLs.
+#ifndef PS3_STORAGE_COLUMN_H_
+#define PS3_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace ps3::storage {
+
+/// Append-only string dictionary shared by one categorical column.
+class Dictionary {
+ public:
+  /// Code for `value`, inserting it if new.
+  int32_t GetOrAdd(const std::string& value);
+
+  /// Code for `value`, or -1 if absent.
+  int32_t Find(const std::string& value) const;
+
+  const std::string& ValueOf(int32_t code) const { return values_[code]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+class Column {
+ public:
+  /// Creates an empty numeric column.
+  static Column MakeNumeric();
+  /// Creates an empty categorical column with a fresh dictionary.
+  static Column MakeCategorical();
+
+  ColumnType type() const { return type_; }
+  bool is_numeric() const { return type_ == ColumnType::kNumeric; }
+
+  size_t size() const {
+    return is_numeric() ? numeric_.size() : codes_.size();
+  }
+
+  void AppendNumeric(double v);
+  void AppendCategorical(const std::string& v);
+  void AppendCode(int32_t code);
+
+  double NumericAt(size_t row) const { return numeric_[row]; }
+  int32_t CodeAt(size_t row) const { return codes_[row]; }
+  const std::string& StringAt(size_t row) const {
+    return dict_->ValueOf(codes_[row]);
+  }
+
+  const std::vector<double>& numeric_data() const { return numeric_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  Dictionary* dict() { return dict_.get(); }
+  const Dictionary* dict() const { return dict_.get(); }
+
+  /// Generic accessor used by sort/permutation logic: numeric value, or the
+  /// code as a double for categoricals (codes preserve insertion order, not
+  /// lexicographic order; layouts only need a deterministic order).
+  double SortKeyAt(size_t row) const {
+    return is_numeric() ? numeric_[row] : static_cast<double>(codes_[row]);
+  }
+
+  /// Returns a column with rows reordered as out[i] = in[perm[i]].
+  /// The dictionary is shared with the source column.
+  Column Permute(const std::vector<size_t>& perm) const;
+
+ private:
+  explicit Column(ColumnType type);
+
+  ColumnType type_;
+  std::vector<double> numeric_;
+  std::vector<int32_t> codes_;
+  std::shared_ptr<Dictionary> dict_;
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_COLUMN_H_

@@ -1,0 +1,15 @@
+#include "storage/partition.h"
+
+#include "storage/table.h"
+
+namespace ps3::storage {
+
+double Partition::NumericAt(size_t col, size_t r) const {
+  return table_->column(col).NumericAt(begin_ + r);
+}
+
+int32_t Partition::CodeAt(size_t col, size_t r) const {
+  return table_->column(col).CodeAt(begin_ + r);
+}
+
+}  // namespace ps3::storage

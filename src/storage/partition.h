@@ -1,0 +1,36 @@
+// A Partition is a lightweight view over a contiguous row range of a Table.
+#ifndef PS3_STORAGE_PARTITION_H_
+#define PS3_STORAGE_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ps3::storage {
+
+class Table;
+class Column;
+
+class Partition {
+ public:
+  Partition(const Table* table, size_t begin_row, size_t end_row)
+      : table_(table), begin_(begin_row), end_(end_row) {}
+
+  const Table& table() const { return *table_; }
+  size_t begin_row() const { return begin_; }
+  size_t end_row() const { return end_; }
+  size_t num_rows() const { return end_ - begin_; }
+
+  /// Numeric value of column `col` at partition-local row `r`.
+  double NumericAt(size_t col, size_t r) const;
+  /// Dictionary code of categorical column `col` at partition-local row `r`.
+  int32_t CodeAt(size_t col, size_t r) const;
+
+ private:
+  const Table* table_;
+  size_t begin_;
+  size_t end_;
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_PARTITION_H_

@@ -1,0 +1,20 @@
+#include "storage/schema.h"
+
+namespace ps3::storage {
+
+Schema::Schema(std::vector<FieldDef> fields) : fields_(std::move(fields)) {}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::GetColumnIndex(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return static_cast<size_t>(idx);
+}
+
+}  // namespace ps3::storage

@@ -1,0 +1,52 @@
+// Table schema: column names and types. PS3 supports numeric columns
+// (doubles; dates are stored as day numbers) and categorical columns
+// (dictionary-encoded strings).
+#ifndef PS3_STORAGE_SCHEMA_H_
+#define PS3_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ps3::storage {
+
+enum class ColumnType {
+  kNumeric,      ///< double-valued; includes dates stored as day ordinals
+  kCategorical,  ///< dictionary-encoded string
+};
+
+struct FieldDef {
+  std::string name;
+  ColumnType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldDef> fields);
+
+  size_t num_columns() const { return fields_.size(); }
+  const FieldDef& field(size_t i) const { return fields_[i]; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+
+  /// Index of a column by name, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Index of a column by name; error status if absent.
+  Result<size_t> GetColumnIndex(const std::string& name) const;
+
+  bool IsNumeric(size_t col) const {
+    return fields_[col].type == ColumnType::kNumeric;
+  }
+  bool IsCategorical(size_t col) const {
+    return fields_[col].type == ColumnType::kCategorical;
+  }
+
+ private:
+  std::vector<FieldDef> fields_;
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_SCHEMA_H_

@@ -1,0 +1,105 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ps3::storage {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const auto& f : schema_.fields()) {
+    columns_.push_back(f.type == ColumnType::kNumeric
+                           ? Column::MakeNumeric()
+                           : Column::MakeCategorical());
+  }
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  auto idx = schema_.GetColumnIndex(name);
+  if (!idx.ok()) return idx.status();
+  return &columns_[*idx];
+}
+
+void Table::AppendRow(const std::vector<double>& numerics,
+                      const std::vector<std::string>& categoricals) {
+  size_t ni = 0, ci = 0;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (schema_.IsNumeric(c)) {
+      assert(ni < numerics.size());
+      columns_[c].AppendNumeric(numerics[ni++]);
+    } else {
+      assert(ci < categoricals.size());
+      columns_[c].AppendCategorical(categoricals[ci++]);
+    }
+  }
+  assert(ni == numerics.size() && ci == categoricals.size());
+  ++num_rows_;
+}
+
+void Table::Seal() {
+  for (const auto& col : columns_) {
+    assert(col.size() == num_rows_);
+    (void)col;
+  }
+}
+
+Table Table::PermuteRows(const std::vector<size_t>& perm) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c] = columns_[c].Permute(perm);
+  }
+  out.num_rows_ = perm.size();
+  return out;
+}
+
+Result<Table> Table::SortedBy(
+    const std::vector<std::string>& sort_cols) const {
+  std::vector<size_t> key_idx;
+  key_idx.reserve(sort_cols.size());
+  for (const auto& name : sort_cols) {
+    auto idx = schema_.GetColumnIndex(name);
+    if (!idx.ok()) return idx.status();
+    key_idx.push_back(*idx);
+  }
+  std::vector<size_t> perm(num_rows_);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    for (size_t k : key_idx) {
+      double va = columns_[k].SortKeyAt(a);
+      double vb = columns_[k].SortKeyAt(b);
+      if (va < vb) return true;
+      if (va > vb) return false;
+    }
+    return false;
+  });
+  return PermuteRows(perm);
+}
+
+Table Table::Shuffled(RandomEngine* rng) const {
+  std::vector<size_t> perm(num_rows_);
+  std::iota(perm.begin(), perm.end(), 0);
+  Shuffle(&perm, rng);
+  return PermuteRows(perm);
+}
+
+PartitionedTable::PartitionedTable(std::shared_ptr<const Table> table,
+                                   size_t num_partitions)
+    : table_(std::move(table)) {
+  assert(num_partitions > 0);
+  const size_t rows = table_->num_rows();
+  num_partitions = std::min(num_partitions, std::max<size_t>(rows, 1));
+  bounds_.reserve(num_partitions);
+  // Near-equal split: first (rows % P) partitions get one extra row.
+  const size_t base = rows / num_partitions;
+  const size_t extra = rows % num_partitions;
+  size_t begin = 0;
+  for (size_t i = 0; i < num_partitions; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    bounds_.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  assert(begin == rows);
+}
+
+}  // namespace ps3::storage

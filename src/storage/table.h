@@ -1,0 +1,87 @@
+// In-memory columnar table plus the layout/partitioning machinery.
+//
+// PS3 treats a "partition" as the finest granularity the storage layer
+// tracks statistics for; it never re-partitions data (layout agnostic,
+// §2.1). Here a PartitionedTable is a Table plus contiguous row ranges.
+// Layouts are produced by sorting or shuffling the table *before*
+// partitioning, mirroring the paper's "sorted by column X" setups.
+#ifndef PS3_STORAGE_TABLE_H_
+#define PS3_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/partition.h"
+#include "storage/schema.h"
+
+namespace ps3::storage {
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column by name; error if absent.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Row-appender used by generators. Values must match schema arity and
+  /// types: numeric fields read from `numerics` in column order, categorical
+  /// fields from `categoricals` in column order.
+  void AppendRow(const std::vector<double>& numerics,
+                 const std::vector<std::string>& categoricals);
+
+  /// Marks row-append complete (validates column lengths).
+  void Seal();
+
+  /// New table with rows sorted by the given columns (lexicographic on
+  /// column list; numeric order for numeric columns, code order for
+  /// categoricals). Stable sort, so ties keep ingest order.
+  Result<Table> SortedBy(const std::vector<std::string>& sort_cols) const;
+
+  /// New table with rows in uniformly random order.
+  Table Shuffled(RandomEngine* rng) const;
+
+ private:
+  Table PermuteRows(const std::vector<size_t>& perm) const;
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// A table cut into `num_partitions` contiguous, near-equal row ranges.
+class PartitionedTable {
+ public:
+  PartitionedTable(std::shared_ptr<const Table> table, size_t num_partitions);
+
+  const Table& table() const { return *table_; }
+  const Schema& schema() const { return table_->schema(); }
+  size_t num_partitions() const { return bounds_.size(); }
+
+  Partition partition(size_t i) const {
+    return Partition(table_.get(), bounds_[i].first, bounds_[i].second);
+  }
+
+  /// Rows in partition i.
+  size_t partition_rows(size_t i) const {
+    return bounds_[i].second - bounds_[i].first;
+  }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  std::vector<std::pair<size_t, size_t>> bounds_;  // [begin, end) per part
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_TABLE_H_

@@ -1,0 +1,38 @@
+// Synthetic stand-ins for the paper's four evaluation datasets (§5.1.1).
+// Scales are configurable; correlations are engineered so that sort-order
+// layouts carry real signal (dates vs prices, tenants vs versions, attack
+// types vs services, ...), which is what PS3's evaluation depends on.
+#ifndef PS3_WORKLOAD_DATASETS_H_
+#define PS3_WORKLOAD_DATASETS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/spec.h"
+
+namespace ps3::workload {
+
+/// TPC-H* analog: denormalized lineitem with Zipf(1) skew, default layout
+/// sorted by l_shipdate.
+DatasetBundle MakeTpchStar(size_t rows, uint64_t seed);
+
+/// TPC-DS* analog: catalog_sales joined with item/date/promotion/customer
+/// demographics, default layout sorted by (d_year, d_moy, d_dom).
+DatasetBundle MakeTpcdsStar(size_t rows, uint64_t seed);
+
+/// Aria analog: production service request log; AppInfo_Version has 167
+/// distinct values with the most popular covering ~half the rows; default
+/// layout sorted by TenantId.
+DatasetBundle MakeAria(size_t rows, uint64_t seed);
+
+/// KDD Cup'99 analog: network intrusion log with many binary columns;
+/// default layout sorted by numeric `count`.
+DatasetBundle MakeKdd(size_t rows, uint64_t seed);
+
+/// Dispatch by name: "tpch", "tpcds", "aria", "kdd".
+Result<DatasetBundle> MakeDataset(const std::string& name, size_t rows,
+                                  uint64_t seed);
+
+}  // namespace ps3::workload
+
+#endif  // PS3_WORKLOAD_DATASETS_H_

@@ -1,0 +1,110 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "workload/datasets.h"
+
+namespace ps3::workload {
+
+namespace {
+
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+
+constexpr int kTenants = 200;
+constexpr int kVersions = 167;  // §1: 167 distinct application versions
+constexpr int kTimeZones = 30;
+
+const char* kNetworkTypes[4] = {"Wifi", "Wired", "Cellular", "Unknown"};
+
+}  // namespace
+
+DatasetBundle MakeAria(size_t rows, uint64_t seed) {
+  Schema schema({
+      {"records_received_count", ColumnType::kNumeric},
+      {"records_tried_to_send_count", ColumnType::kNumeric},
+      {"records_sent_count", ColumnType::kNumeric},
+      {"olsize", ColumnType::kNumeric},
+      {"ol_w", ColumnType::kNumeric},
+      {"infl", ColumnType::kNumeric},
+      {"PipelineInfo_IngestionTime", ColumnType::kNumeric},
+      {"TenantId", ColumnType::kCategorical},
+      {"AppInfo_Version", ColumnType::kCategorical},
+      {"UserInfo_TimeZone", ColumnType::kCategorical},
+      {"DeviceInfo_NetworkType", ColumnType::kCategorical},
+  });
+  auto table = std::make_shared<Table>(schema);
+
+  RandomEngine rng(seed);
+  // Version skew calibrated so the most popular of the 167 versions covers
+  // about half the dataset (the motivating skew of §1); Zipf(1.9) gives
+  // rank-1 mass ~0.5 over 167 values.
+  ZipfSampler version_zipf(kVersions, 1.9);
+  ZipfSampler tenant_zipf(kTenants, 1.1);
+
+  for (size_t i = 0; i < rows; ++i) {
+    size_t tenant = tenant_zipf.Sample(&rng);
+    // Tenants adopt versions in cohorts: the tail of the version
+    // distribution is rotated per tenant (TenantId-sorted layouts then
+    // cluster versions, which the occurrence bitmaps pick up). The
+    // dominant rank-0 version is left untouched so it keeps its ~50%
+    // global share (§1).
+    size_t version = version_zipf.Sample(&rng);
+    if (version != 0) {
+      version = 1 + (version - 1 + tenant % 7) % (kVersions - 1);
+    }
+
+    // Payload sizes: heavy-tailed, tenant-dependent scale.
+    double tenant_scale = 1.0 + static_cast<double>(tenant % 13);
+    double received =
+        std::floor(tenant_scale * (1.0 + rng.NextExponential(0.02)));
+    double tried = std::floor(received * (0.8 + 0.2 * rng.NextDouble()));
+    double sent = std::floor(tried * (0.7 + 0.3 * rng.NextDouble()));
+    double olsize = tenant_scale * (64.0 + rng.NextExponential(0.001));
+    double ol_w = 1.0 + rng.NextExponential(0.1);
+    double infl = rng.NextDouble() * 3.0;
+    double ingestion = 1.0e6 + static_cast<double>(i);  // arrival order
+
+    table->AppendRow(
+        {received, tried, sent, olsize, ol_w, infl, ingestion},
+        {StrFormat("Tenant_%llu", static_cast<unsigned long long>(tenant)),
+         StrFormat("v%zu.%zu.%zu", version / 100, (version / 10) % 10,
+                   version % 10),
+         StrFormat("TZ_%llu",
+                   static_cast<unsigned long long>(rng.NextUint64(
+                       kTimeZones))),
+         kNetworkTypes[(tenant + rng.NextUint64(2)) % 4]});
+  }
+  table->Seal();
+
+  DatasetBundle bundle;
+  bundle.name = "aria";
+  bundle.table = std::move(table);
+  bundle.default_sort = {"TenantId"};
+  bundle.spec.groupby_columns = {
+      "AppInfo_Version",
+      "UserInfo_TimeZone",
+      "DeviceInfo_NetworkType",
+  };
+  bundle.spec.predicate_columns = {
+      "records_received_count", "records_tried_to_send_count",
+      "records_sent_count",     "olsize",
+      "ol_w",                   "infl",
+      "PipelineInfo_IngestionTime",
+      "TenantId",               "AppInfo_Version",
+      "DeviceInfo_NetworkType",
+  };
+  using K = AggregateSpec::Kind;
+  bundle.spec.aggregates = {
+      {K::kCount, "", ""},
+      {K::kSum, "records_received_count", ""},
+      {K::kSum, "records_sent_count", ""},
+      {K::kSum, "olsize", ""},
+      {K::kAvg, "olsize", ""},
+      {K::kAvg, "infl", ""},
+  };
+  return bundle;
+}
+
+}  // namespace ps3::workload

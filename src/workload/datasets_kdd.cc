@@ -1,0 +1,147 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "workload/datasets.h"
+
+namespace ps3::workload {
+
+namespace {
+
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+
+constexpr int kServices = 60;
+
+// Attack mix inspired by KDD Cup'99: dominated by smurf/neptune floods,
+// with a long tail of rare attack classes and ~20% normal traffic.
+struct AttackProfile {
+  const char* label;
+  double probability;
+  double count_scale;    // connections-per-window scale
+  double bytes_scale;    // src_bytes scale
+  int service_mod;       // attacks concentrate on few services
+  const char* flag;
+};
+const AttackProfile kProfiles[] = {
+    {"smurf", 0.35, 400.0, 1000.0, 3, "SF"},
+    {"neptune", 0.30, 200.0, 0.0, 5, "S0"},
+    {"normal", 0.20, 20.0, 3000.0, kServices, "SF"},
+    {"back", 0.05, 10.0, 50000.0, 2, "SF"},
+    {"satan", 0.04, 100.0, 10.0, 11, "REJ"},
+    {"ipsweep", 0.03, 50.0, 10.0, 13, "SF"},
+    {"portsweep", 0.02, 60.0, 10.0, 17, "REJ"},
+    {"teardrop", 0.006, 30.0, 100.0, 1, "SF"},
+    {"pod", 0.002, 10.0, 500.0, 1, "SF"},
+    {"guess_passwd", 0.001, 2.0, 200.0, 1, "RSTO"},
+    {"buffer_overflow", 0.001, 1.0, 1500.0, 2, "SF"},
+};
+
+}  // namespace
+
+DatasetBundle MakeKdd(size_t rows, uint64_t seed) {
+  Schema schema({
+      {"duration", ColumnType::kNumeric},
+      {"src_bytes", ColumnType::kNumeric},
+      {"dst_bytes", ColumnType::kNumeric},
+      {"count", ColumnType::kNumeric},
+      {"srv_count", ColumnType::kNumeric},
+      {"serror_rate", ColumnType::kNumeric},
+      {"rerror_rate", ColumnType::kNumeric},
+      {"same_srv_rate", ColumnType::kNumeric},
+      {"diff_srv_rate", ColumnType::kNumeric},
+      {"hot", ColumnType::kNumeric},
+      {"num_failed_logins", ColumnType::kNumeric},
+      {"wrong_fragment", ColumnType::kNumeric},
+      {"protocol_type", ColumnType::kCategorical},
+      {"service", ColumnType::kCategorical},
+      {"flag", ColumnType::kCategorical},
+      {"label", ColumnType::kCategorical},
+      {"land", ColumnType::kCategorical},
+      {"logged_in", ColumnType::kCategorical},
+  });
+  auto table = std::make_shared<Table>(schema);
+
+  RandomEngine rng(seed);
+  double cum[std::size(kProfiles)];
+  double acc = 0.0;
+  for (size_t i = 0; i < std::size(kProfiles); ++i) {
+    acc += kProfiles[i].probability;
+    cum[i] = acc;
+  }
+
+  for (size_t i = 0; i < rows; ++i) {
+    double u = rng.NextDouble() * acc;
+    size_t pi = 0;
+    while (pi + 1 < std::size(kProfiles) && cum[pi] < u) ++pi;
+    const AttackProfile& prof = kProfiles[pi];
+
+    bool is_normal = std::string_view(prof.label) == "normal";
+    double count = std::floor(prof.count_scale * (0.5 + rng.NextDouble()));
+    double srv_count = std::floor(count * (0.5 + 0.5 * rng.NextDouble()));
+    double src_bytes =
+        prof.bytes_scale > 0.0
+            ? std::floor(rng.NextExponential(1.0 / prof.bytes_scale))
+            : 0.0;
+    double dst_bytes =
+        is_normal ? std::floor(rng.NextExponential(1.0 / 2000.0)) : 0.0;
+    double serror = prof.flag[0] == 'S' && prof.flag[1] == '0'
+                        ? 0.9 + 0.1 * rng.NextDouble()
+                        : 0.05 * rng.NextDouble();
+    double rerror = std::string_view(prof.flag) == "REJ"
+                        ? 0.8 + 0.2 * rng.NextDouble()
+                        : 0.05 * rng.NextDouble();
+    int service = prof.service_mod >= kServices
+                      ? static_cast<int>(rng.NextUint64(kServices))
+                      : static_cast<int>(rng.NextUint64(
+                            static_cast<uint64_t>(prof.service_mod)));
+
+    table->AppendRow(
+        {is_normal ? std::floor(rng.NextExponential(0.01)) : 0.0, src_bytes,
+         dst_bytes, count, srv_count, serror, rerror,
+         0.5 + 0.5 * rng.NextDouble(), 0.5 * rng.NextDouble(),
+         is_normal && rng.NextBool(0.05) ? 1.0 : 0.0,
+         rng.NextBool(0.002) ? 1.0 + double(rng.NextUint64(4)) : 0.0,
+         std::string_view(prof.label) == "teardrop" ? 1.0 : 0.0},
+        {pi % 3 == 0 ? "icmp" : (pi % 3 == 1 ? "tcp" : "udp"),
+         StrFormat("service_%d", service), prof.flag, prof.label,
+         rng.NextBool(0.001) ? "1" : "0",
+         is_normal && rng.NextBool(0.7) ? "1" : "0"});
+  }
+  table->Seal();
+
+  DatasetBundle bundle;
+  bundle.name = "kdd";
+  bundle.table = std::move(table);
+  bundle.default_sort = {"count"};
+  bundle.spec.groupby_columns = {
+      "protocol_type", "service", "flag", "label", "logged_in",
+  };
+  bundle.spec.predicate_columns = {
+      "duration",  "src_bytes", "dst_bytes",    "count",
+      "srv_count", "serror_rate", "rerror_rate", "same_srv_rate",
+      "protocol_type", "service", "flag",        "label",
+  };
+  using K = AggregateSpec::Kind;
+  bundle.spec.aggregates = {
+      {K::kCount, "", ""},
+      {K::kSum, "src_bytes", ""},
+      {K::kSum, "dst_bytes", ""},
+      {K::kSum, "count", ""},
+      {K::kAvg, "duration", ""},
+      {K::kAvg, "serror_rate", ""},
+  };
+  return bundle;
+}
+
+Result<DatasetBundle> MakeDataset(const std::string& name, size_t rows,
+                                  uint64_t seed) {
+  if (name == "tpch") return MakeTpchStar(rows, seed);
+  if (name == "tpcds") return MakeTpcdsStar(rows, seed);
+  if (name == "aria") return MakeAria(rows, seed);
+  if (name == "kdd") return MakeKdd(rows, seed);
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace ps3::workload

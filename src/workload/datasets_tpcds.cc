@@ -1,0 +1,125 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "workload/datasets.h"
+
+namespace ps3::workload {
+
+namespace {
+
+using storage::ColumnType;
+using storage::Schema;
+using storage::Table;
+
+constexpr int kCategories = 10;
+constexpr int kBrandsPerCategory = 4;
+constexpr int kClasses = 20;
+constexpr int kPromos = 30;
+
+const char* kMarital[5] = {"S", "M", "D", "W", "U"};
+const char* kEducation[7] = {"Primary",   "Secondary", "College",
+                             "2 yr Degree", "4 yr Degree", "Advanced",
+                             "Unknown"};
+
+}  // namespace
+
+DatasetBundle MakeTpcdsStar(size_t rows, uint64_t seed) {
+  Schema schema({
+      {"cs_quantity", ColumnType::kNumeric},
+      {"cs_wholesale_cost", ColumnType::kNumeric},
+      {"cs_list_price", ColumnType::kNumeric},
+      {"cs_sales_price", ColumnType::kNumeric},
+      {"cs_ext_discount_amt", ColumnType::kNumeric},
+      {"cs_net_profit", ColumnType::kNumeric},
+      {"i_current_price", ColumnType::kNumeric},
+      {"d_year", ColumnType::kNumeric},
+      {"d_moy", ColumnType::kNumeric},
+      {"d_dom", ColumnType::kNumeric},
+      {"i_category", ColumnType::kCategorical},
+      {"i_brand", ColumnType::kCategorical},
+      {"i_class", ColumnType::kCategorical},
+      {"p_promo_sk", ColumnType::kCategorical},
+      {"p_channel_email", ColumnType::kCategorical},
+      {"cd_gender", ColumnType::kCategorical},
+      {"cd_marital_status", ColumnType::kCategorical},
+      {"cd_education_status", ColumnType::kCategorical},
+      {"d_day_name", ColumnType::kCategorical},
+  });
+  auto table = std::make_shared<Table>(schema);
+
+  RandomEngine rng(seed);
+  ZipfSampler item_zipf(1000, 0.8);
+  const char* day_names[7] = {"Sunday",   "Monday", "Tuesday", "Wednesday",
+                              "Thursday", "Friday", "Saturday"};
+
+  for (size_t i = 0; i < rows; ++i) {
+    size_t item = item_zipf.Sample(&rng);
+    int category = static_cast<int>((item * 31) % kCategories);
+    int brand = category * kBrandsPerCategory +
+                static_cast<int>((item * 17) % kBrandsPerCategory);
+    int klass = static_cast<int>((item * 131) % kClasses);
+
+    // Sales are spread over 3 years; promotions run in contiguous windows,
+    // so a p_promo_sk-sorted layout clusters time and prices together
+    // (Figure 6's "less uniform" layout).
+    double year = 1999.0 + static_cast<double>(rng.NextUint64(3));
+    double moy = 1.0 + static_cast<double>(rng.NextUint64(12));
+    double dom = 1.0 + static_cast<double>(rng.NextUint64(28));
+    double time_pos = ((year - 1999.0) * 12.0 + (moy - 1.0)) / 36.0;
+    int promo = static_cast<int>(time_pos * kPromos) % kPromos;
+    if (rng.NextBool(0.2)) promo = static_cast<int>(rng.NextUint64(kPromos));
+
+    double quantity = 1.0 + static_cast<double>(rng.NextUint64(100));
+    double wholesale = 5.0 + static_cast<double>((item * 7) % 95);
+    double list_price = wholesale * (1.3 + 0.7 * rng.NextDouble());
+    double discount_frac =
+        promo % 5 == 0 ? 0.3 * rng.NextDouble() : 0.1 * rng.NextDouble();
+    double sales_price = list_price * (1.0 - discount_frac);
+    double ext_discount = (list_price - sales_price) * quantity;
+    // Net profit roughly uniform across the population -> the
+    // cs_net_profit-sorted layout is the "more uniform" one in Figure 6.
+    double net_profit = (sales_price - wholesale) * quantity -
+                        20.0 * rng.NextDouble();
+
+    table->AppendRow(
+        {quantity, wholesale, list_price, sales_price, ext_discount,
+         net_profit, list_price * (0.9 + 0.2 * rng.NextDouble()), year, moy,
+         dom},
+        {StrFormat("Category_%d", category), StrFormat("Brand_%d", brand),
+         StrFormat("Class_%d", klass), StrFormat("Promo_%d", promo),
+         rng.NextBool(0.5) ? "Y" : "N", rng.NextBool(0.5) ? "M" : "F",
+         kMarital[rng.NextUint64(5)], kEducation[rng.NextUint64(7)],
+         day_names[rng.NextUint64(7)]});
+  }
+  table->Seal();
+
+  DatasetBundle bundle;
+  bundle.name = "tpcds";
+  bundle.table = std::move(table);
+  bundle.default_sort = {"d_year", "d_moy", "d_dom"};
+  bundle.spec.groupby_columns = {
+      "i_category", "i_brand",          "cd_gender", "cd_marital_status",
+      "cd_education_status", "d_year",  "d_moy",     "p_promo_sk",
+      "d_day_name",
+  };
+  bundle.spec.predicate_columns = {
+      "cs_quantity",   "cs_list_price", "cs_sales_price", "cs_net_profit",
+      "d_year",        "d_moy",         "i_current_price", "i_category",
+      "i_brand",       "p_promo_sk",    "cd_gender",       "cd_marital_status",
+      "cd_education_status",
+  };
+  using K = AggregateSpec::Kind;
+  bundle.spec.aggregates = {
+      {K::kCount, "", ""},
+      {K::kSum, "cs_quantity", ""},
+      {K::kSum, "cs_net_profit", ""},
+      {K::kSum, "cs_sales_price", ""},
+      {K::kAvg, "cs_list_price", ""},
+      {K::kAvg, "cs_net_profit", ""},
+      {K::kSumProduct, "cs_quantity", "cs_sales_price"},
+  };
+  return bundle;
+}
+
+}  // namespace ps3::workload

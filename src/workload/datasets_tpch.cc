@@ -1,0 +1,170 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "workload/datasets.h"
+
+namespace ps3::workload {
+
+namespace {
+
+using storage::ColumnType;
+using storage::FieldDef;
+using storage::Schema;
+using storage::Table;
+
+constexpr int kNations = 25;
+constexpr int kRegions = 5;
+constexpr int kBrands = 25;
+constexpr int kContainers = 40;
+constexpr int kShipModes = 7;
+constexpr double kBaseDate = 8035;  // 1992-01-01 as a day ordinal
+constexpr double kDateSpan = 7.0 * 365.0;
+
+const char* kShipModeNames[kShipModes] = {"AIR",  "FOB",     "MAIL", "RAIL",
+                                          "REG_AIR", "SHIP", "TRUCK"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT_SPECIFIED", "5-LOW"};
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "HOUSEHOLD", "MACHINERY"};
+
+}  // namespace
+
+DatasetBundle MakeTpchStar(size_t rows, uint64_t seed) {
+  Schema schema({
+      {"l_quantity", ColumnType::kNumeric},
+      {"l_extendedprice", ColumnType::kNumeric},
+      {"l_discount", ColumnType::kNumeric},
+      {"l_tax", ColumnType::kNumeric},
+      {"l_shipdate", ColumnType::kNumeric},
+      {"l_commitdate", ColumnType::kNumeric},
+      {"l_receiptdate", ColumnType::kNumeric},
+      {"o_totalprice", ColumnType::kNumeric},
+      {"p_retailprice", ColumnType::kNumeric},
+      {"p_size", ColumnType::kNumeric},
+      {"ps_supplycost", ColumnType::kNumeric},
+      {"o_year", ColumnType::kNumeric},
+      {"l_year", ColumnType::kNumeric},
+      {"l_returnflag", ColumnType::kCategorical},
+      {"l_linestatus", ColumnType::kCategorical},
+      {"l_shipmode", ColumnType::kCategorical},
+      {"l_shipinstruct", ColumnType::kCategorical},
+      {"o_orderpriority", ColumnType::kCategorical},
+      {"o_orderstatus", ColumnType::kCategorical},
+      {"c_mktsegment", ColumnType::kCategorical},
+      {"p_brand", ColumnType::kCategorical},
+      {"p_container", ColumnType::kCategorical},
+      {"p_type", ColumnType::kCategorical},
+      {"n1_name", ColumnType::kCategorical},
+      {"n2_name", ColumnType::kCategorical},
+      {"r1_name", ColumnType::kCategorical},
+      {"r2_name", ColumnType::kCategorical},
+  });
+  auto table = std::make_shared<Table>(schema);
+
+  RandomEngine rng(seed);
+  // Zipf(1) skew over parts, customers and suppliers, as in the skewed
+  // TPC-H generator the paper uses.
+  ZipfSampler part_zipf(2000, 1.0);
+  ZipfSampler cust_zipf(1500, 1.0);
+  ZipfSampler supp_zipf(500, 1.0);
+
+  // Part attributes are functions of the part id, so skew propagates into
+  // brand/container/price distributions.
+  auto part_brand = [](size_t part) {
+    return static_cast<int>((part * 7919) % kBrands);
+  };
+  auto part_container = [](size_t part) {
+    return static_cast<int>((part * 104729) % kContainers);
+  };
+  auto part_price = [](size_t part) {
+    return 900.0 + static_cast<double>((part * 31) % 2000);
+  };
+  auto nation_of = [](size_t key) {
+    return static_cast<int>((key * 613) % kNations);
+  };
+
+  for (size_t i = 0; i < rows; ++i) {
+    size_t part = part_zipf.Sample(&rng);
+    size_t cust = cust_zipf.Sample(&rng);
+    size_t supp = supp_zipf.Sample(&rng);
+
+    double quantity = 1.0 + static_cast<double>(rng.NextUint64(50));
+    double retail = part_price(part);
+    double extprice = quantity * retail / 10.0;
+    double discount = 0.01 * static_cast<double>(rng.NextUint64(11));
+    double tax = 0.01 * static_cast<double>(rng.NextUint64(9));
+
+    // Ship date uniform over 7 years; order/commit/receipt nearby. Prices
+    // drift mildly upward over time so date-sorted layouts carry signal
+    // for SUM aggregates.
+    double ship = kBaseDate + kDateSpan * rng.NextDouble();
+    double drift = 1.0 + 0.1 * (ship - kBaseDate) / kDateSpan;
+    extprice *= drift;
+    double commit = ship - 5.0 - static_cast<double>(rng.NextUint64(60));
+    double receipt = ship + 1.0 + static_cast<double>(rng.NextUint64(30));
+    double o_year = std::floor(1992.0 + (ship - kBaseDate) / 365.0);
+    double l_year = o_year;
+    double totalprice = extprice * (1.0 + rng.NextDouble());
+
+    int n1 = nation_of(cust);
+    int n2 = nation_of(supp + 17);
+    int r1 = n1 % kRegions;
+    int r2 = n2 % kRegions;
+
+    const char* returnflag =
+        ship < kBaseDate + 0.45 * kDateSpan
+            ? (rng.NextBool(0.5) ? "A" : "R")
+            : "N";  // returns only exist for old shipments (as in TPC-H)
+    const char* linestatus = ship < kBaseDate + 0.7 * kDateSpan ? "F" : "O";
+
+    table->AppendRow(
+        {quantity, extprice, discount, tax, ship, commit, receipt,
+         totalprice, retail,
+         1.0 + static_cast<double>((part * 13) % 50),
+         retail * (0.4 + 0.2 * rng.NextDouble()), o_year, l_year},
+        {returnflag, linestatus,
+         kShipModeNames[rng.NextUint64(kShipModes)],
+         StrFormat("INSTRUCT_%llu",
+                   static_cast<unsigned long long>(rng.NextUint64(4))),
+         kPriorities[rng.NextUint64(5)],
+         rng.NextBool(0.5) ? "F" : (rng.NextBool(0.5) ? "O" : "P"),
+         kSegments[cust % 5],
+         StrFormat("Brand#%d", part_brand(part)),
+         StrFormat("CONTAINER_%d", part_container(part)),
+         StrFormat("TYPE_%d", static_cast<int>((part * 37) % 30)),
+         StrFormat("NATION_%d", n1), StrFormat("NATION_%d", n2),
+         StrFormat("REGION_%d", r1), StrFormat("REGION_%d", r2)});
+  }
+  table->Seal();
+
+  DatasetBundle bundle;
+  bundle.name = "tpch";
+  bundle.table = std::move(table);
+  bundle.default_sort = {"l_shipdate"};
+  bundle.spec.groupby_columns = {
+      "l_returnflag",    "l_linestatus", "l_shipmode", "o_orderpriority",
+      "c_mktsegment",    "n1_name",      "r1_name",    "o_year",
+      "l_year",
+  };
+  bundle.spec.predicate_columns = {
+      "l_shipdate",  "l_commitdate", "l_receiptdate", "l_quantity",
+      "l_discount",  "o_totalprice", "p_size",        "l_shipmode",
+      "l_returnflag", "p_brand",     "p_container",   "n1_name",
+      "c_mktsegment", "o_orderpriority",
+  };
+  using K = AggregateSpec::Kind;
+  bundle.spec.aggregates = {
+      {K::kCount, "", ""},
+      {K::kSum, "l_quantity", ""},
+      {K::kSum, "l_extendedprice", ""},
+      {K::kAvg, "l_extendedprice", ""},
+      {K::kAvg, "l_discount", ""},
+      {K::kSum, "o_totalprice", ""},
+      {K::kSumMargin, "l_extendedprice", "l_discount"},
+      {K::kSumProduct, "l_extendedprice", "l_tax"},
+  };
+  return bundle;
+}
+
+}  // namespace ps3::workload

@@ -1,0 +1,193 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace ps3::workload {
+
+using query::Aggregate;
+using query::CompareOp;
+using query::Expr;
+using query::Predicate;
+using query::PredicatePtr;
+using query::Query;
+
+query::Aggregate ResolveAggregate(const storage::Table& table,
+                                  const AggregateSpec& spec) {
+  const auto& schema = table.schema();
+  auto col = [&](const std::string& name) {
+    int idx = schema.FindColumn(name);
+    assert(idx >= 0);
+    return Expr::Column(static_cast<size_t>(idx));
+  };
+  switch (spec.kind) {
+    case AggregateSpec::Kind::kCount:
+      return Aggregate::Count();
+    case AggregateSpec::Kind::kSum:
+      return Aggregate::Sum(col(spec.column_a), "sum_" + spec.column_a);
+    case AggregateSpec::Kind::kAvg:
+      return Aggregate::Avg(col(spec.column_a), "avg_" + spec.column_a);
+    case AggregateSpec::Kind::kSumProduct:
+      return Aggregate::Sum(Expr::Mul(col(spec.column_a), col(spec.column_b)),
+                            "sum_" + spec.column_a + "_x_" + spec.column_b);
+    case AggregateSpec::Kind::kSumMargin:
+      return Aggregate::Sum(
+          Expr::Mul(col(spec.column_a),
+                    Expr::Sub(Expr::Const(1.0), col(spec.column_b))),
+          "sum_" + spec.column_a + "_margin_" + spec.column_b);
+  }
+  return Aggregate::Count();
+}
+
+QueryGenerator::QueryGenerator(const storage::Table* table,
+                               const WorkloadSpec& spec,
+                               GeneratorOptions options)
+    : table_(table), options_(options), agg_specs_(spec.aggregates) {
+  const auto& schema = table->schema();
+  for (const auto& name : spec.groupby_columns) {
+    int idx = schema.FindColumn(name);
+    assert(idx >= 0);
+    size_t col = static_cast<size_t>(idx);
+    groupby_cols_.push_back(col);
+    // Distinct count, used to keep sampled group-by sets within the
+    // paper's moderate-cardinality scope.
+    const auto& column = table->column(col);
+    if (column.is_numeric()) {
+      std::set<double> distinct;
+      for (size_t r = 0; r < column.size(); ++r) {
+        distinct.insert(column.NumericAt(r));
+      }
+      groupby_cardinality_.push_back(distinct.size());
+    } else {
+      groupby_cardinality_.push_back(column.dict()->size());
+    }
+  }
+  RandomEngine rng(0xFEEDBEEF);
+  for (const auto& name : spec.predicate_columns) {
+    int idx = schema.FindColumn(name);
+    assert(idx >= 0);
+    PredCol pc;
+    pc.column = static_cast<size_t>(idx);
+    pc.categorical = schema.IsCategorical(pc.column);
+    const auto& column = table->column(pc.column);
+    const size_t n = column.size();
+    const size_t pool = std::min(options_.value_pool, n);
+    if (pc.categorical) {
+      // Frequency-weighted code pool: popular values appear more often,
+      // giving a realistic mix of selective and non-selective clauses.
+      pc.code_pool.reserve(pool);
+      for (size_t i = 0; i < pool; ++i) {
+        pc.code_pool.push_back(column.CodeAt(rng.NextUint64(n)));
+      }
+    } else {
+      pc.numeric_pool.reserve(pool);
+      for (size_t i = 0; i < pool; ++i) {
+        pc.numeric_pool.push_back(column.NumericAt(rng.NextUint64(n)));
+      }
+      std::sort(pc.numeric_pool.begin(), pc.numeric_pool.end());
+    }
+    pred_cols_.push_back(std::move(pc));
+  }
+}
+
+PredicatePtr QueryGenerator::GenerateClause(RandomEngine* rng) const {
+  const PredCol& pc = pred_cols_[rng->NextUint64(pred_cols_.size())];
+  PredicatePtr clause;
+  if (pc.categorical) {
+    // Equality or small IN set.
+    size_t n_vals = 1 + rng->NextUint64(3);
+    std::set<int32_t> codes;
+    for (size_t i = 0; i < n_vals; ++i) {
+      codes.insert(pc.code_pool[rng->NextUint64(pc.code_pool.size())]);
+    }
+    clause = Predicate::CategoricalIn(
+        pc.column, {codes.begin(), codes.end()});
+  } else {
+    static constexpr CompareOp kOps[] = {CompareOp::kLt, CompareOp::kLe,
+                                         CompareOp::kGt, CompareOp::kGe};
+    CompareOp op = kOps[rng->NextUint64(4)];
+    // Quantile in [0.05, 0.95] so clauses are neither trivial nor empty.
+    double q = 0.05 + 0.9 * rng->NextDouble();
+    size_t idx = static_cast<size_t>(
+        q * static_cast<double>(pc.numeric_pool.size() - 1));
+    clause = Predicate::NumericCompare(pc.column, op, pc.numeric_pool[idx]);
+  }
+  if (rng->NextBool(options_.p_negate_clause)) {
+    clause = Predicate::Not(clause);
+  }
+  return clause;
+}
+
+Aggregate QueryGenerator::GenerateAggregate(RandomEngine* rng) const {
+  const AggregateSpec& spec =
+      agg_specs_[rng->NextUint64(agg_specs_.size())];
+  return ResolveAggregate(*table_, spec);
+}
+
+Query QueryGenerator::Generate(RandomEngine* rng) const {
+  Query q;
+  // Aggregates: 1..max, de-duplicated by name.
+  size_t n_aggs =
+      1 + rng->NextUint64(static_cast<uint64_t>(options_.max_aggregates));
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < n_aggs; ++i) {
+    Aggregate agg = GenerateAggregate(rng);
+    if (seen.insert(agg.name).second) q.aggregates.push_back(std::move(agg));
+  }
+  // Group by: a random columnset whose estimated group count (product of
+  // distinct counts) stays within scope. Greedily grow the set so a single
+  // high-cardinality column can still appear alone.
+  if (!groupby_cols_.empty() && !rng->NextBool(options_.p_no_groupby)) {
+    size_t n_cols = 1 + rng->NextUint64(static_cast<uint64_t>(
+                            options_.max_groupby_cols));
+    n_cols = std::min(n_cols, groupby_cols_.size());
+    auto chosen =
+        SampleWithoutReplacement(groupby_cols_.size(), n_cols, rng);
+    size_t cardinality = 1;
+    for (size_t i : chosen) {
+      size_t next = cardinality * std::max<size_t>(1, groupby_cardinality_[i]);
+      if (!q.group_by.empty() && next > options_.max_group_cardinality) {
+        continue;
+      }
+      q.group_by.push_back(groupby_cols_[i]);
+      cardinality = next;
+    }
+    std::sort(q.group_by.begin(), q.group_by.end());
+  }
+  // Predicate: 0..max clauses.
+  size_t n_clauses =
+      rng->NextUint64(static_cast<uint64_t>(options_.max_clauses) + 1);
+  if (n_clauses > 0 && !pred_cols_.empty()) {
+    std::vector<PredicatePtr> clauses;
+    clauses.reserve(n_clauses);
+    for (size_t i = 0; i < n_clauses; ++i) {
+      clauses.push_back(GenerateClause(rng));
+    }
+    q.predicate = rng->NextBool(options_.p_or_tree)
+                      ? Predicate::Or(std::move(clauses))
+                      : Predicate::And(std::move(clauses));
+  }
+  return q;
+}
+
+std::vector<Query> QueryGenerator::GenerateSet(size_t n,
+                                               uint64_t seed) const {
+  RandomEngine rng(seed);
+  std::vector<Query> out;
+  std::unordered_set<std::string> seen;
+  size_t attempts = 0;
+  while (out.size() < n && attempts < n * 50 + 100) {
+    ++attempts;
+    Query q = Generate(&rng);
+    std::string key = q.ToString(table_->schema());
+    if (!seen.insert(key).second) continue;  // identical query text
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace ps3::workload

@@ -1,0 +1,68 @@
+// Random query generation (§5.1.2): 0-N group-by columns, 0-5 predicate
+// clauses (random column / operator / constant), 1-3 aggregates. Constants
+// are drawn from the data distribution so selectivities span (0, 1).
+#ifndef PS3_WORKLOAD_GENERATOR_H_
+#define PS3_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/query.h"
+#include "workload/spec.h"
+
+namespace ps3::workload {
+
+struct GeneratorOptions {
+  double p_no_groupby = 0.25;
+  int max_groupby_cols = 3;
+  int max_clauses = 5;
+  int max_aggregates = 3;
+  double p_or_tree = 0.2;       ///< predicate is a disjunction
+  double p_negate_clause = 0.1; ///< wrap a clause in NOT
+  /// Values per numeric column retained as the constant pool.
+  size_t value_pool = 512;
+  /// Cap on the estimated group count of a GROUP BY columnset (product of
+  /// per-column distinct counts). The paper's scope excludes group-bys
+  /// with large cardinality (§2.2, "moderate distinctiveness").
+  size_t max_group_cardinality = 200;
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const storage::Table* table, const WorkloadSpec& spec,
+                 GeneratorOptions options = {});
+
+  /// One random query from the workload distribution.
+  query::Query Generate(RandomEngine* rng) const;
+
+  /// `n` distinct queries (dedup by rendered SQL); skips queries whose
+  /// exact answer would be empty-predicate-degenerate only if impossible.
+  std::vector<query::Query> GenerateSet(size_t n, uint64_t seed) const;
+
+ private:
+  query::PredicatePtr GenerateClause(RandomEngine* rng) const;
+  query::Aggregate GenerateAggregate(RandomEngine* rng) const;
+
+  const storage::Table* table_;
+  GeneratorOptions options_;
+
+  std::vector<size_t> groupby_cols_;
+  std::vector<size_t> groupby_cardinality_;  // distinct count per column
+  struct PredCol {
+    size_t column;
+    bool categorical;
+    std::vector<double> numeric_pool;  // sorted sample of values
+    std::vector<int32_t> code_pool;    // sample of codes (freq-weighted)
+  };
+  std::vector<PredCol> pred_cols_;
+  std::vector<AggregateSpec> agg_specs_;
+};
+
+/// Resolves an AggregateSpec against a table schema.
+query::Aggregate ResolveAggregate(const storage::Table& table,
+                                  const AggregateSpec& spec);
+
+}  // namespace ps3::workload
+
+#endif  // PS3_WORKLOAD_GENERATOR_H_

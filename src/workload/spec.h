@@ -1,0 +1,44 @@
+// Workload specification (§2.3.2): the aggregate expressions, group-by
+// columns and predicate columns a workload draws from. PS3 assumes this
+// spec is known a priori; concrete predicates are sampled at random.
+#ifndef PS3_WORKLOAD_SPEC_H_
+#define PS3_WORKLOAD_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ps3::workload {
+
+/// A SELECT-list aggregate candidate, expressed over column names so specs
+/// stay schema-independent until resolved.
+struct AggregateSpec {
+  enum class Kind { kCount, kSum, kAvg, kSumProduct, kSumMargin };
+  Kind kind = Kind::kSum;
+  std::string column_a;  ///< unused for kCount
+  std::string column_b;  ///< kSumProduct: a*b; kSumMargin: a*(1-b)
+};
+
+struct WorkloadSpec {
+  /// Columns eligible for GROUP BY (moderate cardinality, §2.2).
+  std::vector<std::string> groupby_columns;
+  /// Columns predicates may filter on.
+  std::vector<std::string> predicate_columns;
+  /// Aggregate candidates.
+  std::vector<AggregateSpec> aggregates;
+};
+
+/// A generated dataset: the table in ingest order, its conventional layout
+/// (sort columns), and the workload spec used to sample queries.
+struct DatasetBundle {
+  std::string name;
+  std::shared_ptr<storage::Table> table;
+  std::vector<std::string> default_sort;
+  WorkloadSpec spec;
+};
+
+}  // namespace ps3::workload
+
+#endif  // PS3_WORKLOAD_SPEC_H_

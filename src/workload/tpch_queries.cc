@@ -1,0 +1,316 @@
+#include "workload/tpch_queries.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace ps3::workload {
+
+namespace {
+
+using query::Aggregate;
+using query::CompareOp;
+using query::Expr;
+using query::ExprPtr;
+using query::Predicate;
+using query::PredicatePtr;
+using query::Query;
+
+constexpr double kBaseDate = 8035;
+constexpr double kDateSpan = 7.0 * 365.0;
+
+/// Helper bound to one table: resolves names and builds common fragments.
+class TpchBuilder {
+ public:
+  TpchBuilder(const storage::Table& table, RandomEngine* rng)
+      : table_(table), rng_(rng) {}
+
+  size_t Col(const char* name) const {
+    int idx = table_.schema().FindColumn(name);
+    assert(idx >= 0);
+    return static_cast<size_t>(idx);
+  }
+  ExprPtr ColE(const char* name) const { return Expr::Column(Col(name)); }
+
+  /// extendedprice * (1 - discount)
+  ExprPtr Revenue() const {
+    return Expr::Mul(ColE("l_extendedprice"),
+                     Expr::Sub(Expr::Const(1.0), ColE("l_discount")));
+  }
+
+  double RandomDate(double lo_frac, double hi_frac) const {
+    return kBaseDate +
+           kDateSpan * (lo_frac + (hi_frac - lo_frac) * rng_->NextDouble());
+  }
+
+  /// [date, date + days) range on a date column.
+  PredicatePtr DateRange(const char* col, double start, double days) const {
+    return Predicate::And(
+        {Predicate::NumericCompare(Col(col), CompareOp::kGe, start),
+         Predicate::NumericCompare(Col(col), CompareOp::kLt, start + days)});
+  }
+
+  /// Random code of a categorical column drawn from the data.
+  int32_t RandomCode(const char* col) const {
+    const auto& column = table_.column(Col(col));
+    return column.CodeAt(rng_->NextUint64(column.size()));
+  }
+
+  PredicatePtr CatEq(const char* col, int32_t code) const {
+    return Predicate::CategoricalIn(Col(col), {code});
+  }
+
+  const storage::Table& table_;
+  RandomEngine* rng_;
+};
+
+Query MakeQ1(const TpchBuilder& b) {
+  // Pricing summary report: 8 aggregates grouped by returnflag/linestatus,
+  // shipdate <= cutoff near the end of the horizon.
+  Query q;
+  q.aggregates = {
+      Aggregate::Sum(b.ColE("l_quantity"), "sum_qty"),
+      Aggregate::Sum(b.ColE("l_extendedprice"), "sum_base_price"),
+      Aggregate::Sum(b.Revenue(), "sum_disc_price"),
+      Aggregate::Sum(Expr::Mul(b.Revenue(),
+                               Expr::Add(Expr::Const(1.0), b.ColE("l_tax"))),
+                     "sum_charge"),
+      Aggregate::Avg(b.ColE("l_quantity"), "avg_qty"),
+      Aggregate::Avg(b.ColE("l_extendedprice"), "avg_price"),
+      Aggregate::Avg(b.ColE("l_discount"), "avg_disc"),
+      Aggregate::Count("count_order"),
+  };
+  q.predicate = Predicate::NumericCompare(b.Col("l_shipdate"), CompareOp::kLe,
+                                          b.RandomDate(0.85, 1.0));
+  q.group_by = {b.Col("l_returnflag"), b.Col("l_linestatus")};
+  return q;
+}
+
+Query MakeQ5(const TpchBuilder& b) {
+  // Local supplier volume: revenue by customer nation within a region and
+  // a one-year window.
+  Query q;
+  q.aggregates = {Aggregate::Sum(b.Revenue(), "revenue")};
+  q.predicate = Predicate::And(
+      {b.CatEq("r1_name", b.RandomCode("r1_name")),
+       b.DateRange("l_shipdate", b.RandomDate(0.0, 0.8), 365.0)});
+  q.group_by = {b.Col("n1_name")};
+  return q;
+}
+
+Query MakeQ6(const TpchBuilder& b) {
+  // Forecasting revenue change: narrow discount band + quantity cap.
+  Query q;
+  q.aggregates = {Aggregate::Sum(
+      Expr::Mul(b.ColE("l_extendedprice"), b.ColE("l_discount")),
+      "revenue")};
+  double disc = 0.02 + 0.01 * static_cast<double>(b.rng_->NextUint64(6));
+  q.predicate = Predicate::And(
+      {b.DateRange("l_shipdate", b.RandomDate(0.0, 0.8), 365.0),
+       Predicate::NumericCompare(b.Col("l_discount"), CompareOp::kGe,
+                                 disc - 0.011),
+       Predicate::NumericCompare(b.Col("l_discount"), CompareOp::kLe,
+                                 disc + 0.011),
+       Predicate::NumericCompare(b.Col("l_quantity"), CompareOp::kLt,
+                                 24.0 + double(b.rng_->NextUint64(10)))});
+  return q;
+}
+
+Query MakeQ7(const TpchBuilder& b) {
+  // Volume shipping between two nations, grouped by year.
+  Query q;
+  int32_t n1 = b.RandomCode("n1_name");
+  int32_t n2 = b.RandomCode("n2_name");
+  q.aggregates = {Aggregate::Sum(b.Revenue(), "revenue")};
+  q.predicate = Predicate::Or(
+      {Predicate::And({b.CatEq("n1_name", n1), b.CatEq("n2_name", n2)}),
+       Predicate::And({b.CatEq("n1_name", n2), b.CatEq("n2_name", n1)})});
+  q.group_by = {b.Col("n1_name"), b.Col("n2_name"), b.Col("l_year")};
+  return q;
+}
+
+Query MakeQ8(const TpchBuilder& b) {
+  // National market share: CASE rewritten as a filtered aggregate over the
+  // same predicate (§5.5.4 / Appendix C.3).
+  Query q;
+  int32_t nation = b.RandomCode("n2_name");
+  q.aggregates = {
+      Aggregate::SumCase(b.Revenue(), b.CatEq("n2_name", nation),
+                         "nation_volume"),
+      Aggregate::Sum(b.Revenue(), "total_volume"),
+  };
+  q.predicate = Predicate::And(
+      {b.CatEq("r2_name", b.RandomCode("r2_name")),
+       b.DateRange("l_shipdate", b.RandomDate(0.1, 0.5), 2.0 * 365.0)});
+  q.group_by = {b.Col("o_year")};
+  return q;
+}
+
+Query MakeQ9(const TpchBuilder& b) {
+  // Product type profit: margin grouped by supplier nation and year,
+  // restricted to a brand subset (stand-in for p_name LIKE).
+  Query q;
+  ExprPtr profit = Expr::Sub(
+      b.Revenue(), Expr::Mul(b.ColE("ps_supplycost"), b.ColE("l_quantity")));
+  q.aggregates = {Aggregate::Sum(profit, "sum_profit")};
+  q.predicate = Predicate::CategoricalIn(
+      b.Col("p_brand"),
+      {b.RandomCode("p_brand"), b.RandomCode("p_brand"),
+       b.RandomCode("p_brand")});
+  q.group_by = {b.Col("n2_name"), b.Col("o_year")};
+  return q;
+}
+
+Query MakeQ12(const TpchBuilder& b) {
+  // Shipping modes and order priority: two CASE counts by shipmode.
+  Query q;
+  size_t prio_col = b.Col("o_orderpriority");
+  const auto& dict = *b.table_.column(prio_col).dict();
+  int32_t urgent = dict.Find("1-URGENT");
+  int32_t high = dict.Find("2-HIGH");
+  std::vector<int32_t> high_codes;
+  if (urgent >= 0) high_codes.push_back(urgent);
+  if (high >= 0) high_codes.push_back(high);
+  PredicatePtr is_high = Predicate::CategoricalIn(prio_col, high_codes);
+  q.aggregates = {
+      Aggregate{query::AggFunc::kCount, nullptr, is_high, "high_line_count"},
+      Aggregate{query::AggFunc::kCount, nullptr, Predicate::Not(is_high),
+                "low_line_count"},
+  };
+  q.predicate = Predicate::And(
+      {Predicate::CategoricalIn(
+           b.Col("l_shipmode"),
+           {b.RandomCode("l_shipmode"), b.RandomCode("l_shipmode")}),
+       b.DateRange("l_receiptdate", b.RandomDate(0.0, 0.8), 365.0)});
+  q.group_by = {b.Col("l_shipmode")};
+  return q;
+}
+
+Query MakeQ14(const TpchBuilder& b) {
+  // Promotion effect: revenue from a "promo" type subset vs total, over
+  // one month.
+  Query q;
+  q.aggregates = {
+      Aggregate::SumCase(
+          b.Revenue(),
+          Predicate::CategoricalIn(b.Col("p_type"),
+                                   {b.RandomCode("p_type"),
+                                    b.RandomCode("p_type"),
+                                    b.RandomCode("p_type")}),
+          "promo_revenue"),
+      Aggregate::Sum(b.Revenue(), "total_revenue"),
+  };
+  q.predicate = b.DateRange("l_shipdate", b.RandomDate(0.0, 0.9), 30.0);
+  return q;
+}
+
+Query MakeQ17(const TpchBuilder& b) {
+  // Small-quantity-order revenue for one brand/container combination.
+  Query q;
+  q.aggregates = {Aggregate::Sum(b.ColE("l_extendedprice"), "avg_yearly")};
+  q.predicate = Predicate::And(
+      {b.CatEq("p_brand", b.RandomCode("p_brand")),
+       b.CatEq("p_container", b.RandomCode("p_container")),
+       Predicate::NumericCompare(b.Col("l_quantity"), CompareOp::kLt,
+                                 2.0 + double(b.rng_->NextUint64(5)))});
+  return q;
+}
+
+Query MakeQ18(const TpchBuilder& b) {
+  // Large volume customers (flattened): quantity totals of expensive
+  // orders by priority. The price threshold is a high data quantile so
+  // the template stays non-empty at any generator scale.
+  Query q;
+  q.aggregates = {Aggregate::Sum(b.ColE("l_quantity"), "sum_qty"),
+                  Aggregate::Count("order_count")};
+  const auto& price = b.table_.column(b.Col("o_totalprice"));
+  double threshold = 0.0;
+  for (int probe = 0; probe < 64; ++probe) {
+    threshold = std::max(threshold,
+                         price.NumericAt(b.rng_->NextUint64(price.size())));
+  }
+  threshold *= 0.6 + 0.3 * b.rng_->NextDouble();
+  q.predicate = Predicate::NumericCompare(b.Col("o_totalprice"),
+                                          CompareOp::kGt, threshold);
+  q.group_by = {b.Col("o_orderpriority")};
+  return q;
+}
+
+Query MakeQ19(const TpchBuilder& b) {
+  // Discounted revenue: disjunction of three conjunctive branches; with 21
+  // leaf clauses this exercises the complex-predicate fallback (B.1).
+  Query q;
+  q.aggregates = {Aggregate::Sum(b.Revenue(), "revenue")};
+  std::vector<PredicatePtr> branches;
+  for (int branch = 0; branch < 3; ++branch) {
+    double qty_lo = 1.0 + 10.0 * branch + double(b.rng_->NextUint64(10));
+    branches.push_back(Predicate::And({
+        b.CatEq("p_brand", b.RandomCode("p_brand")),
+        Predicate::CategoricalIn(b.Col("p_container"),
+                                 {b.RandomCode("p_container"),
+                                  b.RandomCode("p_container"),
+                                  b.RandomCode("p_container")}),
+        Predicate::NumericCompare(b.Col("l_quantity"), CompareOp::kGe,
+                                  qty_lo),
+        Predicate::NumericCompare(b.Col("l_quantity"), CompareOp::kLe,
+                                  qty_lo + 10.0),
+        Predicate::NumericCompare(b.Col("p_size"), CompareOp::kGe, 1.0),
+        Predicate::NumericCompare(b.Col("p_size"), CompareOp::kLe,
+                                  5.0 + 5.0 * branch),
+        Predicate::CategoricalIn(b.Col("l_shipmode"),
+                                 {b.RandomCode("l_shipmode"),
+                                  b.RandomCode("l_shipmode")}),
+    }));
+  }
+  q.predicate = Predicate::Or(std::move(branches));
+  return q;
+}
+
+}  // namespace
+
+Result<query::Query> MakeTpchQuery(const storage::Table& table, int q,
+                                   RandomEngine* rng) {
+  TpchBuilder b(table, rng);
+  switch (q) {
+    case 1:
+      return MakeQ1(b);
+    case 5:
+      return MakeQ5(b);
+    case 6:
+      return MakeQ6(b);
+    case 7:
+      return MakeQ7(b);
+    case 8:
+      return MakeQ8(b);
+    case 9:
+      return MakeQ9(b);
+    case 12:
+      return MakeQ12(b);
+    case 14:
+      return MakeQ14(b);
+    case 17:
+      return MakeQ17(b);
+    case 18:
+      return MakeQ18(b);
+    case 19:
+      return MakeQ19(b);
+    default:
+      return Status::NotFound(
+          StrFormat("TPC-H template Q%d is not in the supported set", q));
+  }
+}
+
+std::vector<query::Query> MakeTpchQuerySet(const storage::Table& table, int q,
+                                           size_t count, uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<query::Query> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto made = MakeTpchQuery(table, q, &rng);
+    assert(made.ok());
+    out.push_back(std::move(made).value());
+  }
+  return out;
+}
+
+}  // namespace ps3::workload

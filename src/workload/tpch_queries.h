@@ -1,0 +1,32 @@
+// Analogues of the 10 TPC-H benchmark queries the paper's generalization
+// test uses (§5.5.4: Q1,5,6,7,8,9,12,14,17,18,19), rewritten over the
+// denormalized TPC-H* schema of MakeTpchStar. Each template can be
+// instantiated with random parameters (the paper generates 20 random test
+// queries per template).
+#ifndef PS3_WORKLOAD_TPCH_QUERIES_H_
+#define PS3_WORKLOAD_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace ps3::workload {
+
+/// Template ids supported by the generalization test.
+inline constexpr int kTpchTemplates[] = {1, 5, 6, 7, 8, 9, 12, 14, 17, 18, 19};
+
+/// One random instantiation of template `q` (1, 5, 6, ...) against the
+/// TPC-H* table. Errors on unknown template ids.
+Result<query::Query> MakeTpchQuery(const storage::Table& table, int q,
+                                   RandomEngine* rng);
+
+/// `count` random instantiations of a template.
+std::vector<query::Query> MakeTpchQuerySet(const storage::Table& table, int q,
+                                           size_t count, uint64_t seed);
+
+}  // namespace ps3::workload
+
+#endif  // PS3_WORKLOAD_TPCH_QUERIES_H_

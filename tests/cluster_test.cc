@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "cluster/exemplar.h"
+#include "cluster/kmeans.h"
+#include "common/random.h"
+
+namespace ps3::cluster {
+namespace {
+
+/// Three well-separated 2D blobs of `per` points each.
+std::vector<std::vector<double>> MakeBlobs(size_t per, uint64_t seed = 3) {
+  RandomEngine rng(seed);
+  std::vector<std::vector<double>> pts;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per; ++i) {
+      pts.push_back({centers[b][0] + 0.5 * rng.NextGaussian(),
+                     centers[b][1] + 0.5 * rng.NextGaussian()});
+    }
+  }
+  return pts;
+}
+
+bool RecoversBlobs(const Clustering& c, size_t per) {
+  // Every blob must map to a single cluster label and labels must differ.
+  std::set<int> labels;
+  for (int b = 0; b < 3; ++b) {
+    int label = c.assignment[b * per];
+    for (size_t i = 0; i < per; ++i) {
+      if (c.assignment[b * per + i] != label) return false;
+    }
+    labels.insert(label);
+  }
+  return labels.size() == 3;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  auto pts = MakeBlobs(30);
+  auto c = KMeans(pts, 3);
+  EXPECT_TRUE(RecoversBlobs(c, 30));
+}
+
+TEST(KMeans, AllClustersNonEmpty) {
+  auto pts = MakeBlobs(10);
+  for (size_t k : {1ul, 2ul, 5ul, 10ul, 30ul}) {
+    auto c = KMeans(pts, k);
+    auto members = c.Members();
+    ASSERT_EQ(members.size(), k);
+    for (const auto& m : members) EXPECT_FALSE(m.empty());
+  }
+}
+
+TEST(KMeans, KEqualsNIsIdentityPartition) {
+  auto pts = MakeBlobs(4);
+  auto c = KMeans(pts, pts.size());
+  std::set<int> labels(c.assignment.begin(), c.assignment.end());
+  EXPECT_EQ(labels.size(), pts.size());
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> pts(20, {1.0, 1.0});
+  pts.push_back({5.0, 5.0});
+  auto c = KMeans(pts, 3);
+  auto members = c.Members();
+  for (const auto& m : members) EXPECT_FALSE(m.empty());
+}
+
+TEST(Agglomerative, SingleLinkageRecoversBlobs) {
+  auto pts = MakeBlobs(20);
+  auto c = Agglomerative(pts, 3, Linkage::kSingle);
+  EXPECT_TRUE(RecoversBlobs(c, 20));
+}
+
+TEST(Agglomerative, WardRecoversBlobs) {
+  auto pts = MakeBlobs(20);
+  auto c = Agglomerative(pts, 3, Linkage::kWard);
+  EXPECT_TRUE(RecoversBlobs(c, 20));
+}
+
+TEST(Agglomerative, ExactClusterCount) {
+  auto pts = MakeBlobs(10);
+  for (size_t k : {1ul, 2ul, 7ul, 30ul}) {
+    auto c = Agglomerative(pts, k, Linkage::kWard);
+    std::set<int> labels(c.assignment.begin(), c.assignment.end());
+    EXPECT_EQ(labels.size(), k);
+  }
+}
+
+TEST(Agglomerative, SingleLinkageChains) {
+  // A chain of near points plus one far point: single linkage groups the
+  // chain at k=2, whereas Ward might split it — the classic difference.
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  pts.push_back({100.0, 0.0});
+  auto c = Agglomerative(pts, 2, Linkage::kSingle);
+  int chain_label = c.assignment[0];
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(c.assignment[i], chain_label);
+  EXPECT_NE(c.assignment[10], chain_label);
+}
+
+TEST(Exemplar, MedianPicksCentralMember) {
+  std::vector<std::vector<double>> pts = {
+      {0.0}, {1.0}, {2.0}, {100.0},  // outlier should not be exemplar
+  };
+  std::vector<size_t> members{0, 1, 2, 3};
+  size_t ex = MedianExemplar(pts, members);
+  EXPECT_EQ(ex, 1u);  // median ~1.5 -> closest is index 1 or 2
+}
+
+TEST(Exemplar, SingletonCluster) {
+  std::vector<std::vector<double>> pts = {{3.0, 4.0}};
+  std::vector<size_t> members{0};
+  EXPECT_EQ(MedianExemplar(pts, members), 0u);
+  RandomEngine rng(1);
+  EXPECT_EQ(RandomExemplar(members, &rng), 0u);
+}
+
+TEST(Exemplar, RandomExemplarCoversMembers) {
+  std::vector<size_t> members{4, 7, 9};
+  RandomEngine rng(5);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(RandomExemplar(members, &rng));
+  EXPECT_EQ(seen, (std::set<size_t>{4, 7, 9}));
+}
+
+/// Property: for any k, cluster sizes sum to n (weights in PS3 depend on
+/// this invariant).
+class ClusterSizeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ClusterSizeProperty, SizesSumToN) {
+  auto pts = MakeBlobs(15, GetParam());
+  size_t k = 1 + GetParam() % 12;
+  auto members_of = [&](const Clustering& c) {
+    size_t total = 0;
+    for (const auto& m : c.Members()) total += m.size();
+    return total;
+  };
+  EXPECT_EQ(members_of(KMeans(pts, k)), pts.size());
+  EXPECT_EQ(members_of(Agglomerative(pts, k, Linkage::kWard)), pts.size());
+  EXPECT_EQ(members_of(Agglomerative(pts, k, Linkage::kSingle)),
+            pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterSizeProperty,
+                         ::testing::Range<size_t>(1, 11));
+
+}  // namespace
+}  // namespace ps3::cluster

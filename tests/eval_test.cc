@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "eval/cost_model.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace ps3::eval {
+namespace {
+
+ExperimentConfig SmallConfig(const std::string& dataset) {
+  ExperimentConfig cfg;
+  cfg.dataset = dataset;
+  cfg.rows = 6000;
+  cfg.partitions = 30;
+  cfg.train_queries = 12;
+  cfg.test_queries = 6;
+  cfg.ps3.gbdt.num_trees = 6;
+  cfg.ps3.feature_selection.enabled = false;
+  cfg.lss.gbdt.num_trees = 6;
+  cfg.lss.eval_queries = 3;
+  return cfg;
+}
+
+TEST(CostModel, ComputeIsNearLinear) {
+  ClusterModel model;
+  auto full = SimulateRead(model, 1.0);
+  auto one_pct = SimulateRead(model, 0.01);
+  double speedup = full.compute_s / one_pct.compute_s;
+  EXPECT_GT(speedup, 50.0);
+  EXPECT_LT(speedup, 200.0);
+}
+
+TEST(CostModel, LatencyGainsAreSublinear) {
+  ClusterModel model;
+  auto full = SimulateRead(model, 1.0);
+  auto one_pct = SimulateRead(model, 0.01);
+  double latency_speedup = full.latency_s / one_pct.latency_s;
+  double compute_speedup = full.compute_s / one_pct.compute_s;
+  EXPECT_GT(latency_speedup, 1.0);
+  EXPECT_LT(latency_speedup, compute_speedup);
+}
+
+TEST(CostModel, MonotoneInFraction) {
+  ClusterModel model;
+  double prev_latency = 0.0, prev_compute = 0.0;
+  for (double f : {0.01, 0.05, 0.1, 0.5, 1.0}) {
+    auto est = SimulateRead(model, f);
+    EXPECT_GE(est.latency_s, prev_latency);
+    EXPECT_GT(est.compute_s, prev_compute);
+    prev_latency = est.latency_s;
+    prev_compute = est.compute_s;
+  }
+}
+
+TEST(Report, RendersAlignedTable) {
+  Report r("demo");
+  r.SetHeader({"name", "value"});
+  r.AddRow({"alpha", "1"});
+  r.AddRow({"b", "22222"});
+  std::string out = r.Render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(Num(0.12345, 2), "0.12");
+  EXPECT_EQ(Pct(0.125, 1), "12.5%");
+}
+
+TEST(Experiment, BuildsWithoutTraining) {
+  Experiment exp(SmallConfig("aria"));
+  EXPECT_EQ(exp.table().num_partitions(), 30u);
+  EXPECT_EQ(exp.training_data().num_queries(), 12u);
+  EXPECT_EQ(exp.tests().size(), 6u);
+  EXPECT_GT(exp.stats().ComputeStorageReport().total_kb, 0.0);
+}
+
+TEST(Experiment, BudgetConversion) {
+  Experiment exp(SmallConfig("aria"));
+  EXPECT_EQ(exp.BudgetFromFraction(0.1), 3u);
+  EXPECT_EQ(exp.BudgetFromFraction(0.0001), 1u);  // floor of 1
+  EXPECT_EQ(exp.BudgetFromFraction(1.0), 30u);
+}
+
+TEST(Experiment, TestQueriesCarryTrueSelectivity) {
+  Experiment exp(SmallConfig("aria"));
+  for (const auto& t : exp.tests()) {
+    EXPECT_GE(t.true_selectivity, 0.0);
+    EXPECT_LE(t.true_selectivity, 1.0);
+  }
+}
+
+TEST(Experiment, EndToEndPipelineOrdering) {
+  Experiment exp(SmallConfig("aria"));
+  exp.TrainModels();
+  auto random = exp.MakeRandom();
+  auto ps3 = exp.MakePs3();
+  // At full budget both are exact.
+  auto m_full = exp.Evaluate(*ps3, 1.0, 1);
+  EXPECT_NEAR(m_full.avg_rel_error, 0.0, 1e-9);
+  // At a small budget PS3 should not be wildly worse than random; at the
+  // very least both produce finite errors and PS3 stays within [0, 1.5].
+  auto m_small = exp.Evaluate(*ps3, 0.1, 2);
+  EXPECT_GE(m_small.avg_rel_error, 0.0);
+  EXPECT_LT(m_small.avg_rel_error, 1.5);
+  auto m_rand = exp.Evaluate(*random, 0.1, 2);
+  EXPECT_GE(m_rand.avg_rel_error, 0.0);
+}
+
+TEST(Experiment, RandomLayoutBuilds) {
+  auto cfg = SmallConfig("aria");
+  cfg.layout = {"__random__"};
+  Experiment exp(cfg);
+  EXPECT_EQ(exp.table().num_partitions(), 30u);
+}
+
+TEST(Experiment, ExplicitLayoutBuilds) {
+  auto cfg = SmallConfig("aria");
+  cfg.layout = {"AppInfo_Version"};
+  Experiment exp(cfg);
+  EXPECT_EQ(exp.tests().size(), 6u);
+}
+
+}  // namespace
+}  // namespace ps3::eval

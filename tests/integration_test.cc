@@ -1,0 +1,137 @@
+// End-to-end integration tests: full PS3 pipeline on each dataset, the
+// headline ordering claims at modest scale, and cross-module invariants.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "workload/tpch_queries.h"
+
+namespace ps3 {
+namespace {
+
+eval::ExperimentConfig Config(const std::string& dataset, size_t rows = 8000,
+                              size_t parts = 40) {
+  eval::ExperimentConfig cfg;
+  cfg.dataset = dataset;
+  cfg.rows = rows;
+  cfg.partitions = parts;
+  cfg.train_queries = 20;
+  cfg.test_queries = 8;
+  cfg.ps3.gbdt.num_trees = 8;
+  cfg.ps3.feature_selection.enabled = false;
+  cfg.lss.gbdt.num_trees = 8;
+  cfg.lss.eval_queries = 4;
+  return cfg;
+}
+
+/// Every dataset runs the full pipeline: stats -> features -> training ->
+/// picking -> weighted combination, and full budget is exact.
+class DatasetPipeline : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetPipeline, FullBudgetExactAndSmallBudgetFinite) {
+  eval::Experiment exp(Config(GetParam()));
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  auto m_full = exp.Evaluate(*ps3, 1.0, 1);
+  EXPECT_NEAR(m_full.avg_rel_error, 0.0, 1e-9) << GetParam();
+  EXPECT_NEAR(m_full.missed_groups, 0.0, 1e-9) << GetParam();
+  auto m_small = exp.Evaluate(*ps3, 0.15, 1);
+  EXPECT_GE(m_small.avg_rel_error, 0.0);
+  EXPECT_LT(m_small.avg_rel_error, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPipeline,
+                         ::testing::Values("tpch", "tpcds", "aria", "kdd"));
+
+TEST(Integration, ErrorShrinksWithBudget) {
+  eval::Experiment exp(Config("aria"));
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  double lo = exp.Evaluate(*ps3, 0.05, 2).avg_rel_error;
+  double hi = exp.Evaluate(*ps3, 0.6, 2).avg_rel_error;
+  EXPECT_LE(hi, lo + 0.02);
+}
+
+TEST(Integration, Ps3BeatsRandomOnSortedLayout) {
+  // Large enough that the funnel budget split and the learned regressors
+  // have signal; evaluated on held-out queries.
+  auto cfg = Config("aria", 24000, 80);
+  cfg.train_queries = 32;
+  cfg.test_queries = 12;
+  cfg.ps3.gbdt.num_trees = 12;
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  auto random = exp.MakeRandom();
+  // Average over a couple of budgets for stability.
+  double ps3_err = 0.0, rnd_err = 0.0;
+  for (double b : {0.1, 0.2}) {
+    ps3_err += exp.Evaluate(*ps3, b, 2).avg_rel_error;
+    rnd_err += exp.Evaluate(*random, b, 4).avg_rel_error;
+  }
+  EXPECT_LT(ps3_err, rnd_err);
+}
+
+TEST(Integration, FilterNeverHurtsRandom) {
+  eval::Experiment exp(Config("aria"));
+  exp.TrainModels();
+  auto random = exp.MakeRandom();
+  auto filtered = exp.MakeRandomFilter();
+  double rnd = 0.0, flt = 0.0;
+  for (double b : {0.1, 0.3}) {
+    rnd += exp.Evaluate(*random, b, 4).avg_rel_error;
+    flt += exp.Evaluate(*filtered, b, 4).avg_rel_error;
+  }
+  EXPECT_LE(flt, rnd + 0.05);
+}
+
+TEST(Integration, OracleAtLeastAsGoodAsLearned) {
+  eval::Experiment exp(Config("kdd"));
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  auto oracle = exp.MakeOracle(&exp.ps3_model());
+  double learned = exp.Evaluate(*ps3, 0.1, 2).avg_rel_error;
+  double oracled = exp.Evaluate(*oracle, 0.1, 2).avg_rel_error;
+  // Slack: the oracle shares the rest of the pipeline, so it can tie.
+  EXPECT_LE(oracled, learned + 0.1);
+}
+
+TEST(Integration, TpchTemplatesRunThroughPs3) {
+  eval::Experiment exp(Config("tpch", 10000, 40));
+  exp.TrainModels();
+  // Replace the random test set with Q1 and Q6 template instantiations.
+  std::vector<query::Query> tests;
+  for (int tq : {1, 6}) {
+    auto qs = workload::MakeTpchQuerySet(exp.table().table(), tq, 2, 91);
+    tests.insert(tests.end(), qs.begin(), qs.end());
+  }
+  exp.SetTests(std::move(tests));
+  auto ps3 = exp.MakePs3();
+  auto m = exp.Evaluate(*ps3, 1.0, 1);
+  EXPECT_NEAR(m.avg_rel_error, 0.0, 1e-9);
+  auto m_small = exp.Evaluate(*ps3, 0.2, 1);
+  EXPECT_LT(m_small.avg_rel_error, 1.0);
+}
+
+TEST(Integration, UnbiasedExemplarVariantRuns) {
+  auto cfg = Config("aria");
+  cfg.ps3.unbiased_exemplar = true;
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  auto m = exp.Evaluate(*ps3, 0.2, 2);
+  EXPECT_GE(m.avg_rel_error, 0.0);
+  EXPECT_LT(m.avg_rel_error, 1.5);
+}
+
+TEST(Integration, HacWardVariantRuns) {
+  auto cfg = Config("aria");
+  cfg.ps3.cluster_algo = core::ClusterAlgo::kHacWard;
+  eval::Experiment exp(cfg);
+  exp.TrainModels();
+  auto ps3 = exp.MakePs3();
+  auto m = exp.Evaluate(*ps3, 0.2, 1);
+  EXPECT_LT(m.avg_rel_error, 1.5);
+}
+
+}  // namespace
+}  // namespace ps3

@@ -1,0 +1,297 @@
+// Cross-module property tests: statistical invariants checked over
+// parameterized sweeps (TEST_P), plus edge/failure-injection cases that
+// don't fit a single module's unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/cluster_select.h"
+#include "core/lss_picker.h"
+#include "core/ps3_picker.h"
+#include "core/random_picker.h"
+#include "query/metrics.h"
+#include "sketch/histogram.h"
+#include "sketch/akmv.h"
+#include "common/hash.h"
+#include "stats/stats_builder.h"
+#include "workload/datasets.h"
+
+namespace ps3 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram CDF vs brute force under different data shapes.
+
+struct DistCase {
+  const char* name;
+  double (*draw)(RandomEngine&);
+};
+
+double DrawUniform(RandomEngine& rng) { return rng.NextDouble() * 100.0; }
+double DrawGaussian(RandomEngine& rng) { return 10.0 * rng.NextGaussian(); }
+double DrawExponential(RandomEngine& rng) {
+  return rng.NextExponential(0.05);
+}
+double DrawDiscrete(RandomEngine& rng) {
+  return static_cast<double>(rng.NextUint64(8));
+}
+double DrawHeavyZero(RandomEngine& rng) {
+  return rng.NextBool(0.7) ? 0.0 : rng.NextExponential(0.01);
+}
+
+class HistogramDistributions : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(HistogramDistributions, CdfWithinBucketResolution) {
+  RandomEngine rng(99);
+  std::vector<double> values(4000);
+  for (auto& v : values) v = GetParam().draw(rng);
+  auto hist = sketch::EquiDepthHistogram::Build(values, 10);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.05, 0.2, 0.5, 0.77, 0.93}) {
+    double x = sorted[static_cast<size_t>(q * 3999)];
+    double truth = 0.0;
+    for (double v : values) {
+      if (v <= x) truth += 1.0;
+    }
+    truth /= 4000.0;
+    // An equi-depth histogram with B buckets resolves the CDF to ~1/B.
+    EXPECT_NEAR(hist.CdfLe(x), truth, 0.11) << GetParam().name << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HistogramDistributions,
+    ::testing::Values(DistCase{"uniform", DrawUniform},
+                      DistCase{"gaussian", DrawGaussian},
+                      DistCase{"exponential", DrawExponential},
+                      DistCase{"discrete", DrawDiscrete},
+                      DistCase{"heavy_zero", DrawHeavyZero}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---------------------------------------------------------------------
+// AKMV estimate accuracy across cardinalities.
+
+class AkmvCardinality : public ::testing::TestWithParam<int> {};
+
+TEST_P(AkmvCardinality, RelativeErrorBounded) {
+  const int truth = GetParam();
+  sketch::AkmvSketch sketch(128);
+  for (int i = 0; i < truth * 3; ++i) {
+    sketch.UpdateHash(HashInt(i % truth, /*salt=*/7));
+  }
+  double est = sketch.EstimateDistinct();
+  if (truth < 128) {
+    EXPECT_DOUBLE_EQ(est, truth);  // strictly below k: exact
+  } else {
+    // At or above k the sketch cannot distinguish "exactly k" from more
+    // and falls back to the KMV estimator (~9% rel std at k=128).
+    EXPECT_NEAR(est / truth, 1.0, 0.35);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, AkmvCardinality,
+                         ::testing::Values(10, 100, 128, 500, 2000, 20000));
+
+// ---------------------------------------------------------------------
+// Horvitz-Thompson unbiasedness of uniform selection, multiple budgets.
+
+class UniformUnbiased : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UniformUnbiased, SumEstimatorCentersOnTruth) {
+  const size_t budget = GetParam();
+  constexpr size_t kN = 40;
+  // Per-partition values with strong skew.
+  std::vector<double> part_sums(kN);
+  RandomEngine data_rng(5);
+  for (auto& v : part_sums) v = data_rng.NextExponential(0.01);
+  double truth = std::accumulate(part_sums.begin(), part_sums.end(), 0.0);
+
+  std::vector<size_t> candidates(kN);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  double mean = 0.0;
+  constexpr int kRuns = 4000;
+  RandomEngine rng(11);
+  for (int r = 0; r < kRuns; ++r) {
+    auto sel = core::UniformSelection(candidates, budget, &rng);
+    double est = 0.0;
+    for (const auto& wp : sel.parts) est += wp.weight * part_sums[wp.partition];
+    mean += est;
+  }
+  mean /= kRuns;
+  EXPECT_NEAR(mean / truth, 1.0, 0.05) << "budget " << budget;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, UniformUnbiased,
+                         ::testing::Values(1, 4, 10, 20, 39, 40));
+
+// ---------------------------------------------------------------------
+// AllocateSamples invariants over a parameter sweep.
+
+class AllocateSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(AllocateSweep, TotalExactAndRatesMonotone) {
+  auto [budget, alpha] = GetParam();
+  const std::vector<size_t> sizes{37, 0, 12, 55, 3};
+  auto alloc = core::Ps3Picker::AllocateSamples(sizes, budget, alpha);
+  size_t total = 0, cap = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LE(alloc[i], sizes[i]);
+    total += alloc[i];
+    cap += sizes[i];
+  }
+  EXPECT_EQ(total, std::min(budget, cap));
+  // Sampling rates never decrease with importance (later groups), modulo
+  // integer rounding of one sample on either side.
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    if (sizes[i] == 0 || sizes[i + 1] == 0) continue;
+    double r_lo = static_cast<double>(alloc[i]) / sizes[i];
+    double r_hi = static_cast<double>(alloc[i + 1]) / sizes[i + 1];
+    double rounding = 1.0 / sizes[i] + 1.0 / sizes[i + 1];
+    EXPECT_GE(r_hi + rounding + 1e-9, r_lo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetAlpha, AllocateSweep,
+    ::testing::Combine(::testing::Values<size_t>(1, 7, 25, 60, 107, 200),
+                       ::testing::Values(1.0, 1.5, 2.0, 4.0)));
+
+// ---------------------------------------------------------------------
+// LSS stratified selection invariants across strata counts.
+
+class LssStrataSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LssStrataSweep, WeightsAlwaysCoverPopulation) {
+  const size_t n_strata = GetParam();
+  RandomEngine rng(3);
+  std::vector<size_t> candidates(60);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  std::vector<double> scores(60);
+  for (auto& s : scores) s = rng.NextGaussian();
+  for (size_t budget : {5ul, 15ul, 30ul}) {
+    RandomEngine pick_rng(budget * 31 + n_strata);
+    auto sel = core::LssPicker::StratifiedSelect(candidates, scores, budget,
+                                                 n_strata, &pick_rng);
+    EXPECT_EQ(sel.parts.size(), budget);
+    double total = 0.0;
+    for (const auto& wp : sel.parts) total += wp.weight;
+    EXPECT_NEAR(total, 60.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strata, LssStrataSweep,
+                         ::testing::Values(2, 3, 5, 8, 12, 20));
+
+// ---------------------------------------------------------------------
+// Edge and failure-injection cases.
+
+TEST(EdgeCases, EmptyInClauseMatchesNothing) {
+  auto bundle = workload::MakeAria(500, 1);
+  storage::PartitionedTable pt(bundle.table, 2);
+  query::Query q;
+  q.aggregates = {query::Aggregate::Count()};
+  q.predicate = query::Predicate::CategoricalIn(
+      static_cast<size_t>(bundle.table->schema().FindColumn("TenantId")),
+      {});
+  auto exact = query::ExactAnswer(q, query::EvaluateAllPartitions(q, pt));
+  EXPECT_TRUE(exact.empty());
+}
+
+TEST(EdgeCases, SinglePartitionTable) {
+  auto bundle = workload::MakeKdd(300, 2);
+  storage::PartitionedTable pt(bundle.table, 1);
+  stats::StatsOptions opts;
+  auto stats = stats::StatsBuilder(opts).Build(pt);
+  EXPECT_EQ(stats.num_partitions(), 1u);
+  featurize::Featurizer fz(bundle.table->schema(), &stats);
+  query::Query q;
+  q.aggregates = {query::Aggregate::Count()};
+  auto fm = fz.BuildFeatures(q);
+  EXPECT_EQ(fm.n, 1u);
+}
+
+TEST(EdgeCases, PickBudgetZeroIsEmpty) {
+  auto bundle = workload::MakeAria(1000, 3);
+  storage::PartitionedTable pt(bundle.table, 5);
+  stats::StatsOptions opts;
+  auto stats = stats::StatsBuilder(opts).Build(pt);
+  featurize::Featurizer fz(bundle.table->schema(), &stats);
+  core::PickerContext ctx{&pt, &stats, &fz};
+  core::RandomPicker picker(ctx);
+  query::Query q;
+  q.aggregates = {query::Aggregate::Count()};
+  RandomEngine rng(1);
+  EXPECT_TRUE(picker.Pick(q, 0, &rng, nullptr).parts.empty());
+}
+
+TEST(EdgeCases, MetricsWithEmptyExactAnswer) {
+  query::Query q;
+  q.aggregates = {query::Aggregate::Count()};
+  query::QueryAnswer exact, est;
+  auto m = query::ComputeErrorMetrics(q, exact, est);
+  EXPECT_DOUBLE_EQ(m.avg_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(m.missed_groups, 0.0);
+}
+
+TEST(EdgeCases, CombineWeightedEmptySelection) {
+  auto bundle = workload::MakeAria(500, 5);
+  storage::PartitionedTable pt(bundle.table, 4);
+  query::Query q;
+  q.aggregates = {query::Aggregate::Count()};
+  auto answers = query::EvaluateAllPartitions(q, pt);
+  auto est = query::CombineWeighted(q, answers, {});
+  EXPECT_TRUE(est.empty());
+}
+
+TEST(EdgeCases, ZipfSingleValue) {
+  ZipfSampler z(1, 1.0);
+  RandomEngine rng(1);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(z.Pmf(0), 1.0);
+}
+
+TEST(EdgeCases, ClusterSelectIdenticalFeatures) {
+  // All partitions identical: the degenerate path must still produce the
+  // requested number of exemplars with total weight == member count.
+  featurize::FeatureMatrix fm(10, 4);  // all zeros
+  storage::Schema schema({{"x", storage::ColumnType::kNumeric}});
+  stats::TableStats empty_stats;
+  auto fs = featurize::FeatureSchema::Build(schema, empty_stats);
+  std::vector<size_t> members(10);
+  std::iota(members.begin(), members.end(), 0);
+  RandomEngine rng(2);
+  // Note: schema/features dims differ; ClusterSelect only reads dims via
+  // the schema, which here yields no varying dimension -> degenerate path.
+  featurize::FeatureMatrix sized(10, fs.num_features());
+  auto sel = core::ClusterSelect(sized, fs, members, 4,
+                                 core::ClusterSelectOptions{}, &rng);
+  EXPECT_EQ(sel.parts.size(), 4u);
+  double total = 0.0;
+  for (const auto& wp : sel.parts) total += wp.weight;
+  EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+TEST(EdgeCases, HistogramSingleRow) {
+  auto h = sketch::EquiDepthHistogram::Build({42.0}, 10);
+  EXPECT_DOUBLE_EQ(h.CdfLe(42.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfLe(41.0), 0.0);
+  auto b = h.RangeSelectivityBounds(40.0, 45.0);
+  EXPECT_DOUBLE_EQ(b.upper, 1.0);
+}
+
+TEST(EdgeCases, NotOfTruePredicateMatchesNothing) {
+  auto bundle = workload::MakeAria(200, 7);
+  storage::PartitionedTable pt(bundle.table, 2);
+  query::Query q;
+  q.aggregates = {query::Aggregate::Count()};
+  q.predicate = query::Predicate::Not(query::Predicate::True());
+  auto exact = query::ExactAnswer(q, query::EvaluateAllPartitions(q, pt));
+  EXPECT_TRUE(exact.empty());
+}
+
+}  // namespace
+}  // namespace ps3

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/serialize.h"
+#include "core/model_io.h"
+#include "core/ps3_picker.h"
+#include "core/ps3_trainer.h"
+#include "ml/gbdt.h"
+#include "stats/stats_builder.h"
+#include "workload/datasets.h"
+#include "workload/generator.h"
+
+namespace ps3 {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(BinaryRoundTrip, Primitives) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI32(-42);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+  w.PutDoubleVector({1.5, -2.5});
+  w.PutBoolVector({true, false, true});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI32(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetDoubleVector(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(*r.GetBoolVector(), (std::vector<bool>{true, false, true}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryRoundTrip, TruncatedInputErrors) {
+  BinaryWriter w;
+  w.PutU32(100);  // claims a 100-element vector with no payload
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetDoubleVector().ok());
+  BinaryReader r2(std::vector<uint8_t>{1, 2});
+  EXPECT_FALSE(r2.GetU64().ok());
+}
+
+TEST(BinaryRoundTrip, FileIo) {
+  BinaryWriter w;
+  w.PutString("persisted");
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  auto r = BinaryReader::FromFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->GetString(), "persisted");
+  std::remove(path.c_str());
+  EXPECT_FALSE(BinaryReader::FromFile(path).ok());
+}
+
+TEST(GbdtSerialization, PredictionsSurviveRoundTrip) {
+  // Train a small model on a synthetic signal.
+  constexpr size_t kN = 800;
+  std::vector<double> X(kN * 2), y(kN);
+  RandomEngine rng(3);
+  for (size_t i = 0; i < kN; ++i) {
+    X[i * 2] = rng.NextDouble();
+    X[i * 2 + 1] = rng.NextDouble();
+    y[i] = 2.0 * X[i * 2] - X[i * 2 + 1];
+  }
+  auto binned = ml::BinnedDataset::Build({X.data(), kN, 2});
+  ml::Gbdt model = ml::Gbdt::Train(binned, y, ml::GbdtParams{});
+
+  BinaryWriter w;
+  model.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = ml::Gbdt::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_trees(), model.num_trees());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(loaded->Predict(X.data() + i * 2),
+                     model.Predict(X.data() + i * 2));
+  }
+  EXPECT_EQ(loaded->feature_gain(), model.feature_gain());
+}
+
+struct ModelFixture {
+  workload::DatasetBundle bundle = workload::MakeAria(6000, 2);
+  std::shared_ptr<storage::Table> table;
+  std::unique_ptr<storage::PartitionedTable> parts;
+  std::unique_ptr<stats::TableStats> stats;
+  std::unique_ptr<featurize::Featurizer> featurizer;
+  core::PickerContext ctx;
+  core::TrainingData data;
+  core::Ps3Model model;
+
+  ModelFixture() {
+    auto sorted = bundle.table->SortedBy(bundle.default_sort);
+    table = std::make_shared<storage::Table>(std::move(sorted).value());
+    parts = std::make_unique<storage::PartitionedTable>(table, 30);
+    stats::StatsOptions opts;
+    for (const auto& name : bundle.spec.groupby_columns) {
+      opts.grouping_columns.push_back(
+          static_cast<size_t>(table->schema().FindColumn(name)));
+    }
+    stats = std::make_unique<stats::TableStats>(
+        stats::StatsBuilder(opts).Build(*parts));
+    featurizer = std::make_unique<featurize::Featurizer>(table->schema(),
+                                                         stats.get());
+    ctx = {parts.get(), stats.get(), featurizer.get()};
+    workload::QueryGenerator gen(table.get(), bundle.spec);
+    data = core::BuildTrainingData(ctx, gen.GenerateSet(10, 5));
+    core::Ps3Options options;
+    options.gbdt.num_trees = 5;
+    options.feature_selection.enabled = false;
+    options.unbiased_exemplar = false;
+    model = core::TrainPs3(ctx, data, options);
+  }
+};
+
+TEST(ModelIo, RoundTripPreservesPicks) {
+  ModelFixture f;
+  std::string path = TempPath("ps3_model.bin");
+  ASSERT_TRUE(core::SaveModel(f.model, path).ok());
+  auto loaded = core::LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->thresholds, f.model.thresholds);
+  EXPECT_EQ(loaded->excluded_kinds, f.model.excluded_kinds);
+  EXPECT_EQ(loaded->options.alpha, f.model.options.alpha);
+
+  // Identical rng seeds must produce identical selections.
+  core::Ps3Picker original(f.ctx, &f.model);
+  core::Ps3Picker restored(f.ctx, &*loaded);
+  for (size_t qi = 0; qi < f.data.queries.size(); ++qi) {
+    RandomEngine rng_a(77), rng_b(77);
+    auto sel_a = original.Pick(f.data.queries[qi], 6, &rng_a, nullptr);
+    auto sel_b = restored.Pick(f.data.queries[qi], 6, &rng_b, nullptr);
+    ASSERT_EQ(sel_a.parts.size(), sel_b.parts.size());
+    for (size_t i = 0; i < sel_a.parts.size(); ++i) {
+      EXPECT_EQ(sel_a.parts[i].partition, sel_b.parts[i].partition);
+      EXPECT_DOUBLE_EQ(sel_a.parts[i].weight, sel_b.parts[i].weight);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsGarbageAndWrongMagic) {
+  std::string path = TempPath("bad_model.bin");
+  BinaryWriter w;
+  w.PutU32(0x12345678);  // wrong magic
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  auto loaded = core::LoadModel(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  EXPECT_FALSE(core::LoadModel(path).ok());  // missing file
+}
+
+TEST(ModelIo, RejectsTruncatedModel) {
+  ModelFixture f;
+  std::string path = TempPath("trunc_model.bin");
+  ASSERT_TRUE(core::SaveModel(f.model, path).ok());
+  auto full = BinaryReader::FromFile(path);
+  ASSERT_TRUE(full.ok());
+  // Rewrite only a prefix of the file.
+  BinaryWriter prefix;
+  prefix.PutU32(0x50533301);
+  prefix.PutDouble(2.0);
+  ASSERT_TRUE(prefix.WriteFile(path).ok());
+  EXPECT_FALSE(core::LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ps3

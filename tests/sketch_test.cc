@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "sketch/akmv.h"
+#include "sketch/exact_freq.h"
+#include "sketch/heavy_hitter.h"
+#include "sketch/histogram.h"
+#include "sketch/measures.h"
+
+namespace ps3::sketch {
+namespace {
+
+TEST(Measures, Basic) {
+  Measures m;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) m.Update(v);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.mean_sq(), 7.5);
+  EXPECT_NEAR(m.std_dev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Measures, LogMeasuresForPositiveColumns) {
+  Measures m;
+  m.Update(std::exp(1.0));
+  m.Update(std::exp(3.0));
+  ASSERT_TRUE(m.has_log());
+  EXPECT_NEAR(m.log_mean(), 2.0, 1e-12);
+  EXPECT_NEAR(m.log_min(), 1.0, 1e-12);
+  EXPECT_NEAR(m.log_max(), 3.0, 1e-12);
+}
+
+TEST(Measures, LogDisabledByNonPositive) {
+  Measures m;
+  m.Update(2.0);
+  m.Update(0.0);
+  EXPECT_FALSE(m.has_log());
+  EXPECT_DOUBLE_EQ(m.log_mean(), 0.0);
+}
+
+TEST(Measures, EmptyIsZero) {
+  Measures m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.std_dev(), 0.0);
+  EXPECT_FALSE(m.has_log());
+}
+
+TEST(Histogram, CdfExactAtEdges) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i));
+  auto h = EquiDepthHistogram::Build(v, 10);
+  EXPECT_DOUBLE_EQ(h.CdfLe(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfLe(999.0), 1.0);
+  EXPECT_NEAR(h.CdfLe(499.0), 0.5, 0.01);
+}
+
+TEST(Histogram, InterpolationMonotone) {
+  RandomEngine rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.NextGaussian());
+  auto h = EquiDepthHistogram::Build(v, 10);
+  double prev = -1.0;
+  for (double x = -4.0; x <= 4.0; x += 0.05) {
+    double c = h.CdfLe(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(Histogram, RangeSelectivityAccuracy) {
+  RandomEngine rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.NextDouble() * 100.0);
+  auto h = EquiDepthHistogram::Build(v, 10);
+  double sel = h.RangeSelectivity(25.0, 75.0, true, true);
+  EXPECT_NEAR(sel, 0.5, 0.02);
+}
+
+TEST(Histogram, BoundsAreSound) {
+  RandomEngine rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.NextExponential(0.1));
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  auto h = EquiDepthHistogram::Build(v, 10);
+  for (auto [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.0, 5.0}, {5.0, 20.0}, {1.0, 2.0}, {50.0, 100.0}}) {
+    double truth = 0.0;
+    for (double x : v) {
+      if (x >= lo && x <= hi) truth += 1.0;
+    }
+    truth /= static_cast<double>(v.size());
+    auto b = h.RangeSelectivityBounds(lo, hi);
+    EXPECT_LE(b.lower, truth + 1e-9) << lo << "," << hi;
+    EXPECT_GE(b.upper, truth - 1e-9) << lo << "," << hi;
+  }
+}
+
+TEST(Histogram, UpperBoundZeroMeansEmpty) {
+  std::vector<double> v{10, 11, 12, 13, 14, 15};
+  auto h = EquiDepthHistogram::Build(v, 3);
+  auto b = h.RangeSelectivityBounds(20.0, 30.0);
+  EXPECT_DOUBLE_EQ(b.upper, 0.0);
+  b = h.RangeSelectivityBounds(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.upper, 0.0);
+}
+
+TEST(Histogram, DegenerateSingleValue) {
+  std::vector<double> v(100, 7.0);
+  auto h = EquiDepthHistogram::Build(v, 10);
+  EXPECT_DOUBLE_EQ(h.CdfLe(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfLe(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.PointSelectivity(7.0), 1.0);
+}
+
+TEST(Histogram, EmptyInput) {
+  auto h = EquiDepthHistogram::Build({}, 10);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.CdfLe(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(0, 1, true, true), 0.0);
+}
+
+TEST(Histogram, PointSelectivityOnSkewedData) {
+  // 90% zeros, 10% spread: the zero bucket should dominate.
+  std::vector<double> v(900, 0.0);
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  auto h = EquiDepthHistogram::Build(v, 10);
+  EXPECT_GT(h.PointSelectivity(0.0), 0.5);
+}
+
+TEST(Akmv, ExactBelowK) {
+  AkmvSketch s(128);
+  for (int i = 0; i < 50; ++i) s.UpdateHash(HashInt(i % 10));
+  EXPECT_EQ(s.num_tracked(), 10u);
+  EXPECT_DOUBLE_EQ(s.EstimateDistinct(), 10.0);
+}
+
+TEST(Akmv, EstimateAboveK) {
+  AkmvSketch s(128);
+  constexpr int kTrue = 10000;
+  for (int i = 0; i < kTrue; ++i) s.UpdateHash(HashInt(i));
+  EXPECT_TRUE(s.saturated());
+  double est = s.EstimateDistinct();
+  EXPECT_NEAR(est, kTrue, kTrue * 0.3);  // KMV with k=128: ~9% rel std
+}
+
+TEST(Akmv, FrequencyStatistics) {
+  AkmvSketch s(16);
+  // Values 0..7, value i appears i+1 times.
+  for (int v = 0; v < 8; ++v) {
+    for (int r = 0; r <= v; ++r) s.UpdateHash(HashInt(v));
+  }
+  EXPECT_DOUBLE_EQ(s.sum_frequency(), 36.0);
+  EXPECT_DOUBLE_EQ(s.max_frequency(), 8.0);
+  EXPECT_DOUBLE_EQ(s.min_frequency(), 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_frequency(), 4.5);
+}
+
+TEST(Akmv, EmptySketch) {
+  AkmvSketch s;
+  EXPECT_DOUBLE_EQ(s.EstimateDistinct(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_frequency(), 0.0);
+}
+
+TEST(Akmv, SizeBounded) {
+  AkmvSketch s(64);
+  for (int i = 0; i < 100000; ++i) s.UpdateHash(HashInt(i));
+  EXPECT_EQ(s.num_tracked(), 64u);
+  EXPECT_LE(s.SerializedBytes(), 64u * 12u + 4u);
+}
+
+TEST(HeavyHitters, FindsTrueHeavyHitters) {
+  HeavyHitters hh(0.01);
+  RandomEngine rng(7);
+  // Value 0: 30%, value 1: 10%, rest uniform over 10k values.
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double u = rng.NextDouble();
+    int64_t v = u < 0.3 ? 0 : (u < 0.4 ? 1 : 2 + int64_t(rng.NextUint64(10000)));
+    hh.Update(v);
+  }
+  auto items = hh.Items();
+  ASSERT_GE(items.size(), 2u);
+  EXPECT_EQ(items[0].key, 0);
+  EXPECT_EQ(items[1].key, 1);
+  EXPECT_NEAR(hh.MaxFrequency(), 0.3, 0.02);
+}
+
+TEST(HeavyHitters, NoFalseNegatives) {
+  // Lossy counting guarantee: any value with true frequency >= support
+  // must be reported.
+  HeavyHitters hh(0.05);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    hh.Update(i % 10 == 0 ? 777 : i);  // 777 has frequency 10% >= 5%
+  }
+  bool found = false;
+  for (const auto& e : hh.Items()) {
+    if (e.key == 777) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HeavyHitters, DictionaryBounded) {
+  HeavyHitters hh(0.01);
+  RandomEngine rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    hh.Update(static_cast<int64_t>(rng.NextUint64(1000000)));
+  }
+  // All-distinct stream: nothing qualifies at 1% support.
+  EXPECT_EQ(hh.NumHeavyHitters(), 0u);
+}
+
+TEST(HeavyHitters, FrequencyAverages) {
+  HeavyHitters hh(0.1);
+  for (int i = 0; i < 100; ++i) hh.Update(i % 2);  // two values at 50%
+  EXPECT_EQ(hh.NumHeavyHitters(), 2u);
+  EXPECT_NEAR(hh.AvgFrequency(), 0.5, 0.05);
+}
+
+TEST(ExactFreq, ExactCounts) {
+  ExactFrequencyTable t(16);
+  for (int i = 0; i < 100; ++i) t.Update(i % 4);
+  ASSERT_TRUE(t.valid());
+  EXPECT_EQ(t.num_distinct(), 4u);
+  EXPECT_DOUBLE_EQ(t.Frequency(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.Frequency(99), 0.0);
+}
+
+TEST(ExactFreq, OverflowInvalidates) {
+  ExactFrequencyTable t(8);
+  for (int i = 0; i < 20; ++i) t.Update(i);
+  EXPECT_FALSE(t.valid());
+  EXPECT_EQ(t.SerializedBytes(), 1u);
+}
+
+TEST(SketchSizes, WithinPaperBallpark) {
+  // A single column's sketches should be a few KB at most (Table 4 reports
+  // 12-103 KB per partition across all columns).
+  AkmvSketch akmv(128);
+  HeavyHitters hh(0.01);
+  Measures m;
+  std::vector<double> vals;
+  RandomEngine rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextExponential(0.01);
+    akmv.UpdateHash(HashDouble(v));
+    hh.Update(static_cast<int64_t>(v));
+    m.Update(v);
+    vals.push_back(v);
+  }
+  auto hist = EquiDepthHistogram::Build(vals, 10);
+  size_t total = akmv.SerializedBytes() + hh.SerializedBytes() +
+                 m.SerializedBytes() + hist.SerializedBytes();
+  EXPECT_LT(total, 4096u);
+}
+
+}  // namespace
+}  // namespace ps3::sketch

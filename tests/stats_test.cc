@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/stats_builder.h"
+
+namespace ps3::stats {
+namespace {
+
+using storage::ColumnType;
+using storage::PartitionedTable;
+using storage::Schema;
+using storage::Table;
+
+/// 4 partitions x 100 rows; categorical "group" takes one dominant value
+/// per partition; numeric "x" ramps with the row index.
+std::shared_ptr<Table> MakeTable() {
+  Schema schema({{"x", ColumnType::kNumeric},
+                 {"group", ColumnType::kCategorical}});
+  auto t = std::make_shared<Table>(schema);
+  const char* names[4] = {"alpha", "beta", "gamma", "delta"};
+  for (int p = 0; p < 4; ++p) {
+    for (int r = 0; r < 100; ++r) {
+      t->AppendRow({static_cast<double>(p * 100 + r)}, {names[p]});
+    }
+  }
+  t->Seal();
+  return t;
+}
+
+StatsOptions OptionsWithGrouping() {
+  StatsOptions o;
+  o.grouping_columns = {1};
+  return o;
+}
+
+TEST(StatsBuilder, BuildsPerPartitionColumnStats) {
+  PartitionedTable pt(MakeTable(), 4);
+  TableStats stats = StatsBuilder(OptionsWithGrouping()).Build(pt);
+  ASSERT_EQ(stats.num_partitions(), 4u);
+  ASSERT_EQ(stats.num_columns(), 2u);
+
+  const ColumnStats& x0 = stats.partition(0).columns[0];
+  EXPECT_FALSE(x0.categorical);
+  EXPECT_DOUBLE_EQ(x0.measures.min(), 0.0);
+  EXPECT_DOUBLE_EQ(x0.measures.max(), 99.0);
+  EXPECT_EQ(x0.measures.count(), 100u);
+
+  const ColumnStats& x3 = stats.partition(3).columns[0];
+  EXPECT_DOUBLE_EQ(x3.measures.min(), 300.0);
+}
+
+TEST(StatsBuilder, CategoricalColumnStats) {
+  PartitionedTable pt(MakeTable(), 4);
+  TableStats stats = StatsBuilder(OptionsWithGrouping()).Build(pt);
+  const ColumnStats& g = stats.partition(0).columns[1];
+  EXPECT_TRUE(g.categorical);
+  EXPECT_TRUE(g.exact_freq.valid());
+  EXPECT_EQ(g.exact_freq.num_distinct(), 1u);
+  EXPECT_DOUBLE_EQ(g.akmv.EstimateDistinct(), 1.0);
+  // The single value is trivially a heavy hitter.
+  EXPECT_EQ(g.heavy_hitters.NumHeavyHitters(), 1u);
+}
+
+TEST(StatsBuilder, GlobalHeavyHittersOnlyForGroupingColumns) {
+  PartitionedTable pt(MakeTable(), 4);
+  TableStats stats = StatsBuilder(OptionsWithGrouping()).Build(pt);
+  EXPECT_FALSE(stats.has_bitmap(0));  // numeric column: not a grouping col
+  EXPECT_TRUE(stats.has_bitmap(1));
+  // Each partition's dominant value appears -> 4 global heavy hitters.
+  EXPECT_EQ(stats.global_heavy_hitters(1).size(), 4u);
+}
+
+TEST(StatsBuilder, OccurrenceBitmapsDiscriminatePartitions) {
+  PartitionedTable pt(MakeTable(), 4);
+  TableStats stats = StatsBuilder(OptionsWithGrouping()).Build(pt);
+  // Each partition holds exactly one of the 4 global heavy hitters, so
+  // each bitmap has exactly one set bit and bitmaps differ pairwise.
+  for (size_t p = 0; p < 4; ++p) {
+    const auto& bm = stats.occurrence_bitmap(p, 1);
+    ASSERT_EQ(bm.size(), 4u);
+    int set = 0;
+    for (uint8_t b : bm) set += b;
+    EXPECT_EQ(set, 1);
+  }
+  EXPECT_NE(stats.occurrence_bitmap(0, 1), stats.occurrence_bitmap(1, 1));
+}
+
+TEST(StatsBuilder, BitmapCapRespected) {
+  // 60 distinct dominant values but bitmap_k caps global HH at 25.
+  Schema schema({{"g", ColumnType::kCategorical}});
+  auto t = std::make_shared<Table>(schema);
+  for (int p = 0; p < 60; ++p) {
+    for (int r = 0; r < 50; ++r) {
+      t->AppendRow({}, {"value_" + std::to_string(p)});
+    }
+  }
+  t->Seal();
+  PartitionedTable pt(t, 60);
+  StatsOptions opts;
+  opts.grouping_columns = {0};
+  TableStats stats = StatsBuilder(opts).Build(pt);
+  EXPECT_EQ(stats.global_heavy_hitters(0).size(), 25u);
+}
+
+TEST(TableStats, StorageReportPositiveAndBounded) {
+  PartitionedTable pt(MakeTable(), 4);
+  TableStats stats = StatsBuilder(OptionsWithGrouping()).Build(pt);
+  StorageReport report = stats.ComputeStorageReport();
+  EXPECT_GT(report.total_kb, 0.0);
+  EXPECT_NEAR(report.total_kb,
+              report.histogram_kb + report.heavy_hitter_kb +
+                  report.akmv_kb + report.measure_kb,
+              1e-9);
+  // Tiny table: should be far below the paper's 12-103KB range.
+  EXPECT_LT(report.total_kb, 103.0);
+}
+
+TEST(TableStats, AkmvDominatesForHighCardinality) {
+  // High-cardinality numeric data: AKMV (128 x 12B) outweighs the other
+  // sketches, as the paper observes (Table 4 discussion).
+  Schema schema({{"x", ColumnType::kNumeric}});
+  auto t = std::make_shared<Table>(schema);
+  RandomEngine rng(3);
+  for (int i = 0; i < 4000; ++i) t->AppendRow({rng.NextDouble()}, {});
+  t->Seal();
+  PartitionedTable pt(t, 4);
+  TableStats stats = StatsBuilder(StatsOptions{}).Build(pt);
+  StorageReport report = stats.ComputeStorageReport();
+  EXPECT_GT(report.akmv_kb, report.histogram_kb);
+  EXPECT_GT(report.akmv_kb, report.measure_kb);
+}
+
+}  // namespace
+}  // namespace ps3::stats

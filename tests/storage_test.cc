@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace ps3::storage {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"x", ColumnType::kNumeric},
+                 {"cat", ColumnType::kCategorical}});
+}
+
+TEST(Dictionary, GetOrAddAndFind) {
+  Dictionary d;
+  int32_t a = d.GetOrAdd("apple");
+  int32_t b = d.GetOrAdd("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.GetOrAdd("apple"), a);
+  EXPECT_EQ(d.Find("banana"), b);
+  EXPECT_EQ(d.Find("cherry"), -1);
+  EXPECT_EQ(d.ValueOf(a), "apple");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Column, NumericAppend) {
+  Column c = Column::MakeNumeric();
+  c.AppendNumeric(1.5);
+  c.AppendNumeric(-2.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.NumericAt(1), -2.0);
+}
+
+TEST(Column, CategoricalAppend) {
+  Column c = Column::MakeCategorical();
+  c.AppendCategorical("x");
+  c.AppendCategorical("y");
+  c.AppendCategorical("x");
+  EXPECT_EQ(c.CodeAt(0), c.CodeAt(2));
+  EXPECT_NE(c.CodeAt(0), c.CodeAt(1));
+  EXPECT_EQ(c.StringAt(1), "y");
+}
+
+TEST(Column, PermuteSharesDictionary) {
+  Column c = Column::MakeCategorical();
+  c.AppendCategorical("a");
+  c.AppendCategorical("b");
+  Column p = c.Permute({1, 0});
+  EXPECT_EQ(p.StringAt(0), "b");
+  EXPECT_EQ(p.dict(), c.dict());
+}
+
+TEST(Schema, Lookup) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.FindColumn("x"), 0);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+  auto idx = s.GetColumnIndex("cat");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(s.GetColumnIndex("zz").ok());
+  EXPECT_TRUE(s.IsNumeric(0));
+  EXPECT_TRUE(s.IsCategorical(1));
+}
+
+TEST(Table, AppendAndAccess) {
+  Table t(TwoColSchema());
+  t.AppendRow({1.0}, {"a"});
+  t.AppendRow({2.0}, {"b"});
+  t.Seal();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(0).NumericAt(1), 2.0);
+  auto col = t.GetColumn("cat");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->StringAt(0), "a");
+}
+
+TEST(Table, SortedByNumeric) {
+  Table t(TwoColSchema());
+  t.AppendRow({3.0}, {"c"});
+  t.AppendRow({1.0}, {"a"});
+  t.AppendRow({2.0}, {"b"});
+  auto sorted = t.SortedBy({"x"});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_DOUBLE_EQ(sorted->column(0).NumericAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(sorted->column(0).NumericAt(2), 3.0);
+  EXPECT_EQ(sorted->column(1).StringAt(0), "a");
+}
+
+TEST(Table, SortedByIsStable) {
+  Table t(TwoColSchema());
+  t.AppendRow({1.0}, {"first"});
+  t.AppendRow({1.0}, {"second"});
+  t.AppendRow({0.0}, {"zero"});
+  auto sorted = t.SortedBy({"x"});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->column(1).StringAt(1), "first");
+  EXPECT_EQ(sorted->column(1).StringAt(2), "second");
+}
+
+TEST(Table, SortedByMissingColumn) {
+  Table t(TwoColSchema());
+  EXPECT_FALSE(t.SortedBy({"nope"}).ok());
+}
+
+TEST(Table, ShuffledPreservesMultiset) {
+  Table t(TwoColSchema());
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({static_cast<double>(i)}, {"v"});
+  }
+  RandomEngine rng(5);
+  Table s = t.Shuffled(&rng);
+  double sum = 0.0;
+  for (size_t i = 0; i < s.num_rows(); ++i) sum += s.column(0).NumericAt(i);
+  EXPECT_DOUBLE_EQ(sum, 99.0 * 100.0 / 2.0);
+  // Not identity with overwhelming probability.
+  bool moved = false;
+  for (size_t i = 0; i < s.num_rows(); ++i) {
+    if (s.column(0).NumericAt(i) != static_cast<double>(i)) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(PartitionedTable, NearEqualSplit) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 103; ++i) t->AppendRow({double(i)}, {"v"});
+  PartitionedTable pt(t, 10);
+  EXPECT_EQ(pt.num_partitions(), 10u);
+  size_t total = 0;
+  for (size_t p = 0; p < 10; ++p) {
+    size_t rows = pt.partition_rows(p);
+    EXPECT_GE(rows, 10u);
+    EXPECT_LE(rows, 11u);
+    total += rows;
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(PartitionedTable, ContiguousCoverage) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 50; ++i) t->AppendRow({double(i)}, {"v"});
+  PartitionedTable pt(t, 7);
+  size_t next = 0;
+  for (size_t p = 0; p < pt.num_partitions(); ++p) {
+    Partition part = pt.partition(p);
+    EXPECT_EQ(part.begin_row(), next);
+    next = part.end_row();
+  }
+  EXPECT_EQ(next, 50u);
+}
+
+TEST(PartitionedTable, MorePartitionsThanRows) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 3; ++i) t->AppendRow({double(i)}, {"v"});
+  PartitionedTable pt(t, 10);
+  EXPECT_EQ(pt.num_partitions(), 3u);
+}
+
+TEST(Partition, RowAccess) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 20; ++i) {
+    t->AppendRow({double(i)}, {i < 10 ? "lo" : "hi"});
+  }
+  PartitionedTable pt(t, 2);
+  Partition second = pt.partition(1);
+  EXPECT_EQ(second.num_rows(), 10u);
+  EXPECT_DOUBLE_EQ(second.NumericAt(0, 0), 10.0);
+  EXPECT_EQ(t->column(1).StringAt(second.begin_row()), "hi");
+}
+
+}  // namespace
+}  // namespace ps3::storage
