@@ -1,0 +1,128 @@
+// Scan-path throughput: rows/sec of exact whole-table evaluation under the
+// scalar and vectorized execution policies at 1/4/8 threads, on the
+// TPC-H-style workload. Emits JSON so successive PRs can track the perf
+// trajectory. Scale with PS3_ROWS / PS3_PARTS / PS3_TESTQ.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "workload/datasets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+double TimeAll(const std::vector<ps3::query::Query>& queries,
+               const ps3::storage::PartitionedTable& table,
+               const ps3::query::ExecOptions& opts) {
+  auto start = Clock::now();
+  for (const auto& q : queries) {
+    auto answers = ps3::query::EvaluateAllPartitions(q, table, opts);
+    // Keep the optimizer honest.
+    if (answers.empty()) std::abort();
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ps3;
+
+  const size_t rows = EnvSize("PS3_ROWS", 200000);
+  const size_t partitions = EnvSize("PS3_PARTS", 400);
+  const size_t n_queries = EnvSize("PS3_TESTQ", 16);
+
+  auto bundle = workload::MakeTpchStar(rows, /*seed=*/7);
+  auto sorted = bundle.table->SortedBy(bundle.default_sort);
+  auto laid_out = std::make_shared<storage::Table>(std::move(sorted).value());
+  storage::PartitionedTable table(laid_out, partitions);
+
+  workload::QueryGenerator gen(laid_out.get(), bundle.spec);
+  std::vector<query::Query> queries = gen.GenerateSet(n_queries, /*seed=*/41);
+
+  // Correctness gate: the two policies must agree exactly before any
+  // throughput number is worth reporting.
+  for (const auto& q : queries) {
+    auto scalar = query::EvaluateAllPartitions(
+        q, table, {query::ExecPolicy::kScalar, 1});
+    auto vec = query::EvaluateAllPartitions(
+        q, table, {query::ExecPolicy::kVectorized, 1});
+    if (scalar.size() != vec.size()) std::abort();
+    for (size_t p = 0; p < scalar.size(); ++p) {
+      if (scalar[p].size() != vec[p].size()) std::abort();
+      for (const auto& [key, accs] : scalar[p]) {
+        auto it = vec[p].find(key);
+        if (it == vec[p].end()) std::abort();
+        for (size_t a = 0; a < accs.size(); ++a) {
+          if (accs[a].sum != it->second[a].sum ||
+              accs[a].count != it->second[a].count) {
+            std::abort();
+          }
+        }
+      }
+    }
+  }
+
+  struct Config {
+    query::ExecPolicy policy;
+    int threads;
+  };
+  const std::vector<Config> configs = {
+      {query::ExecPolicy::kScalar, 1},     {query::ExecPolicy::kScalar, 4},
+      {query::ExecPolicy::kScalar, 8},     {query::ExecPolicy::kVectorized, 1},
+      {query::ExecPolicy::kVectorized, 4}, {query::ExecPolicy::kVectorized, 8},
+  };
+
+  const double total_rows =
+      static_cast<double>(rows) * static_cast<double>(queries.size());
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"evaluator_throughput\",\n");
+  std::printf("  \"dataset\": \"tpch\",\n");
+  std::printf("  \"rows\": %zu,\n", rows);
+  std::printf("  \"partitions\": %zu,\n", partitions);
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"results\": [\n");
+
+  double scalar_1t = 0.0, vec_1t = 0.0, vec_8t = 0.0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Config& cfg = configs[i];
+    query::ExecOptions opts{cfg.policy, cfg.threads};
+    TimeAll(queries, table, opts);  // warm-up (page-in, scratch alloc)
+    double secs = TimeAll(queries, table, opts);
+    double rps = total_rows / secs;
+    const char* name =
+        cfg.policy == query::ExecPolicy::kScalar ? "scalar" : "vectorized";
+    if (cfg.policy == query::ExecPolicy::kScalar && cfg.threads == 1) {
+      scalar_1t = secs;
+    }
+    if (cfg.policy == query::ExecPolicy::kVectorized && cfg.threads == 1) {
+      vec_1t = secs;
+    }
+    if (cfg.policy == query::ExecPolicy::kVectorized && cfg.threads == 8) {
+      vec_8t = secs;
+    }
+    std::printf(
+        "    {\"policy\": \"%s\", \"threads\": %d, \"seconds\": %.4f, "
+        "\"rows_per_sec\": %.3e}%s\n",
+        name, cfg.threads, secs, rps, i + 1 < configs.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"speedup_vectorized_1t\": %.2f,\n",
+              vec_1t > 0.0 ? scalar_1t / vec_1t : 0.0);
+  std::printf("  \"speedup_vectorized_8t\": %.2f\n",
+              vec_8t > 0.0 ? scalar_1t / vec_8t : 0.0);
+  std::printf("}\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <system_error>
+#include <thread>
+
+namespace ps3 {
+
+namespace {
+// Set while a thread is executing ParallelFor items; nested calls detect it
+// and run inline instead of forking again.
+thread_local bool t_inside_parallel_for = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads_ = hw == 0 ? 1 : static_cast<size_t>(hw);
+  } else {
+    num_threads_ = static_cast<size_t>(num_threads);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) const {
+  if (n == 0) return;
+  const size_t lanes = std::min(num_threads_, n);
+  if (lanes <= 1 || t_inside_parallel_for) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto work = [&]() {
+    t_inside_parallel_for = true;
+    size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    t_inside_parallel_for = false;
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(lanes - 1);
+  try {
+    for (size_t t = 0; t + 1 < lanes; ++t) workers.emplace_back(work);
+  } catch (const std::system_error&) {
+    // Thread exhaustion: degrade to however many workers did start (the
+    // caller participates below and the atomic counter drains regardless).
+  }
+  work();
+  for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ps3

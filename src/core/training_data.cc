@@ -1,5 +1,6 @@
 #include "core/training_data.h"
 
+#include "common/thread_pool.h"
 #include "core/labels.h"
 
 namespace ps3::core {
@@ -9,17 +10,24 @@ TrainingData BuildTrainingData(const PickerContext& ctx,
   TrainingData data;
   data.queries = std::move(queries);
   const size_t nq = data.queries.size();
-  data.features.reserve(nq);
-  data.answers.reserve(nq);
-  data.exact.reserve(nq);
-  data.contributions.reserve(nq);
-  for (const auto& q : data.queries) {
-    data.features.push_back(ctx.featurizer->BuildFeatures(q));
-    data.answers.push_back(query::EvaluateAllPartitions(q, *ctx.table));
-    data.exact.push_back(query::ExactAnswer(q, data.answers.back()));
-    data.contributions.push_back(
-        ComputeContributions(q, data.answers.back(), data.exact.back()));
-  }
+  data.features.resize(nq);
+  data.answers.resize(nq);
+  data.exact.resize(nq);
+  data.contributions.resize(nq);
+  // The ground-truth labeling pass is the slowest step of training: every
+  // query is evaluated exactly on every partition. Queries are independent,
+  // so the pass parallelizes at query granularity with results written to
+  // index-addressed slots (deterministic for any thread count); the
+  // per-query partition scans below then run inline.
+  ThreadPool pool;
+  pool.ParallelFor(nq, [&](size_t i) {
+    const query::Query& q = data.queries[i];
+    data.features[i] = ctx.featurizer->BuildFeatures(q);
+    data.answers[i] = query::EvaluateAllPartitions(q, *ctx.table);
+    data.exact[i] = query::ExactAnswer(q, data.answers[i]);
+    data.contributions[i] =
+        ComputeContributions(q, data.answers[i], data.exact[i]);
+  });
   return data;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace ps3::featurize {
 
 namespace {
@@ -60,8 +62,8 @@ double StaticFeatureValue(const stats::TableStats& stats, size_t part,
 }  // namespace
 
 Featurizer::Featurizer(const storage::Schema& schema,
-                       const stats::TableStats* stats)
-    : table_schema_(schema), stats_(stats) {
+                       const stats::TableStats* stats, int num_threads)
+    : table_schema_(schema), stats_(stats), num_threads_(num_threads) {
   schema_ = FeatureSchema::Build(schema, *stats);
   const size_t n = stats->num_partitions();
   const size_t m = schema_.num_features();
@@ -104,11 +106,20 @@ FeatureMatrix Featurizer::BuildFeatures(const query::Query& query) const {
 
 std::vector<SelectivityFeatures> Featurizer::ComputeSelectivity(
     const query::Query& query) const {
-  std::vector<SelectivityFeatures> out;
-  out.reserve(stats_->num_partitions());
-  for (size_t p = 0; p < stats_->num_partitions(); ++p) {
-    out.push_back(EstimateSelectivity(query, stats_->partition(p)));
+  std::vector<SelectivityFeatures> out(stats_->num_partitions());
+  // Per-partition estimation is cheap sketch arithmetic; below this
+  // partition count the thread fork/join costs more than it saves.
+  constexpr size_t kParallelThreshold = 64;
+  if (out.size() < kParallelThreshold) {
+    for (size_t p = 0; p < out.size(); ++p) {
+      out[p] = EstimateSelectivity(query, stats_->partition(p));
+    }
+    return out;
   }
+  ThreadPool pool(num_threads_);
+  pool.ParallelFor(out.size(), [&](size_t p) {
+    out[p] = EstimateSelectivity(query, stats_->partition(p));
+  });
   return out;
 }
 

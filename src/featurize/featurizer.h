@@ -33,7 +33,12 @@ struct FeatureMatrix {
 class Featurizer {
  public:
   /// Precomputes the static (query-independent) feature matrix.
-  Featurizer(const storage::Schema& schema, const stats::TableStats* stats);
+  /// `num_threads` controls the per-partition parallelism of
+  /// ComputeSelectivity / BuildFeatures (0 = hardware); results are
+  /// identical for any value (partitions are independent, reductions are
+  /// index-ordered).
+  Featurizer(const storage::Schema& schema, const stats::TableStats* stats,
+             int num_threads = 0);
 
   const FeatureSchema& feature_schema() const { return schema_; }
   const stats::TableStats& stats() const { return *stats_; }
@@ -51,6 +56,7 @@ class Featurizer {
  private:
   storage::Schema table_schema_;
   const stats::TableStats* stats_;
+  int num_threads_;
   FeatureSchema schema_;
   FeatureMatrix static_features_;
   // For masking: per feature, the column it belongs to (-1 = query level).

@@ -1,0 +1,315 @@
+#include "query/bitmap_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps3::query {
+
+namespace {
+
+/// Word-packing kernel shared by every leaf predicate: packs 64 per-row
+/// match results into each output word. The inner 64-iteration loop over a
+/// contiguous span is what the compiler auto-vectorizes; this is the
+/// engine's hottest loop, and the single place to rewrite with explicit
+/// SIMD (cmp + movemask) later.
+template <typename T, typename Match>
+void PackKernel(const T* v, size_t n, Match match, SelectionBitmap* out) {
+  uint64_t* words = out->words();
+  const size_t full_words = n >> 6;
+  for (size_t w = 0; w < full_words; ++w) {
+    const T* base = v + (w << 6);
+    uint64_t word = 0;
+    for (unsigned b = 0; b < 64; ++b) {
+      word |= static_cast<uint64_t>(match(base[b])) << b;
+    }
+    words[w] = word;
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const T* base = v + (full_words << 6);
+    uint64_t word = 0;
+    for (unsigned b = 0; b < tail; ++b) {
+      word |= static_cast<uint64_t>(match(base[b])) << b;
+    }
+    words[full_words] = word;
+  }
+}
+
+void RunCompare(const double* v, size_t n, CompareOp op, double c,
+                SelectionBitmap* out) {
+  switch (op) {
+    case CompareOp::kLt:
+      PackKernel(v, n, [c](double x) { return x < c; }, out);
+      return;
+    case CompareOp::kLe:
+      PackKernel(v, n, [c](double x) { return x <= c; }, out);
+      return;
+    case CompareOp::kGt:
+      PackKernel(v, n, [c](double x) { return x > c; }, out);
+      return;
+    case CompareOp::kGe:
+      PackKernel(v, n, [c](double x) { return x >= c; }, out);
+      return;
+    case CompareOp::kEq:
+      PackKernel(v, n, [c](double x) { return x == c; }, out);
+      return;
+    case CompareOp::kNe:
+      PackKernel(v, n, [c](double x) { return x != c; }, out);
+      return;
+  }
+}
+
+/// IN-set kernel over dictionary codes (`set` must be non-empty; the empty
+/// IN-list is handled by the caller with a cleared bitmap). Tiny sets use
+/// an unrolled compare chain; larger ones binary-search the sorted list.
+void RunInSet(const int32_t* codes, size_t n,
+              const std::vector<int32_t>& set, SelectionBitmap* out) {
+  if (set.size() == 1) {
+    int32_t c0 = set[0];
+    PackKernel(codes, n, [c0](int32_t x) { return x == c0; }, out);
+  } else if (set.size() <= 4) {
+    int32_t c[4] = {set[0], set[set.size() > 1 ? 1 : 0],
+                    set[set.size() > 2 ? 2 : 0],
+                    set[set.size() > 3 ? 3 : 0]};
+    size_t k = set.size();
+    PackKernel(codes, n,
+               [c, k](int32_t x) {
+                 bool m = x == c[0] || x == c[1];
+                 if (k > 2) m = m || x == c[2];
+                 if (k > 3) m = m || x == c[3];
+                 return m;
+               },
+               out);
+  } else {
+    const int32_t* lo = set.data();
+    const int32_t* hi = set.data() + set.size();
+    PackKernel(codes, n,
+               [lo, hi](int32_t x) { return std::binary_search(lo, hi, x); },
+               out);
+  }
+}
+
+}  // namespace
+
+void BitmapEvaluator::EvalPredicate(const PredProgram& prog,
+                                    const storage::Partition& part,
+                                    SelectionBitmap* out) {
+  const size_t n = part.num_rows();
+  if (prog.always_true) {
+    out->ResetForOverwrite(n);
+    out->SetAll();
+    return;
+  }
+  if (bitmap_stack_.size() < prog.max_stack) {
+    bitmap_stack_.resize(prog.max_stack);
+  }
+  size_t top = 0;  // next free stack slot
+  for (const PredInstr& in : prog.instrs) {
+    switch (in.op) {
+      case PredInstr::Op::kTrue: {
+        SelectionBitmap& bm = bitmap_stack_[top++];
+        bm.ResetForOverwrite(n);
+        bm.SetAll();
+        break;
+      }
+      case PredInstr::Op::kCmpConst: {
+        SelectionBitmap& bm = bitmap_stack_[top++];
+        bm.ResetForOverwrite(n);
+        RunCompare(part.NumericSpan(in.column), n, in.cmp, in.value, &bm);
+        break;
+      }
+      case PredInstr::Op::kInSet: {
+        SelectionBitmap& bm = bitmap_stack_[top++];
+        if (in.codes.empty()) {
+          bm.Reset(n);
+          break;
+        }
+        bm.ResetForOverwrite(n);
+        RunInSet(part.CodeSpan(in.column), n, in.codes, &bm);
+        break;
+      }
+      case PredInstr::Op::kAnd: {
+        assert(top >= in.arity);
+        SelectionBitmap& dst = bitmap_stack_[top - in.arity];
+        for (size_t k = top - in.arity + 1; k < top; ++k) {
+          dst.AndWith(bitmap_stack_[k]);
+        }
+        top -= in.arity - 1;
+        break;
+      }
+      case PredInstr::Op::kOr: {
+        assert(top >= in.arity);
+        SelectionBitmap& dst = bitmap_stack_[top - in.arity];
+        for (size_t k = top - in.arity + 1; k < top; ++k) {
+          dst.OrWith(bitmap_stack_[k]);
+        }
+        top -= in.arity - 1;
+        break;
+      }
+      case PredInstr::Op::kNot: {
+        assert(top >= 1);
+        bitmap_stack_[top - 1].NotSelf();
+        break;
+      }
+    }
+  }
+  assert(top == 1);
+  // Hand the result back through `out` without copying the words.
+  std::swap(*out, bitmap_stack_[0]);
+}
+
+double BitmapEvaluator::EvalExprAt(const ExprProgram& prog,
+                                   const storage::Partition& part,
+                                   size_t row) {
+  if (value_stack_.size() < prog.max_stack) {
+    value_stack_.resize(prog.max_stack);
+  }
+  double* stack = value_stack_.data();
+  size_t top = 0;
+  // Pops the rhs for a binary op: the fused constant, or the stack top.
+  auto rhs_of = [&](const ExprInstr& in) {
+    if (in.fused_const) return in.value;
+    return stack[--top];
+  };
+  for (const ExprInstr& in : prog.instrs) {
+    switch (in.op) {
+      case ExprInstr::Op::kLoadColumn:
+        stack[top++] = part.NumericSpan(in.column)[row];
+        break;
+      case ExprInstr::Op::kLoadConst:
+        stack[top++] = in.value;
+        break;
+      case ExprInstr::Op::kAdd: {
+        double b = rhs_of(in);
+        double& a = stack[top - 1];
+        a = in.const_is_lhs ? b + a : a + b;
+        break;
+      }
+      case ExprInstr::Op::kSub: {
+        double b = rhs_of(in);
+        double& a = stack[top - 1];
+        a = in.const_is_lhs ? b - a : a - b;
+        break;
+      }
+      case ExprInstr::Op::kMul: {
+        double b = rhs_of(in);
+        double& a = stack[top - 1];
+        a = in.const_is_lhs ? b * a : a * b;
+        break;
+      }
+      case ExprInstr::Op::kDiv: {
+        double b = rhs_of(in);
+        double& a = stack[top - 1];
+        double num = in.const_is_lhs ? b : a;
+        double den = in.const_is_lhs ? a : b;
+        a = den == 0.0 ? 0.0 : num / den;
+        break;
+      }
+    }
+  }
+  assert(top == 1);
+  return stack[0];
+}
+
+void BitmapEvaluator::EvalExprDense(const ExprProgram& prog,
+                                    const storage::Partition& part,
+                                    std::vector<double>* out) {
+  const size_t n = part.num_rows();
+  if (buffer_stack_.size() < prog.max_stack) {
+    buffer_stack_.resize(prog.max_stack);
+  }
+  size_t top = 0;
+  for (const ExprInstr& in : prog.instrs) {
+    switch (in.op) {
+      case ExprInstr::Op::kLoadColumn: {
+        std::vector<double>& buf = buffer_stack_[top++];
+        const double* v = part.NumericSpan(in.column);
+        buf.assign(v, v + n);
+        break;
+      }
+      case ExprInstr::Op::kLoadConst: {
+        std::vector<double>& buf = buffer_stack_[top++];
+        buf.assign(n, in.value);
+        break;
+      }
+      case ExprInstr::Op::kAdd: {
+        if (in.fused_const) {
+          double c = in.value;
+          double* a = buffer_stack_[top - 1].data();
+          if (in.const_is_lhs) {
+            for (size_t i = 0; i < n; ++i) a[i] = c + a[i];
+          } else {
+            for (size_t i = 0; i < n; ++i) a[i] += c;
+          }
+          break;
+        }
+        --top;
+        double* a = buffer_stack_[top - 1].data();
+        const double* b = buffer_stack_[top].data();
+        for (size_t i = 0; i < n; ++i) a[i] += b[i];
+        break;
+      }
+      case ExprInstr::Op::kSub: {
+        if (in.fused_const) {
+          double c = in.value;
+          double* a = buffer_stack_[top - 1].data();
+          if (in.const_is_lhs) {
+            for (size_t i = 0; i < n; ++i) a[i] = c - a[i];
+          } else {
+            for (size_t i = 0; i < n; ++i) a[i] -= c;
+          }
+          break;
+        }
+        --top;
+        double* a = buffer_stack_[top - 1].data();
+        const double* b = buffer_stack_[top].data();
+        for (size_t i = 0; i < n; ++i) a[i] -= b[i];
+        break;
+      }
+      case ExprInstr::Op::kMul: {
+        if (in.fused_const) {
+          double c = in.value;
+          double* a = buffer_stack_[top - 1].data();
+          if (in.const_is_lhs) {
+            for (size_t i = 0; i < n; ++i) a[i] = c * a[i];
+          } else {
+            for (size_t i = 0; i < n; ++i) a[i] *= c;
+          }
+          break;
+        }
+        --top;
+        double* a = buffer_stack_[top - 1].data();
+        const double* b = buffer_stack_[top].data();
+        for (size_t i = 0; i < n; ++i) a[i] *= b[i];
+        break;
+      }
+      case ExprInstr::Op::kDiv: {
+        if (in.fused_const) {
+          double c = in.value;
+          double* a = buffer_stack_[top - 1].data();
+          if (in.const_is_lhs) {
+            for (size_t i = 0; i < n; ++i) {
+              a[i] = a[i] == 0.0 ? 0.0 : c / a[i];
+            }
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              a[i] = c == 0.0 ? 0.0 : a[i] / c;
+            }
+          }
+          break;
+        }
+        --top;
+        double* a = buffer_stack_[top - 1].data();
+        const double* b = buffer_stack_[top].data();
+        for (size_t i = 0; i < n; ++i) {
+          a[i] = b[i] == 0.0 ? 0.0 : a[i] / b[i];
+        }
+        break;
+      }
+    }
+  }
+  assert(top == 1);
+  std::swap(*out, buffer_stack_[0]);
+}
+
+}  // namespace ps3::query

@@ -1,0 +1,160 @@
+#include "query/compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps3::query {
+
+namespace {
+
+/// Emits `pred` in post-order and returns the stack height consumed by the
+/// subtree's result (always 1); tracks the high-water mark in `max_stack`.
+void EmitPredicate(const Predicate& pred, size_t depth,
+                   std::vector<PredInstr>* instrs, size_t* max_stack) {
+  *max_stack = std::max(*max_stack, depth + 1);
+  switch (pred.kind()) {
+    case Predicate::Kind::kTrue: {
+      PredInstr in;
+      in.op = PredInstr::Op::kTrue;
+      instrs->push_back(std::move(in));
+      return;
+    }
+    case Predicate::Kind::kClause: {
+      const Clause& c = pred.clause();
+      PredInstr in;
+      in.column = c.column;
+      if (c.categorical) {
+        in.op = PredInstr::Op::kInSet;
+        in.codes = c.in_codes;
+        std::sort(in.codes.begin(), in.codes.end());
+        in.codes.erase(std::unique(in.codes.begin(), in.codes.end()),
+                       in.codes.end());
+      } else {
+        in.op = PredInstr::Op::kCmpConst;
+        in.cmp = c.op;
+        in.value = c.value;
+      }
+      instrs->push_back(std::move(in));
+      return;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      const auto& children = pred.children();
+      for (size_t i = 0; i < children.size(); ++i) {
+        EmitPredicate(*children[i], depth + i, instrs, max_stack);
+      }
+      PredInstr in;
+      in.op = pred.kind() == Predicate::Kind::kAnd ? PredInstr::Op::kAnd
+                                                   : PredInstr::Op::kOr;
+      in.arity = children.size();
+      instrs->push_back(std::move(in));
+      return;
+    }
+    case Predicate::Kind::kNot: {
+      EmitPredicate(*pred.children()[0], depth, instrs, max_stack);
+      PredInstr in;
+      in.op = PredInstr::Op::kNot;
+      instrs->push_back(std::move(in));
+      return;
+    }
+  }
+}
+
+void EmitExpr(const Expr& expr, size_t depth, std::vector<ExprInstr>* instrs,
+              size_t* max_stack) {
+  *max_stack = std::max(*max_stack, depth + 1);
+  switch (expr.kind()) {
+    case Expr::Kind::kColumn: {
+      ExprInstr in;
+      in.op = ExprInstr::Op::kLoadColumn;
+      in.column = expr.column();
+      instrs->push_back(in);
+      return;
+    }
+    case Expr::Kind::kConst: {
+      ExprInstr in;
+      in.op = ExprInstr::Op::kLoadConst;
+      in.value = expr.constant();
+      instrs->push_back(in);
+      return;
+    }
+    default: {
+      ExprInstr in;
+      switch (expr.kind()) {
+        case Expr::Kind::kAdd:
+          in.op = ExprInstr::Op::kAdd;
+          break;
+        case Expr::Kind::kSub:
+          in.op = ExprInstr::Op::kSub;
+          break;
+        case Expr::Kind::kMul:
+          in.op = ExprInstr::Op::kMul;
+          break;
+        default:
+          in.op = ExprInstr::Op::kDiv;
+          break;
+      }
+      const Expr& lhs = *expr.lhs();
+      const Expr& rhs = *expr.rhs();
+      // Fuse a constant operand into the op instead of emitting it as a
+      // stack entry (unless both sides are constant; then the lhs is a
+      // plain kLoadConst and the rhs fuses).
+      if (rhs.kind() == Expr::Kind::kConst) {
+        EmitExpr(lhs, depth, instrs, max_stack);
+        in.fused_const = true;
+        in.value = rhs.constant();
+      } else if (lhs.kind() == Expr::Kind::kConst) {
+        EmitExpr(rhs, depth, instrs, max_stack);
+        in.fused_const = true;
+        in.const_is_lhs = true;
+        in.value = lhs.constant();
+      } else {
+        EmitExpr(lhs, depth, instrs, max_stack);
+        EmitExpr(rhs, depth + 1, instrs, max_stack);
+      }
+      instrs->push_back(in);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+PredProgram CompilePredicate(const PredicatePtr& pred) {
+  PredProgram prog;
+  const Predicate& root = pred ? *pred : *Predicate::True();
+  EmitPredicate(root, 0, &prog.instrs, &prog.max_stack);
+  prog.always_true = prog.instrs.size() == 1 &&
+                     prog.instrs[0].op == PredInstr::Op::kTrue;
+  return prog;
+}
+
+ExprProgram CompileExpr(const ExprPtr& expr) {
+  ExprProgram prog;
+  assert(expr);
+  EmitExpr(*expr, 0, &prog.instrs, &prog.max_stack);
+  return prog;
+}
+
+CompiledQuery CompileQuery(const Query& query) {
+  CompiledQuery cq;
+  cq.predicate = CompilePredicate(query.EffectivePredicate());
+  cq.group_by = query.group_by;
+  cq.aggregates.reserve(query.aggregates.size());
+  for (const Aggregate& agg : query.aggregates) {
+    CompiledAggregate ca;
+    ca.func = agg.func;
+    if (agg.expr) {
+      ca.has_expr = true;
+      ca.expr = CompileExpr(agg.expr);
+    }
+    if (agg.filter) {
+      ca.has_filter = true;
+      ca.filter = CompilePredicate(agg.filter);
+    }
+    cq.aggregates.push_back(std::move(ca));
+  }
+  return cq;
+}
+
+}  // namespace ps3::query

@@ -1,0 +1,94 @@
+// Query compilation for the vectorized engine: flattens the shared_ptr
+// Predicate / Expr ASTs once per query into post-order programs of
+// column-kernel ops. The programs are plain value types (no pointer
+// chasing, no virtual dispatch) that a BitmapEvaluator executes per
+// partition over raw column spans.
+#ifndef PS3_QUERY_COMPILER_H_
+#define PS3_QUERY_COMPILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace ps3::query {
+
+/// One instruction of a compiled predicate, executed on a stack of
+/// selection bitmaps.
+struct PredInstr {
+  enum class Op {
+    kTrue,      ///< push an all-ones bitmap
+    kCmpConst,  ///< push bitmap of `column cmp value` (numeric kernel)
+    kInSet,     ///< push bitmap of `column IN codes` (categorical kernel)
+    kAnd,       ///< pop `arity` bitmaps, push their conjunction
+    kOr,        ///< pop `arity` bitmaps, push their disjunction
+    kNot,       ///< complement the top bitmap in place
+  };
+
+  Op op = Op::kTrue;
+  size_t column = 0;
+  CompareOp cmp = CompareOp::kLt;
+  double value = 0.0;
+  std::vector<int32_t> codes;  ///< sorted, deduplicated IN-set
+  size_t arity = 0;            ///< kAnd/kOr child count
+};
+
+struct PredProgram {
+  std::vector<PredInstr> instrs;  ///< post-order
+  size_t max_stack = 0;           ///< bitmap stack slots needed
+  /// True when the program is a single kTrue (lets executors skip the
+  /// all-ones materialization and aggregation skip the bit test).
+  bool always_true = false;
+};
+
+/// Compiles a predicate AST. A null pointer compiles like Predicate::True.
+PredProgram CompilePredicate(const PredicatePtr& pred);
+
+/// One instruction of a compiled scalar expression, executed on a value
+/// stack (per row) or a buffer stack (columnar). Binary ops with one
+/// constant operand are fused (`fused_const`): the constant rides in
+/// `value` instead of being materialized as a stack entry, which saves a
+/// full n-element buffer fill + read per constant on the dense path.
+/// `const_is_lhs` preserves the operand order of the source AST, keeping
+/// results bit-identical for the non-commutative ops.
+struct ExprInstr {
+  enum class Op { kLoadColumn, kLoadConst, kAdd, kSub, kMul, kDiv };
+
+  Op op = Op::kLoadConst;
+  size_t column = 0;
+  double value = 0.0;
+  bool fused_const = false;
+  bool const_is_lhs = false;
+};
+
+struct ExprProgram {
+  std::vector<ExprInstr> instrs;  ///< post-order
+  size_t max_stack = 0;           ///< value-stack slots needed
+};
+
+ExprProgram CompileExpr(const ExprPtr& expr);
+
+/// Aggregate with its expression and CASE-filter pre-compiled.
+struct CompiledAggregate {
+  AggFunc func = AggFunc::kSum;
+  bool has_expr = false;
+  ExprProgram expr;
+  bool has_filter = false;
+  PredProgram filter;
+};
+
+/// Whole-query compilation artifact: built once per query, reused across
+/// every partition (and across threads; execution scratch lives in the
+/// per-thread BitmapEvaluator, not here).
+struct CompiledQuery {
+  PredProgram predicate;
+  std::vector<CompiledAggregate> aggregates;
+  std::vector<size_t> group_by;
+};
+
+CompiledQuery CompileQuery(const Query& query);
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_COMPILER_H_

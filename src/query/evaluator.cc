@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "common/thread_pool.h"
+#include "query/bitmap_evaluator.h"
+#include "query/compiler.h"
+
 namespace ps3::query {
 
 namespace {
@@ -17,6 +21,196 @@ int64_t EncodeGroupValue(const storage::Partition& part, size_t col,
   int64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   return bits;
+}
+
+// ------------------------------------------------------------------
+// Vectorized execution.
+
+/// Cap on the dense group-id space (product of GROUP BY dictionary sizes).
+/// Above this the engine falls back to hash-probing over set bits only.
+constexpr size_t kMaxDenseGroups = size_t{1} << 20;
+
+/// Dense expression materialization threshold: below this selected-row
+/// fraction, evaluating the expression only at set bits beats touching
+/// every row columnar.
+constexpr double kDenseExprFraction = 0.25;
+
+/// Per-thread scratch. Bitmaps, expression buffers and the dense group-id
+/// table are reused across all partitions a thread scans.
+struct VectorScratch {
+  BitmapEvaluator be;
+  SelectionBitmap main;
+  std::vector<SelectionBitmap> agg_bitmaps;
+  std::vector<std::vector<double>> agg_values;
+  std::vector<int32_t> slot_of;  ///< group id -> dense slot, -1 = unseen
+  std::vector<size_t> touched;   ///< ids to reset after each partition
+  std::vector<const double*> agg_ptr;  ///< dense expr values per aggregate
+  // Dense group-id path containers, reused (cleared, not reconstructed)
+  // across partitions.
+  std::vector<const int32_t*> gcodes;
+  std::vector<size_t> strides;
+  std::vector<GroupKey> keys;
+  std::vector<std::vector<AggAccum>> groups;
+};
+
+VectorScratch& LocalScratch() {
+  static thread_local VectorScratch scratch;
+  return scratch;
+}
+
+PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
+                                   const storage::Partition& part,
+                                   VectorScratch* s) {
+  const size_t n = part.num_rows();
+  const size_t n_aggs = cq.aggregates.size();
+  PartitionAnswer answer;
+  if (n == 0) return answer;
+
+  s->be.EvalPredicate(cq.predicate, part, &s->main);
+  const size_t selected = cq.predicate.always_true ? n : s->main.CountOnes();
+  if (selected == 0) return answer;
+
+  // Per-aggregate effective bitmaps: CASE filter ∧ main predicate.
+  if (s->agg_bitmaps.size() < n_aggs) s->agg_bitmaps.resize(n_aggs);
+  if (s->agg_values.size() < n_aggs) s->agg_values.resize(n_aggs);
+  for (size_t a = 0; a < n_aggs; ++a) {
+    if (!cq.aggregates[a].has_filter) continue;
+    s->be.EvalPredicate(cq.aggregates[a].filter, part, &s->agg_bitmaps[a]);
+    s->agg_bitmaps[a].AndWith(s->main);
+  }
+
+  // Expression values: columnar when the selection is dense, else lazy at
+  // set bits. Per-row values are bit-identical either way. A bare-column
+  // expression (SUM(col)) reads the storage span directly instead of
+  // materializing a copy.
+  const bool dense_expr =
+      static_cast<double>(selected) >=
+      kDenseExprFraction * static_cast<double>(n);
+  if (s->agg_ptr.size() < n_aggs) s->agg_ptr.resize(n_aggs);
+  if (dense_expr) {
+    for (size_t a = 0; a < n_aggs; ++a) {
+      const CompiledAggregate& ca = cq.aggregates[a];
+      if (!ca.has_expr) continue;
+      if (ca.expr.instrs.size() == 1 &&
+          ca.expr.instrs[0].op == ExprInstr::Op::kLoadColumn) {
+        s->agg_ptr[a] = part.NumericSpan(ca.expr.instrs[0].column);
+        continue;
+      }
+      s->be.EvalExprDense(ca.expr, part, &s->agg_values[a]);
+      s->agg_ptr[a] = s->agg_values[a].data();
+    }
+  }
+  auto expr_value = [&](size_t a, size_t r) {
+    return dense_expr ? s->agg_ptr[a][r]
+                      : s->be.EvalExprAt(cq.aggregates[a].expr, part, r);
+  };
+
+  // ---- single-group fast path (no GROUP BY): bulk count + ordered sum.
+  if (cq.group_by.empty()) {
+    auto [it, inserted] = answer.try_emplace(GroupKey{});
+    (void)inserted;
+    it->second.resize(n_aggs);
+    for (size_t a = 0; a < n_aggs; ++a) {
+      const CompiledAggregate& ca = cq.aggregates[a];
+      const SelectionBitmap& eff =
+          ca.has_filter ? s->agg_bitmaps[a] : s->main;
+      AggAccum& acc = it->second[a];
+      acc.count = static_cast<double>(ca.has_filter ? eff.CountOnes()
+                                                    : selected);
+      if (ca.has_expr) {
+        double sum = 0.0;
+        if (dense_expr) {
+          const double* vals = s->agg_ptr[a];
+          eff.ForEachSetBit([&](size_t r) { sum += vals[r]; });
+        } else {
+          eff.ForEachSetBit(
+              [&](size_t r) { sum += s->be.EvalExprAt(ca.expr, part, r); });
+        }
+        acc.sum = sum;
+      }
+    }
+    return answer;
+  }
+
+  // Row-wise accumulation shared by both grouped paths; iteration over set
+  // bits in ascending row order keeps every accumulator bit-identical to
+  // the scalar loop.
+  auto accumulate = [&](std::vector<AggAccum>& accs, size_t r) {
+    for (size_t a = 0; a < n_aggs; ++a) {
+      const CompiledAggregate& ca = cq.aggregates[a];
+      if (ca.has_filter && !s->agg_bitmaps[a].Test(r)) continue;
+      AggAccum& acc = accs[a];
+      acc.count += 1.0;
+      if (ca.has_expr) acc.sum += expr_value(a, r);
+    }
+  };
+
+  // ---- dictionary-coded dense group-id path: all GROUP BY columns
+  // categorical and the id space (product of dictionary sizes) small.
+  const auto& schema = part.table().schema();
+  bool dense_groups = true;
+  size_t space = 1;
+  s->gcodes.clear();
+  s->strides.clear();
+  for (size_t col : cq.group_by) {
+    if (!schema.IsCategorical(col)) {
+      dense_groups = false;
+      break;
+    }
+    size_t dict_size = std::max<size_t>(part.table().column(col).dict()->size(), 1);
+    if (space > kMaxDenseGroups / dict_size) {
+      dense_groups = false;
+      break;
+    }
+    s->strides.push_back(space);
+    space *= dict_size;
+    s->gcodes.push_back(part.CodeSpan(col));
+  }
+
+  if (dense_groups) {
+    if (s->slot_of.size() < space) s->slot_of.resize(space, -1);
+    s->keys.clear();
+    s->groups.clear();
+    const int32_t* const* gcodes = s->gcodes.data();
+    const size_t* strides = s->strides.data();
+    const size_t n_gcols = s->gcodes.size();
+    s->main.ForEachSetBit([&](size_t r) {
+      size_t id = 0;
+      for (size_t g = 0; g < n_gcols; ++g) {
+        id += static_cast<size_t>(gcodes[g][r]) * strides[g];
+      }
+      int32_t slot = s->slot_of[id];
+      if (slot < 0) {
+        slot = static_cast<int32_t>(s->groups.size());
+        s->slot_of[id] = slot;
+        s->touched.push_back(id);
+        GroupKey key(n_gcols);
+        for (size_t g = 0; g < n_gcols; ++g) key[g] = gcodes[g][r];
+        s->keys.push_back(std::move(key));
+        s->groups.emplace_back(n_aggs);
+      }
+      accumulate(s->groups[static_cast<size_t>(slot)], r);
+    });
+    for (size_t id : s->touched) s->slot_of[id] = -1;
+    s->touched.clear();
+    answer.reserve(s->groups.size());
+    for (size_t i = 0; i < s->groups.size(); ++i) {
+      answer.emplace(std::move(s->keys[i]), std::move(s->groups[i]));
+    }
+    return answer;
+  }
+
+  // ---- generic grouped path: hash-probe, but only at set bits.
+  GroupKey key(cq.group_by.size());
+  s->main.ForEachSetBit([&](size_t r) {
+    for (size_t g = 0; g < cq.group_by.size(); ++g) {
+      key[g] = EncodeGroupValue(part, cq.group_by[g], r);
+    }
+    auto [it, inserted] = answer.try_emplace(key);
+    if (inserted) it->second.resize(n_aggs);
+    accumulate(it->second, r);
+  });
+  return answer;
 }
 
 }  // namespace
@@ -45,14 +239,73 @@ PartitionAnswer EvaluateOnPartition(const Query& query,
   return answer;
 }
 
+PartitionAnswer EvaluateOnPartition(const Query& query,
+                                    const storage::Partition& part,
+                                    ExecPolicy policy) {
+  if (policy == ExecPolicy::kScalar) {
+    return EvaluateOnPartition(query, part);
+  }
+  CompiledQuery cq = CompileQuery(query);
+  return EvaluateVectorized(cq, part, &LocalScratch());
+}
+
 std::vector<PartitionAnswer> EvaluateAllPartitions(
     const Query& query, const storage::PartitionedTable& table) {
-  std::vector<PartitionAnswer> out;
-  out.reserve(table.num_partitions());
-  for (size_t i = 0; i < table.num_partitions(); ++i) {
-    out.push_back(EvaluateOnPartition(query, table.partition(i)));
+  return EvaluateAllPartitions(query, table, ExecOptions{});
+}
+
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::PartitionedTable& table,
+    const ExecOptions& opts) {
+  const size_t n_parts = table.num_partitions();
+  std::vector<PartitionAnswer> out(n_parts);
+  ThreadPool pool(opts.num_threads);
+  if (opts.policy == ExecPolicy::kScalar) {
+    pool.ParallelFor(n_parts, [&](size_t i) {
+      out[i] = EvaluateOnPartition(query, table.partition(i));
+    });
+    return out;
   }
+  // Compile once, execute everywhere; scratch is per worker thread.
+  const CompiledQuery cq = CompileQuery(query);
+  pool.ParallelFor(n_parts, [&](size_t i) {
+    out[i] = EvaluateVectorized(cq, table.partition(i), &LocalScratch());
+  });
   return out;
+}
+
+size_t CountMatchingRows(const PredicatePtr& pred,
+                         const storage::PartitionedTable& table,
+                         const ExecOptions& opts) {
+  const size_t n_parts = table.num_partitions();
+  std::vector<size_t> counts(n_parts, 0);
+  ThreadPool pool(opts.num_threads);
+  if (opts.policy == ExecPolicy::kScalar) {
+    const PredicatePtr& p = pred ? pred : Predicate::True();
+    pool.ParallelFor(n_parts, [&](size_t i) {
+      storage::Partition part = table.partition(i);
+      size_t c = 0;
+      for (size_t r = 0; r < part.num_rows(); ++r) {
+        if (p->Matches(part, r)) ++c;
+      }
+      counts[i] = c;
+    });
+  } else {
+    const PredProgram prog = CompilePredicate(pred);
+    pool.ParallelFor(n_parts, [&](size_t i) {
+      storage::Partition part = table.partition(i);
+      if (prog.always_true) {
+        counts[i] = part.num_rows();
+        return;
+      }
+      VectorScratch& s = LocalScratch();
+      s.be.EvalPredicate(prog, part, &s.main);
+      counts[i] = s.main.CountOnes();
+    });
+  }
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  return total;
 }
 
 double FinalizeAgg(AggFunc func, const AggAccum& acc) {

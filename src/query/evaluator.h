@@ -4,6 +4,18 @@
 // (sum, count) accumulators. Weighted combination scales accumulators by
 // the partition weight and finalizes SUM/COUNT/AVG at the end, which makes
 // AVG correct under weighting (weighted sum / weighted count).
+//
+// Two execution policies produce bit-identical answers:
+//  - kScalar: the reference row-at-a-time interpreter (predicate AST walk
+//    per row, hash-map probe per row);
+//  - kVectorized: the batch engine — the predicate is compiled once per
+//    query into a post-order program of column kernels, executed per
+//    partition into a word-packed SelectionBitmap, and aggregation runs
+//    over set bits with a single-group fast path (no GROUP BY) or a
+//    dictionary-coded dense group-id path (categorical GROUP BYs).
+// Bit-identity holds because every per-group accumulator sees the same
+// floating-point additions in the same (ascending row) order under both
+// policies.
 #ifndef PS3_QUERY_EVALUATOR_H_
 #define PS3_QUERY_EVALUATOR_H_
 
@@ -23,9 +35,13 @@ using GroupKey = std::vector<int64_t>;
 
 struct GroupKeyHash {
   size_t operator()(const GroupKey& k) const {
-    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    // Seed with the key length and finalize with a full avalanche pass:
+    // single-column keys of small dictionary codes otherwise land in
+    // clustered buckets (HashCombine alone does not mix high bits down).
+    uint64_t h = Mix64(0x9E3779B97F4A7C15ULL ^
+                       (static_cast<uint64_t>(k.size()) + 1));
     for (int64_t v : k) h = HashCombine(h, HashInt(v));
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(Mix64(h));
   }
 };
 
@@ -47,13 +63,48 @@ using PartitionAnswer =
 using QueryAnswer =
     std::unordered_map<GroupKey, std::vector<double>, GroupKeyHash>;
 
-/// Evaluates the query exactly on one partition.
+/// Execution policy for partition scans.
+enum class ExecPolicy {
+  kScalar,      ///< reference row-at-a-time interpreter
+  kVectorized,  ///< compiled predicates + selection bitmaps
+};
+
+/// Options for whole-table evaluation.
+struct ExecOptions {
+  ExecPolicy policy = ExecPolicy::kVectorized;
+  /// Worker threads for per-partition parallelism. 0 = all hardware
+  /// threads; 1 = fully inline. Results are identical for any value: each
+  /// partition is independent and the reduction is ordered by index.
+  int num_threads = 0;
+};
+
+/// Evaluates the query exactly on one partition with the scalar policy.
 PartitionAnswer EvaluateOnPartition(const Query& query,
                                     const storage::Partition& part);
 
-/// Evaluates the query exactly on every partition.
+/// Evaluates the query exactly on one partition under `policy`. The
+/// vectorized policy compiles the query per call; prefer
+/// EvaluateAllPartitions for whole-table scans (compiles once).
+PartitionAnswer EvaluateOnPartition(const Query& query,
+                                    const storage::Partition& part,
+                                    ExecPolicy policy);
+
+/// Evaluates the query exactly on every partition (vectorized, all
+/// hardware threads).
 std::vector<PartitionAnswer> EvaluateAllPartitions(
     const Query& query, const storage::PartitionedTable& table);
+
+/// Same, with explicit policy / thread count.
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::PartitionedTable& table,
+    const ExecOptions& opts);
+
+/// Total rows matching `pred` over all partitions. The vectorized policy
+/// is a pure bitmap-popcount pass (no aggregation state); used for exact
+/// selectivity labeling. A null predicate counts every row.
+size_t CountMatchingRows(const PredicatePtr& pred,
+                         const storage::PartitionedTable& table,
+                         const ExecOptions& opts = {});
 
 /// One weighted partition choice (§2.4).
 struct WeightedPartition {

@@ -1,0 +1,115 @@
+// Word-packed selection bitmap: one bit per row of a partition, the shared
+// currency of the vectorized execution engine. Predicate kernels produce
+// bitmaps, boolean combinators merge them word-wise, and aggregation
+// kernels consume them via popcount / set-bit iteration.
+//
+// Invariant: bits at positions >= num_bits() in the last word are always
+// zero, so CountOnes and word-wise AND/OR need no tail handling; only NOT
+// re-masks the tail.
+#ifndef PS3_QUERY_SELECTION_BITMAP_H_
+#define PS3_QUERY_SELECTION_BITMAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ps3::query {
+
+class SelectionBitmap {
+ public:
+  SelectionBitmap() = default;
+  explicit SelectionBitmap(size_t num_bits) { Reset(num_bits); }
+
+  /// Resizes to `num_bits` bits, all clear. Reuses capacity across calls so
+  /// a scratch bitmap can serve many partitions without reallocating.
+  void Reset(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign(NumWords(num_bits), 0);
+  }
+
+  /// Resizes without clearing: for kernels that overwrite every word
+  /// (including the tail word's high bits) before the bitmap is read.
+  void ResetForOverwrite(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.resize(NumWords(num_bits));
+  }
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  bool Test(size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void ClearAll() {
+    std::memset(words_.data(), 0, words_.size() * sizeof(uint64_t));
+  }
+
+  void SetAll() {
+    std::memset(words_.data(), 0xFF, words_.size() * sizeof(uint64_t));
+    MaskTail();
+  }
+
+  size_t CountOnes() const {
+    size_t ones = 0;
+    for (uint64_t w : words_) ones += __builtin_popcountll(w);
+    return ones;
+  }
+
+  void AndWith(const SelectionBitmap& other) {
+    assert(other.num_bits_ == num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  void OrWith(const SelectionBitmap& other) {
+    assert(other.num_bits_ == num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  void NotSelf() {
+    for (uint64_t& w : words_) w = ~w;
+    MaskTail();
+  }
+
+  /// Calls fn(row) for every set bit in ascending row order. Ascending
+  /// order is what keeps vectorized aggregation bit-identical to the
+  /// scalar row loop: per-group accumulators see additions in row order.
+  template <typename Fn>
+  void ForEachSetBit(Fn fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn((w << 6) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  static size_t NumWords(size_t num_bits) { return (num_bits + 63) / 64; }
+
+ private:
+  void MaskTail() {
+    size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<uint64_t> words_;
+  size_t num_bits_ = 0;
+};
+
+}  // namespace ps3::query
+
+#endif  // PS3_QUERY_SELECTION_BITMAP_H_

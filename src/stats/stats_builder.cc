@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace ps3::stats {
 
@@ -31,12 +32,14 @@ ColumnStats StatsBuilder::BuildColumn(const storage::Partition& part,
   cs.exact_freq =
       sketch::ExactFrequencyTable(options_.exact_freq_max_distinct);
 
+  const size_t n = part.num_rows();
   std::vector<double> hist_values;
-  hist_values.reserve(part.num_rows());
+  hist_values.reserve(n);
 
   if (cs.categorical) {
-    for (size_t r = 0; r < part.num_rows(); ++r) {
-      int32_t code = part.CodeAt(col, r);
+    const int32_t* codes = part.CodeSpan(col);
+    for (size_t r = 0; r < n; ++r) {
+      int32_t code = codes[r];
       uint64_t h = HashInt(code);
       // Histogram over hashes of the strings (§3.1).
       hist_values.push_back(HashToUnit(h));
@@ -45,8 +48,9 @@ ColumnStats StatsBuilder::BuildColumn(const storage::Partition& part,
       cs.exact_freq.Update(code);
     }
   } else {
-    for (size_t r = 0; r < part.num_rows(); ++r) {
-      double v = part.NumericAt(col, r);
+    const double* values = part.NumericSpan(col);
+    for (size_t r = 0; r < n; ++r) {
+      double v = values[r];
       cs.measures.Update(v);
       hist_values.push_back(v);
       cs.akmv.UpdateHash(HashDouble(v));
@@ -63,15 +67,18 @@ TableStats StatsBuilder::Build(const storage::PartitionedTable& table) const {
   const size_t n_parts = table.num_partitions();
   const size_t n_cols = table.schema().num_columns();
 
+  // Per-partition sketch pass: partitions are independent, so the build
+  // parallelizes with an ordered (index-addressed) reduction.
   stats.partitions_.resize(n_parts);
-  for (size_t p = 0; p < n_parts; ++p) {
+  ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(n_parts, [&](size_t p) {
     storage::Partition part = table.partition(p);
     stats.partitions_[p].num_rows = part.num_rows();
     stats.partitions_[p].columns.reserve(n_cols);
     for (size_t c = 0; c < n_cols; ++c) {
       stats.partitions_[p].columns.push_back(BuildColumn(part, c));
     }
-  }
+  });
 
   // Global heavy hitters (§3.2): combine per-partition heavy hitters,
   // weight by their (lower-bound) counts, keep the top bitmap_k keys.

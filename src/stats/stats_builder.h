@@ -21,6 +21,10 @@ struct StatsOptions {
   size_t bitmap_k = 25;
   /// Columns eligible for GROUP BY; only these get occurrence bitmaps.
   std::vector<size_t> grouping_columns;
+  /// Worker threads for the per-partition sketch pass (0 = hardware).
+  /// Partitions are independent, so any thread count builds identical
+  /// statistics.
+  int num_threads = 0;
 };
 
 class StatsBuilder {

@@ -57,6 +57,13 @@ class Column {
 
   const std::vector<double>& numeric_data() const { return numeric_; }
   const std::vector<int32_t>& codes() const { return codes_; }
+
+  /// Raw contiguous views for vectorized kernels. `row` must be <= size();
+  /// the returned pointer covers rows [row, size()).
+  const double* NumericSpan(size_t row = 0) const {
+    return numeric_.data() + row;
+  }
+  const int32_t* CodeSpan(size_t row = 0) const { return codes_.data() + row; }
   Dictionary* dict() { return dict_.get(); }
   const Dictionary* dict() const { return dict_.get(); }
 

@@ -12,4 +12,12 @@ int32_t Partition::CodeAt(size_t col, size_t r) const {
   return table_->column(col).CodeAt(begin_ + r);
 }
 
+const double* Partition::NumericSpan(size_t col) const {
+  return table_->column(col).NumericSpan(begin_);
+}
+
+const int32_t* Partition::CodeSpan(size_t col) const {
+  return table_->column(col).CodeSpan(begin_);
+}
+
 }  // namespace ps3::storage

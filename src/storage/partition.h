@@ -25,6 +25,11 @@ class Partition {
   /// Dictionary code of categorical column `col` at partition-local row `r`.
   int32_t CodeAt(size_t col, size_t r) const;
 
+  /// Contiguous typed views over the partition's row range; index with
+  /// partition-local rows [0, num_rows()). The column's type must match.
+  const double* NumericSpan(size_t col) const;
+  const int32_t* CodeSpan(size_t col) const;
+
  private:
   const Table* table_;
   size_t begin_;

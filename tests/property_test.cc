@@ -7,10 +7,14 @@
 #include <numeric>
 #include <set>
 
+#include <cstring>
+
 #include "core/cluster_select.h"
 #include "core/lss_picker.h"
 #include "core/ps3_picker.h"
 #include "core/random_picker.h"
+#include "featurize/featurizer.h"
+#include "query/evaluator.h"
 #include "query/metrics.h"
 #include "sketch/histogram.h"
 #include "sketch/akmv.h"
@@ -281,6 +285,205 @@ TEST(EdgeCases, HistogramSingleRow) {
   EXPECT_DOUBLE_EQ(h.CdfLe(41.0), 0.0);
   auto b = h.RangeSelectivityBounds(40.0, 45.0);
   EXPECT_DOUBLE_EQ(b.upper, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Scalar vs vectorized execution equivalence on randomized queries.
+//
+// The vectorized engine must be bit-identical to the scalar interpreter:
+// same groups, and bitwise-equal (sum, count) accumulators, under any
+// thread count. Queries are drawn adversarially: nested AND/OR/NOT trees,
+// IN-lists (including empty and out-of-dictionary codes), all CompareOps,
+// CASE-filtered aggregates, and compound arithmetic including division.
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+query::PredicatePtr RandomPredicate(const storage::Table& t,
+                                    RandomEngine* rng, int depth) {
+  const auto& schema = t.schema();
+  double roll = rng->NextDouble();
+  if (depth <= 0 || roll < 0.45) {
+    size_t col = rng->NextUint64(schema.num_columns());
+    if (schema.IsCategorical(col)) {
+      auto dict_size =
+          static_cast<int64_t>(t.column(col).dict()->size());
+      size_t k = rng->NextUint64(5);  // 0 codes = empty IN-list
+      std::vector<int32_t> codes;
+      codes.reserve(k);
+      for (size_t i = 0; i < k; ++i) {
+        // Range [-1, dict_size]: occasionally absent codes.
+        codes.push_back(
+            static_cast<int32_t>(rng->NextInt64(-1, dict_size)));
+      }
+      return query::Predicate::CategoricalIn(col, std::move(codes));
+    }
+    auto op = static_cast<query::CompareOp>(rng->NextUint64(6));
+    double v = t.column(col).NumericAt(rng->NextUint64(t.num_rows()));
+    if (rng->NextBool(0.2)) v += rng->NextGaussian();
+    return query::Predicate::NumericCompare(col, op, v);
+  }
+  if (roll < 0.60) return query::Predicate::Not(RandomPredicate(t, rng, depth - 1));
+  size_t n_children = 2 + rng->NextUint64(2);
+  std::vector<query::PredicatePtr> children;
+  children.reserve(n_children);
+  for (size_t i = 0; i < n_children; ++i) {
+    children.push_back(RandomPredicate(t, rng, depth - 1));
+  }
+  return roll < 0.80 ? query::Predicate::And(std::move(children))
+                     : query::Predicate::Or(std::move(children));
+}
+
+query::Query RandomQuery(const storage::Table& t, RandomEngine* rng) {
+  const auto& schema = t.schema();
+  std::vector<size_t> numeric_cols;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.IsNumeric(c)) numeric_cols.push_back(c);
+  }
+  auto random_numeric = [&]() {
+    return numeric_cols[rng->NextUint64(numeric_cols.size())];
+  };
+
+  query::Query q;
+  q.aggregates.push_back(query::Aggregate::Count());
+  if (!numeric_cols.empty()) {
+    q.aggregates.push_back(
+        query::Aggregate::Sum(query::Expr::Column(random_numeric())));
+    // Compound expression with division (exercises the div-by-zero guard
+    // in both the AST walk and the compiled kernels).
+    auto expr = query::Expr::Div(
+        query::Expr::Mul(query::Expr::Column(random_numeric()),
+                         query::Expr::Sub(query::Expr::Const(1.0),
+                                          query::Expr::Column(random_numeric()))),
+        query::Expr::Add(query::Expr::Column(random_numeric()),
+                         query::Expr::Const(rng->NextBool(0.5) ? 0.0 : 2.0)));
+    q.aggregates.push_back(query::Aggregate::Avg(std::move(expr)));
+    q.aggregates.push_back(query::Aggregate::SumCase(
+        query::Expr::Column(random_numeric()),
+        RandomPredicate(t, rng, 1)));
+  }
+  if (rng->NextBool(0.8)) q.predicate = RandomPredicate(t, rng, 3);
+  double group_roll = rng->NextDouble();
+  if (group_roll > 0.4) {
+    std::set<size_t> group_cols;
+    size_t want = group_roll > 0.8 ? 2 : 1;
+    while (group_cols.size() < want) {
+      group_cols.insert(rng->NextUint64(schema.num_columns()));
+    }
+    q.group_by.assign(group_cols.begin(), group_cols.end());
+  }
+  return q;
+}
+
+void ExpectAnswersBitIdentical(
+    const std::vector<query::PartitionAnswer>& expected,
+    const std::vector<query::PartitionAnswer>& actual, const char* label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t p = 0; p < expected.size(); ++p) {
+    ASSERT_EQ(expected[p].size(), actual[p].size())
+        << label << " partition " << p;
+    for (const auto& [key, accs] : expected[p]) {
+      auto it = actual[p].find(key);
+      ASSERT_NE(it, actual[p].end()) << label << " partition " << p;
+      ASSERT_EQ(accs.size(), it->second.size());
+      for (size_t a = 0; a < accs.size(); ++a) {
+        EXPECT_EQ(BitsOf(accs[a].sum), BitsOf(it->second[a].sum))
+            << label << " partition " << p << " agg " << a;
+        EXPECT_EQ(BitsOf(accs[a].count), BitsOf(it->second[a].count))
+            << label << " partition " << p << " agg " << a;
+      }
+    }
+  }
+}
+
+struct EquivCase {
+  const char* name;
+  workload::DatasetBundle (*make)(size_t, uint64_t);
+  size_t rows;
+  size_t partitions;  // deliberately not a multiple of 64 rows/partition
+};
+
+class ExecEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(ExecEquivalence, RandomizedQueriesBitIdentical) {
+  auto bundle = GetParam().make(GetParam().rows, /*seed=*/13);
+  storage::PartitionedTable pt(bundle.table, GetParam().partitions);
+  RandomEngine rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    query::Query q = RandomQuery(*bundle.table, &rng);
+    auto scalar = query::EvaluateAllPartitions(
+        q, pt, {query::ExecPolicy::kScalar, 1});
+    auto vec1 = query::EvaluateAllPartitions(
+        q, pt, {query::ExecPolicy::kVectorized, 1});
+    auto vec4 = query::EvaluateAllPartitions(
+        q, pt, {query::ExecPolicy::kVectorized, 4});
+    ExpectAnswersBitIdentical(scalar, vec1, "vectorized-1t");
+    ExpectAnswersBitIdentical(scalar, vec4, "vectorized-4t");
+
+    // The finalized answers agree too (same combine path, same inputs).
+    auto exact_s = query::ExactAnswer(q, scalar);
+    auto exact_v = query::ExactAnswer(q, vec1);
+    ASSERT_EQ(exact_s.size(), exact_v.size());
+    for (const auto& [key, vals] : exact_s) {
+      auto it = exact_v.find(key);
+      ASSERT_NE(it, exact_v.end());
+      for (size_t a = 0; a < vals.size(); ++a) {
+        EXPECT_EQ(BitsOf(vals[a]), BitsOf(it->second[a]));
+      }
+    }
+
+    // Bitmap-popcount row counting agrees with the scalar interpreter.
+    EXPECT_EQ(query::CountMatchingRows(q.predicate, pt,
+                                       {query::ExecPolicy::kScalar, 1}),
+              query::CountMatchingRows(q.predicate, pt,
+                                       {query::ExecPolicy::kVectorized, 4}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, ExecEquivalence,
+    ::testing::Values(EquivCase{"tpch", workload::MakeTpchStar, 4000, 7},
+                      EquivCase{"aria", workload::MakeAria, 3000, 5},
+                      EquivCase{"kdd", workload::MakeKdd, 2000, 3}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ExecEquivalence, FeaturesInvariantToThreadCount) {
+  // Parallel stats build and parallel featurization must be bit-identical
+  // to the sequential versions for every feature (including the four
+  // query-specific selectivity features).
+  auto bundle = workload::MakeTpchStar(3000, 17);
+  storage::PartitionedTable pt(bundle.table, 6);
+  stats::StatsOptions opts1;
+  opts1.num_threads = 1;
+  stats::StatsOptions opts4 = opts1;
+  opts4.num_threads = 4;
+  auto stats1 = stats::StatsBuilder(opts1).Build(pt);
+  auto stats4 = stats::StatsBuilder(opts4).Build(pt);
+  featurize::Featurizer f1(bundle.table->schema(), &stats1, /*num_threads=*/1);
+  featurize::Featurizer f4(bundle.table->schema(), &stats4, /*num_threads=*/4);
+  RandomEngine rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    query::Query q = RandomQuery(*bundle.table, &rng);
+    auto sel1 = f1.ComputeSelectivity(q);
+    auto sel4 = f4.ComputeSelectivity(q);
+    ASSERT_EQ(sel1.size(), sel4.size());
+    for (size_t p = 0; p < sel1.size(); ++p) {
+      EXPECT_EQ(BitsOf(sel1[p].upper), BitsOf(sel4[p].upper));
+      EXPECT_EQ(BitsOf(sel1[p].indep), BitsOf(sel4[p].indep));
+      EXPECT_EQ(BitsOf(sel1[p].min_clause), BitsOf(sel4[p].min_clause));
+      EXPECT_EQ(BitsOf(sel1[p].max_clause), BitsOf(sel4[p].max_clause));
+      EXPECT_EQ(BitsOf(sel1[p].lower), BitsOf(sel4[p].lower));
+    }
+    auto fm1 = f1.BuildFeatures(q);
+    auto fm4 = f4.BuildFeatures(q);
+    ASSERT_EQ(fm1.data.size(), fm4.data.size());
+    for (size_t i = 0; i < fm1.data.size(); ++i) {
+      EXPECT_EQ(BitsOf(fm1.data[i]), BitsOf(fm4.data[i]));
+    }
+  }
 }
 
 TEST(EdgeCases, NotOfTruePredicateMatchesNothing) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
+#include "query/bitmap_evaluator.h"
+#include "query/compiler.h"
 #include "query/evaluator.h"
 #include "query/metrics.h"
 #include "query/query.h"
+#include "query/selection_bitmap.h"
 #include "storage/table.h"
 
 namespace ps3::query {
@@ -257,6 +261,156 @@ TEST(Metrics, AccumulateAndAverage) {
   EXPECT_DOUBLE_EQ(a.missed_groups, 0.1);
   EXPECT_DOUBLE_EQ(a.avg_rel_error, 0.3);
   EXPECT_DOUBLE_EQ(a.abs_over_true, 0.3);
+}
+
+// ---------------------------------------------------------------------
+// GroupKeyHash bucket spread.
+
+TEST(GroupKeyHash, SpreadsSmallSingleColumnCodes) {
+  // Single-column GROUP BY keys are small dictionary codes; their hashes
+  // must spread across buckets (the pre-fix constant-seeded HashCombine
+  // clustered them). With 4096 keys into 4096 buckets, a uniform hash
+  // occupies ~(1 - 1/e) ~ 63% distinct buckets.
+  GroupKeyHash hasher;
+  constexpr size_t kKeys = 4096;
+  std::set<size_t> buckets;
+  for (size_t v = 0; v < kKeys; ++v) {
+    buckets.insert(hasher(GroupKey{static_cast<int64_t>(v)}) % kKeys);
+  }
+  EXPECT_GT(buckets.size(), kKeys * 55 / 100);
+}
+
+TEST(GroupKeyHash, LengthChangesHash) {
+  // {0} vs {0,0} vs {} must not collide: the key length seeds the hash.
+  GroupKeyHash hasher;
+  size_t h0 = hasher(GroupKey{});
+  size_t h1 = hasher(GroupKey{0});
+  size_t h2 = hasher(GroupKey{0, 0});
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h0, h2);
+}
+
+TEST(GroupKeyHash, SpreadsTwoColumnKeys) {
+  GroupKeyHash hasher;
+  std::set<size_t> buckets;
+  constexpr size_t kSide = 64;  // 64x64 = 4096 keys
+  for (size_t a = 0; a < kSide; ++a) {
+    for (size_t b = 0; b < kSide; ++b) {
+      buckets.insert(hasher(GroupKey{static_cast<int64_t>(a),
+                                     static_cast<int64_t>(b)}) %
+                     (kSide * kSide));
+    }
+  }
+  EXPECT_GT(buckets.size(), kSide * kSide * 55 / 100);
+}
+
+// ---------------------------------------------------------------------
+// SelectionBitmap and the predicate compiler.
+
+TEST(SelectionBitmap, TailMaskingAndCounts) {
+  SelectionBitmap bm(70);  // deliberately not a multiple of 64
+  EXPECT_EQ(bm.CountOnes(), 0u);
+  bm.SetAll();
+  EXPECT_EQ(bm.CountOnes(), 70u);
+  bm.NotSelf();
+  EXPECT_EQ(bm.CountOnes(), 0u);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(69);
+  EXPECT_EQ(bm.CountOnes(), 3u);
+  std::vector<size_t> rows;
+  bm.ForEachSetBit([&](size_t r) { rows.push_back(r); });
+  EXPECT_EQ(rows, (std::vector<size_t>{0, 63, 69}));
+  bm.NotSelf();
+  EXPECT_EQ(bm.CountOnes(), 67u);
+}
+
+TEST(SelectionBitmap, WordwiseAndOr) {
+  SelectionBitmap a(100), b(100);
+  for (size_t i = 0; i < 100; i += 2) a.Set(i);
+  for (size_t i = 0; i < 100; i += 3) b.Set(i);
+  SelectionBitmap both = a;
+  both.AndWith(b);
+  EXPECT_EQ(both.CountOnes(), 17u);  // multiples of 6 in [0, 100)
+  SelectionBitmap either = a;
+  either.OrWith(b);
+  EXPECT_EQ(either.CountOnes(), 67u);  // incl-excl: 50 + 34 - 17
+}
+
+TEST(Compiler, MatchesScalarPredicatePerRow) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 3);
+  // NOT(x < 20 AND (cat IN {a} OR y >= 900))
+  auto pred = Predicate::Not(Predicate::And(
+      {Predicate::NumericCompare(0, CompareOp::kLt, 20.0),
+       Predicate::Or({Predicate::CategoricalIn(2, {0}),
+                      Predicate::NumericCompare(1, CompareOp::kGe, 900.0)})}));
+  PredProgram prog = CompilePredicate(pred);
+  BitmapEvaluator be;
+  SelectionBitmap bm;
+  for (size_t p = 0; p < pt.num_partitions(); ++p) {
+    auto part = pt.partition(p);
+    be.EvalPredicate(prog, part, &bm);
+    ASSERT_EQ(bm.num_bits(), part.num_rows());
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      EXPECT_EQ(bm.Test(r), pred->Matches(part, r)) << "row " << r;
+    }
+  }
+}
+
+TEST(Compiler, CompiledExprMatchesAstWalk) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 2);
+  auto expr = Expr::Div(
+      Expr::Mul(Expr::Add(Expr::Column(0), Expr::Const(1.0)), Expr::Column(1)),
+      Expr::Sub(Expr::Column(0), Expr::Const(50.0)));  // zero at x == 50
+  ExprProgram prog = CompileExpr(expr);
+  BitmapEvaluator be;
+  for (size_t p = 0; p < pt.num_partitions(); ++p) {
+    auto part = pt.partition(p);
+    std::vector<double> dense;
+    be.EvalExprDense(prog, part, &dense);
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      double expected = expr->Eval(part, r);
+      EXPECT_DOUBLE_EQ(be.EvalExprAt(prog, part, r), expected);
+      EXPECT_DOUBLE_EQ(dense[r], expected);
+    }
+  }
+}
+
+TEST(Compiler, EmptyInListCompilesToNoMatch) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 1);
+  PredProgram prog = CompilePredicate(Predicate::CategoricalIn(2, {}));
+  BitmapEvaluator be;
+  SelectionBitmap bm;
+  be.EvalPredicate(prog, pt.partition(0), &bm);
+  EXPECT_EQ(bm.CountOnes(), 0u);
+}
+
+TEST(ExecPolicy, SinglePartitionDispatchAgrees) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 4);
+  Query q;
+  q.aggregates = {Aggregate::Count(), Aggregate::Sum(Expr::Column(1))};
+  q.predicate = Predicate::NumericCompare(0, CompareOp::kGe, 30.0);
+  q.group_by = {2};
+  for (size_t p = 0; p < pt.num_partitions(); ++p) {
+    auto scalar =
+        EvaluateOnPartition(q, pt.partition(p), ExecPolicy::kScalar);
+    auto vec =
+        EvaluateOnPartition(q, pt.partition(p), ExecPolicy::kVectorized);
+    ASSERT_EQ(scalar.size(), vec.size());
+    for (const auto& [key, accs] : scalar) {
+      auto it = vec.find(key);
+      ASSERT_NE(it, vec.end());
+      for (size_t a = 0; a < accs.size(); ++a) {
+        EXPECT_DOUBLE_EQ(accs[a].sum, it->second[a].sum);
+        EXPECT_DOUBLE_EQ(accs[a].count, it->second[a].count);
+      }
+    }
+  }
 }
 
 }  // namespace
