@@ -4,6 +4,8 @@
 #ifndef PS3_BENCH_BENCH_COMMON_H_
 #define PS3_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,45 @@
 #include "eval/report.h"
 
 namespace ps3::bench {
+
+/// Parses a comma-separated list env var ("1,4,8") into sizes; returns
+/// `fallback` when unset or empty. Shared by the perf benches so CI
+/// runners and laptops can pin comparable JSON dimensions.
+inline std::vector<size_t> EnvSizeList(const char* name,
+                                       std::vector<size_t> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::vector<size_t> out;
+  const char* p = v;
+  while (*p != '\0') {
+    // strtoull would silently wrap a leading '-' to a huge value; treat
+    // negatives as unparsable so the guard below rejects them.
+    if (*p == '-') break;
+    char* end = nullptr;
+    unsigned long long x = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    out.push_back(static_cast<size_t>(x));
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (*p != '\0') {
+    // A typo must not silently shrink the swept dimension set — the JSON
+    // trajectory would be compared against mislabeled coverage.
+    std::fprintf(stderr, "%s: unparsable suffix \"%s\" in \"%s\"\n", name, p,
+                 v);
+    std::abort();
+  }
+  return out.empty() ? fallback : out;
+}
+
+/// Worker-lane counts exercised by the throughput benches (PS3_THREADS).
+inline std::vector<size_t> BenchThreadCounts() {
+  return EnvSizeList("PS3_THREADS", {1, 4, 8});
+}
+
+/// Shard counts exercised by the sharded fan-out benches (PS3_SHARDS).
+inline std::vector<size_t> BenchShardCounts() {
+  return EnvSizeList("PS3_SHARDS", {1, 4, 8});
+}
 
 /// Default bench scale: 100k rows over 400 partitions (the paper's 1000
 /// partitions scaled to this simulator), 96 training / 40 test queries.

@@ -1,14 +1,21 @@
-// Scan-path throughput: rows/sec of exact whole-table evaluation under the
-// scalar and vectorized execution policies at 1/4/8 threads, on the
-// TPC-H-style workload. Emits JSON so successive PRs can track the perf
-// trajectory. Scale with PS3_ROWS / PS3_PARTS / PS3_TESTQ.
+// Scan-path throughput: rows/sec of exact whole-table evaluation on the
+// TPC-H-style workload, swept over execution policy (scalar interpreter vs
+// vectorized engine), worker-lane count (resident work-stealing pool),
+// predicate kernel (scalar word-packing vs explicit AVX2), and shard count
+// (multi-shard fan-out over a ShardedTable). Emits JSON so successive PRs
+// can track the perf trajectory. Scale with PS3_ROWS / PS3_PARTS /
+// PS3_TESTQ; pin sweep dimensions with PS3_THREADS / PS3_SHARDS.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "query/evaluator.h"
+#include "runtime/simd.h"
+#include "storage/sharded_table.h"
 #include "workload/datasets.h"
 #include "workload/generator.h"
 
@@ -34,6 +41,35 @@ double TimeAll(const std::vector<ps3::query::Query>& queries,
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+double TimeAllSharded(const std::vector<ps3::query::Query>& queries,
+                      const ps3::storage::ShardedTable& table,
+                      const ps3::query::ExecOptions& opts) {
+  auto start = Clock::now();
+  for (const auto& q : queries) {
+    auto answers = ps3::query::EvaluateAllPartitions(q, table, opts);
+    if (answers.empty()) std::abort();
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void ExpectIdentical(const std::vector<ps3::query::PartitionAnswer>& a,
+                     const std::vector<ps3::query::PartitionAnswer>& b) {
+  if (a.size() != b.size()) std::abort();
+  for (size_t p = 0; p < a.size(); ++p) {
+    if (a[p].size() != b[p].size()) std::abort();
+    for (const auto& [key, accs] : a[p]) {
+      auto it = b[p].find(key);
+      if (it == b[p].end()) std::abort();
+      for (size_t x = 0; x < accs.size(); ++x) {
+        if (accs[x].sum != it->second[x].sum ||
+            accs[x].count != it->second[x].count) {
+          std::abort();
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -42,6 +78,9 @@ int main() {
   const size_t rows = EnvSize("PS3_ROWS", 200000);
   const size_t partitions = EnvSize("PS3_PARTS", 400);
   const size_t n_queries = EnvSize("PS3_TESTQ", 16);
+  const std::vector<size_t> thread_counts = bench::BenchThreadCounts();
+  const std::vector<size_t> shard_counts = bench::BenchShardCounts();
+  const bool avx2 = runtime::Avx2Available();
 
   auto bundle = workload::MakeTpchStar(rows, /*seed=*/7);
   auto sorted = bundle.table->SortedBy(bundle.default_sort);
@@ -51,38 +90,59 @@ int main() {
   workload::QueryGenerator gen(laid_out.get(), bundle.spec);
   std::vector<query::Query> queries = gen.GenerateSet(n_queries, /*seed=*/41);
 
-  // Correctness gate: the two policies must agree exactly before any
-  // throughput number is worth reporting.
+  // Correctness gate: every engine configuration must agree bit-wise with
+  // the scalar reference before any throughput number is worth reporting.
   for (const auto& q : queries) {
     auto scalar = query::EvaluateAllPartitions(
         q, table, {query::ExecPolicy::kScalar, 1});
-    auto vec = query::EvaluateAllPartitions(
-        q, table, {query::ExecPolicy::kVectorized, 1});
-    if (scalar.size() != vec.size()) std::abort();
-    for (size_t p = 0; p < scalar.size(); ++p) {
-      if (scalar[p].size() != vec[p].size()) std::abort();
-      for (const auto& [key, accs] : scalar[p]) {
-        auto it = vec[p].find(key);
-        if (it == vec[p].end()) std::abort();
-        for (size_t a = 0; a < accs.size(); ++a) {
-          if (accs[a].sum != it->second[a].sum ||
-              accs[a].count != it->second[a].count) {
-            std::abort();
-          }
-        }
-      }
+    query::ExecOptions vopts;
+    vopts.policy = query::ExecPolicy::kVectorized;
+    vopts.num_threads = 1;
+    vopts.simd = runtime::SimdLevel::kNone;
+    ExpectIdentical(scalar, query::EvaluateAllPartitions(q, table, vopts));
+    if (avx2) {
+      vopts.simd = runtime::SimdLevel::kAvx2;
+      ExpectIdentical(scalar, query::EvaluateAllPartitions(q, table, vopts));
+    }
+  }
+  if (!queries.empty()) {
+    // Sharded fan-out gate on the first query across all shard counts.
+    query::ExecOptions vopts;
+    vopts.num_threads = 4;
+    auto flat = query::EvaluateAllPartitions(queries[0], table, vopts);
+    for (size_t shards : shard_counts) {
+      storage::ShardedTable st(table, shards);
+      ExpectIdentical(flat,
+                      query::EvaluateAllPartitions(queries[0], st, vopts));
     }
   }
 
   struct Config {
     query::ExecPolicy policy;
-    int threads;
+    size_t threads;
+    runtime::SimdLevel simd;
+    size_t shards;  // 0 = flat table
   };
-  const std::vector<Config> configs = {
-      {query::ExecPolicy::kScalar, 1},     {query::ExecPolicy::kScalar, 4},
-      {query::ExecPolicy::kScalar, 8},     {query::ExecPolicy::kVectorized, 1},
-      {query::ExecPolicy::kVectorized, 4}, {query::ExecPolicy::kVectorized, 8},
-  };
+  std::vector<Config> configs;
+  for (size_t t : thread_counts) {
+    configs.push_back({query::ExecPolicy::kScalar, t,
+                       runtime::SimdLevel::kNone, 0});
+  }
+  for (size_t t : thread_counts) {
+    configs.push_back({query::ExecPolicy::kVectorized, t,
+                       runtime::SimdLevel::kNone, 0});
+    if (avx2) {
+      configs.push_back({query::ExecPolicy::kVectorized, t,
+                         runtime::SimdLevel::kAvx2, 0});
+    }
+  }
+  // Sharded fan-out at the widest lane count, best kernel.
+  const size_t wide =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  for (size_t shards : shard_counts) {
+    configs.push_back({query::ExecPolicy::kVectorized, wide,
+                       runtime::SimdLevel::kAuto, shards});
+  }
 
   const double total_rows =
       static_cast<double>(rows) * static_cast<double>(queries.size());
@@ -93,36 +153,68 @@ int main() {
   std::printf("  \"rows\": %zu,\n", rows);
   std::printf("  \"partitions\": %zu,\n", partitions);
   std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"avx2_available\": %s,\n", avx2 ? "true" : "false");
   std::printf("  \"results\": [\n");
 
-  double scalar_1t = 0.0, vec_1t = 0.0, vec_8t = 0.0;
+  double scalar_1t = 0.0, vec_pack_1t = 0.0, vec_best_1t = 0.0,
+         vec_best_wide = 0.0;
   for (size_t i = 0; i < configs.size(); ++i) {
     const Config& cfg = configs[i];
-    query::ExecOptions opts{cfg.policy, cfg.threads};
-    TimeAll(queries, table, opts);  // warm-up (page-in, scratch alloc)
-    double secs = TimeAll(queries, table, opts);
+    query::ExecOptions opts;
+    opts.policy = cfg.policy;
+    opts.num_threads = static_cast<int>(cfg.threads);
+    opts.simd = cfg.simd;
+
+    double secs;
+    if (cfg.shards > 0) {
+      storage::ShardedTable st(table, cfg.shards);
+      TimeAllSharded(queries, st, opts);  // warm-up (page-in, scratch)
+      secs = TimeAllSharded(queries, st, opts);
+    } else {
+      TimeAll(queries, table, opts);  // warm-up (page-in, scratch alloc)
+      secs = TimeAll(queries, table, opts);
+    }
     double rps = total_rows / secs;
+
     const char* name =
         cfg.policy == query::ExecPolicy::kScalar ? "scalar" : "vectorized";
-    if (cfg.policy == query::ExecPolicy::kScalar && cfg.threads == 1) {
+    const char* kernel = cfg.policy == query::ExecPolicy::kScalar
+                             ? "interpreter"
+                             : (cfg.simd == runtime::SimdLevel::kNone
+                                    ? "pack64"
+                                    : (avx2 ? "avx2" : "pack64"));
+    // The *_1t summary baselines are genuinely single-threaded: if
+    // PS3_THREADS omits 1, they stay 0 and the speedups report 0.0
+    // rather than mislabeling a wider config.
+    if (cfg.shards == 0 && cfg.policy == query::ExecPolicy::kScalar &&
+        cfg.threads == 1) {
       scalar_1t = secs;
     }
-    if (cfg.policy == query::ExecPolicy::kVectorized && cfg.threads == 1) {
-      vec_1t = secs;
+    if (cfg.shards == 0 && cfg.policy == query::ExecPolicy::kVectorized &&
+        cfg.threads == 1) {
+      if (cfg.simd == runtime::SimdLevel::kNone) {
+        vec_pack_1t = secs;
+      }
+      // Last 1-lane vectorized config is the best kernel available.
+      vec_best_1t = secs;
     }
-    if (cfg.policy == query::ExecPolicy::kVectorized && cfg.threads == 8) {
-      vec_8t = secs;
+    if (cfg.shards == 0 && cfg.policy == query::ExecPolicy::kVectorized &&
+        cfg.threads == wide) {
+      vec_best_wide = secs;
     }
     std::printf(
-        "    {\"policy\": \"%s\", \"threads\": %d, \"seconds\": %.4f, "
-        "\"rows_per_sec\": %.3e}%s\n",
-        name, cfg.threads, secs, rps, i + 1 < configs.size() ? "," : "");
+        "    {\"policy\": \"%s\", \"threads\": %zu, \"kernel\": \"%s\", "
+        "\"shards\": %zu, \"seconds\": %.4f, \"rows_per_sec\": %.3e}%s\n",
+        name, cfg.threads, kernel, cfg.shards, secs, rps,
+        i + 1 < configs.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"speedup_vectorized_1t\": %.2f,\n",
-              vec_1t > 0.0 ? scalar_1t / vec_1t : 0.0);
-  std::printf("  \"speedup_vectorized_8t\": %.2f\n",
-              vec_8t > 0.0 ? scalar_1t / vec_8t : 0.0);
+              vec_best_1t > 0.0 ? scalar_1t / vec_best_1t : 0.0);
+  std::printf("  \"speedup_simd_kernels_1t\": %.2f,\n",
+              vec_best_1t > 0.0 ? vec_pack_1t / vec_best_1t : 0.0);
+  std::printf("  \"speedup_vectorized_wide\": %.2f\n",
+              vec_best_wide > 0.0 ? scalar_1t / vec_best_wide : 0.0);
   std::printf("}\n");
   return 0;
 }

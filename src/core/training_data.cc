@@ -1,7 +1,7 @@
 #include "core/training_data.h"
 
-#include "common/thread_pool.h"
 #include "core/labels.h"
+#include "runtime/worker_pool.h"
 
 namespace ps3::core {
 
@@ -16,11 +16,10 @@ TrainingData BuildTrainingData(const PickerContext& ctx,
   data.contributions.resize(nq);
   // The ground-truth labeling pass is the slowest step of training: every
   // query is evaluated exactly on every partition. Queries are independent,
-  // so the pass parallelizes at query granularity with results written to
-  // index-addressed slots (deterministic for any thread count); the
-  // per-query partition scans below then run inline.
-  ThreadPool pool;
-  pool.ParallelFor(nq, [&](size_t i) {
+  // so the pass parallelizes at query granularity on the resident pool with
+  // results written to index-addressed slots (deterministic for any lane
+  // count); the per-query partition scans below then run inline.
+  runtime::WorkerPool::Shared().ParallelFor(nq, [&](size_t i) {
     const query::Query& q = data.queries[i];
     data.features[i] = ctx.featurizer->BuildFeatures(q);
     data.answers[i] = query::EvaluateAllPartitions(q, *ctx.table);

@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "common/thread_pool.h"
+#include "runtime/worker_pool.h"
 
 namespace ps3::featurize {
 
@@ -108,7 +108,7 @@ std::vector<SelectivityFeatures> Featurizer::ComputeSelectivity(
     const query::Query& query) const {
   std::vector<SelectivityFeatures> out(stats_->num_partitions());
   // Per-partition estimation is cheap sketch arithmetic; below this
-  // partition count the thread fork/join costs more than it saves.
+  // partition count even waking the resident pool costs more than it saves.
   constexpr size_t kParallelThreshold = 64;
   if (out.size() < kParallelThreshold) {
     for (size_t p = 0; p < out.size(); ++p) {
@@ -116,10 +116,12 @@ std::vector<SelectivityFeatures> Featurizer::ComputeSelectivity(
     }
     return out;
   }
-  ThreadPool pool(num_threads_);
-  pool.ParallelFor(out.size(), [&](size_t p) {
-    out[p] = EstimateSelectivity(query, stats_->partition(p));
-  });
+  runtime::WorkerPool::Shared().ParallelFor(
+      out.size(),
+      [&](size_t p) {
+        out[p] = EstimateSelectivity(query, stats_->partition(p));
+      },
+      num_threads_);
   return out;
 }
 

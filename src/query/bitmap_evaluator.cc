@@ -3,15 +3,28 @@
 #include <algorithm>
 #include <cassert>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PS3_HAVE_X86_SIMD 1
+#endif
+
 namespace ps3::query {
 
 namespace {
 
-/// Word-packing kernel shared by every leaf predicate: packs 64 per-row
-/// match results into each output word. The inner 64-iteration loop over a
-/// contiguous span is what the compiler auto-vectorizes; this is the
-/// engine's hottest loop, and the single place to rewrite with explicit
-/// SIMD (cmp + movemask) later.
+/// Packs a final sub-word block (< 64 rows) into one word. Shared tail
+/// path for the scalar pack and the SIMD kernels below.
+template <typename T, typename Match>
+uint64_t PackTailWord(const T* base, size_t tail, Match match) {
+  uint64_t word = 0;
+  for (unsigned b = 0; b < tail; ++b) {
+    word |= static_cast<uint64_t>(match(base[b])) << b;
+  }
+  return word;
+}
+
+/// Scalar word-packing kernel, the bit-exactness reference for every leaf
+/// predicate: packs 64 per-row match results into each output word.
 template <typename T, typename Match>
 void PackKernel(const T* v, size_t n, Match match, SelectionBitmap* out) {
   uint64_t* words = out->words();
@@ -26,60 +39,194 @@ void PackKernel(const T* v, size_t n, Match match, SelectionBitmap* out) {
   }
   const size_t tail = n & 63;
   if (tail != 0) {
-    const T* base = v + (full_words << 6);
-    uint64_t word = 0;
-    for (unsigned b = 0; b < tail; ++b) {
-      word |= static_cast<uint64_t>(match(base[b])) << b;
-    }
-    words[full_words] = word;
+    words[full_words] = PackTailWord(v + (full_words << 6), tail, match);
   }
 }
 
+#ifdef PS3_HAVE_X86_SIMD
+
+/// AVX2 predicate immediate for each CompareOp. Ordered-quiet forms mirror
+/// C++ comparison semantics on NaN (false), except kNe which must be true
+/// for NaN operands (unordered-quiet NEQ).
+template <CompareOp Op>
+constexpr int CmpImm() {
+  switch (Op) {
+    case CompareOp::kLt:
+      return _CMP_LT_OQ;
+    case CompareOp::kLe:
+      return _CMP_LE_OQ;
+    case CompareOp::kGt:
+      return _CMP_GT_OQ;
+    case CompareOp::kGe:
+      return _CMP_GE_OQ;
+    case CompareOp::kEq:
+      return _CMP_EQ_OQ;
+    case CompareOp::kNe:
+      return _CMP_NEQ_UQ;
+  }
+  return _CMP_EQ_OQ;
+}
+
+/// AVX2 compare kernel for the full 64-row words: 16 × (cmp_pd over 4
+/// doubles + movemask_pd) per word. movemask lane order matches the scalar
+/// pack's bit order (bit b = row base[b]), so output words are identical
+/// to PackKernel's. The predicate is a non-type template parameter because
+/// _mm256_cmp_pd expands to the raw builtin in -O0 builds, which only
+/// accepts an integer constant expression as its immediate.
+template <int Imm>
+__attribute__((target("avx2"))) void CmpWordsAvx2(const double* v,
+                                                  size_t full_words, double c,
+                                                  uint64_t* words) {
+  const __m256d cv = _mm256_set1_pd(c);
+  for (size_t w = 0; w < full_words; ++w) {
+    const double* base = v + (w << 6);
+    uint64_t word = 0;
+    for (unsigned g = 0; g < 16; ++g) {
+      __m256d x = _mm256_loadu_pd(base + 4 * g);
+      unsigned m = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_cmp_pd(x, cv, Imm)));
+      word |= static_cast<uint64_t>(m) << (4 * g);
+    }
+    words[w] = word;
+  }
+}
+
+/// AVX2 IN-set kernel over dictionary codes for set sizes 1..4: 8 × (up to
+/// four cmpeq_epi32 + or + movemask_ps) per word. Constants beyond the set
+/// size repeat c[0], so the extra compares are no-ops on the result.
+__attribute__((target("avx2"))) void InSetWordsAvx2(const int32_t* codes,
+                                                    size_t full_words,
+                                                    const int32_t* c, size_t k,
+                                                    uint64_t* words) {
+  const __m256i c0 = _mm256_set1_epi32(c[0]);
+  const __m256i c1 = _mm256_set1_epi32(c[k > 1 ? 1 : 0]);
+  const __m256i c2 = _mm256_set1_epi32(c[k > 2 ? 2 : 0]);
+  const __m256i c3 = _mm256_set1_epi32(c[k > 3 ? 3 : 0]);
+  for (size_t w = 0; w < full_words; ++w) {
+    const int32_t* base = codes + (w << 6);
+    uint64_t word = 0;
+    for (unsigned g = 0; g < 8; ++g) {
+      __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 8 * g));
+      __m256i m = _mm256_cmpeq_epi32(x, c0);
+      m = _mm256_or_si256(m, _mm256_cmpeq_epi32(x, c1));
+      if (k > 2) m = _mm256_or_si256(m, _mm256_cmpeq_epi32(x, c2));
+      if (k > 3) m = _mm256_or_si256(m, _mm256_cmpeq_epi32(x, c3));
+      unsigned mask = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(m)));
+      word |= static_cast<uint64_t>(mask) << (8 * g);
+    }
+    words[w] = word;
+  }
+}
+
+/// Shared SIMD dispatch shape: `words_kernel(full_words, words)` fills the
+/// full 64-row words, then the sub-word tail is packed with `match` — the
+/// single place that encodes the full-words + tail split for every SIMD
+/// kernel.
+template <typename T, typename WordsKernel, typename Match>
+void RunWordsWithTail(const T* v, size_t n, WordsKernel words_kernel,
+                      Match match, SelectionBitmap* out) {
+  const size_t full_words = n >> 6;
+  words_kernel(full_words, out->words());
+  const size_t done = full_words << 6;
+  if (n != done) {
+    out->words()[full_words] = PackTailWord(v + done, n - done, match);
+  }
+}
+
+#endif  // PS3_HAVE_X86_SIMD
+
+/// Dispatches one comparison: AVX2 full words + scalar tail, or the scalar
+/// pack end to end. `match` must implement the same comparison as `Op`.
+template <CompareOp Op, typename Match>
+void RunCompareOp(const double* v, size_t n, double c, Match match,
+                  SelectionBitmap* out, bool use_avx2) {
+#ifdef PS3_HAVE_X86_SIMD
+  if (use_avx2) {
+    RunWordsWithTail(
+        v, n,
+        [v, c](size_t full_words, uint64_t* words) {
+          CmpWordsAvx2<CmpImm<Op>()>(v, full_words, c, words);
+        },
+        match, out);
+    return;
+  }
+#else
+  (void)use_avx2;
+#endif
+  PackKernel(v, n, match, out);
+}
+
 void RunCompare(const double* v, size_t n, CompareOp op, double c,
-                SelectionBitmap* out) {
+                SelectionBitmap* out, bool use_avx2) {
   switch (op) {
     case CompareOp::kLt:
-      PackKernel(v, n, [c](double x) { return x < c; }, out);
+      RunCompareOp<CompareOp::kLt>(
+          v, n, c, [c](double x) { return x < c; }, out, use_avx2);
       return;
     case CompareOp::kLe:
-      PackKernel(v, n, [c](double x) { return x <= c; }, out);
+      RunCompareOp<CompareOp::kLe>(
+          v, n, c, [c](double x) { return x <= c; }, out, use_avx2);
       return;
     case CompareOp::kGt:
-      PackKernel(v, n, [c](double x) { return x > c; }, out);
+      RunCompareOp<CompareOp::kGt>(
+          v, n, c, [c](double x) { return x > c; }, out, use_avx2);
       return;
     case CompareOp::kGe:
-      PackKernel(v, n, [c](double x) { return x >= c; }, out);
+      RunCompareOp<CompareOp::kGe>(
+          v, n, c, [c](double x) { return x >= c; }, out, use_avx2);
       return;
     case CompareOp::kEq:
-      PackKernel(v, n, [c](double x) { return x == c; }, out);
+      RunCompareOp<CompareOp::kEq>(
+          v, n, c, [c](double x) { return x == c; }, out, use_avx2);
       return;
     case CompareOp::kNe:
-      PackKernel(v, n, [c](double x) { return x != c; }, out);
+      RunCompareOp<CompareOp::kNe>(
+          v, n, c, [c](double x) { return x != c; }, out, use_avx2);
       return;
   }
 }
 
 /// IN-set kernel over dictionary codes (`set` must be non-empty; the empty
 /// IN-list is handled by the caller with a cleared bitmap). Tiny sets use
-/// an unrolled compare chain; larger ones binary-search the sorted list.
+/// the AVX2 cmpeq kernel (or an unrolled scalar compare chain); larger
+/// ones binary-search the sorted list.
 void RunInSet(const int32_t* codes, size_t n,
-              const std::vector<int32_t>& set, SelectionBitmap* out) {
-  if (set.size() == 1) {
-    int32_t c0 = set[0];
-    PackKernel(codes, n, [c0](int32_t x) { return x == c0; }, out);
-  } else if (set.size() <= 4) {
-    int32_t c[4] = {set[0], set[set.size() > 1 ? 1 : 0],
-                    set[set.size() > 2 ? 2 : 0],
-                    set[set.size() > 3 ? 3 : 0]};
-    size_t k = set.size();
-    PackKernel(codes, n,
-               [c, k](int32_t x) {
-                 bool m = x == c[0] || x == c[1];
-                 if (k > 2) m = m || x == c[2];
-                 if (k > 3) m = m || x == c[3];
-                 return m;
-               },
-               out);
+              const std::vector<int32_t>& set, SelectionBitmap* out,
+              bool use_avx2) {
+  const size_t k = set.size();
+  if (k <= 4) {
+    int32_t c[4] = {set[0], set[k > 1 ? 1 : 0], set[k > 2 ? 2 : 0],
+                    set[k > 3 ? 3 : 0]};
+    auto small_set = [&](auto match) {
+#ifdef PS3_HAVE_X86_SIMD
+      if (use_avx2) {
+        RunWordsWithTail(
+            codes, n,
+            [codes, &c, k](size_t full_words, uint64_t* words) {
+              InSetWordsAvx2(codes, full_words, c, k, words);
+            },
+            match, out);
+        return;
+      }
+#else
+      (void)use_avx2;
+#endif
+      PackKernel(codes, n, match, out);
+    };
+    if (k == 1) {
+      // Single-code IN: one compare per row in the scalar kernel.
+      const int32_t c0 = c[0];
+      small_set([c0](int32_t x) { return x == c0; });
+    } else {
+      small_set([c, k](int32_t x) {
+        bool m = x == c[0] || x == c[1];
+        if (k > 2) m = m || x == c[2];
+        if (k > 3) m = m || x == c[3];
+        return m;
+      });
+    }
   } else {
     const int32_t* lo = set.data();
     const int32_t* hi = set.data() + set.size();
@@ -115,7 +262,8 @@ void BitmapEvaluator::EvalPredicate(const PredProgram& prog,
       case PredInstr::Op::kCmpConst: {
         SelectionBitmap& bm = bitmap_stack_[top++];
         bm.ResetForOverwrite(n);
-        RunCompare(part.NumericSpan(in.column), n, in.cmp, in.value, &bm);
+        RunCompare(part.NumericSpan(in.column), n, in.cmp, in.value, &bm,
+                   use_avx2_);
         break;
       }
       case PredInstr::Op::kInSet: {
@@ -125,7 +273,7 @@ void BitmapEvaluator::EvalPredicate(const PredProgram& prog,
           break;
         }
         bm.ResetForOverwrite(n);
-        RunInSet(part.CodeSpan(in.column), n, in.codes, &bm);
+        RunInSet(part.CodeSpan(in.column), n, in.codes, &bm, use_avx2_);
         break;
       }
       case PredInstr::Op::kAnd: {

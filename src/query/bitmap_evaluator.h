@@ -9,12 +9,20 @@
 
 #include "query/compiler.h"
 #include "query/selection_bitmap.h"
+#include "runtime/simd.h"
 #include "storage/partition.h"
 
 namespace ps3::query {
 
 class BitmapEvaluator {
  public:
+  /// Selects the predicate kernels: scalar word-packing, or the explicit
+  /// AVX2 compare/IN kernels (cmp_pd + movemask). Both produce identical
+  /// bitmaps; kAuto upgrades at runtime when the CPU supports AVX2.
+  void set_simd(runtime::SimdLevel level) {
+    use_avx2_ = runtime::UseAvx2(level);
+  }
+
   /// Runs `prog` over all rows of `part`; `out` ends with bit r set iff
   /// row r matches. `out` is reset to the partition size first.
   void EvalPredicate(const PredProgram& prog, const storage::Partition& part,
@@ -34,6 +42,7 @@ class BitmapEvaluator {
                      std::vector<double>* out);
 
  private:
+  bool use_avx2_ = runtime::UseAvx2(runtime::SimdLevel::kAuto);
   std::vector<SelectionBitmap> bitmap_stack_;
   std::vector<std::vector<double>> buffer_stack_;
   std::vector<double> value_stack_;

@@ -1,10 +1,12 @@
 #include "query/evaluator.h"
 
+#include <atomic>
 #include <cstring>
 
-#include "common/thread_pool.h"
 #include "query/bitmap_evaluator.h"
 #include "query/compiler.h"
+#include "runtime/worker_pool.h"
+#include "storage/sharded_table.h"
 
 namespace ps3::query {
 
@@ -35,9 +37,15 @@ constexpr size_t kMaxDenseGroups = size_t{1} << 20;
 /// every row columnar.
 constexpr double kDenseExprFraction = 0.25;
 
-/// Per-thread scratch. Bitmaps, expression buffers and the dense group-id
-/// table are reused across all partitions a thread scans.
+std::atomic<size_t> g_vector_scratch_created{0};
+
+/// Per-lane scratch, owned by the executing WorkerPool (resident workers
+/// keep their slot alive across ParallelFor calls, so bitmaps, expression
+/// buffers and the dense group-id table amortize across a whole query
+/// stream, not just the partitions of one query).
 struct VectorScratch {
+  VectorScratch() { g_vector_scratch_created.fetch_add(1); }
+
   BitmapEvaluator be;
   SelectionBitmap main;
   std::vector<SelectionBitmap> agg_bitmaps;
@@ -53,9 +61,9 @@ struct VectorScratch {
   std::vector<std::vector<AggAccum>> groups;
 };
 
-VectorScratch& LocalScratch() {
-  static thread_local VectorScratch scratch;
-  return scratch;
+/// Resolves the pool an ExecOptions runs on.
+runtime::WorkerPool& PoolOf(const ExecOptions& opts) {
+  return opts.pool != nullptr ? *opts.pool : runtime::WorkerPool::Shared();
 }
 
 PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
@@ -246,7 +254,10 @@ PartitionAnswer EvaluateOnPartition(const Query& query,
     return EvaluateOnPartition(query, part);
   }
   CompiledQuery cq = CompileQuery(query);
-  return EvaluateVectorized(cq, part, &LocalScratch());
+  VectorScratch& s =
+      runtime::WorkerPool::Shared().LocalScratch<VectorScratch>();
+  s.be.set_simd(runtime::SimdLevel::kAuto);
+  return EvaluateVectorized(cq, part, &s);
 }
 
 std::vector<PartitionAnswer> EvaluateAllPartitions(
@@ -259,19 +270,84 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
     const ExecOptions& opts) {
   const size_t n_parts = table.num_partitions();
   std::vector<PartitionAnswer> out(n_parts);
-  ThreadPool pool(opts.num_threads);
+  runtime::WorkerPool& pool = PoolOf(opts);
   if (opts.policy == ExecPolicy::kScalar) {
-    pool.ParallelFor(n_parts, [&](size_t i) {
-      out[i] = EvaluateOnPartition(query, table.partition(i));
-    });
+    pool.ParallelFor(
+        n_parts,
+        [&](size_t i) {
+          out[i] = EvaluateOnPartition(query, table.partition(i));
+        },
+        opts.num_threads);
     return out;
   }
-  // Compile once, execute everywhere; scratch is per worker thread.
+  // Compile once, execute everywhere; scratch is per pool lane and
+  // persists across queries on the same pool.
   const CompiledQuery cq = CompileQuery(query);
-  pool.ParallelFor(n_parts, [&](size_t i) {
-    out[i] = EvaluateVectorized(cq, table.partition(i), &LocalScratch());
-  });
+  pool.ParallelFor(
+      n_parts,
+      [&](size_t i) {
+        VectorScratch& s = pool.LocalScratch<VectorScratch>();
+        s.be.set_simd(opts.simd);
+        out[i] = EvaluateVectorized(cq, table.partition(i), &s);
+      },
+      opts.num_threads);
   return out;
+}
+
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::ShardedTable& table,
+    const ExecOptions& opts) {
+  const size_t n_shards = table.num_shards();
+  std::vector<std::vector<PartitionAnswer>> partials(n_shards);
+  runtime::WorkerPool& pool = PoolOf(opts);
+  const CompiledQuery cq =
+      opts.policy == ExecPolicy::kVectorized ? CompileQuery(query)
+                                             : CompiledQuery{};
+  // Fan out at partition granularity, flattened across shards, so
+  // parallelism scales with total partitions even when shards are fewer
+  // than lanes (a 1-shard table still fills an 8-lane pool). Each unit
+  // writes its own partial slot, so the reduction stays index-addressed.
+  struct Unit {
+    size_t shard;
+    size_t k;  ///< offset within the shard's partition list
+  };
+  std::vector<Unit> units;
+  units.reserve(table.num_partitions());
+  for (size_t s = 0; s < n_shards; ++s) {
+    partials[s].resize(table.shard(s).size());
+    for (size_t k = 0; k < table.shard(s).size(); ++k) {
+      units.push_back(Unit{s, k});
+    }
+  }
+  pool.ParallelFor(
+      units.size(),
+      [&](size_t u) {
+        const Unit unit = units[u];
+        const storage::Partition part =
+            table.partition(table.shard(unit.shard)[unit.k]);
+        if (opts.policy == ExecPolicy::kScalar) {
+          partials[unit.shard][unit.k] = EvaluateOnPartition(query, part);
+          return;
+        }
+        VectorScratch& sc = pool.LocalScratch<VectorScratch>();
+        sc.be.set_simd(opts.simd);
+        partials[unit.shard][unit.k] = EvaluateVectorized(cq, part, &sc);
+      },
+      opts.num_threads);
+  // Ordered merge: walk shards in index order, placing each partial at its
+  // global partition id. Deterministic for any lane count or assignment.
+  std::vector<PartitionAnswer> out(table.num_partitions());
+  for (size_t s = 0; s < n_shards; ++s) {
+    const std::vector<size_t>& parts = table.shard(s);
+    for (size_t k = 0; k < parts.size(); ++k) {
+      out[parts[k]] = std::move(partials[s][k]);
+    }
+  }
+  return out;
+}
+
+size_t VectorScratchCreatedForTesting() {
+  return g_vector_scratch_created.load();
 }
 
 size_t CountMatchingRows(const PredicatePtr& pred,
@@ -279,29 +355,36 @@ size_t CountMatchingRows(const PredicatePtr& pred,
                          const ExecOptions& opts) {
   const size_t n_parts = table.num_partitions();
   std::vector<size_t> counts(n_parts, 0);
-  ThreadPool pool(opts.num_threads);
+  runtime::WorkerPool& pool = PoolOf(opts);
   if (opts.policy == ExecPolicy::kScalar) {
     const PredicatePtr& p = pred ? pred : Predicate::True();
-    pool.ParallelFor(n_parts, [&](size_t i) {
-      storage::Partition part = table.partition(i);
-      size_t c = 0;
-      for (size_t r = 0; r < part.num_rows(); ++r) {
-        if (p->Matches(part, r)) ++c;
-      }
-      counts[i] = c;
-    });
+    pool.ParallelFor(
+        n_parts,
+        [&](size_t i) {
+          storage::Partition part = table.partition(i);
+          size_t c = 0;
+          for (size_t r = 0; r < part.num_rows(); ++r) {
+            if (p->Matches(part, r)) ++c;
+          }
+          counts[i] = c;
+        },
+        opts.num_threads);
   } else {
     const PredProgram prog = CompilePredicate(pred);
-    pool.ParallelFor(n_parts, [&](size_t i) {
-      storage::Partition part = table.partition(i);
-      if (prog.always_true) {
-        counts[i] = part.num_rows();
-        return;
-      }
-      VectorScratch& s = LocalScratch();
-      s.be.EvalPredicate(prog, part, &s.main);
-      counts[i] = s.main.CountOnes();
-    });
+    pool.ParallelFor(
+        n_parts,
+        [&](size_t i) {
+          storage::Partition part = table.partition(i);
+          if (prog.always_true) {
+            counts[i] = part.num_rows();
+            return;
+          }
+          VectorScratch& s = pool.LocalScratch<VectorScratch>();
+          s.be.set_simd(opts.simd);
+          s.be.EvalPredicate(prog, part, &s.main);
+          counts[i] = s.main.CountOnes();
+        },
+        opts.num_threads);
   }
   size_t total = 0;
   for (size_t c : counts) total += c;

@@ -25,7 +25,16 @@
 
 #include "common/hash.h"
 #include "query/query.h"
+#include "runtime/simd.h"
 #include "storage/table.h"
+
+namespace ps3::runtime {
+class WorkerPool;
+}  // namespace ps3::runtime
+
+namespace ps3::storage {
+class ShardedTable;
+}  // namespace ps3::storage
 
 namespace ps3::query {
 
@@ -72,10 +81,17 @@ enum class ExecPolicy {
 /// Options for whole-table evaluation.
 struct ExecOptions {
   ExecPolicy policy = ExecPolicy::kVectorized;
-  /// Worker threads for per-partition parallelism. 0 = all hardware
+  /// Worker lanes for per-partition parallelism. 0 = all hardware
   /// threads; 1 = fully inline. Results are identical for any value: each
   /// partition is independent and the reduction is ordered by index.
   int num_threads = 0;
+  /// Resident pool to run on; nullptr = the process-wide shared pool.
+  /// Per-lane execution scratch lives with the pool, so a long-lived pool
+  /// amortizes the dense group-id tables across a whole query stream.
+  runtime::WorkerPool* pool = nullptr;
+  /// Predicate kernel selection for the vectorized policy (scalar packing
+  /// vs explicit AVX2); answers are bit-identical either way.
+  runtime::SimdLevel simd = runtime::SimdLevel::kAuto;
 };
 
 /// Evaluates the query exactly on one partition with the scalar policy.
@@ -98,6 +114,21 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
 std::vector<PartitionAnswer> EvaluateAllPartitions(
     const Query& query, const storage::PartitionedTable& table,
     const ExecOptions& opts);
+
+/// Multi-shard fan-out: evaluates the query over every shard of `table`,
+/// computing per-shard partial answer vectors in parallel and merging them
+/// in shard-index order into a vector indexed by *global* partition id.
+/// Because shards partition the same global partition set, the result is
+/// bit-identical to EvaluateAllPartitions on the flat table for any shard
+/// count or assignment policy.
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::ShardedTable& table,
+    const ExecOptions& opts = {});
+
+/// Number of vectorized-execution scratch blocks constructed so far in
+/// this process. Testing hook: resident-pool scratch reuse means this must
+/// not grow between two queries on the same pool.
+size_t VectorScratchCreatedForTesting();
 
 /// Total rows matching `pred` over all partitions. The vectorized policy
 /// is a pure bitmap-popcount pass (no aggregation state); used for exact

@@ -1,0 +1,14 @@
+#include "runtime/simd.h"
+
+namespace ps3::runtime {
+
+bool Avx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ps3::runtime

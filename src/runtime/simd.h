@@ -1,0 +1,36 @@
+// Runtime SIMD capability dispatch for the explicit kernels in the query
+// engine. Kernels are compiled with per-function target attributes, so the
+// binary runs on any x86-64 (or non-x86) host and upgrades itself at
+// runtime when AVX2 is present. The scalar kernels remain the bit-exactness
+// reference; SIMD variants must produce identical bitmaps.
+#ifndef PS3_RUNTIME_SIMD_H_
+#define PS3_RUNTIME_SIMD_H_
+
+namespace ps3::runtime {
+
+/// Kernel selection for the vectorized execution policy.
+enum class SimdLevel {
+  kAuto,  ///< use AVX2 when the CPU supports it
+  kNone,  ///< force the scalar word-packing kernels
+  kAvx2,  ///< force AVX2 (caller must know the CPU supports it)
+};
+
+/// True when this process can execute AVX2 instructions.
+bool Avx2Available();
+
+/// Resolves kAuto against the host CPU.
+inline bool UseAvx2(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kNone:
+      return false;
+    case SimdLevel::kAvx2:
+      return true;
+    case SimdLevel::kAuto:
+    default:
+      return Avx2Available();
+  }
+}
+
+}  // namespace ps3::runtime
+
+#endif  // PS3_RUNTIME_SIMD_H_

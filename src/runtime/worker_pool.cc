@@ -1,0 +1,223 @@
+#include "runtime/worker_pool.h"
+
+#include <algorithm>
+
+namespace ps3::runtime {
+
+namespace {
+
+/// Chunks per participating lane: enough slack for stealing to balance
+/// skew, few enough that per-chunk locking stays negligible.
+constexpr size_t kChunksPerLane = 4;
+
+/// Hard ceiling on resident lanes. Growth follows the peak requested lane
+/// count and never shrinks, so an errant num_threads (a garbage
+/// PS3_THREADS value, a misconfigured Featurizer) must not pin thousands
+/// of sleeping threads for the process lifetime.
+constexpr size_t kMaxLanes = 256;
+
+thread_local WorkerPool* t_pool = nullptr;
+thread_local size_t t_lane = 0;
+
+}  // namespace
+
+WorkerPool* WorkerPool::CurrentPool() { return t_pool; }
+size_t WorkerPool::CurrentLane() { return t_lane; }
+
+WorkerPool::WorkerPool(int num_threads) {
+  if (num_threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    default_lanes_ = hw == 0 ? 1 : static_cast<size_t>(hw);
+  } else {
+    default_lanes_ = static_cast<size_t>(num_threads);
+  }
+  default_lanes_ = std::min(default_lanes_, kMaxLanes);
+  queues_.push_back(std::make_unique<LaneQueue>());
+  scratch_.push_back(std::make_unique<LaneScratch>());
+  std::lock_guard<std::mutex> lock(job_mu_);
+  EnsureLanes(default_lanes_);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+WorkerPool& WorkerPool::Shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+void WorkerPool::EnsureLanes(size_t lanes) {
+  while (lanes_ < lanes) {
+    queues_.push_back(std::make_unique<LaneQueue>());
+    scratch_.push_back(std::make_unique<LaneScratch>());
+    size_t lane = lanes_;
+    try {
+      workers_.emplace_back([this, lane] { WorkerMain(lane); });
+    } catch (const std::system_error&) {
+      // Thread exhaustion: degrade to however many workers did start. The
+      // lane count must match live workers exactly, or ParallelFor would
+      // wait forever on a lane nobody serves.
+      queues_.pop_back();
+      scratch_.pop_back();
+      break;
+    }
+    ++lanes_;
+  }
+}
+
+void WorkerPool::WorkerMain(size_t lane) {
+  t_pool = this;
+  t_lane = lane;
+  uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [&] {
+        return shutdown_ || (current_job_ != nullptr && job_seq_ != seen);
+      });
+      if (shutdown_) return;
+      seen = job_seq_;
+      if (lane >= current_job_lanes_) continue;  // not a participant
+      job = current_job_;
+    }
+    RunLane(job, lane);
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      ++job->finished_workers;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+bool WorkerPool::PopOrSteal(Job* job, size_t lane, Chunk* out) {
+  {
+    LaneQueue& own = *queues_[lane];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.chunks.empty()) {
+      *out = own.chunks.front();
+      own.chunks.pop_front();
+      return true;
+    }
+  }
+  for (size_t d = 1; d < job->lanes; ++d) {
+    LaneQueue& victim = *queues_[(lane + d) % job->lanes];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.chunks.empty()) {
+      *out = victim.chunks.back();
+      victim.chunks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::RunLane(Job* job, size_t lane) {
+  Chunk c;
+  while (PopOrSteal(job, lane, &c)) {
+    if (job->failed.load(std::memory_order_relaxed)) continue;  // drain
+    try {
+      for (size_t i = c.begin; i < c.end; ++i) {
+        // Per-item early stop: after a failure elsewhere, don't burn the
+        // rest of an in-flight chunk on items whose results will be
+        // discarded.
+        if (job->failed.load(std::memory_order_relaxed)) break;
+        (*job->fn)(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->error_mu);
+      if (!job->error) job->error = std::current_exception();
+      job->failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             int max_lanes) {
+  if (n == 0) return;
+  const size_t target = std::min(
+      max_lanes <= 0 ? default_lanes_ : static_cast<size_t>(max_lanes),
+      kMaxLanes);
+  const size_t want = std::min(target, n);
+  // Nested calls (a task spawning parallel work on its own pool) run
+  // inline: the outer job already owns every lane.
+  if (want <= 1 || t_pool != nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  EnsureLanes(want);
+  const size_t lanes = std::min(want, lanes_);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.lanes = lanes;
+
+  // Carve [0, n) into contiguous chunks and deal each lane a contiguous
+  // run of them (owners pop front-to-back, so every lane walks ascending
+  // indices; thieves take from the far end of a victim's run).
+  const size_t chunk_len =
+      std::max<size_t>(1, n / (lanes * kChunksPerLane));
+  const size_t n_chunks = (n + chunk_len - 1) / chunk_len;
+  const size_t per_lane = n_chunks / lanes;
+  const size_t extra = n_chunks % lanes;
+  size_t next_chunk = 0;
+  try {
+    for (size_t l = 0; l < lanes; ++l) {
+      const size_t take = per_lane + (l < extra ? 1 : 0);
+      LaneQueue& q = *queues_[l];
+      for (size_t k = 0; k < take; ++k, ++next_chunk) {
+        const size_t begin = next_chunk * chunk_len;
+        q.chunks.push_back(Chunk{begin, std::min(begin + chunk_len, n)});
+      }
+    }
+  } catch (...) {
+    // A mid-dealing throw (bad_alloc) must not leave this job's chunks
+    // behind: the next published job would execute them with its own fn
+    // and the wrong index range. No job is published yet and job_mu_ is
+    // held, so no lane mutex is needed.
+    for (size_t l = 0; l < lanes; ++l) queues_[l]->chunks.clear();
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    current_job_ = &job;
+    current_job_lanes_ = lanes;
+    ++job_seq_;
+  }
+  wake_cv_.notify_all();
+
+  // The caller is lane 0.
+  WorkerPool* prev_pool = t_pool;
+  size_t prev_lane = t_lane;
+  t_pool = this;
+  t_lane = 0;
+  RunLane(&job, 0);
+  t_pool = prev_pool;
+  t_lane = prev_lane;
+
+  // Wait for every participating worker to finish (each drains to empty
+  // before reporting, so all chunks — including in-flight steals — are
+  // complete once the count reaches lanes - 1).
+  {
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    done_cv_.wait(lock, [&] { return job.finished_workers == lanes - 1; });
+    current_job_ = nullptr;
+    current_job_lanes_ = 0;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace ps3::runtime

@@ -1,0 +1,165 @@
+// Persistent work-stealing pool for per-partition parallelism (scans,
+// stats builds, labeling, featurization).
+//
+// Unlike the fork-per-call pool it replaces, workers are resident: threads
+// are spawned once (growing lazily to the peak requested lane count) and
+// sleep between ParallelFor calls. Each lane owns a deque of index chunks;
+// a lane pops from the front of its own deque and steals from the back of
+// another lane's when it runs dry, so skewed per-item costs balance without
+// a single contended counter. Results are written to caller-indexed slots
+// by the supplied function, so every reduction stays ordered and
+// deterministic regardless of lane count or steal schedule.
+//
+// The pool also owns per-lane scratch storage (LocalScratch<T>). Because
+// workers are resident, scratch obtained inside a task survives across
+// ParallelFor calls — the property that makes multi-megabyte query scratch
+// (dense group-id tables, bitmap stacks) amortize across a whole query
+// stream instead of being torn down with each forked worker.
+#ifndef PS3_RUNTIME_WORKER_POOL_H_
+#define PS3_RUNTIME_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ps3::runtime {
+
+class WorkerPool {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency. Worker threads
+  /// (num_threads - 1; the caller is lane 0) are spawned on construction
+  /// and stay resident until destruction.
+  explicit WorkerPool(int num_threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Lanes currently resident (caller lane + worker threads).
+  size_t num_lanes() const { return lanes_; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete. The
+  /// calling thread participates as lane 0. `max_lanes` caps parallelism
+  /// and follows the ExecOptions::num_threads convention: <= 0 = the
+  /// pool's default lane count, 1 = fully inline on the caller. The pool
+  /// grows (spawning resident workers) if `max_lanes` exceeds the current
+  /// lane count, up to a hard ceiling of 256 lanes — growth follows the
+  /// peak request and never shrinks, so the ceiling bounds what an errant
+  /// value can pin. Nested calls from inside a task run inline (no deadlock,
+  /// no thread explosion). Exceptions thrown by `fn` are rethrown on the
+  /// caller; remaining chunks are skipped best-effort. Concurrent
+  /// top-level callers are serialized (one job at a time).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   int max_lanes = 0);
+
+  /// Process-wide resident pool, sized to the hardware concurrency (and
+  /// growing to the peak explicitly requested lane count).
+  static WorkerPool& Shared();
+
+  /// Per-lane scratch of arbitrary type, default-constructed on first use
+  /// and retained for the pool's lifetime. Called from inside a task it
+  /// returns the executing lane's slot (stable across ParallelFor calls —
+  /// this is what makes scratch reuse real on worker threads). Called from
+  /// a thread that is not currently executing a task of this pool, it
+  /// returns a thread_local fallback, which equally persists for the
+  /// calling thread's lifetime. Never returns storage shared between two
+  /// concurrently running lanes.
+  template <typename T>
+  T& LocalScratch() {
+    if (CurrentPool() == this) {
+      LaneScratch& ls = *scratch_[CurrentLane()];
+      const void* key = TypeKey<T>();
+      for (const ScratchEntry& e : ls.entries) {
+        if (e.key == key) return *static_cast<T*>(e.ptr);
+      }
+      T* p = new T();
+      ls.entries.push_back(ScratchEntry{key, p, &DestroyT<T>});
+      return *p;
+    }
+    static thread_local T fallback;
+    return fallback;
+  }
+
+ private:
+  struct Chunk {
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  /// One lane's chunk deque. The owning lane pops from the front; thieves
+  /// pop from the back, so contiguous index runs stay with their owner.
+  struct LaneQueue {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t lanes = 0;  ///< participating lanes: [0, lanes)
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    size_t finished_workers = 0;  ///< guarded by wake_mu_
+  };
+
+  struct ScratchEntry {
+    const void* key;
+    void* ptr;
+    void (*destroy)(void*);
+  };
+  struct LaneScratch {
+    std::vector<ScratchEntry> entries;
+    ~LaneScratch() {
+      for (const ScratchEntry& e : entries) e.destroy(e.ptr);
+    }
+  };
+
+  template <typename T>
+  static void DestroyT(void* p) {
+    delete static_cast<T*>(p);
+  }
+  template <typename T>
+  static const void* TypeKey() {
+    static const char key = 0;
+    return &key;
+  }
+
+  /// Pool whose task the calling thread is currently executing (nullptr
+  /// outside tasks) and the executing lane id.
+  static WorkerPool* CurrentPool();
+  static size_t CurrentLane();
+
+  /// Grows to `lanes` total lanes. Caller must hold job_mu_ with no job
+  /// published (workers only touch queues_/scratch_ while a job is live).
+  void EnsureLanes(size_t lanes);
+  void WorkerMain(size_t lane);
+  /// Drains chunks as `lane`: own queue front first, then steals.
+  void RunLane(Job* job, size_t lane);
+  bool PopOrSteal(Job* job, size_t lane, Chunk* out);
+
+  size_t default_lanes_;
+  size_t lanes_ = 1;  // lane 0 = caller
+  std::vector<std::unique_ptr<LaneQueue>> queues_;
+  std::vector<std::unique_ptr<LaneScratch>> scratch_;
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mu_;  ///< serializes ParallelFor callers end-to-end
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  Job* current_job_ = nullptr;    ///< guarded by wake_mu_
+  size_t current_job_lanes_ = 0;  ///< guarded by wake_mu_
+  uint64_t job_seq_ = 0;          ///< guarded by wake_mu_
+  bool shutdown_ = false;         ///< guarded by wake_mu_
+};
+
+}  // namespace ps3::runtime
+
+#endif  // PS3_RUNTIME_WORKER_POOL_H_

@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
-#include "common/thread_pool.h"
+#include "runtime/worker_pool.h"
 
 namespace ps3::stats {
 
@@ -70,15 +70,17 @@ TableStats StatsBuilder::Build(const storage::PartitionedTable& table) const {
   // Per-partition sketch pass: partitions are independent, so the build
   // parallelizes with an ordered (index-addressed) reduction.
   stats.partitions_.resize(n_parts);
-  ThreadPool pool(options_.num_threads);
-  pool.ParallelFor(n_parts, [&](size_t p) {
-    storage::Partition part = table.partition(p);
-    stats.partitions_[p].num_rows = part.num_rows();
-    stats.partitions_[p].columns.reserve(n_cols);
-    for (size_t c = 0; c < n_cols; ++c) {
-      stats.partitions_[p].columns.push_back(BuildColumn(part, c));
-    }
-  });
+  runtime::WorkerPool::Shared().ParallelFor(
+      n_parts,
+      [&](size_t p) {
+        storage::Partition part = table.partition(p);
+        stats.partitions_[p].num_rows = part.num_rows();
+        stats.partitions_[p].columns.reserve(n_cols);
+        for (size_t c = 0; c < n_cols; ++c) {
+          stats.partitions_[p].columns.push_back(BuildColumn(part, c));
+        }
+      },
+      options_.num_threads);
 
   // Global heavy hitters (§3.2): combine per-partition heavy hitters,
   // weight by their (lower-bound) counts, keep the top bitmap_k keys.

@@ -1,0 +1,47 @@
+#include "storage/sharded_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace ps3::storage {
+
+ShardedTable::ShardedTable(PartitionedTable table, size_t num_shards,
+                           ShardAssignment assignment)
+    : table_(std::move(table)), assignment_(assignment) {
+  Assign(num_shards);
+}
+
+ShardedTable::ShardedTable(std::shared_ptr<const Table> table,
+                           size_t num_partitions, size_t num_shards,
+                           ShardAssignment assignment)
+    : table_(std::move(table), num_partitions), assignment_(assignment) {
+  Assign(num_shards);
+}
+
+void ShardedTable::Assign(size_t num_shards) {
+  const size_t n_parts = table_.num_partitions();
+  num_shards = std::max<size_t>(1, std::min(num_shards, n_parts));
+  shards_.resize(num_shards);
+  if (assignment_ == ShardAssignment::kRange) {
+    // Near-equal contiguous runs: first (n % S) shards get one extra.
+    const size_t base = n_parts / num_shards;
+    const size_t extra = n_parts % num_shards;
+    size_t next = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t len = base + (s < extra ? 1 : 0);
+      shards_[s].reserve(len);
+      for (size_t k = 0; k < len; ++k) shards_[s].push_back(next++);
+    }
+    assert(next == n_parts);
+  } else {
+    // Hash placement: deterministic, layout-independent spread. Ascending
+    // insertion keeps each shard's list sorted.
+    for (size_t p = 0; p < n_parts; ++p) {
+      shards_[Mix64(p) % num_shards].push_back(p);
+    }
+  }
+}
+
+}  // namespace ps3::storage

@@ -1,0 +1,67 @@
+// Sharded view over a partitioned table: N shards, each owning a set of
+// partitions, for multi-shard query fan-out on many-core / multi-node
+// style service workloads.
+//
+// Sharding never moves rows: it assigns the *partitions* of an underlying
+// PartitionedTable to shards, either as contiguous runs (kRange) or by a
+// hash of the partition index (kHash). Global partition boundaries are
+// therefore identical for every shard count, which is what lets the
+// evaluator's multi-shard fan-out produce answers bit-identical to the
+// single-table scan: each partition's accumulators see exactly the same
+// rows in the same order, and partials are merged back by global partition
+// index.
+#ifndef PS3_STORAGE_SHARDED_TABLE_H_
+#define PS3_STORAGE_SHARDED_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ps3::storage {
+
+/// How partitions are assigned to shards.
+enum class ShardAssignment {
+  kRange,  ///< shard s owns a contiguous run of partition indices
+  kHash,   ///< partition p lands on shard Mix64(p) % num_shards
+};
+
+class ShardedTable {
+ public:
+  /// Shards an existing partitioning. `num_shards` is clamped to
+  /// [1, partition count]; under kHash a shard may still end up empty
+  /// (hash collisions), which the fan-out handles.
+  ShardedTable(PartitionedTable table, size_t num_shards,
+               ShardAssignment assignment = ShardAssignment::kRange);
+
+  /// Convenience: partition the table and shard it in one step.
+  ShardedTable(std::shared_ptr<const Table> table, size_t num_partitions,
+               size_t num_shards,
+               ShardAssignment assignment = ShardAssignment::kRange);
+
+  const PartitionedTable& partitioned() const { return table_; }
+  const Schema& schema() const { return table_.schema(); }
+  size_t num_shards() const { return shards_.size(); }
+  /// Total partitions across all shards (== the underlying table's count).
+  size_t num_partitions() const { return table_.num_partitions(); }
+  ShardAssignment assignment() const { return assignment_; }
+
+  /// Global partition indices owned by shard `s`, ascending.
+  const std::vector<size_t>& shard(size_t s) const { return shards_[s]; }
+
+  /// Partition by *global* index (shared numbering with the flat table).
+  Partition partition(size_t global_index) const {
+    return table_.partition(global_index);
+  }
+
+ private:
+  void Assign(size_t num_shards);
+
+  PartitionedTable table_;
+  ShardAssignment assignment_;
+  std::vector<std::vector<size_t>> shards_;
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_SHARDED_TABLE_H_

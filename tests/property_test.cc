@@ -19,7 +19,9 @@
 #include "sketch/histogram.h"
 #include "sketch/akmv.h"
 #include "common/hash.h"
+#include "runtime/simd.h"
 #include "stats/stats_builder.h"
+#include "storage/sharded_table.h"
 #include "workload/datasets.h"
 
 namespace ps3 {
@@ -423,6 +425,21 @@ TEST_P(ExecEquivalence, RandomizedQueriesBitIdentical) {
     ExpectAnswersBitIdentical(scalar, vec1, "vectorized-1t");
     ExpectAnswersBitIdentical(scalar, vec4, "vectorized-4t");
 
+    // Kernel equivalence: the scalar word-packing kernels and (when the
+    // host supports them) the explicit AVX2 kernels must produce the same
+    // bitmaps, hence bit-identical answers.
+    query::ExecOptions packed;
+    packed.policy = query::ExecPolicy::kVectorized;
+    packed.num_threads = 1;
+    packed.simd = runtime::SimdLevel::kNone;
+    auto vec_packed = query::EvaluateAllPartitions(q, pt, packed);
+    ExpectAnswersBitIdentical(scalar, vec_packed, "vectorized-scalar-pack");
+    if (runtime::Avx2Available()) {
+      packed.simd = runtime::SimdLevel::kAvx2;
+      auto vec_avx2 = query::EvaluateAllPartitions(q, pt, packed);
+      ExpectAnswersBitIdentical(scalar, vec_avx2, "vectorized-avx2");
+    }
+
     // The finalized answers agree too (same combine path, same inputs).
     auto exact_s = query::ExactAnswer(q, scalar);
     auto exact_v = query::ExactAnswer(q, vec1);
@@ -485,6 +502,57 @@ TEST(ExecEquivalence, FeaturesInvariantToThreadCount) {
     }
   }
 }
+
+// ---------------------------------------------------------------------
+// Shard-count invariance: the same rows sharded 1/2/8 ways must produce
+// bit-identical per-partition answers under both exec policies and both
+// assignment schemes. Sharding assigns whole partitions, so the global
+// partition set (and each accumulator's addition order) never changes.
+
+struct ShardCase {
+  const char* name;
+  size_t shards;
+  storage::ShardAssignment assignment;
+};
+
+class ShardInvariance : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardInvariance, BitIdenticalToFlatScan) {
+  auto bundle = workload::MakeTpchStar(4000, /*seed=*/21);
+  // 13 partitions: not a multiple of any shard count under test, so range
+  // shards are uneven and hash shards can be empty.
+  storage::PartitionedTable pt(bundle.table, 13);
+  storage::ShardedTable sharded(pt, GetParam().shards, GetParam().assignment);
+  ASSERT_EQ(sharded.num_partitions(), pt.num_partitions());
+
+  RandomEngine rng(4242);
+  for (int trial = 0; trial < 8; ++trial) {
+    query::Query q = RandomQuery(*bundle.table, &rng);
+    for (query::ExecPolicy policy :
+         {query::ExecPolicy::kScalar, query::ExecPolicy::kVectorized}) {
+      query::ExecOptions opts;
+      opts.policy = policy;
+      opts.num_threads = 1;
+      auto flat = query::EvaluateAllPartitions(q, pt, opts);
+      opts.num_threads = 3;  // fan-out parallelism must not matter either
+      auto fanned = query::EvaluateAllPartitions(q, sharded, opts);
+      ExpectAnswersBitIdentical(flat, fanned,
+                                policy == query::ExecPolicy::kScalar
+                                    ? "sharded-scalar"
+                                    : "sharded-vectorized");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardCounts, ShardInvariance,
+    ::testing::Values(
+        ShardCase{"range1", 1, storage::ShardAssignment::kRange},
+        ShardCase{"range2", 2, storage::ShardAssignment::kRange},
+        ShardCase{"range8", 8, storage::ShardAssignment::kRange},
+        ShardCase{"hash2", 2, storage::ShardAssignment::kHash},
+        ShardCase{"hash8", 8, storage::ShardAssignment::kHash}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 TEST(EdgeCases, NotOfTruePredicateMatchesNothing) {
   auto bundle = workload::MakeAria(200, 7);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "storage/sharded_table.h"
 #include "storage/table.h"
 
 namespace ps3::storage {
@@ -165,6 +166,57 @@ TEST(Partition, RowAccess) {
   EXPECT_EQ(second.num_rows(), 10u);
   EXPECT_DOUBLE_EQ(second.NumericAt(0, 0), 10.0);
   EXPECT_EQ(t->column(1).StringAt(second.begin_row()), "hi");
+}
+
+std::shared_ptr<Table> ShardFixture(size_t rows) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    t->AppendRow({double(i)}, {i % 2 == 0 ? "even" : "odd"});
+  }
+  return t;
+}
+
+TEST(ShardedTable, EveryPartitionOwnedExactlyOnce) {
+  for (ShardAssignment a : {ShardAssignment::kRange, ShardAssignment::kHash}) {
+    ShardedTable st(ShardFixture(130), /*num_partitions=*/13,
+                    /*num_shards=*/4, a);
+    EXPECT_EQ(st.num_partitions(), 13u);
+    std::vector<int> owned(13, 0);
+    for (size_t s = 0; s < st.num_shards(); ++s) {
+      for (size_t p : st.shard(s)) owned[p]++;
+    }
+    for (size_t p = 0; p < owned.size(); ++p) {
+      EXPECT_EQ(owned[p], 1) << "partition " << p;
+    }
+  }
+}
+
+TEST(ShardedTable, RangeShardsAreContiguousAndOrdered) {
+  ShardedTable st(ShardFixture(100), 10, 3, ShardAssignment::kRange);
+  size_t next = 0;
+  for (size_t s = 0; s < st.num_shards(); ++s) {
+    for (size_t p : st.shard(s)) {
+      EXPECT_EQ(p, next);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, st.num_partitions());
+}
+
+TEST(ShardedTable, ShardCountClampedToPartitions) {
+  ShardedTable st(ShardFixture(30), 3, 8, ShardAssignment::kRange);
+  EXPECT_EQ(st.num_shards(), 3u);
+  EXPECT_EQ(st.num_partitions(), 3u);
+}
+
+TEST(ShardedTable, GlobalPartitionAccessorMatchesFlatTable) {
+  auto table = ShardFixture(120);
+  PartitionedTable flat(table, 12);
+  ShardedTable st(flat, 5, ShardAssignment::kHash);
+  for (size_t p = 0; p < flat.num_partitions(); ++p) {
+    EXPECT_EQ(st.partition(p).begin_row(), flat.partition(p).begin_row());
+    EXPECT_EQ(st.partition(p).end_row(), flat.partition(p).end_row());
+  }
 }
 
 }  // namespace
