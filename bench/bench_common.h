@@ -53,6 +53,13 @@ inline std::vector<size_t> BenchShardCounts() {
   return EnvSizeList("PS3_SHARDS", {1, 4, 8});
 }
 
+/// Concurrent query-stream counts exercised by the scheduler benches
+/// (PS3_STREAMS). Each stream is a closed-loop submitter pushing its
+/// share of the query set through a QueryScheduler on the shared pool.
+inline std::vector<size_t> BenchStreamCounts() {
+  return EnvSizeList("PS3_STREAMS", {1, 2, 4});
+}
+
 /// Default bench scale: 100k rows over 400 partitions (the paper's 1000
 /// partitions scaled to this simulator), 96 training / 40 test queries.
 inline eval::ExperimentConfig BenchConfig(const std::string& dataset,

@@ -1,19 +1,24 @@
 // Scan-path throughput: rows/sec of exact whole-table evaluation on the
 // TPC-H-style workload, swept over execution policy (scalar interpreter vs
 // vectorized engine), worker-lane count (resident work-stealing pool),
-// predicate kernel (scalar word-packing vs explicit AVX2), and shard count
-// (multi-shard fan-out over a ShardedTable). Emits JSON so successive PRs
-// can track the perf trajectory. Scale with PS3_ROWS / PS3_PARTS /
-// PS3_TESTQ; pin sweep dimensions with PS3_THREADS / PS3_SHARDS.
+// predicate kernel (scalar word-packing vs explicit AVX2), shard count
+// (multi-shard fan-out over a ShardedTable), and concurrent query-stream
+// count (closed-loop submitters through runtime::QueryScheduler, so
+// scheduler fairness shows up as per-stream rows/sec). Emits JSON so
+// successive PRs can track the perf trajectory. Scale with PS3_ROWS /
+// PS3_PARTS / PS3_TESTQ; pin sweep dimensions with PS3_THREADS /
+// PS3_SHARDS / PS3_STREAMS.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "query/evaluator.h"
+#include "runtime/query_scheduler.h"
 #include "runtime/simd.h"
 #include "storage/sharded_table.h"
 #include "workload/datasets.h"
@@ -49,6 +54,44 @@ double TimeAllSharded(const std::vector<ps3::query::Query>& queries,
     auto answers = ps3::query::EvaluateAllPartitions(q, table, opts);
     if (answers.empty()) std::abort();
   }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Closed-loop concurrent streams: `n_streams` submitter threads each push
+/// their round-robin share of `queries` through one QueryScheduler
+/// (submit, wait, submit), so at most `n_streams` queries are in flight
+/// and the pool's round-robin chunk interleaving sets per-stream latency.
+/// Returns wall seconds; fills per-stream elapsed seconds and query
+/// counts.
+double TimeStreamed(const std::vector<ps3::query::Query>& queries,
+                    const ps3::storage::PartitionedTable& table,
+                    const ps3::query::ExecOptions& opts, size_t n_streams,
+                    std::vector<double>* stream_secs,
+                    std::vector<size_t>* stream_queries) {
+  ps3::runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = static_cast<int>(n_streams);
+  ps3::runtime::QueryScheduler scheduler(sopts);
+  stream_secs->assign(n_streams, 0.0);
+  stream_queries->assign(n_streams, 0);
+  auto start = Clock::now();
+  std::vector<std::thread> streams;
+  for (size_t s = 0; s < n_streams; ++s) {
+    streams.emplace_back([&, s] {
+      auto stream_start = Clock::now();
+      size_t count = 0;
+      for (size_t i = s; i < queries.size(); i += n_streams) {
+        // future::get() is an opaque side-effecting call, so the answer
+        // cannot be optimized away; an empty answer is legitimate here
+        // (always-false predicates), unlike the flat-scan timers above.
+        scheduler.Submit(queries[i], table, opts).get();
+        ++count;
+      }
+      (*stream_secs)[s] =
+          std::chrono::duration<double>(Clock::now() - stream_start).count();
+      (*stream_queries)[s] = count;
+    });
+  }
+  for (auto& t : streams) t.join();
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -207,6 +250,40 @@ int main() {
         "\"shards\": %zu, \"seconds\": %.4f, \"rows_per_sec\": %.3e}%s\n",
         name, cfg.threads, kernel, cfg.shards, secs, rps,
         i + 1 < configs.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  // Concurrent query streams through the scheduler: aggregate rows/sec
+  // plus per-stream rows/sec, so unfair lane allotment (one stream
+  // starved while another hogs the pool) is visible in the trajectory,
+  // not averaged away.
+  const std::vector<size_t> stream_counts = bench::BenchStreamCounts();
+  std::printf("  \"stream_results\": [\n");
+  for (size_t i = 0; i < stream_counts.size(); ++i) {
+    const size_t streams = std::max<size_t>(1, stream_counts[i]);
+    query::ExecOptions opts;
+    opts.policy = query::ExecPolicy::kVectorized;
+    opts.num_threads = static_cast<int>(wide);
+    opts.simd = runtime::SimdLevel::kAuto;
+    std::vector<double> stream_secs;
+    std::vector<size_t> stream_queries;
+    TimeStreamed(queries, table, opts, streams, &stream_secs,
+                 &stream_queries);  // warm-up (page-in, scratch, drivers)
+    const double wall = TimeStreamed(queries, table, opts, streams,
+                                     &stream_secs, &stream_queries);
+    std::printf(
+        "    {\"policy\": \"vectorized\", \"streams\": %zu, \"threads\": "
+        "%zu, \"kernel\": \"auto\", \"seconds\": %.4f, \"rows_per_sec\": "
+        "%.3e, \"per_stream_rows_per_sec\": [",
+        streams, wide, wall, total_rows / wall);
+    for (size_t s = 0; s < streams; ++s) {
+      const double stream_rows = static_cast<double>(rows) *
+                                 static_cast<double>(stream_queries[s]);
+      std::printf("%.3e%s",
+                  stream_secs[s] > 0.0 ? stream_rows / stream_secs[s] : 0.0,
+                  s + 1 < streams ? ", " : "");
+    }
+    std::printf("]}%s\n", i + 1 < stream_counts.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"speedup_vectorized_1t\": %.2f,\n",

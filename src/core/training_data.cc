@@ -1,7 +1,10 @@
 #include "core/training_data.h"
 
+#include <future>
+#include <vector>
+
 #include "core/labels.h"
-#include "runtime/worker_pool.h"
+#include "runtime/query_scheduler.h"
 
 namespace ps3::core {
 
@@ -15,18 +18,28 @@ TrainingData BuildTrainingData(const PickerContext& ctx,
   data.exact.resize(nq);
   data.contributions.resize(nq);
   // The ground-truth labeling pass is the slowest step of training: every
-  // query is evaluated exactly on every partition. Queries are independent,
-  // so the pass parallelizes at query granularity on the resident pool with
-  // results written to index-addressed slots (deterministic for any lane
-  // count); the per-query partition scans below then run inline.
-  runtime::WorkerPool::Shared().ParallelFor(nq, [&](size_t i) {
-    const query::Query& q = data.queries[i];
-    data.features[i] = ctx.featurizer->BuildFeatures(q);
-    data.answers[i] = query::EvaluateAllPartitions(q, *ctx.table);
-    data.exact[i] = query::ExactAnswer(q, data.answers[i]);
-    data.contributions[i] =
-        ComputeContributions(q, data.answers[i], data.exact[i]);
-  });
+  // query is evaluated exactly on every partition. Queries are admitted
+  // concurrently through a QueryScheduler onto the shared resident pool,
+  // so each query's partition scan is its own chunk-level job and the
+  // in-flight queries interleave on shared lanes (previously one query's
+  // ParallelFor owned the pool while the rest blocked). Results land in
+  // index-addressed slots and every per-query reduction is ordered, so the
+  // labels are bit-identical to serial evaluation for any driver or lane
+  // count.
+  runtime::QueryScheduler scheduler;
+  std::vector<std::future<void>> done;
+  done.reserve(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    done.push_back(scheduler.Defer([&data, &ctx, i] {
+      const query::Query& q = data.queries[i];
+      data.features[i] = ctx.featurizer->BuildFeatures(q);
+      data.answers[i] = query::EvaluateAllPartitions(q, *ctx.table);
+      data.exact[i] = query::ExactAnswer(q, data.answers[i]);
+      data.contributions[i] =
+          ComputeContributions(q, data.answers[i], data.exact[i]);
+    }));
+  }
+  for (auto& f : done) f.get();
   return data;
 }
 

@@ -62,8 +62,12 @@ double StaticFeatureValue(const stats::TableStats& stats, size_t part,
 }  // namespace
 
 Featurizer::Featurizer(const storage::Schema& schema,
-                       const stats::TableStats* stats, int num_threads)
-    : table_schema_(schema), stats_(stats), num_threads_(num_threads) {
+                       const stats::TableStats* stats, int num_threads,
+                       runtime::WorkerPool* pool)
+    : table_schema_(schema),
+      stats_(stats),
+      num_threads_(num_threads),
+      pool_(pool) {
   schema_ = FeatureSchema::Build(schema, *stats);
   const size_t n = stats->num_partitions();
   const size_t m = schema_.num_features();
@@ -116,7 +120,9 @@ std::vector<SelectivityFeatures> Featurizer::ComputeSelectivity(
     }
     return out;
   }
-  runtime::WorkerPool::Shared().ParallelFor(
+  runtime::WorkerPool& pool =
+      pool_ != nullptr ? *pool_ : runtime::WorkerPool::Shared();
+  pool.ParallelFor(
       out.size(),
       [&](size_t p) {
         out[p] = EstimateSelectivity(query, stats_->partition(p));

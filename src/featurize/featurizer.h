@@ -12,6 +12,10 @@
 #include "stats/table_stats.h"
 #include "storage/schema.h"
 
+namespace ps3::runtime {
+class WorkerPool;
+}  // namespace ps3::runtime
+
 namespace ps3::featurize {
 
 /// Dense row-major matrix of partition features (N partitions x M features).
@@ -36,9 +40,11 @@ class Featurizer {
   /// `num_threads` controls the per-partition parallelism of
   /// ComputeSelectivity / BuildFeatures (0 = hardware); results are
   /// identical for any value (partitions are independent, reductions are
-  /// index-ordered).
+  /// index-ordered). `pool` selects the resident pool those passes run on
+  /// (nullptr = the process-wide shared pool); under concurrent admission
+  /// `num_threads` is also this featurizer's lane cap per pass.
   Featurizer(const storage::Schema& schema, const stats::TableStats* stats,
-             int num_threads = 0);
+             int num_threads = 0, runtime::WorkerPool* pool = nullptr);
 
   const FeatureSchema& feature_schema() const { return schema_; }
   const stats::TableStats& stats() const { return *stats_; }
@@ -57,6 +63,7 @@ class Featurizer {
   storage::Schema table_schema_;
   const stats::TableStats* stats_;
   int num_threads_;
+  runtime::WorkerPool* pool_;
   FeatureSchema schema_;
   FeatureMatrix static_features_;
   // For masking: per feature, the column it belongs to (-1 = query level).

@@ -82,12 +82,19 @@ enum class ExecPolicy {
 struct ExecOptions {
   ExecPolicy policy = ExecPolicy::kVectorized;
   /// Worker lanes for per-partition parallelism. 0 = all hardware
-  /// threads; 1 = fully inline. Results are identical for any value: each
-  /// partition is independent and the reduction is ordered by index.
+  /// threads; 1 = fully inline. Under concurrent admission (several
+  /// queries in flight on one pool, e.g. via runtime::QueryScheduler)
+  /// this is also the query's lane cap: at most this many lanes serve the
+  /// query at once while the rest stay free for siblings. Results are
+  /// identical for any value: each partition is independent and the
+  /// reduction is ordered by index.
   int num_threads = 0;
   /// Resident pool to run on; nullptr = the process-wide shared pool.
-  /// Per-lane execution scratch lives with the pool, so a long-lived pool
+  /// Per-lane execution scratch lives with the pool (submitter threads
+  /// use an equally persistent thread-local slot), so a long-lived pool
   /// amortizes the dense group-id tables across a whole query stream.
+  /// Concurrent evaluations on one pool interleave at chunk granularity
+  /// and stay bit-identical to running each alone.
   runtime::WorkerPool* pool = nullptr;
   /// Predicate kernel selection for the vectorized policy (scalar packing
   /// vs explicit AVX2); answers are bit-identical either way.

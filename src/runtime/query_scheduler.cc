@@ -1,0 +1,114 @@
+#include "runtime/query_scheduler.h"
+
+#include <algorithm>
+
+namespace ps3::runtime {
+
+namespace {
+
+size_t ResolveDrivers(int num_drivers) {
+  if (num_drivers > 0) return static_cast<size_t>(num_drivers);
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(4, hw == 0 ? 1 : static_cast<size_t>(hw));
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler() : QueryScheduler(Options()) {}
+
+QueryScheduler::QueryScheduler(Options options)
+    : pool_(options.pool != nullptr ? options.pool
+                                    : &WorkerPool::Shared()) {
+  const size_t n = ResolveDrivers(options.num_drivers);
+  drivers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    drivers_.emplace_back([this] { DriverMain(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& d : drivers_) d.join();
+}
+
+size_t QueryScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + executing_;
+}
+
+void QueryScheduler::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void QueryScheduler::DriverMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Drain-on-destruction: exit only once the queue is empty, so every
+      // admitted future becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    // packaged_task catches the body's exception and parks it in the
+    // future, so a throwing query can't take the driver down.
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+    }
+  }
+}
+
+std::future<query::QueryAnswer> QueryScheduler::Submit(
+    query::Query query, const storage::ShardedTable& table,
+    query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &table, opts] {
+    return query::ExactAnswer(q,
+                              query::EvaluateAllPartitions(q, table, opts));
+  });
+}
+
+std::future<query::QueryAnswer> QueryScheduler::Submit(
+    query::Query query, const storage::PartitionedTable& table,
+    query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &table, opts] {
+    return query::ExactAnswer(q,
+                              query::EvaluateAllPartitions(q, table, opts));
+  });
+}
+
+std::future<std::vector<query::PartitionAnswer>>
+QueryScheduler::SubmitPartials(query::Query query,
+                               const storage::PartitionedTable& table,
+                               query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &table, opts] {
+    return query::EvaluateAllPartitions(q, table, opts);
+  });
+}
+
+std::future<std::vector<query::PartitionAnswer>>
+QueryScheduler::SubmitPartials(query::Query query,
+                               const storage::ShardedTable& table,
+                               query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &table, opts] {
+    return query::EvaluateAllPartitions(q, table, opts);
+  });
+}
+
+}  // namespace ps3::runtime

@@ -1,0 +1,123 @@
+// Concurrent multi-query submission onto the shared resident WorkerPool.
+//
+// QueryScheduler is the admission layer for the paper's query-stream
+// setting: many exact aggregate queries arrive at once, and instead of
+// serializing whole-query scans, each Submit() becomes a task on a small
+// set of resident driver threads. A driver executes the query's partition
+// fan-out as its own WorkerPool job, so the chunks of several in-flight
+// queries interleave on the shared lanes (round-robin, capped per query by
+// ExecOptions::num_threads) — throughput comes from admitting concurrent
+// work onto shared execution resources rather than from one query owning
+// every lane.
+//
+// Determinism contract: each query's per-partition reduction is ordered
+// (index-addressed slots, ascending row order within a partition), so the
+// answer a future resolves to is bit-identical to running the same query
+// serially — for any driver count, lane count, steal schedule, or set of
+// concurrently admitted queries. Failure is per query: a task that throws
+// fails only its own future; sibling queries and the resident lanes are
+// unaffected.
+//
+// Tables are borrowed, not owned: a table passed to Submit must stay alive
+// until the returned future is ready (or the scheduler is destroyed,
+// which drains all admitted work).
+#ifndef PS3_RUNTIME_QUERY_SCHEDULER_H_
+#define PS3_RUNTIME_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "runtime/worker_pool.h"
+#include "storage/sharded_table.h"
+
+namespace ps3::runtime {
+
+class QueryScheduler {
+ public:
+  struct Options {
+    /// Resident driver threads (concurrent in-flight queries). <= 0 picks
+    /// min(4, hardware concurrency). Each driver serves the job it
+    /// submitted, so drivers make progress even on a saturated pool.
+    int num_drivers = 0;
+    /// Pool queries execute on; nullptr = the process-wide shared pool.
+    WorkerPool* pool = nullptr;
+  };
+
+  /// Default options: shared pool, min(4, hardware) drivers.
+  QueryScheduler();
+  explicit QueryScheduler(Options options);
+  /// Drains: already-admitted tasks run to completion (their futures all
+  /// become ready), then the drivers join. No task is dropped.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  WorkerPool& pool() const { return *pool_; }
+  size_t num_drivers() const { return drivers_.size(); }
+  /// Tasks admitted but not yet finished (queued + executing).
+  size_t pending() const;
+
+  /// Admits an exact aggregate query over a sharded table. The future
+  /// resolves to the finalized answer (every partition, weight 1),
+  /// bit-identical to serial evaluation; it rethrows if evaluation threw.
+  /// `opts.pool` is overridden with the scheduler's pool;
+  /// `opts.num_threads` caps this query's lane share while other queries
+  /// are in flight.
+  std::future<query::QueryAnswer> Submit(query::Query query,
+                                         const storage::ShardedTable& table,
+                                         query::ExecOptions opts = {});
+  /// Same, over a flat partitioned table.
+  std::future<query::QueryAnswer> Submit(
+      query::Query query, const storage::PartitionedTable& table,
+      query::ExecOptions opts = {});
+
+  /// Admits a query but resolves to the raw per-partition answers (global
+  /// partition order) — the form the trainer and pickers consume.
+  std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
+      query::Query query, const storage::PartitionedTable& table,
+      query::ExecOptions opts = {});
+  std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
+      query::Query query, const storage::ShardedTable& table,
+      query::ExecOptions opts = {});
+
+  /// Generic admission: runs `fn` on a driver thread and resolves the
+  /// future with its result (or exception). Parallel passes inside `fn`
+  /// (stats builds, featurization, labeling scans) are admitted to the
+  /// pool as that task's own jobs, concurrent with other tasks'.
+  template <typename F>
+  auto Defer(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void DriverMain();
+
+  WorkerPool* pool_;
+  std::vector<std::thread> drivers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  ///< guarded by mu_
+  size_t executing_ = 0;                     ///< guarded by mu_
+  bool stop_ = false;                        ///< guarded by mu_
+};
+
+}  // namespace ps3::runtime
+
+#endif  // PS3_RUNTIME_QUERY_SCHEDULER_H_

@@ -7,7 +7,8 @@ namespace ps3::runtime {
 namespace {
 
 /// Chunks per participating lane: enough slack for stealing to balance
-/// skew, few enough that per-chunk locking stays negligible.
+/// skew, few enough that per-chunk locking (and the per-chunk round-robin
+/// job re-pick) stays negligible.
 constexpr size_t kChunksPerLane = 4;
 
 /// Hard ceiling on resident lanes. Growth follows the peak requested lane
@@ -32,9 +33,13 @@ WorkerPool::WorkerPool(int num_threads) {
     default_lanes_ = static_cast<size_t>(num_threads);
   }
   default_lanes_ = std::min(default_lanes_, kMaxLanes);
-  queues_.push_back(std::make_unique<LaneQueue>());
-  scratch_.push_back(std::make_unique<LaneScratch>());
-  std::lock_guard<std::mutex> lock(job_mu_);
+  // Scratch slots for every lane the pool could ever grow to: workers then
+  // index scratch_ without synchronizing against later growth.
+  scratch_.reserve(kMaxLanes);
+  for (size_t i = 0; i < kMaxLanes; ++i) {
+    scratch_.push_back(std::make_unique<LaneScratch>());
+  }
+  std::lock_guard<std::mutex> lock(grow_mu_);
   EnsureLanes(default_lanes_);
 }
 
@@ -53,89 +58,143 @@ WorkerPool& WorkerPool::Shared() {
 }
 
 void WorkerPool::EnsureLanes(size_t lanes) {
-  while (lanes_ < lanes) {
-    queues_.push_back(std::make_unique<LaneQueue>());
-    scratch_.push_back(std::make_unique<LaneScratch>());
-    size_t lane = lanes_;
+  size_t cur = lanes_.load(std::memory_order_relaxed);
+  while (cur < lanes) {
     try {
-      workers_.emplace_back([this, lane] { WorkerMain(lane); });
+      workers_.emplace_back([this, cur] { WorkerMain(cur); });
     } catch (const std::system_error&) {
-      // Thread exhaustion: degrade to however many workers did start. The
-      // lane count must match live workers exactly, or ParallelFor would
-      // wait forever on a lane nobody serves.
-      queues_.pop_back();
-      scratch_.pop_back();
+      // Thread exhaustion: degrade to however many workers did start.
       break;
     }
-    ++lanes_;
+    ++cur;
+    lanes_.store(cur, std::memory_order_relaxed);
   }
 }
 
 void WorkerPool::WorkerMain(size_t lane) {
   t_pool = this;
   t_lane = lane;
-  uint64_t seen = 0;
   for (;;) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait(lock, [&] {
-        return shutdown_ || (current_job_ != nullptr && job_seq_ != seen);
-      });
-      if (shutdown_) return;
-      seen = job_seq_;
-      if (lane >= current_job_lanes_) continue;  // not a participant
-      job = current_job_;
-    }
-    RunLane(job, lane);
+    uint64_t epoch;
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
-      ++job->finished_workers;
+      if (shutdown_) return;
+      epoch = work_epoch_;
     }
-    done_cv_.notify_one();
+    std::shared_ptr<Job> job = PickJob();
+    if (job) {
+      ServeOneChunk(job.get());
+      continue;
+    }
+    // Nothing servable at `epoch`: sleep until new work may exist. A job
+    // submitted (or a lane-cap slot freed) between the scan and this wait
+    // bumped the epoch, so the predicate catches it.
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock,
+                  [&] { return shutdown_ || work_epoch_ != epoch; });
+    if (shutdown_) return;
   }
 }
 
-bool WorkerPool::PopOrSteal(Job* job, size_t lane, Chunk* out) {
+std::shared_ptr<WorkerPool::Job> WorkerPool::PickJob() {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  const size_t n = jobs_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t idx = (rr_next_ + k) % n;
+    const std::shared_ptr<Job>& job = jobs_[idx];
+    if (job->queued.load(std::memory_order_relaxed) == 0) continue;
+    // Reserve a lane slot under the job's cap (CAS loop: concurrent
+    // workers may race for the last slot).
+    size_t active = job->active_lanes.load(std::memory_order_relaxed);
+    bool reserved = false;
+    while (active < job->cap) {
+      if (job->active_lanes.compare_exchange_weak(active, active + 1)) {
+        reserved = true;
+        break;
+      }
+    }
+    if (!reserved) continue;  // job saturated; try the next one
+    rr_next_ = (idx + 1) % n;
+    return job;
+  }
+  return nullptr;
+}
+
+bool WorkerPool::PopOrSteal(Job* job, size_t slot, Chunk* out) {
+  const size_t slots = job->queues.size();
   {
-    LaneQueue& own = *queues_[lane];
+    SlotQueue& own = job->queues[slot];
     std::lock_guard<std::mutex> lock(own.mu);
     if (!own.chunks.empty()) {
       *out = own.chunks.front();
       own.chunks.pop_front();
+      job->queued.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }
-  for (size_t d = 1; d < job->lanes; ++d) {
-    LaneQueue& victim = *queues_[(lane + d) % job->lanes];
+  for (size_t d = 1; d < slots; ++d) {
+    SlotQueue& victim = job->queues[(slot + d) % slots];
     std::lock_guard<std::mutex> lock(victim.mu);
     if (!victim.chunks.empty()) {
       *out = victim.chunks.back();
       victim.chunks.pop_back();
+      job->queued.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
 }
 
-void WorkerPool::RunLane(Job* job, size_t lane) {
-  Chunk c;
-  while (PopOrSteal(job, lane, &c)) {
-    if (job->failed.load(std::memory_order_relaxed)) continue;  // drain
+void WorkerPool::ExecuteChunk(Job* job, const Chunk& c) {
+  if (!job->failed.load(std::memory_order_relaxed)) {
     try {
       for (size_t i = c.begin; i < c.end; ++i) {
-        // Per-item early stop: after a failure elsewhere, don't burn the
-        // rest of an in-flight chunk on items whose results will be
-        // discarded.
+        // Per-item early stop: after a failure elsewhere in this job,
+        // don't burn the rest of an in-flight chunk on items whose
+        // results will be discarded. Failure is job-local — chunks of
+        // sibling jobs keep running.
         if (job->failed.load(std::memory_order_relaxed)) break;
         (*job->fn)(i);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job->error_mu);
-      if (!job->error) job->error = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (!job->error) job->error = std::current_exception();
+      }
       job->failed.store(true, std::memory_order_relaxed);
     }
   }
+  // Retire the chunk. The acq_rel RMW chain across finishers plus the
+  // done_mu handshake below makes every lane's writes visible to the
+  // caller when it observes done.
+  if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(job->done_mu);
+    job->done = true;
+    job->done_cv.notify_all();
+  }
+}
+
+void WorkerPool::ServeOneChunk(Job* job) {
+  Chunk c;
+  const size_t slot =
+      job->next_slot.fetch_add(1, std::memory_order_relaxed) %
+      job->queues.size();
+  if (PopOrSteal(job, slot, &c)) ExecuteChunk(job, c);
+  job->active_lanes.fetch_sub(1, std::memory_order_release);
+  // Releasing a cap slot on a job that still has queued chunks makes work
+  // servable for a sleeping worker.
+  if (job->queued.load(std::memory_order_relaxed) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      ++work_epoch_;
+    }
+    wake_cv_.notify_one();
+  }
+}
+
+void WorkerPool::DrainAsCaller(Job* job) {
+  Chunk c;
+  while (PopOrSteal(job, /*slot=*/0, &c)) ExecuteChunk(job, c);
 }
 
 void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
@@ -146,78 +205,99 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       kMaxLanes);
   const size_t want = std::min(target, n);
   // Nested calls (a task spawning parallel work on its own pool) run
-  // inline: the outer job already owns every lane.
+  // inline: the outer job's lanes are already saturated.
   if (want <= 1 || t_pool != nullptr) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  std::lock_guard<std::mutex> job_lock(job_mu_);
-  EnsureLanes(want);
-  const size_t lanes = std::min(want, lanes_);
+  {
+    std::lock_guard<std::mutex> grow_lock(grow_mu_);
+    EnsureLanes(want);
+  }
+  const size_t lanes =
+      std::min(want, lanes_.load(std::memory_order_relaxed));
   if (lanes <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  Job job;
-  job.fn = &fn;
-  job.lanes = lanes;
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->cap = lanes;
+  // The submitting caller occupies one lane slot for its whole drain, so
+  // the job makes progress even if every worker is serving other jobs.
+  job->active_lanes.store(1, std::memory_order_relaxed);
 
-  // Carve [0, n) into contiguous chunks and deal each lane a contiguous
+  // Carve [0, n) into contiguous chunks and deal each slot a contiguous
   // run of them (owners pop front-to-back, so every lane walks ascending
-  // indices; thieves take from the far end of a victim's run).
+  // indices; thieves take from the far end of a victim's run). The job is
+  // not yet published, so no queue locks are needed — and a mid-dealing
+  // throw (bad_alloc) just drops the unpublished job on the floor.
   const size_t chunk_len =
       std::max<size_t>(1, n / (lanes * kChunksPerLane));
   const size_t n_chunks = (n + chunk_len - 1) / chunk_len;
-  const size_t per_lane = n_chunks / lanes;
+  const size_t per_slot = n_chunks / lanes;
   const size_t extra = n_chunks % lanes;
   size_t next_chunk = 0;
-  try {
-    for (size_t l = 0; l < lanes; ++l) {
-      const size_t take = per_lane + (l < extra ? 1 : 0);
-      LaneQueue& q = *queues_[l];
-      for (size_t k = 0; k < take; ++k, ++next_chunk) {
-        const size_t begin = next_chunk * chunk_len;
-        q.chunks.push_back(Chunk{begin, std::min(begin + chunk_len, n)});
-      }
+  for (size_t s = 0; s < lanes; ++s) {
+    SlotQueue& q = job->queues.emplace_back();
+    const size_t take = per_slot + (s < extra ? 1 : 0);
+    for (size_t k = 0; k < take; ++k, ++next_chunk) {
+      const size_t begin = next_chunk * chunk_len;
+      q.chunks.push_back(Chunk{begin, std::min(begin + chunk_len, n)});
     }
-  } catch (...) {
-    // A mid-dealing throw (bad_alloc) must not leave this job's chunks
-    // behind: the next published job would execute them with its own fn
-    // and the wrong index range. No job is published yet and job_mu_ is
-    // held, so no lane mutex is needed.
-    for (size_t l = 0; l < lanes; ++l) queues_[l]->chunks.clear();
-    throw;
   }
+  job->queued.store(n_chunks, std::memory_order_relaxed);
+  job->remaining.store(n_chunks, std::memory_order_relaxed);
 
   {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(job);
+  }
+  {
     std::lock_guard<std::mutex> lock(wake_mu_);
-    current_job_ = &job;
-    current_job_lanes_ = lanes;
-    ++job_seq_;
+    ++work_epoch_;
   }
   wake_cv_.notify_all();
 
-  // The caller is lane 0.
+  // The caller serves its own job (slot 0) until the queues are dry.
   WorkerPool* prev_pool = t_pool;
   size_t prev_lane = t_lane;
   t_pool = this;
-  t_lane = 0;
-  RunLane(&job, 0);
+  t_lane = kCallerLane;
+  DrainAsCaller(job.get());
   t_pool = prev_pool;
   t_lane = prev_lane;
+  job->active_lanes.fetch_sub(1, std::memory_order_release);
 
-  // Wait for every participating worker to finish (each drains to empty
-  // before reporting, so all chunks — including in-flight steals — are
-  // complete once the count reaches lanes - 1).
+  // Wait for in-flight steals: a chunk popped by a worker is retired only
+  // after it runs, so done implies every chunk fully executed (or drained
+  // after this job's failure).
   {
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    done_cv_.wait(lock, [&] { return job.finished_workers == lanes - 1; });
-    current_job_ = nullptr;
-    current_job_lanes_ = 0;
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] { return job->done; });
   }
-  if (job.error) std::rethrow_exception(job.error);
+
+  // Unregister. Workers that still hold a reference see empty queues and
+  // drop it; the shared_ptr keeps the Job alive under them.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i] == job) {
+        jobs_.erase(jobs_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (rr_next_ >= jobs_.size()) rr_next_ = 0;
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(job->error_mu);
+    err = job->error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace ps3::runtime

@@ -1,26 +1,43 @@
 // Persistent work-stealing pool for per-partition parallelism (scans,
-// stats builds, labeling, featurization).
+// stats builds, labeling, featurization) shared by concurrent queries.
 //
 // Unlike the fork-per-call pool it replaces, workers are resident: threads
 // are spawned once (growing lazily to the peak requested lane count) and
-// sleep between ParallelFor calls. Each lane owns a deque of index chunks;
-// a lane pops from the front of its own deque and steals from the back of
-// another lane's when it runs dry, so skewed per-item costs balance without
-// a single contended counter. Results are written to caller-indexed slots
-// by the supplied function, so every reduction stays ordered and
-// deterministic regardless of lane count or steal schedule.
+// sleep between jobs. Each ParallelFor call materializes a *job*: its index
+// range is carved into contiguous chunks dealt across per-slot deques owned
+// by that job. A lane serving a job pops from the front of a slot's deque
+// and steals from the back of another slot's when it runs dry, so skewed
+// per-item costs balance without a single contended counter.
+//
+// Multiple jobs are in flight at once. Concurrent top-level ParallelFor
+// callers are admitted side by side instead of serialized: resident workers
+// pick jobs round-robin (one chunk per pick) from the active-job registry,
+// and each job caps how many lanes may serve it simultaneously
+// (`max_lanes`, the ExecOptions::num_threads convention), so one heavy
+// query cannot monopolize the pool while others starve. The submitting
+// thread always serves its own job until that job's queues are dry, so a
+// job completes even if every worker is busy elsewhere.
+//
+// Determinism: results are written to caller-indexed slots by the supplied
+// function, so every reduction stays ordered and bit-identical to serial
+// execution regardless of lane count, steal schedule, or what other jobs
+// run concurrently. Failure is per job: an exception thrown by `fn` is
+// recorded on that job alone, its remaining chunks drain without running,
+// and the exception is rethrown on that job's caller — sibling jobs and
+// the resident lanes are unaffected.
 //
 // The pool also owns per-lane scratch storage (LocalScratch<T>). Because
 // workers are resident, scratch obtained inside a task survives across
-// ParallelFor calls — the property that makes multi-megabyte query scratch
-// (dense group-id tables, bitmap stacks) amortize across a whole query
-// stream instead of being torn down with each forked worker.
+// jobs — the property that makes multi-megabyte query scratch (dense
+// group-id tables, bitmap stacks) amortize across a whole query stream
+// instead of being torn down with each forked worker.
 #ifndef PS3_RUNTIME_WORKER_POOL_H_
 #define PS3_RUNTIME_WORKER_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -34,8 +51,7 @@ namespace ps3::runtime {
 class WorkerPool {
  public:
   /// `num_threads` <= 0 selects the hardware concurrency. Worker threads
-  /// (num_threads - 1; the caller is lane 0) are spawned on construction
-  /// and stay resident until destruction.
+  /// are spawned on construction and stay resident until destruction.
   explicit WorkerPool(int num_threads = 0);
   ~WorkerPool();
 
@@ -43,19 +59,23 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Lanes currently resident (caller lane + worker threads).
-  size_t num_lanes() const { return lanes_; }
+  size_t num_lanes() const { return lanes_.load(std::memory_order_relaxed); }
 
   /// Runs fn(i) for every i in [0, n), blocking until all complete. The
-  /// calling thread participates as lane 0. `max_lanes` caps parallelism
-  /// and follows the ExecOptions::num_threads convention: <= 0 = the
-  /// pool's default lane count, 1 = fully inline on the caller. The pool
-  /// grows (spawning resident workers) if `max_lanes` exceeds the current
-  /// lane count, up to a hard ceiling of 256 lanes — growth follows the
-  /// peak request and never shrinks, so the ceiling bounds what an errant
-  /// value can pin. Nested calls from inside a task run inline (no deadlock,
-  /// no thread explosion). Exceptions thrown by `fn` are rethrown on the
-  /// caller; remaining chunks are skipped best-effort. Concurrent
-  /// top-level callers are serialized (one job at a time).
+  /// calling thread participates as a lane of its own job. `max_lanes`
+  /// caps how many lanes (caller included) may serve this job at once and
+  /// follows the ExecOptions::num_threads convention: <= 0 = the pool's
+  /// default lane count, 1 = fully inline on the caller. The pool grows
+  /// (spawning resident workers) if `max_lanes` exceeds the current lane
+  /// count, up to a hard ceiling of 256 lanes — growth follows the peak
+  /// request and never shrinks, so the ceiling bounds what an errant value
+  /// can pin. Nested calls from inside a task run inline (no deadlock, no
+  /// thread explosion). Exceptions thrown by `fn` are rethrown on the
+  /// caller; the job's remaining chunks are skipped best-effort and
+  /// concurrent jobs are unaffected. Concurrent top-level callers run side
+  /// by side: each call is an independent job whose chunks interleave with
+  /// other jobs' on the shared lanes (round-robin), and whose results and
+  /// failure state are isolated to that call.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    int max_lanes = 0);
 
@@ -64,16 +84,19 @@ class WorkerPool {
   static WorkerPool& Shared();
 
   /// Per-lane scratch of arbitrary type, default-constructed on first use
-  /// and retained for the pool's lifetime. Called from inside a task it
-  /// returns the executing lane's slot (stable across ParallelFor calls —
-  /// this is what makes scratch reuse real on worker threads). Called from
-  /// a thread that is not currently executing a task of this pool, it
-  /// returns a thread_local fallback, which equally persists for the
-  /// calling thread's lifetime. Never returns storage shared between two
-  /// concurrently running lanes.
+  /// and retained for the pool's lifetime. Called from a resident worker
+  /// lane it returns the executing lane's slot (stable across jobs — this
+  /// is what makes scratch reuse real on worker threads). Called from any
+  /// other thread — one not executing a task of this pool, or a
+  /// ParallelFor caller serving its own job — it returns a thread_local
+  /// fallback, which equally persists for the calling thread's lifetime
+  /// (a resident submitter thread amortizes its scratch the same way a
+  /// worker does). Never returns storage shared between two concurrently
+  /// running lanes: worker lanes execute one chunk at a time, and the
+  /// fallback is private to its thread.
   template <typename T>
   T& LocalScratch() {
-    if (CurrentPool() == this) {
+    if (CurrentPool() == this && CurrentLane() != kCallerLane) {
       LaneScratch& ls = *scratch_[CurrentLane()];
       const void* key = TypeKey<T>();
       for (const ScratchEntry& e : ls.entries) {
@@ -93,20 +116,34 @@ class WorkerPool {
     size_t end = 0;
   };
 
-  /// One lane's chunk deque. The owning lane pops from the front; thieves
-  /// pop from the back, so contiguous index runs stay with their owner.
-  struct LaneQueue {
+  /// One slot's chunk deque within a job. The serving lane pops from the
+  /// front of its slot; thieves pop from the back of another slot's, so
+  /// contiguous index runs stay with one lane.
+  struct SlotQueue {
     std::mutex mu;
     std::deque<Chunk> chunks;
   };
 
+  /// One ParallelFor call. Owned via shared_ptr: the registry and every
+  /// lane currently serving the job hold references, so a worker finishing
+  /// its last chunk after the caller returned never touches freed memory.
   struct Job {
     const std::function<void(size_t)>* fn = nullptr;
-    size_t lanes = 0;  ///< participating lanes: [0, lanes)
+    std::deque<SlotQueue> queues;  ///< fixed before publication
+    size_t cap = 0;  ///< max lanes serving concurrently (incl. caller)
+
+    std::atomic<size_t> queued{0};     ///< chunks still sitting in queues
+    std::atomic<size_t> remaining{0};  ///< chunks not yet executed/drained
+    std::atomic<size_t> active_lanes{0};
+    std::atomic<size_t> next_slot{0};  ///< slot handed to a joining worker
+
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
     std::mutex error_mu;
-    size_t finished_workers = 0;  ///< guarded by wake_mu_
+    std::exception_ptr error;
+
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;  ///< guarded by done_mu
   };
 
   struct ScratchEntry {
@@ -131,33 +168,50 @@ class WorkerPool {
     return &key;
   }
 
+  /// Lane id a ParallelFor caller runs under while serving its own job.
+  /// Distinct from every worker lane so LocalScratch can route concurrent
+  /// submitter threads to private (thread_local) storage instead of a
+  /// shared slot.
+  static constexpr size_t kCallerLane = ~size_t{0};
+
   /// Pool whose task the calling thread is currently executing (nullptr
   /// outside tasks) and the executing lane id.
   static WorkerPool* CurrentPool();
   static size_t CurrentLane();
 
-  /// Grows to `lanes` total lanes. Caller must hold job_mu_ with no job
-  /// published (workers only touch queues_/scratch_ while a job is live).
+  /// Grows to `lanes` total lanes. Caller must hold grow_mu_.
   void EnsureLanes(size_t lanes);
   void WorkerMain(size_t lane);
-  /// Drains chunks as `lane`: own queue front first, then steals.
-  void RunLane(Job* job, size_t lane);
-  bool PopOrSteal(Job* job, size_t lane, Chunk* out);
+  /// Round-robin pick of a job with queued chunks and spare lane capacity;
+  /// reserves a lane on it. Returns nullptr when nothing is servable.
+  std::shared_ptr<Job> PickJob();
+  /// Pops (or steals) and executes at most one chunk, then releases the
+  /// reserved lane.
+  void ServeOneChunk(Job* job);
+  /// Drains `job` as slot `slot` until its queues are dry (submitting
+  /// caller's loop; the caller's lane reservation is held throughout).
+  void DrainAsCaller(Job* job);
+  bool PopOrSteal(Job* job, size_t slot, Chunk* out);
+  /// Runs one chunk (or discards it after a failure) and retires it from
+  /// the job's accounting, signalling completion on the last chunk.
+  void ExecuteChunk(Job* job, const Chunk& c);
 
   size_t default_lanes_;
-  size_t lanes_ = 1;  // lane 0 = caller
-  std::vector<std::unique_ptr<LaneQueue>> queues_;
+  std::atomic<size_t> lanes_{1};  // lane 0 = reserved (callers are private)
+  /// Preallocated to the lane ceiling so workers index it without
+  /// synchronizing against growth.
   std::vector<std::unique_ptr<LaneScratch>> scratch_;
   std::vector<std::thread> workers_;
+  std::mutex grow_mu_;  ///< serializes EnsureLanes callers
 
-  std::mutex job_mu_;  ///< serializes ParallelFor callers end-to-end
+  std::mutex jobs_mu_;
+  std::vector<std::shared_ptr<Job>> jobs_;  ///< active-job registry
+  size_t rr_next_ = 0;  ///< round-robin cursor, guarded by jobs_mu_
+
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  Job* current_job_ = nullptr;    ///< guarded by wake_mu_
-  size_t current_job_lanes_ = 0;  ///< guarded by wake_mu_
-  uint64_t job_seq_ = 0;          ///< guarded by wake_mu_
-  bool shutdown_ = false;         ///< guarded by wake_mu_
+  uint64_t work_epoch_ = 0;  ///< bumped when servable work may exist
+  bool shutdown_ = false;    ///< guarded by wake_mu_
 };
 
 }  // namespace ps3::runtime

@@ -70,7 +70,10 @@ TableStats StatsBuilder::Build(const storage::PartitionedTable& table) const {
   // Per-partition sketch pass: partitions are independent, so the build
   // parallelizes with an ordered (index-addressed) reduction.
   stats.partitions_.resize(n_parts);
-  runtime::WorkerPool::Shared().ParallelFor(
+  runtime::WorkerPool& pool = options_.pool != nullptr
+                                  ? *options_.pool
+                                  : runtime::WorkerPool::Shared();
+  pool.ParallelFor(
       n_parts,
       [&](size_t p) {
         storage::Partition part = table.partition(p);

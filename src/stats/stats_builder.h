@@ -9,6 +9,10 @@
 #include "stats/table_stats.h"
 #include "storage/table.h"
 
+namespace ps3::runtime {
+class WorkerPool;
+}  // namespace ps3::runtime
+
 namespace ps3::stats {
 
 struct StatsOptions {
@@ -23,8 +27,13 @@ struct StatsOptions {
   std::vector<size_t> grouping_columns;
   /// Worker threads for the per-partition sketch pass (0 = hardware).
   /// Partitions are independent, so any thread count builds identical
-  /// statistics.
+  /// statistics. Under concurrent admission this is also the build's lane
+  /// cap on the shared pool.
   int num_threads = 0;
+  /// Resident pool the sketch pass runs on; nullptr = the process-wide
+  /// shared pool (e.g. a QueryScheduler's, so builds interleave fairly
+  /// with in-flight queries).
+  runtime::WorkerPool* pool = nullptr;
 };
 
 class StatsBuilder {

@@ -1,13 +1,15 @@
 // Tests for the resident work-stealing WorkerPool: ParallelFor coverage
 // and determinism, nested-call inlining, exception propagation, lazy lane
-// growth, and — the property the pool exists for — per-lane scratch that
-// survives across ParallelFor calls instead of being torn down with
-// forked workers.
+// growth, per-lane scratch that survives across ParallelFor calls instead
+// of being torn down with forked workers — and the multi-job model:
+// concurrent top-level callers admitted side by side with per-job lane
+// caps and per-job failure isolation.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "query/evaluator.h"
@@ -76,6 +78,162 @@ TEST(WorkerPool, GrowsToRequestedLanes) {
                    /*max_lanes=*/4);
   EXPECT_EQ(done.load(), 64u);
   EXPECT_EQ(pool.num_lanes(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent multi-job admission: the one-job-at-a-time gate is gone, so
+// several top-level ParallelFor callers share the resident lanes at chunk
+// granularity. Every job must still cover exactly its own indices.
+
+TEST(WorkerPoolConcurrent, ConcurrentJobsEachCoverTheirOwnIndices) {
+  runtime::WorkerPool pool(8);
+  constexpr size_t kJobs = 6;
+  constexpr size_t kN = 4096;
+  std::vector<std::vector<std::atomic<int>>> hits(kJobs);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> submitters;
+  for (size_t j = 0; j < kJobs; ++j) {
+    submitters.emplace_back([&, j] {
+      for (int round = 0; round < 8; ++round) {
+        pool.ParallelFor(kN, [&, j](size_t i) {
+          hits[j][i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (size_t j = 0; j < kJobs; ++j) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[j][i].load(), 8) << "job " << j << " index " << i;
+    }
+  }
+}
+
+TEST(WorkerPoolConcurrent, PerJobLaneCapHonoredWhileSiblingsRun) {
+  runtime::WorkerPool pool(8);
+  // A wide job keeps the lanes busy while a capped job runs; the capped
+  // job must never have more than `max_lanes` lanes (submitter included)
+  // inside its fn at once.
+  constexpr int kCap = 2;
+  std::atomic<int> capped_now{0};
+  std::atomic<int> capped_peak{0};
+  std::atomic<bool> wide_done{false};
+  std::thread wide([&] {
+    for (int round = 0; round < 20 && !wide_done.load(); ++round) {
+      pool.ParallelFor(2048, [&](size_t) {
+        volatile double x = 1.0;
+        for (int k = 0; k < 50; ++k) x = x * 1.0000001;
+        (void)x;
+      });
+    }
+  });
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(
+        512,
+        [&](size_t) {
+          int now = capped_now.fetch_add(1) + 1;
+          int peak = capped_peak.load();
+          while (now > peak && !capped_peak.compare_exchange_weak(peak, now)) {
+          }
+          volatile double x = 1.0;
+          for (int k = 0; k < 50; ++k) x = x * 1.0000001;
+          (void)x;
+          capped_now.fetch_sub(1);
+        },
+        /*max_lanes=*/kCap);
+  }
+  wide_done.store(true);
+  wide.join();
+  EXPECT_GE(capped_peak.load(), 1);
+  EXPECT_LE(capped_peak.load(), kCap);
+}
+
+TEST(WorkerPoolConcurrent, ExceptionFailsOnlyItsOwnJob) {
+  runtime::WorkerPool pool(8);
+  // One poisoned job per round among healthy siblings: the poison must be
+  // rethrown on its own submitter only, the siblings' results must be
+  // complete and correct, and the resident lanes must not wedge.
+  constexpr size_t kGood = 4;
+  constexpr size_t kN = 2048;
+  constexpr int kRounds = 6;
+  std::vector<std::vector<double>> out(kGood, std::vector<double>(kN));
+  std::atomic<int> poison_caught{0};
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& o : out) std::fill(o.begin(), o.end(), 0.0);
+    std::vector<std::thread> submitters;
+    for (size_t j = 0; j < kGood; ++j) {
+      submitters.emplace_back([&, j] {
+        pool.ParallelFor(kN, [&, j](size_t i) {
+          out[j][i] = static_cast<double>(j * kN + i);
+        });
+      });
+    }
+    submitters.emplace_back([&] {
+      try {
+        pool.ParallelFor(kN, [&](size_t i) {
+          if (i == 1234) throw std::runtime_error("poisoned query");
+        });
+      } catch (const std::runtime_error&) {
+        poison_caught.fetch_add(1);
+      }
+    });
+    for (auto& t : submitters) t.join();
+    for (size_t j = 0; j < kGood; ++j) {
+      for (size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[j][i], static_cast<double>(j * kN + i))
+            << "round " << round << " job " << j << " index " << i;
+      }
+    }
+  }
+  EXPECT_EQ(poison_caught.load(), kRounds);
+  // Lanes stayed resident and serviceable.
+  std::atomic<size_t> done{0};
+  pool.ParallelFor(100, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 100u);
+}
+
+TEST(WorkerPoolConcurrent, ConcurrentFailuresDoNotCrossPollinate) {
+  runtime::WorkerPool pool(4);
+  // Every job throws a distinct type; each submitter must catch exactly
+  // the type its own job threw.
+  struct ErrA : std::runtime_error {
+    ErrA() : std::runtime_error("A") {}
+  };
+  struct ErrB : std::runtime_error {
+    ErrB() : std::runtime_error("B") {}
+  };
+  std::atomic<int> a_caught{0}, b_caught{0}, wrong{0};
+  std::vector<std::thread> submitters;
+  for (int r = 0; r < 4; ++r) {
+    submitters.emplace_back([&] {
+      try {
+        pool.ParallelFor(512, [](size_t i) {
+          if (i == 100) throw ErrA();
+        });
+      } catch (const ErrA&) {
+        a_caught.fetch_add(1);
+      } catch (...) {
+        wrong.fetch_add(1);
+      }
+    });
+    submitters.emplace_back([&] {
+      try {
+        pool.ParallelFor(512, [](size_t i) {
+          if (i == 100) throw ErrB();
+        });
+      } catch (const ErrB&) {
+        b_caught.fetch_add(1);
+      } catch (...) {
+        wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(a_caught.load(), 4);
+  EXPECT_EQ(b_caught.load(), 4);
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 struct CountingScratch {

@@ -1,0 +1,249 @@
+// Concurrency battery for runtime::QueryScheduler: randomized queries
+// submitted concurrently from many threads must produce answers
+// bit-identical to the same query run serially under ExecPolicy::kScalar
+// (the bit-exactness reference) — extending the property-suite
+// equivalence pattern to concurrent admission. Also covers per-query
+// failure isolation and drain-on-destruction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "runtime/query_scheduler.h"
+#include "storage/sharded_table.h"
+#include "workload/datasets.h"
+#include "workload/generator.h"
+
+namespace ps3 {
+namespace {
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectAnswerBitIdentical(const query::QueryAnswer& expected,
+                              const query::QueryAnswer& actual,
+                              const char* label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [key, vals] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << label;
+    ASSERT_EQ(vals.size(), it->second.size()) << label;
+    for (size_t a = 0; a < vals.size(); ++a) {
+      EXPECT_EQ(BitsOf(vals[a]), BitsOf(it->second[a]))
+          << label << " agg " << a;
+    }
+  }
+}
+
+/// Shared fixture data: a TPC-H-style table (13 partitions — not a
+/// multiple of any shard count, so shard runs are uneven), a 4-shard view
+/// of it, a randomized query set, and the serial scalar reference answer
+/// for every query.
+struct StreamFixture {
+  static constexpr size_t kQueries = 12;
+
+  StreamFixture() {
+    bundle = workload::MakeTpchStar(4000, /*seed=*/29);
+    pt = std::make_unique<storage::PartitionedTable>(bundle.table, 13);
+    sharded = std::make_unique<storage::ShardedTable>(*pt, 4);
+    workload::QueryGenerator gen(bundle.table.get(), bundle.spec);
+    queries = gen.GenerateSet(kQueries, /*seed=*/97);
+    serial.reserve(queries.size());
+    for (const auto& q : queries) {
+      query::ExecOptions ref;
+      ref.policy = query::ExecPolicy::kScalar;
+      ref.num_threads = 1;
+      serial.push_back(
+          query::ExactAnswer(q, query::EvaluateAllPartitions(q, *pt, ref)));
+    }
+  }
+
+  workload::DatasetBundle bundle;
+  std::unique_ptr<storage::PartitionedTable> pt;
+  std::unique_ptr<storage::ShardedTable> sharded;
+  std::vector<query::Query> queries;
+  std::vector<query::QueryAnswer> serial;
+};
+
+StreamFixture& Fixture() {
+  static StreamFixture* f = new StreamFixture();
+  return *f;
+}
+
+class SchedulerEquivalence
+    : public ::testing::TestWithParam<query::ExecPolicy> {};
+
+TEST_P(SchedulerEquivalence, ConcurrentSubmissionBitIdenticalToSerial) {
+  // >= 8 queries in flight, submitted from >= 4 threads (acceptance
+  // floor), with varied per-query lane caps so admission is genuinely
+  // concurrent and unevenly allotted. Repeated rounds shake out schedule-
+  // dependent interleavings.
+  StreamFixture& fx = Fixture();
+  const query::ExecPolicy policy = GetParam();
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 4;
+  runtime::QueryScheduler scheduler(sopts);
+
+  constexpr size_t kSubmitters = 4;
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::vector<std::future<query::QueryAnswer>>> futures(
+        kSubmitters);
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        // Each submitter owns queries t, t+kSubmitters, ... — 12 queries
+        // across 4 threads, all in flight against 4 drivers at once.
+        for (size_t i = t; i < fx.queries.size(); i += kSubmitters) {
+          query::ExecOptions opts;
+          opts.policy = policy;
+          opts.num_threads = 1 + static_cast<int>(i % 3);
+          // Alternate flat and sharded admission: both entry points must
+          // meet the same determinism contract.
+          futures[t].push_back(
+              i % 2 == 0
+                  ? scheduler.Submit(fx.queries[i], *fx.pt, opts)
+                  : scheduler.Submit(fx.queries[i], *fx.sharded, opts));
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      size_t k = 0;
+      for (size_t i = t; i < fx.queries.size(); i += kSubmitters, ++k) {
+        ExpectAnswerBitIdentical(fx.serial[i], futures[t][k].get(),
+                                 policy == query::ExecPolicy::kScalar
+                                     ? "concurrent-scalar"
+                                     : "concurrent-vectorized");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerEquivalence,
+                         ::testing::Values(query::ExecPolicy::kScalar,
+                                           query::ExecPolicy::kVectorized),
+                         [](const auto& info) {
+                           return info.param == query::ExecPolicy::kScalar
+                                      ? std::string("scalar")
+                                      : std::string("vectorized");
+                         });
+
+TEST(QueryScheduler, PartialsMatchDirectEvaluation) {
+  StreamFixture& fx = Fixture();
+  runtime::QueryScheduler scheduler;
+  std::vector<std::future<std::vector<query::PartitionAnswer>>> futures;
+  for (size_t i = 0; i < fx.queries.size(); ++i) {
+    futures.push_back(i % 2 == 0
+                          ? scheduler.SubmitPartials(fx.queries[i], *fx.pt)
+                          : scheduler.SubmitPartials(fx.queries[i],
+                                                     *fx.sharded));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto partials = futures[i].get();
+    ASSERT_EQ(partials.size(), fx.pt->num_partitions());
+    ExpectAnswerBitIdentical(fx.serial[i],
+                             query::ExactAnswer(fx.queries[i], partials),
+                             "partials");
+  }
+}
+
+TEST(QueryScheduler, ThrowingTaskFailsOnlyItsOwnFuture) {
+  StreamFixture& fx = Fixture();
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 3;
+  runtime::QueryScheduler scheduler(sopts);
+
+  // Poisoned tasks whose kernels throw mid-ParallelFor, interleaved with
+  // healthy queries. Each poisoned future must rethrow; every healthy
+  // future must still resolve bit-identically; the pool lanes and the
+  // drivers must stay serviceable afterwards.
+  std::vector<std::future<query::QueryAnswer>> good;
+  std::vector<std::future<void>> poisoned;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 4; ++i) {
+      good.push_back(scheduler.Submit(fx.queries[i], *fx.pt));
+      poisoned.push_back(scheduler.Defer([&scheduler] {
+        scheduler.pool().ParallelFor(1024, [](size_t j) {
+          if (j == 513) throw std::runtime_error("kernel fault");
+        });
+      }));
+    }
+  }
+  for (auto& f : poisoned) {
+    EXPECT_THROW(f.get(), std::runtime_error);
+  }
+  for (size_t k = 0; k < good.size(); ++k) {
+    ExpectAnswerBitIdentical(fx.serial[k % 4], good[k].get(),
+                             "healthy-sibling");
+  }
+  // Still serviceable: a fresh round after the faults.
+  auto after = scheduler.Submit(fx.queries[5], *fx.sharded);
+  ExpectAnswerBitIdentical(fx.serial[5], after.get(), "after-faults");
+}
+
+TEST(QueryScheduler, DestructorDrainsAdmittedWork) {
+  StreamFixture& fx = Fixture();
+  std::vector<std::future<query::QueryAnswer>> futures;
+  std::atomic<int> ran{0};
+  {
+    runtime::QueryScheduler::Options sopts;
+    sopts.num_drivers = 2;  // fewer drivers than admitted queries
+    runtime::QueryScheduler scheduler(sopts);
+    for (size_t i = 0; i < fx.queries.size(); ++i) {
+      futures.push_back(scheduler.Submit(fx.queries[i], *fx.pt));
+    }
+    futures.push_back(scheduler.Defer([&] {
+      ran.fetch_add(1);
+      return query::QueryAnswer{};
+    }));
+  }  // destructor: every admitted task must have completed
+  EXPECT_EQ(ran.load(), 1);
+  for (size_t i = 0; i < fx.queries.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    ExpectAnswerBitIdentical(fx.serial[i], futures[i].get(), "drained");
+  }
+}
+
+TEST(QueryScheduler, SubmitIsThreadSafeUnderChurn) {
+  // Many short generic tasks admitted from many threads while queries run:
+  // the admission path itself (queue + cv) must be race-free and lose
+  // nothing.
+  StreamFixture& fx = Fixture();
+  runtime::QueryScheduler scheduler;
+  std::atomic<size_t> ticks{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<size_t>>> futs(6);
+  for (size_t t = 0; t < 6; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t k = 0; k < 40; ++k) {
+        futs[t].push_back(scheduler.Defer(
+            [&ticks] { return ticks.fetch_add(1) + 1; }));
+      }
+    });
+  }
+  auto q = scheduler.Submit(fx.queries[0], *fx.pt);
+  for (auto& s : submitters) s.join();
+  size_t collected = 0;
+  for (auto& per_thread : futs) {
+    for (auto& f : per_thread) {
+      f.get();
+      ++collected;
+    }
+  }
+  EXPECT_EQ(collected, 240u);
+  EXPECT_EQ(ticks.load(), 240u);
+  ExpectAnswerBitIdentical(fx.serial[0], q.get(), "churn-query");
+}
+
+}  // namespace
+}  // namespace ps3
