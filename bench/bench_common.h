@@ -4,6 +4,9 @@
 #ifndef PS3_BENCH_BENCH_COMMON_H_
 #define PS3_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -14,33 +17,66 @@
 
 namespace ps3::bench {
 
+/// Strict parse of one unsigned decimal item from an env value. Anything
+/// that isn't a plain in-range number — sign, empty item, trailing junk,
+/// overflow, or a value below `min_value` — aborts with an error naming
+/// the variable: a typo in a swept dimension must never silently fall
+/// back to defaults, or the bench JSON trajectory gets compared against
+/// mislabeled coverage.
+inline size_t ParseEnvSizeItem(const char* name, const std::string& item,
+                               size_t min_value) {
+  auto die = [&](const char* why) {
+    std::fprintf(stderr, "%s: %s in \"%s\"\n", name, why, item.c_str());
+    std::abort();
+  };
+  if (item.empty()) die("empty value");
+  for (char c : item) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      die("malformed value (digits only)");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long x = std::strtoull(item.c_str(), &end, 10);
+  if (errno == ERANGE || x > static_cast<unsigned long long>(SIZE_MAX)) {
+    die("value out of range");
+  }
+  if (x < min_value) {
+    die(min_value == 1 ? "value must be >= 1" : "value below minimum");
+  }
+  return static_cast<size_t>(x);
+}
+
 /// Parses a comma-separated list env var ("1,4,8") into sizes; returns
-/// `fallback` when unset or empty. Shared by the perf benches so CI
-/// runners and laptops can pin comparable JSON dimensions.
+/// `fallback` only when the variable is unset or empty. Shared by the
+/// perf benches so CI runners and laptops can pin comparable JSON
+/// dimensions. Malformed input (including zero entries and stray commas)
+/// aborts with a clear error instead of silently shrinking the sweep.
 inline std::vector<size_t> EnvSizeList(const char* name,
                                        std::vector<size_t> fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   std::vector<size_t> out;
-  const char* p = v;
-  while (*p != '\0') {
-    // strtoull would silently wrap a leading '-' to a huge value; treat
-    // negatives as unparsable so the guard below rejects them.
-    if (*p == '-') break;
-    char* end = nullptr;
-    unsigned long long x = std::strtoull(p, &end, 10);
-    if (end == p) break;
-    out.push_back(static_cast<size_t>(x));
-    p = *end == ',' ? end + 1 : end;
+  std::string item;
+  for (const char* p = v;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      out.push_back(ParseEnvSizeItem(name, item, /*min_value=*/1));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
   }
-  if (*p != '\0') {
-    // A typo must not silently shrink the swept dimension set — the JSON
-    // trajectory would be compared against mislabeled coverage.
-    std::fprintf(stderr, "%s: unparsable suffix \"%s\" in \"%s\"\n", name, p,
-                 v);
-    std::abort();
-  }
-  return out.empty() ? fallback : out;
+  return out;
+}
+
+/// Strict scalar env size ("PS3_ROWS=50000"); `fallback` only when unset
+/// or empty, abort on malformed input.
+inline size_t EnvSizeScalar(const char* name, size_t fallback,
+                            size_t min_value = 1) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return ParseEnvSizeItem(name, v, min_value);
 }
 
 /// Worker-lane counts exercised by the throughput benches (PS3_THREADS).

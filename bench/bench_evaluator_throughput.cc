@@ -2,12 +2,15 @@
 // TPC-H-style workload, swept over execution policy (scalar interpreter vs
 // vectorized engine), worker-lane count (resident work-stealing pool),
 // predicate kernel (scalar word-packing vs explicit AVX2), shard count
-// (multi-shard fan-out over a ShardedTable), and concurrent query-stream
+// (multi-shard fan-out over a ShardedTable), concurrent query-stream
 // count (closed-loop submitters through runtime::QueryScheduler, so
-// scheduler fairness shows up as per-stream rows/sec). Emits JSON so
-// successive PRs can track the perf trajectory. Scale with PS3_ROWS /
-// PS3_PARTS / PS3_TESTQ; pin sweep dimensions with PS3_THREADS /
-// PS3_SHARDS / PS3_STREAMS.
+// scheduler fairness shows up as per-stream rows/sec), and IO placement
+// (resident vs cold-with-prefetch vs cold-no-prefetch over a spilled
+// io::PartitionStore, with cache hit rates). Emits JSON so successive PRs
+// can track the perf trajectory. Scale with PS3_ROWS / PS3_PARTS /
+// PS3_TESTQ; pin sweep dimensions with PS3_THREADS / PS3_SHARDS /
+// PS3_STREAMS; PS3_IO=0 skips the out-of-core section and
+// PS3_IO_DELAY_US sets the simulated remote-store latency per cold load.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -17,6 +20,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "io/cold_source.h"
+#include "io/partition_store.h"
+#include "io/prefetch_pipeline.h"
 #include "query/evaluator.h"
 #include "runtime/query_scheduler.h"
 #include "runtime/simd.h"
@@ -27,12 +33,6 @@
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-size_t EnvSize(const char* name, size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
-}
 
 double TimeAll(const std::vector<ps3::query::Query>& queries,
                const ps3::storage::PartitionedTable& table,
@@ -118,9 +118,9 @@ void ExpectIdentical(const std::vector<ps3::query::PartitionAnswer>& a,
 int main() {
   using namespace ps3;
 
-  const size_t rows = EnvSize("PS3_ROWS", 200000);
-  const size_t partitions = EnvSize("PS3_PARTS", 400);
-  const size_t n_queries = EnvSize("PS3_TESTQ", 16);
+  const size_t rows = bench::EnvSizeScalar("PS3_ROWS", 200000);
+  const size_t partitions = bench::EnvSizeScalar("PS3_PARTS", 400);
+  const size_t n_queries = bench::EnvSizeScalar("PS3_TESTQ", 16);
   const std::vector<size_t> thread_counts = bench::BenchThreadCounts();
   const std::vector<size_t> shard_counts = bench::BenchShardCounts();
   const bool avx2 = runtime::Avx2Available();
@@ -284,6 +284,141 @@ int main() {
                   s + 1 < streams ? ", " : "");
     }
     std::printf("]}%s\n", i + 1 < stream_counts.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  // Out-of-core scan path (PS3_IO=0 to skip): the same sharded fan-out
+  // with the partitions resident, cold on disk with shard-granular
+  // prefetch, and cold with no read-ahead. Cold modes drop the cache
+  // before every query, so every partition load pays the (simulated)
+  // remote-store latency; the prefetch rows measure how much of that
+  // wait the pipeline hides. cache_hit_rate is the fraction of scan
+  // fetches served by the cache (prefetch staging counts as a hit).
+  const bool io_enabled =
+      bench::EnvSizeScalar("PS3_IO", 1, /*min_value=*/0) != 0;
+  std::printf("  \"io_results\": [\n");
+  if (io_enabled) {
+    // Default latency models a cloud object store round trip (~1.5ms);
+    // below a few hundred us cold scans go CPU-bound on the decode and
+    // the prefetch comparison stops measuring IO overlap.
+    const size_t delay_us =
+        bench::EnvSizeScalar("PS3_IO_DELAY_US", 1500, /*min_value=*/0);
+    const size_t io_shards =
+        *std::max_element(shard_counts.begin(), shard_counts.end());
+    // Cold scans cost ~partitions × delay wall time per query, so the IO
+    // dimension sweeps a small fixed query subset.
+    const std::vector<query::Query> io_queries(
+        queries.begin(),
+        queries.begin() + std::min<size_t>(queries.size(), 4));
+    char dir_tmpl[] = "/tmp/ps3_io_benchXXXXXX";
+    if (mkdtemp(dir_tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      std::abort();
+    }
+    if (!io::PartitionStore::Spill(table, dir_tmpl).ok()) std::abort();
+    io::PartitionStore::Options sopts;
+    sopts.simulated_load_delay_us = delay_us;
+    auto store_r = io::PartitionStore::Open(dir_tmpl, sopts);
+    if (!store_r.ok()) std::abort();
+    io::PartitionStore& probe = **store_r;
+    // Budget smaller than the table, so cold scans genuinely evict.
+    sopts.cache_budget_bytes = std::max<size_t>(probe.total_bytes() / 2, 1);
+    store_r = io::PartitionStore::Open(dir_tmpl, sopts);
+    if (!store_r.ok()) std::abort();
+    io::PartitionStore& store = **store_r;
+
+    // Correctness gate: cold answers must be bit-identical to the
+    // resident scan under both policies before any throughput number is
+    // worth reporting.
+    if (!queries.empty()) {
+      io::ColdShardedSource cold(&store, io_shards);
+      for (query::ExecPolicy policy :
+           {query::ExecPolicy::kScalar, query::ExecPolicy::kVectorized}) {
+        query::ExecOptions gopts;
+        gopts.policy = policy;
+        gopts.num_threads = 4;
+        ExpectIdentical(query::EvaluateAllPartitions(queries[0], table, gopts),
+                        query::EvaluateAllPartitions(queries[0], cold, gopts));
+      }
+    }
+
+    struct IoRow {
+      const char* mode;
+      size_t threads;
+      double secs;
+      double hit_rate;
+    };
+    std::vector<IoRow> io_rows;
+    for (size_t t : thread_counts) {
+      query::ExecOptions opts;
+      opts.policy = query::ExecPolicy::kVectorized;
+      opts.num_threads = static_cast<int>(t);
+      opts.simd = runtime::SimdLevel::kAuto;
+
+      {  // resident: everything in RAM, same fan-out.
+        storage::ShardedTable st(table, io_shards);
+        TimeAllSharded(io_queries, st, opts);  // warm-up
+        io_rows.push_back(
+            {"resident", t, TimeAllSharded(io_queries, st, opts), 1.0});
+      }
+
+      // Cold modes skip the warm-up pass: the cache is dropped before
+      // every query anyway, and lanes/scratch are warm from the sweeps
+      // above, so a second multi-second cold pass would measure nothing.
+      auto timed_cold = [&](io::PrefetchPipeline* pipeline,
+                            io::ColdShardedSource* src) {
+        auto run_all = [&] {
+          double s = 0.0;
+          for (const auto& q : io_queries) {
+            if (pipeline != nullptr) pipeline->Drain();
+            store.cache().Clear();
+            auto start = Clock::now();
+            auto answers = query::EvaluateAllPartitions(q, *src, opts);
+            s += std::chrono::duration<double>(Clock::now() - start).count();
+            if (answers.empty()) std::abort();
+          }
+          return s;
+        };
+        const io::CacheStats before = store.cache().stats();
+        const double secs = run_all();
+        const io::CacheStats after = store.cache().stats();
+        const double lookups = static_cast<double>(
+            (after.hits - before.hits) + (after.misses - before.misses));
+        const double hit_rate =
+            lookups > 0.0 ? static_cast<double>(after.hits - before.hits) /
+                                lookups
+                          : 0.0;
+        return IoRow{"", t, secs, hit_rate};
+      };
+
+      {  // cold, no read-ahead: every fetch pays the load latency inline.
+        io::ColdShardedSource src(&store, io_shards);
+        IoRow row = timed_cold(nullptr, &src);
+        row.mode = "cold_noprefetch";
+        io_rows.push_back(row);
+      }
+      {  // cold + prefetch: next shard staged while this one scans.
+        runtime::QueryScheduler scheduler;
+        io::PrefetchPipeline pipeline(&store, &scheduler);
+        io::ColdShardedSource src(&store, io_shards,
+                                  storage::ShardAssignment::kRange, &pipeline);
+        IoRow row = timed_cold(&pipeline, &src);
+        row.mode = "cold_prefetch";
+        io_rows.push_back(row);
+      }
+    }
+    const double io_rows_total =
+        static_cast<double>(rows) * static_cast<double>(io_queries.size());
+    for (size_t i = 0; i < io_rows.size(); ++i) {
+      const IoRow& r = io_rows[i];
+      std::printf(
+          "    {\"io\": \"%s\", \"threads\": %zu, \"shards\": %zu, "
+          "\"delay_us\": %zu, \"seconds\": %.4f, \"rows_per_sec\": %.3e, "
+          "\"cache_hit_rate\": %.3f}%s\n",
+          r.mode, r.threads, io_shards, delay_us, r.secs,
+          io_rows_total / r.secs, r.hit_rate,
+          i + 1 < io_rows.size() ? "," : "");
+    }
   }
   std::printf("  ],\n");
   std::printf("  \"speedup_vectorized_1t\": %.2f,\n",

@@ -70,6 +70,14 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   return BinaryReader(std::move(data));
 }
 
+Status BinaryReader::SeekTo(size_t pos) {
+  if (pos > data_.size()) {
+    return Status::OutOfRange("seek past end of input");
+  }
+  pos_ = pos;
+  return Status::OK();
+}
+
 Status BinaryReader::Need(size_t bytes) const {
   if (pos_ + bytes > data_.size()) {
     return Status::OutOfRange("truncated input");

@@ -50,6 +50,13 @@ class BinaryReader {
   Result<std::vector<bool>> GetBoolVector();
 
   bool AtEnd() const { return pos_ == data_.size(); }
+  size_t size() const { return data_.size(); }
+  size_t pos() const { return pos_; }
+  /// Repositions the cursor; random access for footer-indexed formats
+  /// (the io layer's columnar partition files).
+  Status SeekTo(size_t pos);
+  /// Raw backing bytes (checksum verification over segment ranges).
+  const std::vector<uint8_t>& data() const { return data_; }
 
  private:
   Status Need(size_t bytes) const;

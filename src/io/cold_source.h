@@ -1,0 +1,66 @@
+// ColdShardedSource: a spilled table presented to the evaluator as a
+// shard-structured PartitionSource, so the multi-shard fan-out in
+// query/evaluator.cc runs identically whether a partition is resident,
+// cached, or cold on disk.
+//
+// Shard structure is computed with storage::AssignShards — the *same*
+// assignment the resident ShardedTable uses — so global partition
+// numbering, per-shard lists, and the ordered merge are all identical to
+// the resident scan, which is what keeps cold answers bit-exact.
+//
+// When a PrefetchPipeline is attached, WillScanShard(s) stages shard
+// s+1's partitions asynchronously; with several queries in flight the
+// pipeline's shared read-ahead budget arbitrates between them.
+#ifndef PS3_IO_COLD_SOURCE_H_
+#define PS3_IO_COLD_SOURCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "io/partition_store.h"
+#include "io/prefetch_pipeline.h"
+#include "storage/partition_source.h"
+
+namespace ps3::io {
+
+class ColdShardedSource : public storage::PartitionSource {
+ public:
+  /// Borrows `store` (and `prefetch`, which may be null for no read-ahead);
+  /// both must outlive the source and any scan over it.
+  ColdShardedSource(PartitionStore* store, size_t num_shards,
+                    storage::ShardAssignment assignment =
+                        storage::ShardAssignment::kRange,
+                    PrefetchPipeline* prefetch = nullptr)
+      : store_(store),
+        prefetch_(prefetch),
+        shards_(storage::AssignShards(store->num_partitions(), num_shards,
+                                      assignment)) {}
+
+  const storage::Schema& schema() const override { return store_->schema(); }
+  size_t num_partitions() const override { return store_->num_partitions(); }
+  size_t num_shards() const override { return shards_.size(); }
+  const std::vector<size_t>& shard(size_t s) const override {
+    return shards_[s];
+  }
+
+  Result<storage::PinnedPartition> Acquire(size_t global_index) const override {
+    return store_->Fetch(global_index);
+  }
+
+  void WillScanShard(size_t s) const override {
+    if (prefetch_ != nullptr && s + 1 < shards_.size()) {
+      prefetch_->Stage(shards_[s + 1]);
+    }
+  }
+
+  PartitionStore& store() const { return *store_; }
+
+ private:
+  PartitionStore* store_;
+  PrefetchPipeline* prefetch_;
+  std::vector<std::vector<size_t>> shards_;
+};
+
+}  // namespace ps3::io
+
+#endif  // PS3_IO_COLD_SOURCE_H_

@@ -1,0 +1,157 @@
+#include "io/partition_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ps3::io {
+
+storage::PinnedPartition PartitionCache::MakePinned(
+    size_t part, std::shared_ptr<const LoadedPartition> data) {
+  // The token owns a reference to the data (so the view outlives even a
+  // pathological eviction) and releases the pin on destruction. The
+  // deleter locks mu_ when it runs — and the standard runs it even when
+  // the control-block allocation throws — so this must only be called
+  // with mu_ *released*: the entry is already pinned, which keeps it
+  // alive across the unlock.
+  PartitionCache* self = this;
+  storage::Partition view = data->view();
+  std::shared_ptr<const void> token(
+      static_cast<const void*>(data.get()),
+      [self, part, data = std::move(data)](const void*) {
+        self->Release(part);
+      });
+  return storage::PinnedPartition(view, std::move(token));
+}
+
+void PartitionCache::PinLocked(size_t part, Entry* e) {
+  if (e->pins == 0) {
+    lru_.erase(e->lru_it);  // pinned entries are invisible to eviction
+    stats_.bytes_pinned += e->bytes;  // counted once, not per pin
+  }
+  ++e->pins;
+  (void)part;
+}
+
+PartitionCache::Entry& PartitionCache::InsertEntryLocked(
+    size_t part, std::shared_ptr<const LoadedPartition> data) {
+  Entry e;
+  e.bytes = data->bytes();
+  e.data = std::move(data);
+  lru_.push_back(part);
+  e.lru_it = std::prev(lru_.end());
+  stats_.bytes_cached += e.bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_cached);
+  ++stats_.inserts;
+  return entries_.emplace(part, std::move(e)).first->second;
+}
+
+std::optional<storage::PinnedPartition> PartitionCache::AcquirePinned(
+    size_t part) {
+  std::shared_ptr<const LoadedPartition> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(part);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    PinLocked(part, &it->second);
+    data = it->second.data;
+  }
+  return MakePinned(part, std::move(data));
+}
+
+void PartitionCache::Insert(size_t part,
+                            std::shared_ptr<const LoadedPartition> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(part);
+  if (it != entries_.end()) {
+    // Already resident (e.g. a prefetch raced a demand load): refresh
+    // recency if unpinned, keep the existing bytes accounting.
+    if (it->second.pins == 0) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_back(part);
+      it->second.lru_it = std::prev(lru_.end());
+    }
+    return;
+  }
+  InsertEntryLocked(part, std::move(data));
+  EvictToBudgetLocked();
+}
+
+storage::PinnedPartition PartitionCache::InsertPinned(
+    size_t part, std::shared_ptr<const LoadedPartition> data) {
+  std::shared_ptr<const LoadedPartition> pinned_data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(part);
+    Entry& e = it != entries_.end()
+                   ? it->second
+                   : InsertEntryLocked(part, std::move(data));
+    PinLocked(part, &e);
+    EvictToBudgetLocked();
+    pinned_data = e.data;
+  }
+  return MakePinned(part, std::move(pinned_data));
+}
+
+void PartitionCache::Release(size_t part) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(part);
+  assert(it != entries_.end() && it->second.pins > 0);
+  Entry& e = it->second;
+  --e.pins;
+  if (e.pins == 0) {
+    stats_.bytes_pinned -= e.bytes;
+    // Scan-resistant re-entry: a released pin means the scan is *done*
+    // with this partition, so it re-enters at the cold end — ahead of
+    // staged-but-unscanned entries in eviction order. Plain MRU re-entry
+    // would let a multi-lane scan's wake evict the read-ahead before it
+    // is ever used. If pins forced an overshoot, drain it now rather
+    // than at the next insert.
+    lru_.push_front(part);
+    e.lru_it = lru_.begin();
+    EvictToBudgetLocked();
+  }
+}
+
+void PartitionCache::EvictToBudgetLocked() {
+  while (stats_.bytes_cached > budget_ && !lru_.empty()) {
+    const size_t victim = lru_.front();
+    lru_.pop_front();
+    auto it = entries_.find(victim);
+    assert(it != entries_.end() && it->second.pins == 0);
+    stats_.bytes_cached -= it->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(it);
+  }
+}
+
+bool PartitionCache::Contains(size_t part) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(part) != 0;
+}
+
+void PartitionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t part : lru_) {
+    auto it = entries_.find(part);
+    stats_.bytes_cached -= it->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(it);
+  }
+  lru_.clear();
+}
+
+size_t PartitionCache::bytes_cached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.bytes_cached;
+}
+
+CacheStats PartitionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ps3::io

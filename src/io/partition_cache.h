@@ -1,0 +1,131 @@
+// Byte-accounted LRU cache of rehydrated partitions, with pinning for
+// in-flight scans.
+//
+// Entries are whole partitions (a LoadedPartition: a standalone mini
+// table holding exactly the spilled rows, dictionaries shared with the
+// store). The cache accounts bytes, not entry counts: Insert evicts
+// least-recently-used *unpinned* entries until the budget is met again.
+// A pinned entry — one with an outstanding PinnedPartition token — is
+// never evicted, so a scan can hold more than the budget transiently
+// (the budget bounds what the cache retains, not what a query needs);
+// the overshoot drains as pins are released and later inserts evict.
+//
+// Thread-safe: concurrent queries acquire, insert, and release pins from
+// pool lanes and prefetch drivers at once. The cache must outlive every
+// pin token it hands out.
+#ifndef PS3_IO_PARTITION_CACHE_H_
+#define PS3_IO_PARTITION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "storage/partition_source.h"
+#include "storage/table.h"
+
+namespace ps3::io {
+
+/// An immutable, scan-ready partition rehydrated from disk: a mini table
+/// holding just that partition's rows, viewed as partition [0, rows).
+/// Heap-allocated and shared, so the view's table pointer stays stable
+/// for as long as any pin (or the cache) holds a reference.
+class LoadedPartition {
+ public:
+  LoadedPartition(storage::Table table, size_t bytes)
+      : table_(std::move(table)), bytes_(bytes) {}
+
+  storage::Partition view() const {
+    return storage::Partition(&table_, 0, table_.num_rows());
+  }
+  size_t num_rows() const { return table_.num_rows(); }
+  /// Accounting size (the on-disk byte size; in-memory size tracks it
+  /// closely since segments are raw fixed-width values).
+  size_t bytes() const { return bytes_; }
+
+ private:
+  storage::Table table_;
+  size_t bytes_;
+};
+
+/// Point-in-time counters. hits/misses are AcquirePinned outcomes;
+/// bytes_pinned is included in bytes_cached.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  size_t bytes_cached = 0;
+  size_t bytes_pinned = 0;
+  size_t peak_bytes = 0;
+};
+
+class PartitionCache {
+ public:
+  explicit PartitionCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  size_t budget_bytes() const { return budget_; }
+
+  /// Looks up partition `part`. On a hit, pins the entry (non-evictable
+  /// while the returned token lives) and returns its view; on a miss
+  /// returns nullopt.
+  std::optional<storage::PinnedPartition> AcquirePinned(size_t part);
+
+  /// Inserts `data` unpinned at MRU (the prefetch path), then evicts LRU
+  /// unpinned entries while over budget. Re-inserting a present partition
+  /// just refreshes its recency.
+  void Insert(size_t part, std::shared_ptr<const LoadedPartition> data);
+
+  /// Insert + pin in one step (the demand-load path): the entry cannot be
+  /// evicted between insertion and the scan that needed it.
+  storage::PinnedPartition InsertPinned(
+      size_t part, std::shared_ptr<const LoadedPartition> data);
+
+  bool Contains(size_t part) const;
+  /// Drops every unpinned entry (cold-scan resets in benches/tests).
+  void Clear();
+
+  size_t bytes_cached() const;
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const LoadedPartition> data;
+    size_t bytes = 0;
+    size_t pins = 0;
+    /// Valid iff pins == 0: position in lru_ (front = coldest). Pinned
+    /// entries leave the LRU list entirely and re-enter at the *cold end*
+    /// on release (scan-resistance — see Release()): a released pin means
+    /// the scan is done with the partition, so it must not outrank
+    /// staged-but-unscanned read-ahead in eviction order.
+    std::list<size_t>::iterator lru_it;
+  };
+
+  /// Builds the pin token for an already-pinned entry. Must be called
+  /// with mu_ *released*: the token's deleter (and the deleter run on a
+  /// throwing control-block allocation) locks mu_.
+  storage::PinnedPartition MakePinned(
+      size_t part, std::shared_ptr<const LoadedPartition> data);
+  void Release(size_t part);
+  void PinLocked(size_t part, Entry* e);
+  /// Creates the entry at MRU and accounts it. Caller holds mu_.
+  Entry& InsertEntryLocked(size_t part,
+                           std::shared_ptr<const LoadedPartition> data);
+  void EvictToBudgetLocked();
+
+  const size_t budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<size_t, Entry> entries_;
+  std::list<size_t> lru_;  ///< unpinned entries only; front = coldest
+  CacheStats stats_;
+};
+
+}  // namespace ps3::io
+
+#endif  // PS3_IO_PARTITION_CACHE_H_

@@ -1,0 +1,50 @@
+// Columnar on-disk format for one partition, on top of
+// common/serialize's BinaryWriter/Reader.
+//
+// Layout (little-endian, like every ps3 on-disk artifact):
+//
+//   header   u32 magic 'PS3P' · u32 version · u64 num_rows · u32 num_cols
+//   segments one per column, back to back: num_rows raw values
+//            (numeric: 8-byte IEEE doubles; categorical: 4-byte codes)
+//   footer   per column: u8 type · u64 offset · u64 byte_len ·
+//            u64 fnv1a64 checksum of the segment bytes
+//   trailer  u64 footer offset · u32 magic
+//
+// The footer carries everything a reader needs to seek straight to a
+// column segment and verify it, so future column-pruned reads don't have
+// to touch the whole file. Readers verify magic, version, arity against
+// the schema, segment bounds, and every segment checksum before a single
+// value is decoded; corruption surfaces as a Status error, never as a
+// wrong answer.
+#ifndef PS3_IO_PARTITION_FILE_H_
+#define PS3_IO_PARTITION_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace ps3::io {
+
+/// Writes rows [begin_row, end_row) of `table` as one partition file.
+/// Returns the file's byte size (the cache/prefetch accounting unit).
+Result<size_t> WritePartitionFile(const storage::Table& table,
+                                  size_t begin_row, size_t end_row,
+                                  const std::string& path);
+
+/// Reads and verifies a partition file, rehydrating it as a standalone
+/// table with exactly the spilled rows. `schema` is the table schema the
+/// file was written under; `dicts[c]` must be the shared dictionary for
+/// each categorical column c (null for numeric columns). Every code is
+/// validated against its dictionary, so a verified table is safe for the
+/// dense group-id path.
+Result<storage::Table> ReadPartitionFile(
+    const std::string& path, const storage::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts);
+
+}  // namespace ps3::io
+
+#endif  // PS3_IO_PARTITION_FILE_H_

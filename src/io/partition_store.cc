@@ -1,0 +1,259 @@
+#include "io/partition_store.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/serialize.h"
+#include "io/partition_file.h"
+
+namespace ps3::io {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4D335350;  // "PS3M"
+constexpr uint32_t kManifestVersion = 1;
+constexpr const char* kManifestName = "manifest.ps3m";
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+/// The one place the partition filename format lives: Spill writes and
+/// PartitionPath reads through the same formatter.
+std::string PartitionFilePath(const std::string& dir, size_t i) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "part-%06zu.ps3p", i);
+  return JoinPath(dir, name);
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::InvalidArgument("cannot create directory '" + dir + "'");
+}
+
+}  // namespace
+
+std::string PartitionStore::PartitionPath(size_t i) const {
+  return PartitionFilePath(dir_, i);
+}
+
+Status PartitionStore::Spill(const storage::PartitionedTable& table,
+                             const std::string& dir) {
+  PS3_RETURN_IF_ERROR(EnsureDir(dir));
+  const storage::Table& t = table.table();
+  const storage::Schema& schema = t.schema();
+  const size_t n_parts = table.num_partitions();
+
+  std::vector<uint64_t> part_bytes(n_parts);
+  for (size_t i = 0; i < n_parts; ++i) {
+    const storage::Partition p = table.partition(i);
+    auto bytes = WritePartitionFile(t, p.begin_row(), p.end_row(),
+                                    PartitionFilePath(dir, i));
+    if (!bytes.ok()) return bytes.status();
+    part_bytes[i] = *bytes;
+  }
+
+  BinaryWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  w.PutU64(t.num_rows());
+  w.PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const auto& f : schema.fields()) {
+    w.PutString(f.name);
+    w.PutU8(f.type == storage::ColumnType::kNumeric ? 0 : 1);
+  }
+  w.PutU32(static_cast<uint32_t>(n_parts));
+  for (size_t i = 0; i < n_parts; ++i) {
+    w.PutU64(table.partition_rows(i));
+    w.PutU64(part_bytes[i]);
+  }
+  // Dictionaries in code order: GetOrAdd on load reassigns the identical
+  // codes, so spilled code segments keep their meaning.
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.IsNumeric(c)) continue;
+    const storage::Dictionary* dict = t.column(c).dict();
+    w.PutU32(static_cast<uint32_t>(dict->size()));
+    for (size_t code = 0; code < dict->size(); ++code) {
+      w.PutString(dict->ValueOf(static_cast<int32_t>(code)));
+    }
+  }
+  w.PutU64(Fnv1a64(w.buffer().data(), w.buffer().size()));
+  return w.WriteFile(JoinPath(dir, kManifestName));
+}
+
+Result<std::unique_ptr<PartitionStore>> PartitionStore::Open(
+    const std::string& dir, const Options& options) {
+  auto reader = BinaryReader::FromFile(JoinPath(dir, kManifestName));
+  if (!reader.ok()) return reader.status();
+  BinaryReader& r = *reader;
+
+  auto corrupt = [&dir](const std::string& what) {
+    return Status::Internal("manifest in '" + dir + "': " + what);
+  };
+
+  if (r.size() < 8) return corrupt("shorter than its checksum");
+  const uint64_t body_len = r.size() - 8;
+  PS3_RETURN_IF_ERROR(r.SeekTo(body_len));
+  auto stored_sum = r.GetU64();
+  if (!stored_sum.ok() ||
+      *stored_sum != Fnv1a64(r.data().data(), body_len)) {
+    return corrupt("checksum mismatch");
+  }
+  PS3_RETURN_IF_ERROR(r.SeekTo(0));
+
+  auto magic = r.GetU32();
+  auto version = r.GetU32();
+  if (!magic.ok() || *magic != kManifestMagic) return corrupt("bad magic");
+  if (!version.ok() || *version != kManifestVersion) {
+    return corrupt("unsupported version");
+  }
+  auto num_rows = r.GetU64();
+  auto num_cols = r.GetU32();
+  if (!num_rows.ok() || !num_cols.ok()) return corrupt("truncated header");
+
+  std::vector<storage::FieldDef> fields;
+  fields.reserve(*num_cols);
+  for (uint32_t c = 0; c < *num_cols; ++c) {
+    auto name = r.GetString();
+    auto type = r.GetU8();
+    if (!name.ok() || !type.ok()) return corrupt("truncated schema");
+    fields.push_back({std::move(*name), *type == 0
+                                            ? storage::ColumnType::kNumeric
+                                            : storage::ColumnType::kCategorical});
+  }
+  storage::Schema schema(std::move(fields));
+
+  auto n_parts = r.GetU32();
+  if (!n_parts.ok()) return corrupt("truncated partition map");
+  std::vector<size_t> part_rows(*n_parts), part_bytes(*n_parts);
+  uint64_t total_rows = 0;
+  for (uint32_t i = 0; i < *n_parts; ++i) {
+    auto rows = r.GetU64();
+    auto bytes = r.GetU64();
+    if (!rows.ok() || !bytes.ok()) return corrupt("truncated partition map");
+    part_rows[i] = static_cast<size_t>(*rows);
+    part_bytes[i] = static_cast<size_t>(*bytes);
+    total_rows += *rows;
+  }
+  if (total_rows != *num_rows) return corrupt("partition rows don't sum");
+
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
+      schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.IsNumeric(c)) continue;
+    auto dict_size = r.GetU32();
+    if (!dict_size.ok()) return corrupt("truncated dictionary");
+    auto dict = std::make_shared<storage::Dictionary>();
+    for (uint32_t i = 0; i < *dict_size; ++i) {
+      auto value = r.GetString();
+      if (!value.ok()) return corrupt("truncated dictionary");
+      dict->GetOrAdd(*value);
+    }
+    if (dict->size() != *dict_size) return corrupt("duplicate dictionary entry");
+    dicts[c] = std::move(dict);
+  }
+
+  return std::unique_ptr<PartitionStore>(new PartitionStore(
+      dir, options, std::move(schema), *num_rows, std::move(part_rows),
+      std::move(part_bytes), std::move(dicts)));
+}
+
+PartitionStore::PartitionStore(
+    std::string dir, Options options, storage::Schema schema,
+    uint64_t num_rows, std::vector<size_t> part_rows,
+    std::vector<size_t> part_bytes,
+    std::vector<std::shared_ptr<storage::Dictionary>> dicts)
+    : dir_(std::move(dir)),
+      options_(options),
+      schema_(std::move(schema)),
+      num_rows_(num_rows),
+      part_rows_(std::move(part_rows)),
+      part_bytes_(std::move(part_bytes)),
+      dicts_(std::move(dicts)),
+      cache_(options.cache_budget_bytes) {
+  for (size_t b : part_bytes_) total_bytes_ += b;
+}
+
+Result<std::shared_ptr<const LoadedPartition>> PartitionStore::LoadFromDisk(
+    size_t i) {
+  if (options_.simulated_load_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.simulated_load_delay_us));
+  }
+  auto table = ReadPartitionFile(PartitionPath(i), schema_, dicts_);
+  if (!table.ok()) return table.status();
+  if (table->num_rows() != part_rows_[i]) {
+    return Status::Internal("partition " + std::to_string(i) +
+                            " row count disagrees with manifest");
+  }
+  return std::make_shared<const LoadedPartition>(std::move(*table),
+                                                 part_bytes_[i]);
+}
+
+Result<storage::PinnedPartition> PartitionStore::Fetch(size_t i) {
+  if (i >= num_partitions()) {
+    return Status::OutOfRange("partition index out of range");
+  }
+  for (;;) {
+    if (auto hit = cache_.AcquirePinned(i)) return std::move(*hit);
+    {
+      std::unique_lock<std::mutex> lock(load_mu_);
+      if (loading_.count(i) != 0) {
+        // Single flight: someone is already reading this partition; wait
+        // for them and retry the cache instead of duplicating the IO.
+        load_cv_.wait(lock, [&] { return loading_.count(i) == 0; });
+        continue;
+      }
+      if (cache_.Contains(i)) continue;  // a load landed since our miss
+      loading_.insert(i);
+      ++store_stats_.cold_loads;
+    }
+    // The guard — not straight-line code — clears the loading mark, so a
+    // throwing load (e.g. bad_alloc during rehydration) can't wedge the
+    // waiters forever. Insertion into the cache happens *before* the
+    // guard releases, so a waiter that wakes up finds the entry instead
+    // of reloading it.
+    LoadingGuard guard(this, i);
+    auto loaded = LoadFromDisk(i);
+    if (!loaded.ok()) {
+      guard.set_failed();
+      return loaded.status();
+    }
+    return cache_.InsertPinned(i, std::move(*loaded));
+  }
+}
+
+Status PartitionStore::Preload(size_t i) {
+  if (i >= num_partitions()) {
+    return Status::OutOfRange("partition index out of range");
+  }
+  if (cache_.Contains(i)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    if (loading_.count(i) != 0) return Status::OK();  // someone's on it
+    if (cache_.Contains(i)) return Status::OK();  // landed since our check
+    loading_.insert(i);
+    ++store_stats_.cold_loads;
+  }
+  LoadingGuard guard(this, i);
+  auto loaded = LoadFromDisk(i);
+  if (!loaded.ok()) {
+    guard.set_failed();
+    return loaded.status();
+  }
+  cache_.Insert(i, std::move(*loaded));
+  return Status::OK();
+}
+
+StoreStats PartitionStore::store_stats() const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return store_stats_;
+}
+
+}  // namespace ps3::io

@@ -1,0 +1,145 @@
+// Out-of-core partition store: spills a partitioned table to a directory
+// of columnar partition files plus a checksummed manifest, and rehydrates
+// partitions on demand through a memory-budgeted PartitionCache.
+//
+// Directory layout:
+//   manifest.ps3m    schema, per-partition row/byte counts, and every
+//                    categorical dictionary in code order, with a whole-
+//                    manifest checksum
+//   part-NNNNNN.ps3p one columnar file per partition (io/partition_file)
+//
+// Determinism contract: a rehydrated partition holds bit-identical column
+// values, the same dictionary (same codes, same size), and the same row
+// order as the resident partition it was spilled from, so any scan over
+// it — either exec policy, any kernel — produces bit-identical answers.
+//
+// Fetch() is the scan path: cache hit → pinned view; miss → single-flight
+// cold load (concurrent fetchers of the same partition wait for one load
+// instead of duplicating it), insert-pinned into the cache. Preload() is
+// the prefetch path: same load, inserted unpinned, never blocks behind an
+// in-flight load of the same partition.
+#ifndef PS3_IO_PARTITION_STORE_H_
+#define PS3_IO_PARTITION_STORE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/partition_cache.h"
+#include "storage/partition_source.h"
+#include "storage/table.h"
+
+namespace ps3::io {
+
+/// Cold-load counters (cache hit/miss live on PartitionCache::stats()).
+struct StoreStats {
+  uint64_t cold_loads = 0;
+  uint64_t load_errors = 0;
+};
+
+class PartitionStore {
+ public:
+  struct Options {
+    /// PartitionCache byte budget.
+    size_t cache_budget_bytes = size_t{256} << 20;
+    /// Simulated per-cold-load latency in microseconds — models the
+    /// round trip to a remote/cloud store so an in-process reproduction
+    /// exercises real scan latency. The loading thread sleeps (doesn't
+    /// spin) before decoding, which is exactly the wait prefetch exists
+    /// to overlap. 0 disables.
+    size_t simulated_load_delay_us = 0;
+  };
+
+  /// Writes every partition of `table` plus the manifest under `dir`
+  /// (created if absent). Overwrites a previous spill of the same shape.
+  static Status Spill(const storage::PartitionedTable& table,
+                      const std::string& dir);
+
+  /// Opens a spilled directory: reads + verifies the manifest (schema,
+  /// partition map, dictionaries). Partition files are read lazily.
+  static Result<std::unique_ptr<PartitionStore>> Open(const std::string& dir,
+                                                      const Options& options);
+
+  const storage::Schema& schema() const { return schema_; }
+  size_t num_partitions() const { return part_rows_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t partition_rows(size_t i) const { return part_rows_[i]; }
+  /// On-disk byte size of partition `i` — the cache/read-ahead unit.
+  size_t partition_bytes(size_t i) const { return part_bytes_[i]; }
+  size_t total_bytes() const { return total_bytes_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Pins partition `i` for scanning: cache hit, or single-flight cold
+  /// load. Thread-safe; blocks only for the load itself.
+  Result<storage::PinnedPartition> Fetch(size_t i);
+
+  /// Stages partition `i` into the cache unpinned (prefetch). A no-op if
+  /// cached or already loading. Load errors are returned but advisory:
+  /// the demand-path Fetch will surface them to the query.
+  Status Preload(size_t i);
+
+  PartitionCache& cache() { return cache_; }
+  const PartitionCache& cache() const { return cache_; }
+  StoreStats store_stats() const;
+
+ private:
+  PartitionStore(std::string dir, Options options, storage::Schema schema,
+                 uint64_t num_rows, std::vector<size_t> part_rows,
+                 std::vector<size_t> part_bytes,
+                 std::vector<std::shared_ptr<storage::Dictionary>> dicts);
+
+  /// RAII owner of a partition's single-flight loading mark: erases it
+  /// and wakes waiters on every exit path, including a throwing load —
+  /// otherwise one failed load would wedge all later fetchers forever.
+  class LoadingGuard {
+   public:
+    LoadingGuard(PartitionStore* store, size_t part)
+        : store_(store), part_(part) {}
+    ~LoadingGuard() {
+      {
+        std::lock_guard<std::mutex> lock(store_->load_mu_);
+        store_->loading_.erase(part_);
+        if (failed_) ++store_->store_stats_.load_errors;
+      }
+      store_->load_cv_.notify_all();
+    }
+    void set_failed() { failed_ = true; }
+
+   private:
+    PartitionStore* store_;
+    size_t part_;
+    bool failed_ = false;
+  };
+
+  /// Reads + decodes partition `i` (applying the simulated latency).
+  Result<std::shared_ptr<const LoadedPartition>> LoadFromDisk(size_t i);
+  std::string PartitionPath(size_t i) const;
+
+  const std::string dir_;
+  const Options options_;
+  const storage::Schema schema_;
+  const uint64_t num_rows_;
+  const std::vector<size_t> part_rows_;
+  const std::vector<size_t> part_bytes_;
+  size_t total_bytes_ = 0;
+  /// Shared per-column dictionaries (null for numeric columns); every
+  /// rehydrated partition's categorical columns point at these.
+  const std::vector<std::shared_ptr<storage::Dictionary>> dicts_;
+
+  PartitionCache cache_;
+
+  mutable std::mutex load_mu_;
+  std::condition_variable load_cv_;
+  std::set<size_t> loading_;  ///< partitions with an in-flight cold load
+  StoreStats store_stats_;    ///< guarded by load_mu_
+};
+
+}  // namespace ps3::io
+
+#endif  // PS3_IO_PARTITION_STORE_H_

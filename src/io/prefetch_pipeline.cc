@@ -1,0 +1,119 @@
+#include "io/prefetch_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "runtime/worker_pool.h"
+
+namespace ps3::io {
+
+PrefetchPipeline::PrefetchPipeline(PartitionStore* store,
+                                   runtime::QueryScheduler* scheduler)
+    : PrefetchPipeline(store, scheduler, Options()) {}
+
+PrefetchPipeline::PrefetchPipeline(PartitionStore* store,
+                                   runtime::QueryScheduler* scheduler,
+                                   Options options)
+    : store_(store), scheduler_(scheduler), options_(options) {}
+
+PrefetchPipeline::~PrefetchPipeline() { Drain(); }
+
+void PrefetchPipeline::Stage(std::vector<size_t> parts) {
+  // Budget admission up front, so the shared pool is charged before the
+  // task is queued (otherwise N queries could all stage "within budget"
+  // simultaneously).
+  std::vector<size_t> to_load;
+  to_load.reserve(parts.size());
+  // Effective budget: the configured read-ahead cap, further bounded by
+  // what the cache can actually *retain* — staging past the cache budget
+  // just evicts read-ahead before the scan reaches it (wasted loads that
+  // still occupy lanes). Headroom is sampled once per Stage call;
+  // advisory, like everything here.
+  const size_t cache_budget = store_->cache().budget_bytes();
+  const size_t cached = store_->cache().bytes_cached();
+  const size_t headroom = cache_budget > cached ? cache_budget - cached : 0;
+  const size_t budget = std::min(options_.readahead_bytes, headroom);
+  for (size_t p : parts) {
+    if (store_->cache().Contains(p)) {
+      skipped_cached_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const size_t bytes = store_->partition_bytes(p);
+    size_t cur = inflight_bytes_.load(std::memory_order_relaxed);
+    bool admitted = false;
+    while (cur + bytes <= budget) {
+      if (inflight_bytes_.compare_exchange_weak(cur, cur + bytes,
+                                                std::memory_order_relaxed)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      skipped_budget_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    to_load.push_back(p);
+  }
+  if (to_load.empty()) return;
+  staged_.fetch_add(to_load.size(), std::memory_order_relaxed);
+
+  // One scheduler task per staged shard; the task fans the loads out
+  // across worker-pool lanes and releases the budget as each insert
+  // lands in the cache.
+  auto task = [this, parts = std::move(to_load)] {
+    PartitionStore* store = store_;
+    scheduler_->pool().ParallelFor(
+        parts.size(),
+        [this, store, &parts](size_t k) {
+          const size_t p = parts[k];
+          // Prefetch is advisory, so nothing may escape: a thrown load
+          // (bad_alloc during rehydration) would fail the whole pool job
+          // and drain sibling items *without running them*, leaking
+          // their budget reservations permanently.
+          try {
+            Status s = store->Preload(p);
+            if (!s.ok()) {
+              load_errors_.fetch_add(1, std::memory_order_relaxed);
+            }
+          } catch (...) {
+            load_errors_.fetch_add(1, std::memory_order_relaxed);
+          }
+          inflight_bytes_.fetch_sub(store->partition_bytes(p),
+                                    std::memory_order_relaxed);
+        },
+        options_.load_lanes);
+  };
+  std::future<void> fut = scheduler_->Defer(std::move(task));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Prune finished futures so a long query stream doesn't accumulate one
+  // handle per staged shard forever.
+  size_t live = 0;
+  for (auto& f : inflight_) {
+    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      inflight_[live++] = std::move(f);
+    }
+  }
+  inflight_.resize(live);
+  inflight_.push_back(std::move(fut));
+}
+
+void PrefetchPipeline::Drain() {
+  std::vector<std::future<void>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(inflight_);
+  }
+  for (auto& f : pending) f.wait();
+}
+
+PrefetchPipeline::PrefetchStats PrefetchPipeline::stats() const {
+  PrefetchStats s;
+  s.staged = staged_.load(std::memory_order_relaxed);
+  s.skipped_cached = skipped_cached_.load(std::memory_order_relaxed);
+  s.skipped_budget = skipped_budget_.load(std::memory_order_relaxed);
+  s.load_errors = load_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ps3::io

@@ -1,0 +1,91 @@
+// Asynchronous shard-granular read-ahead for cold scans.
+//
+// While the evaluator scans shard s of a spilled table, the pipeline
+// stages shard s+1's partitions into the store's cache: Stage() admits
+// one staging task through the runtime::QueryScheduler (so prefetch IO
+// interleaves with query work instead of preempting it), and that task
+// fans the individual partition loads out across runtime::WorkerPool
+// lanes. Loads sleep through the store's simulated remote latency on
+// pool/driver threads, overlapping the wait with the current shard's
+// compute — which is the entire point of prefetching.
+//
+// The read-ahead budget is byte-accounted and *shared*: every query
+// prefetching through one pipeline draws from the same in-flight byte
+// pool, so N concurrent cold queries can't multiply read-ahead memory by
+// N. Partitions that don't fit the remaining budget are skipped, not
+// queued — they'll be demand-loaded by the scan; prefetch is advisory
+// and never affects answers, only timing. Staging errors are likewise
+// swallowed (counted in stats): the demand path surfaces real errors.
+//
+// Lifetime: borrows the store and scheduler; destroy the pipeline before
+// either. The destructor drains in-flight staging tasks.
+#ifndef PS3_IO_PREFETCH_PIPELINE_H_
+#define PS3_IO_PREFETCH_PIPELINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "io/partition_store.h"
+#include "runtime/query_scheduler.h"
+
+namespace ps3::io {
+
+class PrefetchPipeline {
+ public:
+  struct Options {
+    /// Cap on bytes staged-but-not-yet-inserted across *all* queries
+    /// sharing this pipeline.
+    size_t readahead_bytes = size_t{64} << 20;
+    /// Worker-pool lanes a staging task may fan its loads across. Loads
+    /// are latency-bound (they sleep through the simulated store RTT), so
+    /// oversubscribing lanes is cheap and hides more of the wait.
+    int load_lanes = 16;
+  };
+
+  /// Default options.
+  PrefetchPipeline(PartitionStore* store, runtime::QueryScheduler* scheduler);
+  PrefetchPipeline(PartitionStore* store, runtime::QueryScheduler* scheduler,
+                   Options options);
+  ~PrefetchPipeline();
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  /// Stages the given partitions (typically one shard's list) into the
+  /// store's cache asynchronously, bounded by the shared read-ahead
+  /// budget. Non-blocking; safe to call from pool lanes mid-scan.
+  void Stage(std::vector<size_t> parts);
+
+  /// Waits for every in-flight staging task.
+  void Drain();
+
+  struct PrefetchStats {
+    uint64_t staged = 0;          ///< partitions handed to a staging task
+    uint64_t skipped_cached = 0;  ///< already cached (or loading)
+    uint64_t skipped_budget = 0;  ///< didn't fit the read-ahead budget
+    uint64_t load_errors = 0;     ///< advisory failures (demand path retries)
+  };
+  PrefetchStats stats() const;
+
+ private:
+  PartitionStore* store_;
+  runtime::QueryScheduler* scheduler_;
+  const Options options_;
+
+  std::atomic<size_t> inflight_bytes_{0};
+  std::atomic<uint64_t> staged_{0};
+  std::atomic<uint64_t> skipped_cached_{0};
+  std::atomic<uint64_t> skipped_budget_{0};
+  std::atomic<uint64_t> load_errors_{0};
+
+  std::mutex mu_;
+  std::vector<std::future<void>> inflight_;  ///< guarded by mu_
+};
+
+}  // namespace ps3::io
+
+#endif  // PS3_IO_PREFETCH_PIPELINE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "storage/table.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #define PS3_HAVE_X86_SIMD 1
@@ -191,9 +193,13 @@ void RunCompare(const double* v, size_t n, CompareOp op, double c,
 /// IN-set kernel over dictionary codes (`set` must be non-empty; the empty
 /// IN-list is handled by the caller with a cleared bitmap). Tiny sets use
 /// the AVX2 cmpeq kernel (or an unrolled scalar compare chain); larger
-/// ones binary-search the sorted list.
+/// ones probe a per-dictionary membership table with the AVX2 gather
+/// kernel, falling back to a binary search of the sorted list (the
+/// bit-exactness reference). `dict_size` bounds the column's code domain;
+/// `table_scratch` is the caller's reusable membership-table buffer.
 void RunInSet(const int32_t* codes, size_t n,
-              const std::vector<int32_t>& set, SelectionBitmap* out,
+              const std::vector<int32_t>& set, size_t dict_size,
+              std::vector<uint32_t>* table_scratch, SelectionBitmap* out,
               bool use_avx2) {
   const size_t k = set.size();
   if (k <= 4) {
@@ -230,9 +236,36 @@ void RunInSet(const int32_t* codes, size_t n,
   } else {
     const int32_t* lo = set.data();
     const int32_t* hi = set.data() + set.size();
-    PackKernel(codes, n,
-               [lo, hi](int32_t x) { return std::binary_search(lo, hi, x); },
-               out);
+    auto match = [lo, hi](int32_t x) { return std::binary_search(lo, hi, x); };
+#ifdef PS3_HAVE_X86_SIMD
+    // The table build is O(dict_size) per partition, so the gather path
+    // only pays off when the code domain is small relative to the rows
+    // probed; a huge dictionary over a small partition stays on the
+    // binary-search pack.
+    if (use_avx2 && dict_size > 0 && dict_size <= 4 * n) {
+      // Membership table over the whole code domain (codes are always
+      // < dict_size), one 32-bit lane per code so every gather stays in
+      // bounds.
+      table_scratch->assign(dict_size, 0);
+      for (int32_t c : set) {
+        if (c >= 0 && static_cast<size_t>(c) < dict_size) {
+          (*table_scratch)[static_cast<size_t>(c)] = 0xFFFFFFFFu;
+        }
+      }
+      const uint32_t* table = table_scratch->data();
+      RunWordsWithTail(
+          codes, n,
+          [codes, table](size_t full_words, uint64_t* words) {
+            runtime::InSetGatherWordsAvx2(codes, full_words, table, words);
+          },
+          match, out);
+      return;
+    }
+#else
+    (void)dict_size;
+    (void)table_scratch;
+#endif
+    PackKernel(codes, n, match, out);
   }
 }
 
@@ -273,7 +306,11 @@ void BitmapEvaluator::EvalPredicate(const PredProgram& prog,
           break;
         }
         bm.ResetForOverwrite(n);
-        RunInSet(part.CodeSpan(in.column), n, in.codes, &bm, use_avx2_);
+        const storage::Dictionary* dict =
+            part.table().column(in.column).dict();
+        RunInSet(part.CodeSpan(in.column), n, in.codes,
+                 dict != nullptr ? dict->size() : 0, &in_table_, &bm,
+                 use_avx2_);
         break;
       }
       case PredInstr::Op::kAnd: {

@@ -46,6 +46,9 @@ class BitmapEvaluator {
   std::vector<SelectionBitmap> bitmap_stack_;
   std::vector<std::vector<double>> buffer_stack_;
   std::vector<double> value_stack_;
+  /// Membership table scratch for the AVX2 gather IN-list kernel (one
+  /// 32-bit lane per dictionary code).
+  std::vector<uint32_t> in_table_;
 };
 
 }  // namespace ps3::query

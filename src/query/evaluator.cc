@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 
 #include "query/bitmap_evaluator.h"
 #include "query/compiler.h"
 #include "runtime/worker_pool.h"
+#include "storage/partition_source.h"
 #include "storage/sharded_table.h"
 
 namespace ps3::query {
@@ -297,7 +300,17 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
 std::vector<PartitionAnswer> EvaluateAllPartitions(
     const Query& query, const storage::ShardedTable& table,
     const ExecOptions& opts) {
-  const size_t n_shards = table.num_shards();
+  // Resident tables are just the trivial PartitionSource: Acquire never
+  // fails, nothing is pinned, and WillScanShard is a no-op, so this is
+  // the same fan-out it always was.
+  storage::ResidentShardedSource source(table);
+  return EvaluateAllPartitions(query, source, opts);
+}
+
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::PartitionSource& source,
+    const ExecOptions& opts) {
+  const size_t n_shards = source.num_shards();
   std::vector<std::vector<PartitionAnswer>> partials(n_shards);
   runtime::WorkerPool& pool = PoolOf(opts);
   const CompiledQuery cq =
@@ -312,19 +325,35 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
     size_t k;  ///< offset within the shard's partition list
   };
   std::vector<Unit> units;
-  units.reserve(table.num_partitions());
+  units.reserve(source.num_partitions());
   for (size_t s = 0; s < n_shards; ++s) {
-    partials[s].resize(table.shard(s).size());
-    for (size_t k = 0; k < table.shard(s).size(); ++k) {
+    partials[s].resize(source.shard(s).size());
+    for (size_t k = 0; k < source.shard(s).size(); ++k) {
       units.push_back(Unit{s, k});
     }
+  }
+  // One scan-entry flag per shard: whichever lane reaches a shard first
+  // fires the source's prefetch hint. Advisory only — results cannot
+  // depend on which lane wins.
+  std::unique_ptr<std::atomic<bool>[]> entered(
+      new std::atomic<bool>[n_shards]);
+  for (size_t s = 0; s < n_shards; ++s) {
+    entered[s].store(false, std::memory_order_relaxed);
   }
   pool.ParallelFor(
       units.size(),
       [&](size_t u) {
         const Unit unit = units[u];
-        const storage::Partition part =
-            table.partition(table.shard(unit.shard)[unit.k]);
+        if (!entered[unit.shard].exchange(true, std::memory_order_relaxed)) {
+          source.WillScanShard(unit.shard);
+        }
+        auto pinned = source.Acquire(source.shard(unit.shard)[unit.k]);
+        if (!pinned.ok()) {
+          // The pool rethrows on this evaluation's caller; sibling
+          // queries on the pool are unaffected (per-job failure).
+          throw std::runtime_error(pinned.status().ToString());
+        }
+        const storage::Partition& part = pinned->view();
         if (opts.policy == ExecPolicy::kScalar) {
           partials[unit.shard][unit.k] = EvaluateOnPartition(query, part);
           return;
@@ -336,9 +365,9 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
       opts.num_threads);
   // Ordered merge: walk shards in index order, placing each partial at its
   // global partition id. Deterministic for any lane count or assignment.
-  std::vector<PartitionAnswer> out(table.num_partitions());
+  std::vector<PartitionAnswer> out(source.num_partitions());
   for (size_t s = 0; s < n_shards; ++s) {
-    const std::vector<size_t>& parts = table.shard(s);
+    const std::vector<size_t>& parts = source.shard(s);
     for (size_t k = 0; k < parts.size(); ++k) {
       out[parts[k]] = std::move(partials[s][k]);
     }

@@ -33,6 +33,7 @@ class WorkerPool;
 }  // namespace ps3::runtime
 
 namespace ps3::storage {
+class PartitionSource;
 class ShardedTable;
 }  // namespace ps3::storage
 
@@ -130,6 +131,20 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
 /// count or assignment policy.
 std::vector<PartitionAnswer> EvaluateAllPartitions(
     const Query& query, const storage::ShardedTable& table,
+    const ExecOptions& opts = {});
+
+/// Same fan-out over an abstract PartitionSource — the seam that lets one
+/// scan implementation serve resident tables and the io layer's cold /
+/// cached stores alike. Each unit pins its partition just before the
+/// kernels run and releases it right after; the first unit to enter a
+/// shard fires WillScanShard(s) so out-of-core sources can stage the next
+/// shard ahead of the scan. A failed Acquire (IO error, checksum
+/// mismatch) fails this evaluation only, surfaced as a thrown
+/// std::runtime_error carrying the Status. Answers are bit-identical to
+/// the resident scan for any source whose shard structure matches
+/// storage::AssignShards.
+std::vector<PartitionAnswer> EvaluateAllPartitions(
+    const Query& query, const storage::PartitionSource& source,
     const ExecOptions& opts = {});
 
 /// Number of vectorized-execution scratch blocks constructed so far in

@@ -111,4 +111,24 @@ QueryScheduler::SubmitPartials(query::Query query,
   });
 }
 
+std::future<query::QueryAnswer> QueryScheduler::Submit(
+    query::Query query, const storage::PartitionSource& source,
+    query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &source, opts] {
+    return query::ExactAnswer(q,
+                              query::EvaluateAllPartitions(q, source, opts));
+  });
+}
+
+std::future<std::vector<query::PartitionAnswer>>
+QueryScheduler::SubmitPartials(query::Query query,
+                               const storage::PartitionSource& source,
+                               query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &source, opts] {
+    return query::EvaluateAllPartitions(q, source, opts);
+  });
+}
+
 }  // namespace ps3::runtime

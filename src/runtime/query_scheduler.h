@@ -38,6 +38,7 @@
 
 #include "query/evaluator.h"
 #include "runtime/worker_pool.h"
+#include "storage/partition_source.h"
 #include "storage/sharded_table.h"
 
 namespace ps3::runtime {
@@ -81,6 +82,14 @@ class QueryScheduler {
   std::future<query::QueryAnswer> Submit(
       query::Query query, const storage::PartitionedTable& table,
       query::ExecOptions opts = {});
+  /// Same, over an abstract PartitionSource (resident adapter or the io
+  /// layer's cold/cached stores). The source — and whatever it borrows
+  /// (store, prefetch pipeline) — must stay alive until the future is
+  /// ready. A cold-load failure (IO error, checksum mismatch) poisons
+  /// only this query's future.
+  std::future<query::QueryAnswer> Submit(query::Query query,
+                                         const storage::PartitionSource& source,
+                                         query::ExecOptions opts = {});
 
   /// Admits a query but resolves to the raw per-partition answers (global
   /// partition order) — the form the trainer and pickers consume.
@@ -89,6 +98,9 @@ class QueryScheduler {
       query::ExecOptions opts = {});
   std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
       query::Query query, const storage::ShardedTable& table,
+      query::ExecOptions opts = {});
+  std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
+      query::Query query, const storage::PartitionSource& source,
       query::ExecOptions opts = {});
 
   /// Generic admission: runs `fn` on a driver thread and resolves the

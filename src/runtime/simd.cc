@@ -1,5 +1,9 @@
 #include "runtime/simd.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 namespace ps3::runtime {
 
 bool Avx2Available() {
@@ -10,5 +14,31 @@ bool Avx2Available() {
   return false;
 #endif
 }
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) void InSetGatherWordsAvx2(
+    const int32_t* codes, size_t full_words, const uint32_t* table,
+    uint64_t* words) {
+  const int* t = reinterpret_cast<const int*>(table);
+  for (size_t w = 0; w < full_words; ++w) {
+    const int32_t* base = codes + (w << 6);
+    uint64_t word = 0;
+    for (unsigned g = 0; g < 8; ++g) {
+      __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 8 * g));
+      // Each lane becomes table[code]: all-ones for members, zero
+      // otherwise, so movemask_ps reads the membership straight off the
+      // sign bits.
+      __m256i hit = _mm256_i32gather_epi32(t, idx, 4);
+      unsigned mask = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(hit)));
+      word |= static_cast<uint64_t>(mask) << (8 * g);
+    }
+    words[w] = word;
+  }
+}
+
+#endif  // x86
 
 }  // namespace ps3::runtime

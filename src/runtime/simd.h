@@ -6,6 +6,9 @@
 #ifndef PS3_RUNTIME_SIMD_H_
 #define PS3_RUNTIME_SIMD_H_
 
+#include <cstddef>
+#include <cstdint>
+
 namespace ps3::runtime {
 
 /// Kernel selection for the vectorized execution policy.
@@ -17,6 +20,20 @@ enum class SimdLevel {
 
 /// True when this process can execute AVX2 instructions.
 bool Avx2Available();
+
+#if defined(__x86_64__) || defined(__i386__)
+/// AVX2 gather kernel for the dictionary-coded IN-list probe (set sizes
+/// too large for the cmpeq chain): probes a per-dictionary membership
+/// table — one 32-bit lane per code, 0xFFFFFFFF = member, 0 = not — with
+/// _mm256_i32gather_epi32 for 8 codes at a time and packs the gathered
+/// sign bits into the bitmap words, matching the scalar pack's bit order
+/// (bit b = row base[b]). Fills the `full_words` complete 64-row words;
+/// the caller packs the sub-word tail with the scalar reference. Every
+/// code in `codes` must be a valid table index (storage guarantees codes
+/// < dictionary size). Caller must have verified AVX2 support.
+void InSetGatherWordsAvx2(const int32_t* codes, size_t full_words,
+                          const uint32_t* table, uint64_t* words);
+#endif
 
 /// Resolves kAuto against the host CPU.
 inline bool UseAvx2(SimdLevel level) {

@@ -27,6 +27,13 @@ Column::Column(ColumnType type) : type_(type) {
 Column Column::MakeNumeric() { return Column(ColumnType::kNumeric); }
 Column Column::MakeCategorical() { return Column(ColumnType::kCategorical); }
 
+Column Column::MakeCategorical(std::shared_ptr<Dictionary> dict) {
+  assert(dict != nullptr);
+  Column col(ColumnType::kCategorical);
+  col.dict_ = std::move(dict);
+  return col;
+}
+
 void Column::AppendNumeric(double v) {
   assert(is_numeric());
   numeric_.push_back(v);
@@ -41,6 +48,21 @@ void Column::AppendCode(int32_t code) {
   assert(!is_numeric());
   assert(code >= 0 && static_cast<size_t>(code) < dict_->size());
   codes_.push_back(code);
+}
+
+void Column::AppendNumerics(const double* v, size_t n) {
+  assert(is_numeric());
+  numeric_.insert(numeric_.end(), v, v + n);
+}
+
+void Column::AppendCodes(const int32_t* v, size_t n) {
+  assert(!is_numeric());
+#ifndef NDEBUG
+  for (size_t i = 0; i < n; ++i) {
+    assert(v[i] >= 0 && static_cast<size_t>(v[i]) < dict_->size());
+  }
+#endif
+  codes_.insert(codes_.end(), v, v + n);
 }
 
 Column Column::Permute(const std::vector<size_t>& perm) const {

@@ -37,6 +37,12 @@ class Column {
   static Column MakeNumeric();
   /// Creates an empty categorical column with a fresh dictionary.
   static Column MakeCategorical();
+  /// Creates an empty categorical column bound to an existing shared
+  /// dictionary. Rehydration path: partitions loaded from a spilled table
+  /// share the store's dictionaries, so codes keep their meaning and
+  /// dictionary sizes (hence the dense group-id decision) match the
+  /// resident table's exactly.
+  static Column MakeCategorical(std::shared_ptr<Dictionary> dict);
 
   ColumnType type() const { return type_; }
   bool is_numeric() const { return type_ == ColumnType::kNumeric; }
@@ -48,6 +54,11 @@ class Column {
   void AppendNumeric(double v);
   void AppendCategorical(const std::string& v);
   void AppendCode(int32_t code);
+
+  /// Bulk appenders for rehydrating spilled partitions.
+  void AppendNumerics(const double* v, size_t n);
+  /// Every code must be a valid index into the column's dictionary.
+  void AppendCodes(const int32_t* v, size_t n);
 
   double NumericAt(size_t row) const { return numeric_[row]; }
   int32_t CodeAt(size_t row) const { return codes_[row]; }
@@ -66,6 +77,9 @@ class Column {
   const int32_t* CodeSpan(size_t row = 0) const { return codes_.data() + row; }
   Dictionary* dict() { return dict_.get(); }
   const Dictionary* dict() const { return dict_.get(); }
+  /// Shared ownership of the dictionary (null for numeric columns); lets
+  /// the io layer hand one dictionary to every rehydrated partition.
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
 
   /// Generic accessor used by sort/permutation logic: numeric value, or the
   /// code as a double for categoricals (codes preserve insertion order, not

@@ -1,0 +1,91 @@
+// The partition-provider seam between the query engine's multi-shard
+// fan-out and whatever holds the bytes: a resident ShardedTable, the io
+// layer's memory-budgeted partition cache, or a cold on-disk store.
+//
+// The evaluator scans a PartitionSource shard by shard, acquiring each
+// partition just before it runs the kernels and releasing it right after.
+// Acquire returns a *pinned* partition: a scan-ready view plus an
+// ownership token that keeps the backing memory alive (and, for cached
+// sources, non-evictable) for the token's lifetime. Resident sources pin
+// nothing; cold sources pin a cache entry. Because the view is the same
+// storage::Partition type either way, every kernel, accumulator, and
+// reduction runs identically — which is what makes cold-scan answers
+// bit-exact with resident-scan answers.
+#ifndef PS3_STORAGE_PARTITION_SOURCE_H_
+#define PS3_STORAGE_PARTITION_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/sharded_table.h"
+
+namespace ps3::storage {
+
+/// A scan-ready partition plus the token that keeps it alive. The token
+/// is opaque: a cache pin for out-of-core sources, null for resident
+/// tables (whose lifetime the caller already guarantees).
+class PinnedPartition {
+ public:
+  explicit PinnedPartition(Partition part,
+                           std::shared_ptr<const void> pin = nullptr)
+      : part_(part), pin_(std::move(pin)) {}
+
+  const Partition& view() const { return part_; }
+
+ private:
+  Partition part_;
+  std::shared_ptr<const void> pin_;
+};
+
+/// Shard-structured partition provider for the evaluator's fan-out.
+/// Implementations must expose the *same global partition numbering* as
+/// the flat table (shards partition [0, num_partitions)), so per-partition
+/// answers merge by global index regardless of where the bytes live.
+class PartitionSource {
+ public:
+  virtual ~PartitionSource() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual size_t num_partitions() const = 0;
+  virtual size_t num_shards() const = 0;
+  /// Global partition indices owned by shard `s`, ascending.
+  virtual const std::vector<size_t>& shard(size_t s) const = 0;
+
+  /// Pins partition `global_index` for scanning. May block (cold load).
+  /// Thread-safe: the fan-out calls this from concurrent pool lanes.
+  virtual Result<PinnedPartition> Acquire(size_t global_index) const = 0;
+
+  /// Advisory: the scan cursor has entered shard `s` (fired once per
+  /// shard per scan, from whichever lane gets there first). Out-of-core
+  /// sources use it to stage the next shard's partitions ahead of the
+  /// scan; it must not affect results, only timing.
+  virtual void WillScanShard(size_t s) const { (void)s; }
+};
+
+/// Resident adapter: a ShardedTable viewed as a PartitionSource. Acquire
+/// never fails and pins nothing (the table is borrowed, per the existing
+/// evaluator contract); WillScanShard is a no-op. The table must outlive
+/// the source.
+class ResidentShardedSource : public PartitionSource {
+ public:
+  explicit ResidentShardedSource(const ShardedTable& table) : table_(table) {}
+
+  const Schema& schema() const override { return table_.schema(); }
+  size_t num_partitions() const override { return table_.num_partitions(); }
+  size_t num_shards() const override { return table_.num_shards(); }
+  const std::vector<size_t>& shard(size_t s) const override {
+    return table_.shard(s);
+  }
+  Result<PinnedPartition> Acquire(size_t global_index) const override {
+    return PinnedPartition(table_.partition(global_index));
+  }
+
+ private:
+  const ShardedTable& table_;
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_PARTITION_SOURCE_H_

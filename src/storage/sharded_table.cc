@@ -20,28 +20,34 @@ ShardedTable::ShardedTable(std::shared_ptr<const Table> table,
   Assign(num_shards);
 }
 
-void ShardedTable::Assign(size_t num_shards) {
-  const size_t n_parts = table_.num_partitions();
-  num_shards = std::max<size_t>(1, std::min(num_shards, n_parts));
-  shards_.resize(num_shards);
-  if (assignment_ == ShardAssignment::kRange) {
+std::vector<std::vector<size_t>> AssignShards(size_t num_partitions,
+                                              size_t num_shards,
+                                              ShardAssignment assignment) {
+  num_shards = std::max<size_t>(1, std::min(num_shards, num_partitions));
+  std::vector<std::vector<size_t>> shards(num_shards);
+  if (assignment == ShardAssignment::kRange) {
     // Near-equal contiguous runs: first (n % S) shards get one extra.
-    const size_t base = n_parts / num_shards;
-    const size_t extra = n_parts % num_shards;
+    const size_t base = num_partitions / num_shards;
+    const size_t extra = num_partitions % num_shards;
     size_t next = 0;
     for (size_t s = 0; s < num_shards; ++s) {
       const size_t len = base + (s < extra ? 1 : 0);
-      shards_[s].reserve(len);
-      for (size_t k = 0; k < len; ++k) shards_[s].push_back(next++);
+      shards[s].reserve(len);
+      for (size_t k = 0; k < len; ++k) shards[s].push_back(next++);
     }
-    assert(next == n_parts);
+    assert(next == num_partitions);
   } else {
     // Hash placement: deterministic, layout-independent spread. Ascending
     // insertion keeps each shard's list sorted.
-    for (size_t p = 0; p < n_parts; ++p) {
-      shards_[Mix64(p) % num_shards].push_back(p);
+    for (size_t p = 0; p < num_partitions; ++p) {
+      shards[Mix64(p) % num_shards].push_back(p);
     }
   }
+  return shards;
+}
+
+void ShardedTable::Assign(size_t num_shards) {
+  shards_ = AssignShards(table_.num_partitions(), num_shards, assignment_);
 }
 
 }  // namespace ps3::storage

@@ -26,6 +26,15 @@ enum class ShardAssignment {
   kHash,   ///< partition p lands on shard Mix64(p) % num_shards
 };
 
+/// The partition→shard assignment used by ShardedTable, exposed so
+/// out-of-core sources (io::ColdShardedSource) shard a spilled table
+/// *identically* to the resident path — the precondition for cold scans
+/// being bit-exact with resident scans. `num_shards` is clamped to
+/// [1, num_partitions]; each shard's list is ascending.
+std::vector<std::vector<size_t>> AssignShards(size_t num_partitions,
+                                              size_t num_shards,
+                                              ShardAssignment assignment);
+
 class ShardedTable {
  public:
   /// Shards an existing partitioning. `num_shards` is clamped to

@@ -15,6 +15,20 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
   }
 }
 
+Table Table::FromColumns(Schema schema, std::vector<Column> columns) {
+  Table out(std::move(schema));
+  assert(columns.size() == out.schema_.num_columns());
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    assert(columns[c].size() == rows);
+    assert((columns[c].type() == ColumnType::kNumeric) ==
+           out.schema_.IsNumeric(c));
+  }
+  out.columns_ = std::move(columns);
+  out.num_rows_ = rows;
+  return out;
+}
+
 Result<const Column*> Table::GetColumn(const std::string& name) const {
   auto idx = schema_.GetColumnIndex(name);
   if (!idx.ok()) return idx.status();

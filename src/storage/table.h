@@ -24,6 +24,12 @@ class Table {
  public:
   explicit Table(Schema schema);
 
+  /// Builds a table directly from materialized columns — the io layer's
+  /// rehydration path (a spilled partition becomes a standalone table whose
+  /// categorical columns share the store's dictionaries). Column types and
+  /// sizes must match the schema.
+  static Table FromColumns(Schema schema, std::vector<Column> columns);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

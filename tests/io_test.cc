@@ -1,0 +1,445 @@
+// io/ subsystem tests: columnar partition-file roundtrip, checksum
+// corruption detection, manifest verification, cache eviction + pinning
+// (including under concurrent queries — the TSan CI job runs this file),
+// single-flight cold loads, and prefetch staging.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/cold_source.h"
+#include "io/partition_file.h"
+#include "io/partition_store.h"
+#include "io/prefetch_pipeline.h"
+#include "query/evaluator.h"
+#include "runtime/query_scheduler.h"
+#include "storage/partition_source.h"
+#include "storage/sharded_table.h"
+#include "workload/datasets.h"
+
+namespace ps3 {
+namespace {
+
+std::string MakeSpillDir() {
+  std::string tmpl = ::testing::TempDir() + "ps3_io_XXXXXX";
+  char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+/// Flips one byte of a file in place.
+void FlipByte(const std::string& path, long offset) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+}
+
+std::string PartPath(const std::string& dir, size_t i) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "part-%06zu.ps3p", i);
+  return dir + "/" + name;
+}
+
+query::Query CountSumQuery(const storage::Table& t) {
+  query::Query q;
+  q.aggregates.push_back(query::Aggregate::Count());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsNumeric(c)) {
+      q.aggregates.push_back(query::Aggregate::Sum(query::Expr::Column(c)));
+      break;
+    }
+  }
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsCategorical(c)) {
+      q.group_by.push_back(c);
+      break;
+    }
+  }
+  return q;
+}
+
+void ExpectAnswersEqual(const query::QueryAnswer& a,
+                        const query::QueryAnswer& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, vals] : a) {
+    auto it = b.find(key);
+    ASSERT_NE(it, b.end());
+    ASSERT_EQ(vals.size(), it->second.size());
+    for (size_t i = 0; i < vals.size(); ++i) {
+      uint64_t ba, bb;
+      std::memcpy(&ba, &vals[i], sizeof(ba));
+      std::memcpy(&bb, &it->second[i], sizeof(bb));
+      EXPECT_EQ(ba, bb);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(PartitionFile, RoundtripAllColumnsBitExact) {
+  auto bundle = workload::MakeAria(600, /*seed=*/3);
+  const storage::Table& t = *bundle.table;
+  storage::PartitionedTable pt(bundle.table, 7);
+  const std::string dir = MakeSpillDir();
+
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
+      t.schema().num_columns());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsCategorical(c)) dicts[c] = t.column(c).dict_ptr();
+  }
+  for (size_t p = 0; p < pt.num_partitions(); ++p) {
+    const storage::Partition part = pt.partition(p);
+    auto bytes = io::WritePartitionFile(t, part.begin_row(), part.end_row(),
+                                        PartPath(dir, p));
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    EXPECT_GT(*bytes, 0u);
+
+    auto loaded = io::ReadPartitionFile(PartPath(dir, p), t.schema(), dicts);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded->num_rows(), part.num_rows());
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      for (size_t r = 0; r < part.num_rows(); ++r) {
+        if (t.schema().IsNumeric(c)) {
+          uint64_t want, got;
+          double wv = part.NumericAt(c, r);
+          double gv = loaded->column(c).NumericAt(r);
+          std::memcpy(&want, &wv, sizeof(want));
+          std::memcpy(&got, &gv, sizeof(got));
+          ASSERT_EQ(want, got) << "col " << c << " row " << r;
+        } else {
+          ASSERT_EQ(part.CodeAt(c, r), loaded->column(c).CodeAt(r));
+          ASSERT_EQ(&loaded->column(c).StringAt(r),
+                    &t.column(c).StringAt(part.begin_row() + r))
+              << "dictionary must be shared, not copied";
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionFile, CorruptedSegmentIsDetected) {
+  auto bundle = workload::MakeAria(200, /*seed=*/5);
+  const storage::Table& t = *bundle.table;
+  const std::string dir = MakeSpillDir();
+  auto bytes = io::WritePartitionFile(t, 0, t.num_rows(), PartPath(dir, 0));
+  ASSERT_TRUE(bytes.ok());
+
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
+      t.schema().num_columns());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsCategorical(c)) dicts[c] = t.column(c).dict_ptr();
+  }
+  // Byte 24 sits inside the first column segment (the header is 20
+  // bytes): the segment checksum must catch it.
+  FlipByte(PartPath(dir, 0), 24);
+  auto loaded = io::ReadPartitionFile(PartPath(dir, 0), t.schema(), dicts);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(PartitionFile, TruncatedFileIsDetected) {
+  auto bundle = workload::MakeAria(200, /*seed=*/6);
+  const storage::Table& t = *bundle.table;
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(
+      io::WritePartitionFile(t, 0, t.num_rows(), PartPath(dir, 0)).ok());
+  // Truncate to half.
+  FILE* f = std::fopen(PartPath(dir, 0).c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long half = std::ftell(f) / 2;
+  std::fclose(f);
+  ASSERT_EQ(truncate(PartPath(dir, 0).c_str(), half), 0);
+
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
+      t.schema().num_columns());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsCategorical(c)) dicts[c] = t.column(c).dict_ptr();
+  }
+  EXPECT_FALSE(
+      io::ReadPartitionFile(PartPath(dir, 0), t.schema(), dicts).ok());
+}
+
+// ---------------------------------------------------------------- store
+
+TEST(PartitionStore, SpillOpenFetchRoundtrip) {
+  auto bundle = workload::MakeKdd(900, /*seed=*/11);
+  storage::PartitionedTable pt(bundle.table, 9);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->num_partitions(), pt.num_partitions());
+  EXPECT_EQ((*store)->num_rows(), bundle.table->num_rows());
+  EXPECT_EQ((*store)->schema().num_columns(),
+            bundle.table->schema().num_columns());
+
+  size_t total = 0;
+  for (size_t p = 0; p < (*store)->num_partitions(); ++p) {
+    EXPECT_EQ((*store)->partition_rows(p), pt.partition_rows(p));
+    total += (*store)->partition_bytes(p);
+    auto pinned = (*store)->Fetch(p);
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    EXPECT_EQ(pinned->view().num_rows(), pt.partition_rows(p));
+  }
+  EXPECT_EQ(total, (*store)->total_bytes());
+}
+
+TEST(PartitionStore, CorruptManifestFailsOpen) {
+  auto bundle = workload::MakeAria(300, /*seed=*/13);
+  storage::PartitionedTable pt(bundle.table, 3);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  FlipByte(dir + "/manifest.ps3m", 30);
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(PartitionStore, CorruptPartitionFailsFetchAndScan) {
+  auto bundle = workload::MakeAria(400, /*seed=*/17);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  FlipByte(PartPath(dir, 2), 40);
+
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Fetch(0).ok());
+  EXPECT_FALSE((*store)->Fetch(2).ok());
+  EXPECT_EQ((*store)->store_stats().load_errors, 1u);
+
+  // A scan over the store fails that evaluation (thrown Status) without
+  // poisoning the pool; a resident query afterwards still works.
+  io::ColdShardedSource cold(store->get(), 2);
+  query::Query q = CountSumQuery(*bundle.table);
+  EXPECT_THROW(query::EvaluateAllPartitions(q, cold, {}), std::runtime_error);
+  auto resident = query::EvaluateAllPartitions(q, pt, {});
+  EXPECT_EQ(resident.size(), pt.num_partitions());
+
+  // Through the scheduler: only the cold query's future is poisoned.
+  runtime::QueryScheduler scheduler;
+  storage::ShardedTable st(pt, 2);
+  auto bad = scheduler.Submit(q, cold);
+  auto good = scheduler.Submit(q, st);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_FALSE(good.get().empty());
+}
+
+TEST(PartitionStore, FetchOutOfRange) {
+  auto bundle = workload::MakeAria(100, /*seed=*/19);
+  storage::PartitionedTable pt(bundle.table, 2);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE((*store)->Fetch(99).ok());
+  EXPECT_FALSE((*store)->Preload(99).ok());
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(PartitionCache, EvictionKeepsBytesWithinBudget) {
+  auto bundle = workload::MakeAria(1000, /*seed=*/23);
+  storage::PartitionedTable pt(bundle.table, 10);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  io::PartitionStore::Options opts;
+  auto probe = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(probe.ok());
+  opts.cache_budget_bytes = (*probe)->total_bytes() / 3;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  for (size_t p = 0; p < (*store)->num_partitions(); ++p) {
+    auto pinned = (*store)->Fetch(p);
+    ASSERT_TRUE(pinned.ok());
+    // Pin dropped at the end of each iteration: bytes must stay bounded.
+    EXPECT_LE((*store)->cache().bytes_cached(),
+              opts.cache_budget_bytes + (*store)->partition_bytes(p));
+  }
+  const io::CacheStats stats = (*store)->cache().stats();
+  EXPECT_LE(stats.bytes_cached, opts.cache_budget_bytes);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.inserts, (*store)->num_partitions());
+  EXPECT_EQ(stats.bytes_pinned, 0u);
+}
+
+TEST(PartitionCache, PinnedEntriesSurviveEviction) {
+  auto bundle = workload::MakeAria(800, /*seed=*/29);
+  storage::PartitionedTable pt(bundle.table, 8);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  io::PartitionStore::Options opts;
+  auto probe = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(probe.ok());
+  // Budget of ~1.5 partitions: holding one pin forces inserts to evict
+  // around it (and overshoot when nothing is evictable).
+  opts.cache_budget_bytes = (*probe)->partition_bytes(0) * 3 / 2;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  auto pinned0 = (*store)->Fetch(0);
+  ASSERT_TRUE(pinned0.ok());
+  const double want = pinned0->view().NumericAt(0, 0);
+  for (size_t p = 1; p < (*store)->num_partitions(); ++p) {
+    ASSERT_TRUE((*store)->Fetch(p).ok());
+    // The pinned partition is never evicted and its view stays valid.
+    EXPECT_TRUE((*store)->cache().Contains(0));
+    EXPECT_EQ(pinned0->view().NumericAt(0, 0), want);
+  }
+  EXPECT_GT((*store)->cache().stats().evictions, 0u);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned,
+            (*store)->partition_bytes(0));
+
+  // Releasing the pin drains the overshoot back under budget.
+  pinned0 = Status::Internal("replaced");  // drop the pin
+  EXPECT_LE((*store)->cache().bytes_cached(), opts.cache_budget_bytes);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
+}
+
+TEST(PartitionStore, SingleFlightColdLoads) {
+  auto bundle = workload::MakeAria(500, /*seed=*/31);
+  storage::PartitionedTable pt(bundle.table, 2);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  io::PartitionStore::Options opts;
+  opts.simulated_load_delay_us = 3000;  // widen the race window
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<size_t> rows(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto pinned = (*store)->Fetch(0);
+      EXPECT_TRUE(pinned.ok());
+      if (pinned.ok()) rows[i] = pinned->view().num_rows();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(rows[i], pt.partition_rows(0));
+  // One cold load served every concurrent fetch.
+  EXPECT_EQ((*store)->store_stats().cold_loads, 1u);
+}
+
+// ------------------------------------------------------------- prefetch
+
+TEST(PrefetchPipeline, StagesPartitionsIntoCache) {
+  auto bundle = workload::MakeKdd(600, /*seed=*/37);
+  storage::PartitionedTable pt(bundle.table, 6);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok());
+
+  runtime::QueryScheduler scheduler;
+  io::PrefetchPipeline pipeline(store->get(), &scheduler);
+  pipeline.Stage({0, 1, 2});
+  pipeline.Drain();
+  EXPECT_TRUE((*store)->cache().Contains(0));
+  EXPECT_TRUE((*store)->cache().Contains(1));
+  EXPECT_TRUE((*store)->cache().Contains(2));
+  EXPECT_EQ(pipeline.stats().staged, 3u);
+
+  // A staged partition is a cache hit for the scan path.
+  const io::CacheStats before = (*store)->cache().stats();
+  ASSERT_TRUE((*store)->Fetch(1).ok());
+  EXPECT_EQ((*store)->cache().stats().hits, before.hits + 1);
+  // Restaging cached partitions is a no-op.
+  pipeline.Stage({0, 1, 2});
+  pipeline.Drain();
+  EXPECT_EQ(pipeline.stats().skipped_cached, 3u);
+}
+
+// --------------------------------------------- cold scans, concurrency
+
+TEST(ColdScan, BitExactWithResidentUnderBothPolicies) {
+  auto bundle = workload::MakeTpchStar(3000, /*seed=*/41);
+  storage::PartitionedTable pt(bundle.table, 11);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  io::PartitionStore::Options opts;
+  auto probe = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(probe.ok());
+  opts.cache_budget_bytes = (*probe)->total_bytes() / 4;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  query::Query q = CountSumQuery(*bundle.table);
+  for (auto policy :
+       {query::ExecPolicy::kScalar, query::ExecPolicy::kVectorized}) {
+    query::ExecOptions eopts;
+    eopts.policy = policy;
+    eopts.num_threads = 3;
+    auto resident = query::EvaluateAllPartitions(q, pt, eopts);
+    io::ColdShardedSource cold(store->get(), 4);
+    auto colded = query::EvaluateAllPartitions(q, cold, eopts);
+    ExpectAnswersEqual(query::ExactAnswer(q, resident),
+                       query::ExactAnswer(q, colded));
+  }
+}
+
+TEST(ColdScan, ConcurrentQueriesSmallCachePinnedScans) {
+  // Several queries in flight over one cold store whose budget is far
+  // smaller than the table: pinning keeps every in-flight partition
+  // valid while eviction churns around them. Run under TSan in CI.
+  auto bundle = workload::MakeTpchStar(4000, /*seed=*/43);
+  storage::PartitionedTable pt(bundle.table, 16);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  io::PartitionStore::Options opts;
+  auto probe = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(probe.ok());
+  opts.cache_budget_bytes = (*probe)->total_bytes() / 5;
+  opts.simulated_load_delay_us = 200;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  query::Query q = CountSumQuery(*bundle.table);
+  const auto expected = query::ExactAnswer(
+      q, query::EvaluateAllPartitions(q, pt,
+                                      {query::ExecPolicy::kScalar, 1}));
+
+  runtime::QueryScheduler scheduler;
+  io::PrefetchPipeline pipeline(store->get(), &scheduler);
+  io::ColdShardedSource with_prefetch(store->get(), 4,
+                                      storage::ShardAssignment::kRange,
+                                      &pipeline);
+  io::ColdShardedSource no_prefetch(store->get(), 4);
+
+  std::vector<std::future<query::QueryAnswer>> futures;
+  for (int i = 0; i < 8; ++i) {
+    query::ExecOptions eopts;
+    eopts.policy = (i % 2 == 0) ? query::ExecPolicy::kVectorized
+                                : query::ExecPolicy::kScalar;
+    eopts.num_threads = 2;
+    futures.push_back(scheduler.Submit(
+        q, (i % 3 == 0) ? no_prefetch : with_prefetch, eopts));
+  }
+  for (auto& f : futures) ExpectAnswersEqual(expected, f.get());
+  EXPECT_EQ((*store)->store_stats().load_errors, 0u);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
+}
+
+}  // namespace
+}  // namespace ps3
