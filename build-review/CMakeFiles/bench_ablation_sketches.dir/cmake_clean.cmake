@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sketches.dir/bench/bench_ablation_sketches.cc.o"
+  "CMakeFiles/bench_ablation_sketches.dir/bench/bench_ablation_sketches.cc.o.d"
+  "bench_ablation_sketches"
+  "bench_ablation_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appd_variance.dir/bench/bench_appd_variance.cc.o"
+  "CMakeFiles/bench_appd_variance.dir/bench/bench_appd_variance.cc.o.d"
+  "bench_appd_variance"
+  "bench_appd_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appd_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evaluator_throughput.dir/bench/bench_evaluator_throughput.cc.o"
+  "CMakeFiles/bench_evaluator_throughput.dir/bench/bench_evaluator_throughput.cc.o.d"
+  "bench_evaluator_throughput"
+  "bench_evaluator_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evaluator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

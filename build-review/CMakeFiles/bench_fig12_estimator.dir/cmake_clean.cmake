@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_estimator.dir/bench/bench_fig12_estimator.cc.o"
+  "CMakeFiles/bench_fig12_estimator.dir/bench/bench_fig12_estimator.cc.o.d"
+  "bench_fig12_estimator"
+  "bench_fig12_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_macro.dir/bench/bench_fig3_macro.cc.o"
+  "CMakeFiles/bench_fig3_macro.dir/bench/bench_fig3_macro.cc.o.d"
+  "bench_fig3_macro"
+  "bench_fig3_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

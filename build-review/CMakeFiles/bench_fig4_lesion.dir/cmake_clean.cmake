@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lesion.dir/bench/bench_fig4_lesion.cc.o"
+  "CMakeFiles/bench_fig4_lesion.dir/bench/bench_fig4_lesion.cc.o.d"
+  "bench_fig4_lesion"
+  "bench_fig4_lesion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lesion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

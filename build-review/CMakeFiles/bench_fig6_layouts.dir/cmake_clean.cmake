@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_layouts.dir/bench/bench_fig6_layouts.cc.o"
+  "CMakeFiles/bench_fig6_layouts.dir/bench/bench_fig6_layouts.cc.o.d"
+  "bench_fig6_layouts"
+  "bench_fig6_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_partition_count.dir/bench/bench_fig8_partition_count.cc.o"
+  "CMakeFiles/bench_fig8_partition_count.dir/bench/bench_fig8_partition_count.cc.o.d"
+  "bench_fig8_partition_count"
+  "bench_fig8_partition_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_partition_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_generalization.dir/bench/bench_fig9_generalization.cc.o"
+  "CMakeFiles/bench_fig9_generalization.dir/bench/bench_fig9_generalization.cc.o.d"
+  "bench_fig9_generalization"
+  "bench_fig9_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

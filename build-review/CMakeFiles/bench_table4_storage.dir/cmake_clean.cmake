@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_storage.dir/bench/bench_table4_storage.cc.o"
+  "CMakeFiles/bench_table4_storage.dir/bench/bench_table4_storage.cc.o.d"
+  "bench_table4_storage"
+  "bench_table4_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_clustering.dir/bench/bench_table6_clustering.cc.o"
+  "CMakeFiles/bench_table6_clustering.dir/bench/bench_table6_clustering.cc.o.d"
+  "bench_table6_clustering"
+  "bench_table6_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

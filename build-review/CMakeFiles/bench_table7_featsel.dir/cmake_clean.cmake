@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_featsel.dir/bench/bench_table7_featsel.cc.o"
+  "CMakeFiles/bench_table7_featsel.dir/bench/bench_table7_featsel.cc.o.d"
+  "bench_table7_featsel"
+  "bench_table7_featsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_featsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_study.dir/examples/layout_study.cpp.o"
+  "CMakeFiles/layout_study.dir/examples/layout_study.cpp.o.d"
+  "layout_study"
+  "layout_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps3_cli.dir/examples/ps3_cli.cpp.o"
+  "CMakeFiles/ps3_cli.dir/examples/ps3_cli.cpp.o.d"
+  "ps3_cli"
+  "ps3_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps3_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerative.cc" "CMakeFiles/ps3_lib.dir/src/cluster/agglomerative.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/cluster/agglomerative.cc.o.d"
+  "/root/repo/src/cluster/exemplar.cc" "CMakeFiles/ps3_lib.dir/src/cluster/exemplar.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/cluster/exemplar.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "CMakeFiles/ps3_lib.dir/src/cluster/kmeans.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/cluster/kmeans.cc.o.d"
+  "/root/repo/src/common/hash.cc" "CMakeFiles/ps3_lib.dir/src/common/hash.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/common/hash.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "CMakeFiles/ps3_lib.dir/src/common/math_util.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/common/math_util.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/ps3_lib.dir/src/common/random.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "CMakeFiles/ps3_lib.dir/src/common/serialize.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/common/serialize.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/ps3_lib.dir/src/common/status.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/ps3_lib.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/core/cluster_select.cc" "CMakeFiles/ps3_lib.dir/src/core/cluster_select.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/cluster_select.cc.o.d"
+  "/root/repo/src/core/feature_selection.cc" "CMakeFiles/ps3_lib.dir/src/core/feature_selection.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/feature_selection.cc.o.d"
+  "/root/repo/src/core/labels.cc" "CMakeFiles/ps3_lib.dir/src/core/labels.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/labels.cc.o.d"
+  "/root/repo/src/core/lss_picker.cc" "CMakeFiles/ps3_lib.dir/src/core/lss_picker.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/lss_picker.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "CMakeFiles/ps3_lib.dir/src/core/model_io.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/model_io.cc.o.d"
+  "/root/repo/src/core/ps3_picker.cc" "CMakeFiles/ps3_lib.dir/src/core/ps3_picker.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/ps3_picker.cc.o.d"
+  "/root/repo/src/core/ps3_trainer.cc" "CMakeFiles/ps3_lib.dir/src/core/ps3_trainer.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/ps3_trainer.cc.o.d"
+  "/root/repo/src/core/random_picker.cc" "CMakeFiles/ps3_lib.dir/src/core/random_picker.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/random_picker.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "CMakeFiles/ps3_lib.dir/src/core/training_data.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/core/training_data.cc.o.d"
+  "/root/repo/src/eval/cost_model.cc" "CMakeFiles/ps3_lib.dir/src/eval/cost_model.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/eval/cost_model.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "CMakeFiles/ps3_lib.dir/src/eval/experiment.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/report.cc" "CMakeFiles/ps3_lib.dir/src/eval/report.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/eval/report.cc.o.d"
+  "/root/repo/src/featurize/feature_schema.cc" "CMakeFiles/ps3_lib.dir/src/featurize/feature_schema.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/featurize/feature_schema.cc.o.d"
+  "/root/repo/src/featurize/featurizer.cc" "CMakeFiles/ps3_lib.dir/src/featurize/featurizer.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/featurize/featurizer.cc.o.d"
+  "/root/repo/src/featurize/normalizer.cc" "CMakeFiles/ps3_lib.dir/src/featurize/normalizer.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/featurize/normalizer.cc.o.d"
+  "/root/repo/src/featurize/selectivity.cc" "CMakeFiles/ps3_lib.dir/src/featurize/selectivity.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/featurize/selectivity.cc.o.d"
+  "/root/repo/src/io/partition_cache.cc" "CMakeFiles/ps3_lib.dir/src/io/partition_cache.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/io/partition_cache.cc.o.d"
+  "/root/repo/src/io/partition_file.cc" "CMakeFiles/ps3_lib.dir/src/io/partition_file.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/io/partition_file.cc.o.d"
+  "/root/repo/src/io/partition_store.cc" "CMakeFiles/ps3_lib.dir/src/io/partition_store.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/io/partition_store.cc.o.d"
+  "/root/repo/src/io/prefetch_pipeline.cc" "CMakeFiles/ps3_lib.dir/src/io/prefetch_pipeline.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/io/prefetch_pipeline.cc.o.d"
+  "/root/repo/src/ml/binned.cc" "CMakeFiles/ps3_lib.dir/src/ml/binned.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/ml/binned.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "CMakeFiles/ps3_lib.dir/src/ml/gbdt.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/ml/gbdt.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "CMakeFiles/ps3_lib.dir/src/ml/tree.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/ml/tree.cc.o.d"
+  "/root/repo/src/query/bitmap_evaluator.cc" "CMakeFiles/ps3_lib.dir/src/query/bitmap_evaluator.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/bitmap_evaluator.cc.o.d"
+  "/root/repo/src/query/compiler.cc" "CMakeFiles/ps3_lib.dir/src/query/compiler.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/compiler.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "CMakeFiles/ps3_lib.dir/src/query/evaluator.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/evaluator.cc.o.d"
+  "/root/repo/src/query/expr.cc" "CMakeFiles/ps3_lib.dir/src/query/expr.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/expr.cc.o.d"
+  "/root/repo/src/query/metrics.cc" "CMakeFiles/ps3_lib.dir/src/query/metrics.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/metrics.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "CMakeFiles/ps3_lib.dir/src/query/predicate.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "CMakeFiles/ps3_lib.dir/src/query/query.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/query/query.cc.o.d"
+  "/root/repo/src/runtime/query_scheduler.cc" "CMakeFiles/ps3_lib.dir/src/runtime/query_scheduler.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/runtime/query_scheduler.cc.o.d"
+  "/root/repo/src/runtime/simd.cc" "CMakeFiles/ps3_lib.dir/src/runtime/simd.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/runtime/simd.cc.o.d"
+  "/root/repo/src/runtime/worker_pool.cc" "CMakeFiles/ps3_lib.dir/src/runtime/worker_pool.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/runtime/worker_pool.cc.o.d"
+  "/root/repo/src/sketch/akmv.cc" "CMakeFiles/ps3_lib.dir/src/sketch/akmv.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/sketch/akmv.cc.o.d"
+  "/root/repo/src/sketch/exact_freq.cc" "CMakeFiles/ps3_lib.dir/src/sketch/exact_freq.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/sketch/exact_freq.cc.o.d"
+  "/root/repo/src/sketch/heavy_hitter.cc" "CMakeFiles/ps3_lib.dir/src/sketch/heavy_hitter.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/sketch/heavy_hitter.cc.o.d"
+  "/root/repo/src/sketch/histogram.cc" "CMakeFiles/ps3_lib.dir/src/sketch/histogram.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/sketch/histogram.cc.o.d"
+  "/root/repo/src/sketch/measures.cc" "CMakeFiles/ps3_lib.dir/src/sketch/measures.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/sketch/measures.cc.o.d"
+  "/root/repo/src/stats/stats_builder.cc" "CMakeFiles/ps3_lib.dir/src/stats/stats_builder.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/stats/stats_builder.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "CMakeFiles/ps3_lib.dir/src/stats/table_stats.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/stats/table_stats.cc.o.d"
+  "/root/repo/src/storage/column.cc" "CMakeFiles/ps3_lib.dir/src/storage/column.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/storage/column.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "CMakeFiles/ps3_lib.dir/src/storage/partition.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/storage/partition.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "CMakeFiles/ps3_lib.dir/src/storage/schema.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/storage/schema.cc.o.d"
+  "/root/repo/src/storage/sharded_table.cc" "CMakeFiles/ps3_lib.dir/src/storage/sharded_table.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/storage/sharded_table.cc.o.d"
+  "/root/repo/src/storage/table.cc" "CMakeFiles/ps3_lib.dir/src/storage/table.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/storage/table.cc.o.d"
+  "/root/repo/src/workload/datasets_aria.cc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_aria.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_aria.cc.o.d"
+  "/root/repo/src/workload/datasets_kdd.cc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_kdd.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_kdd.cc.o.d"
+  "/root/repo/src/workload/datasets_tpcds.cc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_tpcds.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_tpcds.cc.o.d"
+  "/root/repo/src/workload/datasets_tpch.cc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_tpch.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/workload/datasets_tpch.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "CMakeFiles/ps3_lib.dir/src/workload/generator.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/workload/generator.cc.o.d"
+  "/root/repo/src/workload/tpch_queries.cc" "CMakeFiles/ps3_lib.dir/src/workload/tpch_queries.cc.o" "gcc" "CMakeFiles/ps3_lib.dir/src/workload/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

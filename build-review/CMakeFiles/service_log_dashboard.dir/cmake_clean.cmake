@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_log_dashboard.dir/examples/service_log_dashboard.cpp.o"
+  "CMakeFiles/service_log_dashboard.dir/examples/service_log_dashboard.cpp.o.d"
+  "service_log_dashboard"
+  "service_log_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_log_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
