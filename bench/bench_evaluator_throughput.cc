@@ -6,11 +6,15 @@
 // count (closed-loop submitters through runtime::QueryScheduler, so
 // scheduler fairness shows up as per-stream rows/sec), and IO placement
 // (resident vs cold-with-prefetch vs cold-no-prefetch over a spilled
-// io::PartitionStore, with cache hit rates). Emits JSON so successive PRs
-// can track the perf trajectory. Scale with PS3_ROWS / PS3_PARTS /
-// PS3_TESTQ; pin sweep dimensions with PS3_THREADS / PS3_SHARDS /
-// PS3_STREAMS; PS3_IO=0 skips the out-of-core section and
-// PS3_IO_DELAY_US sets the simulated remote-store latency per cold load.
+// io::PartitionStore, with cache hit rates), plus a wide-table column-
+// pruning section (cold scans with the query's referenced-column hint vs
+// full-partition rehydration, reporting bytes read per row). Emits JSON
+// so successive PRs can track the perf trajectory. Scale with PS3_ROWS /
+// PS3_PARTS / PS3_TESTQ; pin sweep dimensions with PS3_THREADS /
+// PS3_SHARDS / PS3_STREAMS; PS3_IO=0 skips the out-of-core section,
+// PS3_IO_DELAY_US sets the simulated remote-store latency per cold load,
+// PS3_IO_MBPS the simulated link bandwidth for the pruning section, and
+// PS3_COLUMNS the wide table's numeric column count.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -20,12 +24,15 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/random.h"
 #include "io/cold_source.h"
 #include "io/partition_store.h"
 #include "io/prefetch_pipeline.h"
+#include "query/compiler.h"
 #include "query/evaluator.h"
 #include "runtime/query_scheduler.h"
 #include "runtime/simd.h"
+#include "storage/column_set.h"
 #include "storage/sharded_table.h"
 #include "workload/datasets.h"
 #include "workload/generator.h"
@@ -93,6 +100,51 @@ double TimeStreamed(const std::vector<ps3::query::Query>& queries,
   }
   for (auto& t : streams) t.join();
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Cold source that ignores the evaluator's projection hint and always
+/// rehydrates whole partitions — the "full" baseline the column-pruned
+/// mode is measured against.
+class FullColdSource : public ps3::io::ColdShardedSource {
+ public:
+  using ColdShardedSource::ColdShardedSource;
+
+  ps3::Result<ps3::storage::PinnedPartition> Acquire(
+      size_t global_index,
+      const ps3::storage::ColumnSet& columns) const override {
+    (void)columns;
+    return store().Fetch(global_index, ps3::storage::ColumnSet::All());
+  }
+  void WillScanShard(size_t s,
+                     const ps3::storage::ColumnSet& columns) const override {
+    (void)columns;
+    ColdShardedSource::WillScanShard(s, ps3::storage::ColumnSet::All());
+  }
+};
+
+/// Synthetic wide table for the column-pruning comparison: one
+/// categorical group column "G" (32 values) plus `num_numeric` numeric
+/// columns N0..N{k-1}. Queries reference a fixed handful of columns, so
+/// the referenced fraction shrinks as the table widens.
+std::shared_ptr<ps3::storage::Table> MakeWideTable(size_t rows,
+                                                   size_t num_numeric) {
+  using namespace ps3;
+  std::vector<storage::FieldDef> fields;
+  fields.push_back({"G", storage::ColumnType::kCategorical});
+  for (size_t c = 0; c < num_numeric; ++c) {
+    fields.push_back({"N" + std::to_string(c),
+                      storage::ColumnType::kNumeric});
+  }
+  auto table =
+      std::make_shared<storage::Table>(storage::Schema(std::move(fields)));
+  RandomEngine rng(20260730);
+  std::vector<double> nums(num_numeric);
+  for (size_t r = 0; r < rows; ++r) {
+    for (auto& v : nums) v = rng.NextDouble();
+    table->AppendRow(nums, {"g" + std::to_string(rng.NextUint64(32))});
+  }
+  table->Seal();
+  return table;
 }
 
 void ExpectIdentical(const std::vector<ps3::query::PartitionAnswer>& a,
@@ -418,6 +470,130 @@ int main() {
           r.mode, r.threads, io_shards, delay_us, r.secs,
           io_rows_total / r.secs, r.hit_rate,
           i + 1 < io_rows.size() ? "," : "");
+    }
+  }
+  std::printf("  ],\n");
+
+  // Wide-table column pruning (PS3_IO=0 skips): the same cold scan with
+  // the evaluator's referenced-column hint honored (pruned) vs ignored
+  // (full rehydration). The table is deliberately much wider than any
+  // query's reference set, so the pruned mode should move a small
+  // fraction of the bytes; bytes_read_per_row is the headline metric,
+  // with the simulated-bandwidth model translating saved bytes into
+  // saved seconds as a real object store would.
+  std::printf("  \"column_results\": [\n");
+  if (io_enabled) {
+    const size_t n_numeric = bench::EnvSizeScalar("PS3_COLUMNS", 24);
+    const size_t mbps =
+        bench::EnvSizeScalar("PS3_IO_MBPS", 1000, /*min_value=*/0);
+    const size_t col_delay_us =
+        bench::EnvSizeScalar("PS3_IO_DELAY_US", 1500, /*min_value=*/0);
+    // Cold scans cost ~partitions x delay wall time per query: bound the
+    // partition count so the wide section stays a fraction of the sweep.
+    const size_t wide_parts = std::min<size_t>(partitions, 64);
+    auto wide_table = MakeWideTable(rows, n_numeric);
+    storage::PartitionedTable wpt(wide_table, wide_parts);
+
+    // Two query shapes: a selective filtered SUM and a broader grouped
+    // scan; both reference 3 of the (1 + n_numeric) columns.
+    std::vector<query::Query> wide_queries;
+    {
+      query::Query q;
+      q.aggregates.push_back(query::Aggregate::Count());
+      q.aggregates.push_back(query::Aggregate::Sum(query::Expr::Column(1)));
+      q.predicate =
+          query::Predicate::NumericCompare(2, query::CompareOp::kGt, 0.9);
+      q.group_by.push_back(0);
+      wide_queries.push_back(std::move(q));
+    }
+    {
+      query::Query q;
+      q.aggregates.push_back(query::Aggregate::Count());
+      q.aggregates.push_back(query::Aggregate::Avg(query::Expr::Mul(
+          query::Expr::Column(1), query::Expr::Column(2))));
+      q.group_by.push_back(0);
+      wide_queries.push_back(std::move(q));
+    }
+    const size_t cols_total = 1 + n_numeric;
+    size_t cols_referenced = 0;
+    for (const auto& q : wide_queries) {
+      cols_referenced = std::max(
+          cols_referenced, query::ReferencedColumns(query::CompileQuery(q))
+                               .Resolve(cols_total)
+                               .size());
+    }
+
+    char dir_tmpl[] = "/tmp/ps3_col_benchXXXXXX";
+    if (mkdtemp(dir_tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      std::abort();
+    }
+    if (!io::PartitionStore::Spill(wpt, dir_tmpl).ok()) std::abort();
+    io::PartitionStore::Options sopts;
+    sopts.simulated_load_delay_us = col_delay_us;
+    sopts.simulated_load_bandwidth_mbps = mbps;
+    auto probe_r = io::PartitionStore::Open(dir_tmpl, sopts);
+    if (!probe_r.ok()) std::abort();
+    sopts.cache_budget_bytes =
+        std::max<size_t>((*probe_r)->total_bytes() / 2, 1);
+    auto store_r = io::PartitionStore::Open(dir_tmpl, sopts);
+    if (!store_r.ok()) std::abort();
+    io::PartitionStore& store = **store_r;
+
+    // Correctness gate: pruned cold answers must be bit-identical to the
+    // resident scan before the byte savings mean anything.
+    {
+      io::ColdShardedSource cold(&store, /*num_shards=*/4);
+      for (const auto& q : wide_queries) {
+        query::ExecOptions gopts;
+        gopts.num_threads = 4;
+        ExpectIdentical(query::EvaluateAllPartitions(q, wpt, gopts),
+                        query::EvaluateAllPartitions(q, cold, gopts));
+      }
+    }
+
+    struct ColRow {
+      const char* mode;
+      double secs;
+      double bytes_per_row;
+    };
+    std::vector<ColRow> col_rows;
+    const double wide_rows_total =
+        static_cast<double>(rows) * static_cast<double>(wide_queries.size());
+    query::ExecOptions copts;
+    copts.policy = query::ExecPolicy::kVectorized;
+    copts.num_threads = static_cast<int>(wide);
+    copts.simd = runtime::SimdLevel::kAuto;
+    io::ColdShardedSource pruned_src(&store, /*num_shards=*/4);
+    FullColdSource full_src(&store, /*num_shards=*/4);
+    const storage::PartitionSource* sources[] = {&pruned_src, &full_src};
+    const char* mode_names[] = {"pruned", "full"};
+    for (int m = 0; m < 2; ++m) {
+      const uint64_t bytes_before = store.store_stats().bytes_loaded;
+      double secs = 0.0;
+      for (const auto& q : wide_queries) {
+        store.cache().Clear();
+        auto start = Clock::now();
+        auto answers = query::EvaluateAllPartitions(q, *sources[m], copts);
+        secs += std::chrono::duration<double>(Clock::now() - start).count();
+        if (answers.empty()) std::abort();
+      }
+      const uint64_t bytes_moved =
+          store.store_stats().bytes_loaded - bytes_before;
+      col_rows.push_back(
+          {mode_names[m], secs,
+           static_cast<double>(bytes_moved) / wide_rows_total});
+    }
+    for (size_t i = 0; i < col_rows.size(); ++i) {
+      const ColRow& r = col_rows[i];
+      std::printf(
+          "    {\"io_mode\": \"%s\", \"threads\": %zu, \"columns_total\": "
+          "%zu, \"columns_referenced\": %zu, \"delay_us\": %zu, "
+          "\"bandwidth_mbps\": %zu, \"seconds\": %.4f, \"rows_per_sec\": "
+          "%.3e, \"bytes_read_per_row\": %.2f}%s\n",
+          r.mode, wide, cols_total, cols_referenced, col_delay_us, mbps,
+          r.secs, wide_rows_total / r.secs, r.bytes_per_row,
+          i + 1 < col_rows.size() ? "," : "");
     }
   }
   std::printf("  ],\n");

@@ -8,9 +8,13 @@
 // numbering, per-shard lists, and the ordered merge are all identical to
 // the resident scan, which is what keeps cold answers bit-exact.
 //
-// When a PrefetchPipeline is attached, WillScanShard(s) stages shard
-// s+1's partitions asynchronously; with several queries in flight the
-// pipeline's shared read-ahead budget arbitrates between them.
+// The scan's ColumnSet hint flows straight through: Acquire fetches only
+// the referenced column segments (partial residency upgrades fetch just
+// the missing ones), and when a PrefetchPipeline is attached,
+// WillScanShard(s, cols) stages upcoming shards' hinted segments
+// asynchronously at the pipeline's adaptive stage-ahead distance; with
+// several queries in flight the pipeline's shared read-ahead budget
+// arbitrates between them.
 #ifndef PS3_IO_COLD_SOURCE_H_
 #define PS3_IO_COLD_SOURCE_H_
 
@@ -19,6 +23,7 @@
 
 #include "io/partition_store.h"
 #include "io/prefetch_pipeline.h"
+#include "storage/column_set.h"
 #include "storage/partition_source.h"
 
 namespace ps3::io {
@@ -43,15 +48,18 @@ class ColdShardedSource : public storage::PartitionSource {
     return shards_[s];
   }
 
-  Result<storage::PinnedPartition> Acquire(size_t global_index) const override {
-    return store_->Fetch(global_index);
+  Result<storage::PinnedPartition> Acquire(
+      size_t global_index,
+      const storage::ColumnSet& columns) const override {
+    return store_->Fetch(global_index, columns);
   }
+  using storage::PartitionSource::Acquire;
 
-  void WillScanShard(size_t s) const override {
-    if (prefetch_ != nullptr && s + 1 < shards_.size()) {
-      prefetch_->Stage(shards_[s + 1]);
-    }
+  void WillScanShard(size_t s,
+                     const storage::ColumnSet& columns) const override {
+    if (prefetch_ != nullptr) prefetch_->StageAhead(shards_, s, columns);
   }
+  using storage::PartitionSource::WillScanShard;
 
   PartitionStore& store() const { return *store_; }
 

@@ -1,14 +1,24 @@
-// Byte-accounted LRU cache of rehydrated partitions, with pinning for
-// in-flight scans.
+// Byte-accounted LRU cache of rehydrated *column segments*, with pinning
+// for in-flight scans.
 //
-// Entries are whole partitions (a LoadedPartition: a standalone mini
-// table holding exactly the spilled rows, dictionaries shared with the
-// store). The cache accounts bytes, not entry counts: Insert evicts
-// least-recently-used *unpinned* entries until the budget is met again.
-// A pinned entry — one with an outstanding PinnedPartition token — is
-// never evicted, so a scan can hold more than the budget transiently
-// (the budget bounds what the cache retains, not what a query needs);
-// the overshoot drains as pins are released and later inserts evict.
+// Entries are (partition, column) pairs: one decoded column of one
+// partition (a CachedColumn — the storage::Column shares its value
+// buffer, so handing a cached segment to a scan is a pointer copy, not a
+// memcpy). Column granularity is what makes projection pushdown real:
+// a scan that references 3 of 40 columns caches and accounts only those
+// 3 segments, and a later scan that needs one more column fetches just
+// the missing segment (partial-residency upgrade) while the resident
+// ones stay hits.
+//
+// The cache accounts bytes, not entry counts: Insert evicts least-
+// recently-used *unpinned* segments until the budget is met again. A
+// pinned segment — one with an outstanding ColumnPin token — is never
+// evicted, so a scan can hold more than the budget transiently (the
+// budget bounds what the cache retains, not what a query needs); the
+// overshoot drains as pins are released and later inserts evict.
+// Released pins re-enter the LRU at the *cold end* (scan-resistance): a
+// released segment was just scanned, so it must not outrank staged-but-
+// unscanned read-ahead in eviction order.
 //
 // Thread-safe: concurrent queries acquire, insert, and release pins from
 // pool lanes and prefetch drivers at once. The cache must outlive every
@@ -24,34 +34,52 @@
 #include <optional>
 #include <unordered_map>
 
-#include "storage/partition_source.h"
-#include "storage/table.h"
+#include "common/hash.h"
+#include "storage/column.h"
 
 namespace ps3::io {
 
-/// An immutable, scan-ready partition rehydrated from disk: a mini table
-/// holding just that partition's rows, viewed as partition [0, rows).
-/// Heap-allocated and shared, so the view's table pointer stays stable
-/// for as long as any pin (or the cache) holds a reference.
-class LoadedPartition {
- public:
-  LoadedPartition(storage::Table table, size_t bytes)
-      : table_(std::move(table)), bytes_(bytes) {}
+/// An immutable, scan-ready column segment rehydrated from disk: one
+/// column of one partition, buffer shared with every pin. `bytes` is the
+/// segment's on-disk length (raw fixed-width values, so in-memory size
+/// tracks it closely) — the cache accounting unit. Row counts live on
+/// the store's manifest (part_rows_), not here.
+struct CachedColumn {
+  CachedColumn(storage::Column c, size_t bytes_)
+      : column(std::move(c)), bytes(bytes_) {}
 
-  storage::Partition view() const {
-    return storage::Partition(&table_, 0, table_.num_rows());
-  }
-  size_t num_rows() const { return table_.num_rows(); }
-  /// Accounting size (the on-disk byte size; in-memory size tracks it
-  /// closely since segments are raw fixed-width values).
-  size_t bytes() const { return bytes_; }
-
- private:
-  storage::Table table_;
-  size_t bytes_;
+  storage::Column column;
+  size_t bytes;
 };
 
-/// Point-in-time counters. hits/misses are AcquirePinned outcomes;
+/// Segment key: one column of one partition — shared by the cache's
+/// entry map and the store's single-flight loading set.
+struct ColumnKey {
+  size_t part = 0;
+  size_t col = 0;
+
+  bool operator==(const ColumnKey& o) const {
+    return part == o.part && col == o.col;
+  }
+  bool operator<(const ColumnKey& o) const {
+    return part != o.part ? part < o.part : col < o.col;
+  }
+};
+
+struct ColumnKeyHash {
+  size_t operator()(const ColumnKey& k) const {
+    return static_cast<size_t>(
+        Mix64(HashCombine(HashInt(static_cast<int64_t>(k.part)),
+                          HashInt(static_cast<int64_t>(k.col)))));
+  }
+};
+
+/// A pinned segment: shares the cached data and releases the pin (making
+/// the entry evictable again) when the last copy is destroyed.
+using ColumnPin = std::shared_ptr<const CachedColumn>;
+
+/// Point-in-time counters. hits/misses are AcquirePinned outcomes and
+/// inserts/evictions entry movements — all at column-segment granularity;
 /// bytes_pinned is included in bytes_cached.
 struct CacheStats {
   uint64_t hits = 0;
@@ -72,22 +100,36 @@ class PartitionCache {
 
   size_t budget_bytes() const { return budget_; }
 
-  /// Looks up partition `part`. On a hit, pins the entry (non-evictable
-  /// while the returned token lives) and returns its view; on a miss
-  /// returns nullopt.
-  std::optional<storage::PinnedPartition> AcquirePinned(size_t part);
+  /// Looks up segment `key`. On a hit, pins the entry (non-evictable
+  /// while the returned token lives) and returns it; on a miss returns
+  /// nullopt.
+  std::optional<ColumnPin> AcquirePinned(const ColumnKey& key);
+
+  /// Batched lookup: pins every cached segment among `keys` in a single
+  /// critical section, filling (*data)[k] for hits (nullptr for misses),
+  /// and returns one token that releases every pinned entry in a single
+  /// pass (null if nothing hit). A wide scan pays two lock acquisitions
+  /// per partition instead of two per column — the fully-cached hot path
+  /// would otherwise convoy concurrent lanes on this mutex in proportion
+  /// to table width.
+  std::shared_ptr<const void> AcquireManyPinned(
+      const std::vector<ColumnKey>& keys,
+      std::vector<std::shared_ptr<const CachedColumn>>* data);
 
   /// Inserts `data` unpinned at MRU (the prefetch path), then evicts LRU
-  /// unpinned entries while over budget. Re-inserting a present partition
+  /// unpinned entries while over budget. Re-inserting a present segment
   /// just refreshes its recency.
-  void Insert(size_t part, std::shared_ptr<const LoadedPartition> data);
+  void Insert(const ColumnKey& key, std::shared_ptr<const CachedColumn> data);
 
   /// Insert + pin in one step (the demand-load path): the entry cannot be
   /// evicted between insertion and the scan that needed it.
-  storage::PinnedPartition InsertPinned(
-      size_t part, std::shared_ptr<const LoadedPartition> data);
+  ColumnPin InsertPinned(const ColumnKey& key,
+                         std::shared_ptr<const CachedColumn> data);
 
-  bool Contains(size_t part) const;
+  bool Contains(const ColumnKey& key) const;
+  /// True iff every column in `cols` of `part` is cached. `cols` must be
+  /// concrete indices (ColumnSet::Resolve output).
+  bool ContainsAll(size_t part, const std::vector<size_t>& cols) const;
   /// Drops every unpinned entry (cold-scan resets in benches/tests).
   void Clear();
 
@@ -96,33 +138,35 @@ class PartitionCache {
 
  private:
   struct Entry {
-    std::shared_ptr<const LoadedPartition> data;
+    std::shared_ptr<const CachedColumn> data;
     size_t bytes = 0;
     size_t pins = 0;
     /// Valid iff pins == 0: position in lru_ (front = coldest). Pinned
     /// entries leave the LRU list entirely and re-enter at the *cold end*
-    /// on release (scan-resistance — see Release()): a released pin means
-    /// the scan is done with the partition, so it must not outrank
-    /// staged-but-unscanned read-ahead in eviction order.
-    std::list<size_t>::iterator lru_it;
+    /// on release (scan-resistance — see Release()).
+    std::list<ColumnKey>::iterator lru_it;
   };
 
   /// Builds the pin token for an already-pinned entry. Must be called
   /// with mu_ *released*: the token's deleter (and the deleter run on a
   /// throwing control-block allocation) locks mu_.
-  storage::PinnedPartition MakePinned(
-      size_t part, std::shared_ptr<const LoadedPartition> data);
-  void Release(size_t part);
-  void PinLocked(size_t part, Entry* e);
+  ColumnPin MakePinned(const ColumnKey& key,
+                       std::shared_ptr<const CachedColumn> data);
+  void Release(const ColumnKey& key);
+  void ReleaseMany(const std::vector<ColumnKey>& keys);
+  void PinLocked(Entry* e);
+  /// Shared single-entry release logic. Caller holds mu_ and must call
+  /// EvictToBudgetLocked afterwards (once per batch).
+  void ReleaseLocked(const ColumnKey& key);
   /// Creates the entry at MRU and accounts it. Caller holds mu_.
-  Entry& InsertEntryLocked(size_t part,
-                           std::shared_ptr<const LoadedPartition> data);
+  Entry& InsertEntryLocked(const ColumnKey& key,
+                           std::shared_ptr<const CachedColumn> data);
   void EvictToBudgetLocked();
 
   const size_t budget_;
   mutable std::mutex mu_;
-  std::unordered_map<size_t, Entry> entries_;
-  std::list<size_t> lru_;  ///< unpinned entries only; front = coldest
+  std::unordered_map<ColumnKey, Entry, ColumnKeyHash> entries_;
+  std::list<ColumnKey> lru_;  ///< unpinned entries only; front = coldest
   CacheStats stats_;
 };
 

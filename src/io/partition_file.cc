@@ -1,6 +1,7 @@
 #include "io/partition_file.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 
 #include "common/hash.h"
@@ -13,11 +14,75 @@ namespace {
 constexpr uint32_t kPartitionMagic = 0x50335350;  // "PS3P"
 constexpr uint32_t kPartitionVersion = 1;
 
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
+constexpr size_t kFooterEntryBytes = 1 + 8 + 8 + 8;
+constexpr size_t kTrailerBytes = 8 + 4;
+
 struct SegmentMeta {
   uint8_t type = 0;  // 0 = numeric, 1 = categorical
   uint64_t offset = 0;
   uint64_t byte_len = 0;
   uint64_t checksum = 0;
+};
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Seek-based reader: unlike BinaryReader::FromFile (which slurps the
+/// whole file), this touches only the ranges asked for — the point of
+/// column pruning is that unrequested segments never leave the disk.
+class SeekingFile {
+ public:
+  ~SeekingFile() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Open(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "rb");
+    if (f_ == nullptr) {
+      return Status::NotFound("cannot open '" + path + "'");
+    }
+    if (std::fseek(f_, 0, SEEK_END) != 0) {
+      return Status::Internal("cannot seek '" + path + "'");
+    }
+    long size = std::ftell(f_);
+    if (size < 0) return Status::Internal("cannot size '" + path + "'");
+    size_ = static_cast<size_t>(size);
+    return Status::OK();
+  }
+
+  size_t size() const { return size_; }
+  size_t bytes_read() const { return bytes_read_; }
+
+  /// Reads exactly [offset, offset+len) into `out`; fails on any short
+  /// read or out-of-bounds range.
+  Status ReadAt(uint64_t offset, size_t len, uint8_t* out) {
+    if (offset > size_ || len > size_ - offset) {
+      return Status::Internal("read range out of bounds");
+    }
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::Internal("seek failed");
+    }
+    if (len != 0 && std::fread(out, 1, len, f_) != len) {
+      return Status::Internal("short read");
+    }
+    bytes_read_ += len;
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  size_t size_ = 0;
+  size_t bytes_read_ = 0;
 };
 
 }  // namespace
@@ -69,37 +134,38 @@ Result<size_t> WritePartitionFile(const storage::Table& table,
   return w.buffer().size();
 }
 
-Result<storage::Table> ReadPartitionFile(
+Result<storage::Table> ReadPartitionColumns(
     const std::string& path, const storage::Schema& schema,
-    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts) {
-  auto reader = BinaryReader::FromFile(path);
-  if (!reader.ok()) return reader.status();
-  BinaryReader& r = *reader;
+    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts,
+    const storage::ColumnSet& columns, size_t* bytes_read) {
+  SeekingFile file;
+  PS3_RETURN_IF_ERROR(file.Open(path));
 
   auto corrupt = [&path](const std::string& what) {
     return Status::Internal("partition file '" + path + "': " + what);
   };
 
   // Trailer first: it anchors the footer without trusting anything else.
-  if (r.size() < 12) return corrupt("shorter than trailer");
-  PS3_RETURN_IF_ERROR(r.SeekTo(r.size() - 12));
-  auto footer_off = r.GetU64();
-  auto end_magic = r.GetU32();
-  if (!footer_off.ok() || !end_magic.ok() || *end_magic != kPartitionMagic) {
+  if (file.size() < kHeaderBytes + kTrailerBytes) {
+    return corrupt("shorter than header + trailer");
+  }
+  uint8_t trailer[kTrailerBytes];
+  PS3_RETURN_IF_ERROR(
+      file.ReadAt(file.size() - kTrailerBytes, kTrailerBytes, trailer));
+  const uint64_t footer_off = ReadU64(trailer);
+  if (ReadU32(trailer + 8) != kPartitionMagic) {
     return corrupt("bad trailer magic");
   }
 
-  PS3_RETURN_IF_ERROR(r.SeekTo(0));
-  auto magic = r.GetU32();
-  auto version = r.GetU32();
-  auto num_rows = r.GetU64();
-  auto num_cols = r.GetU32();
-  if (!magic.ok() || *magic != kPartitionMagic) return corrupt("bad magic");
-  if (!version.ok() || *version != kPartitionVersion) {
+  uint8_t header[kHeaderBytes];
+  PS3_RETURN_IF_ERROR(file.ReadAt(0, kHeaderBytes, header));
+  if (ReadU32(header) != kPartitionMagic) return corrupt("bad magic");
+  if (ReadU32(header + 4) != kPartitionVersion) {
     return corrupt("unsupported version");
   }
-  if (!num_rows.ok() || !num_cols.ok()) return corrupt("truncated header");
-  if (*num_cols != schema.num_columns() ||
+  const uint64_t num_rows = ReadU64(header + 8);
+  const uint32_t num_cols = ReadU32(header + 16);
+  if (num_cols != schema.num_columns() ||
       dicts.size() != schema.num_columns()) {
     return corrupt("column count does not match schema");
   }
@@ -108,64 +174,82 @@ Result<storage::Table> ReadPartitionFile(
   // costs >= 4 bytes per column segment, so a plausible count can never
   // exceed the byte size. This also keeps expect_len below from
   // overflowing uint64.
-  if (*num_rows > r.size()) return corrupt("row count exceeds file size");
-  const size_t n = static_cast<size_t>(*num_rows);
+  if (num_rows > file.size()) return corrupt("row count exceeds file size");
+  const size_t n = static_cast<size_t>(num_rows);
 
-  PS3_RETURN_IF_ERROR(r.SeekTo(static_cast<size_t>(*footer_off)));
-  std::vector<SegmentMeta> segs(*num_cols);
-  for (SegmentMeta& seg : segs) {
-    auto type = r.GetU8();
-    auto offset = r.GetU64();
-    auto byte_len = r.GetU64();
-    auto checksum = r.GetU64();
-    if (!type.ok() || !offset.ok() || !byte_len.ok() || !checksum.ok()) {
-      return corrupt("truncated footer");
-    }
-    seg = SegmentMeta{*type, *offset, *byte_len, *checksum};
+  const size_t footer_len = static_cast<size_t>(num_cols) * kFooterEntryBytes;
+  if (footer_off > file.size() || footer_len > file.size() - footer_off) {
+    return corrupt("footer out of bounds");
+  }
+  std::vector<uint8_t> footer(footer_len);
+  PS3_RETURN_IF_ERROR(file.ReadAt(footer_off, footer_len, footer.data()));
+  std::vector<SegmentMeta> segs(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    const uint8_t* e = footer.data() + c * kFooterEntryBytes;
+    segs[c] = SegmentMeta{e[0], ReadU64(e + 1), ReadU64(e + 9),
+                          ReadU64(e + 17)};
   }
 
-  std::vector<storage::Column> columns;
-  columns.reserve(*num_cols);
-  for (size_t c = 0; c < *num_cols; ++c) {
+  std::vector<storage::Column> out_columns;
+  out_columns.reserve(num_cols);
+  std::vector<uint8_t> seg_buf;
+  for (size_t c = 0; c < num_cols; ++c) {
     const SegmentMeta& seg = segs[c];
     const bool numeric = schema.IsNumeric(c);
     if ((seg.type == 0) != numeric) return corrupt("segment type mismatch");
-    const uint64_t expect_len =
-        static_cast<uint64_t>(n) * (numeric ? 8 : 4);
-    if (seg.byte_len != expect_len || seg.offset > r.size() ||
-        seg.byte_len > r.size() - seg.offset) {
+    if (!numeric && dicts[c] == nullptr) return corrupt("missing dictionary");
+    if (!columns.Contains(c)) {
+      // Pruned: an empty, correctly typed column (categoricals keep the
+      // shared dictionary so group-by metadata stays intact).
+      out_columns.push_back(numeric ? storage::Column::MakeNumeric()
+                                    : storage::Column::MakeCategorical(
+                                          dicts[c]));
+      continue;
+    }
+    const uint64_t expect_len = static_cast<uint64_t>(n) * (numeric ? 8 : 4);
+    if (seg.byte_len != expect_len || seg.offset > file.size() ||
+        seg.byte_len > file.size() - seg.offset) {
       return corrupt("segment bounds out of range");
     }
-    if (Fnv1a64(r.data().data() + seg.offset, seg.byte_len) != seg.checksum) {
+    seg_buf.resize(seg.byte_len);
+    PS3_RETURN_IF_ERROR(
+        file.ReadAt(seg.offset, static_cast<size_t>(seg.byte_len),
+                    seg_buf.data()));
+    if (Fnv1a64(seg_buf.data(), seg_buf.size()) != seg.checksum) {
       return corrupt("segment checksum mismatch");
     }
     // Bulk decode: segments are raw little-endian fixed-width values and
     // the format is declared non-portable across endianness (like every
     // ps3 artifact), so the whole segment memcpys straight into the
     // column buffer — this keeps cold-load cost IO-shaped, not CPU-shaped.
-    const uint8_t* seg_bytes = r.data().data() + seg.offset;
     if (numeric) {
       storage::Column col = storage::Column::MakeNumeric();
       std::vector<double> buf(n);
-      if (n != 0) std::memcpy(buf.data(), seg_bytes, seg.byte_len);
+      if (n != 0) std::memcpy(buf.data(), seg_buf.data(), seg_buf.size());
       col.AppendNumerics(buf.data(), n);
-      columns.push_back(std::move(col));
+      out_columns.push_back(std::move(col));
     } else {
-      if (dicts[c] == nullptr) return corrupt("missing dictionary");
       const int64_t dict_size = static_cast<int64_t>(dicts[c]->size());
       storage::Column col = storage::Column::MakeCategorical(dicts[c]);
       std::vector<int32_t> buf(n);
-      if (n != 0) std::memcpy(buf.data(), seg_bytes, seg.byte_len);
+      if (n != 0) std::memcpy(buf.data(), seg_buf.data(), seg_buf.size());
       for (size_t i = 0; i < n; ++i) {
         if (buf[i] < 0 || buf[i] >= dict_size) {
           return corrupt("dictionary code out of range");
         }
       }
       col.AppendCodes(buf.data(), n);
-      columns.push_back(std::move(col));
+      out_columns.push_back(std::move(col));
     }
   }
-  return storage::Table::FromColumns(schema, std::move(columns));
+  if (bytes_read != nullptr) *bytes_read = file.bytes_read();
+  return storage::Table::FromPrunedColumns(schema, std::move(out_columns), n);
+}
+
+Result<storage::Table> ReadPartitionFile(
+    const std::string& path, const storage::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts) {
+  return ReadPartitionColumns(path, schema, dicts, storage::ColumnSet::All());
 }
 
 }  // namespace ps3::io

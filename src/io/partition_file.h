@@ -11,11 +11,13 @@
 //   trailer  u64 footer offset · u32 magic
 //
 // The footer carries everything a reader needs to seek straight to a
-// column segment and verify it, so future column-pruned reads don't have
-// to touch the whole file. Readers verify magic, version, arity against
-// the schema, segment bounds, and every segment checksum before a single
-// value is decoded; corruption surfaces as a Status error, never as a
-// wrong answer.
+// column segment and verify it, which is what makes column-pruned reads
+// possible: ReadPartitionColumns seeks only the requested segments
+// (header + footer + those segments are the only bytes that touch the
+// disk) and leaves the rest of the columns empty. Readers verify magic,
+// version, arity against the schema, segment bounds, and the checksum of
+// every segment they decode before a single value is used; corruption
+// surfaces as a Status error, never as a wrong answer.
 #ifndef PS3_IO_PARTITION_FILE_H_
 #define PS3_IO_PARTITION_FILE_H_
 
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/column_set.h"
 #include "storage/table.h"
 
 namespace ps3::io {
@@ -35,15 +38,36 @@ Result<size_t> WritePartitionFile(const storage::Table& table,
                                   size_t begin_row, size_t end_row,
                                   const std::string& path);
 
-/// Reads and verifies a partition file, rehydrating it as a standalone
-/// table with exactly the spilled rows. `schema` is the table schema the
-/// file was written under; `dicts[c]` must be the shared dictionary for
-/// each categorical column c (null for numeric columns). Every code is
-/// validated against its dictionary, so a verified table is safe for the
-/// dense group-id path.
+/// Reads and verifies the requested column segments of a partition file,
+/// rehydrating them as a standalone *pruned* table: requested columns
+/// hold exactly the spilled rows bit-identically, unrequested columns
+/// are empty (storage::Table::FromPrunedColumns), and the table's row
+/// count is the file's row count either way. `schema` is the table
+/// schema the file was written under; `dicts[c]` must be the shared
+/// dictionary for each categorical column c (null for numeric columns).
+/// Every decoded code is validated against its dictionary, so a verified
+/// table is safe for the dense group-id path. Only the header, footer,
+/// trailer, and requested segments are read from disk; `bytes_read`
+/// (optional) reports exactly that byte count. Checksums are verified
+/// for every segment actually read — an unrequested corrupt segment is
+/// not detected here, but it is also never decoded, and a later read
+/// that requests it surfaces the corruption as a Status.
+Result<storage::Table> ReadPartitionColumns(
+    const std::string& path, const storage::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts,
+    const storage::ColumnSet& columns, size_t* bytes_read = nullptr);
+
+/// Reads and verifies every column (ReadPartitionColumns with All).
 Result<storage::Table> ReadPartitionFile(
     const std::string& path, const storage::Schema& schema,
     const std::vector<std::shared_ptr<storage::Dictionary>>& dicts);
+
+/// On-disk byte length of one column's segment for a partition of
+/// `rows` rows — the column-granular cache/prefetch accounting unit.
+inline size_t ColumnSegmentBytes(const storage::Schema& schema, size_t col,
+                                 size_t rows) {
+  return rows * (schema.IsNumeric(col) ? 8 : 4);
+}
 
 }  // namespace ps3::io
 

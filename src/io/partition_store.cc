@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -180,75 +181,210 @@ PartitionStore::PartitionStore(
   for (size_t b : part_bytes_) total_bytes_ += b;
 }
 
-Result<std::shared_ptr<const LoadedPartition>> PartitionStore::LoadFromDisk(
-    size_t i) {
-  if (options_.simulated_load_delay_us > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.simulated_load_delay_us));
+size_t PartitionStore::column_bytes(size_t i, size_t col) const {
+  return ColumnSegmentBytes(schema_, col, part_rows_[i]);
+}
+
+size_t PartitionStore::columns_bytes(size_t i,
+                                     const std::vector<size_t>& cols) const {
+  size_t total = 0;
+  for (size_t c : cols) total += column_bytes(i, c);
+  return total;
+}
+
+Result<std::vector<std::shared_ptr<const CachedColumn>>>
+PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols) {
+  // The latency model sleeps *before* the read, like a request round
+  // trip; the bandwidth term scales with the bytes this pruned pass will
+  // actually move, so narrower reads finish sooner.
+  size_t delay_us = options_.simulated_load_delay_us;
+  if (options_.simulated_load_bandwidth_mbps > 0) {
+    delay_us += columns_bytes(i, cols) * 8 /
+                options_.simulated_load_bandwidth_mbps;
   }
-  auto table = ReadPartitionFile(PartitionPath(i), schema_, dicts_);
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  size_t bytes_read = 0;
+  auto table = ReadPartitionColumns(PartitionPath(i), schema_, dicts_,
+                                    storage::ColumnSet::Of(cols),
+                                    &bytes_read);
   if (!table.ok()) return table.status();
   if (table->num_rows() != part_rows_[i]) {
     return Status::Internal("partition " + std::to_string(i) +
                             " row count disagrees with manifest");
   }
-  return std::make_shared<const LoadedPartition>(std::move(*table),
-                                                 part_bytes_[i]);
+  std::vector<std::shared_ptr<const CachedColumn>> out;
+  out.reserve(cols.size());
+  for (size_t c : cols) {
+    // Column copies share the decoded buffer; the discarded table was
+    // just the decode vehicle.
+    out.push_back(std::make_shared<const CachedColumn>(
+        table->column(c), column_bytes(i, c)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    store_stats_.segments_loaded += cols.size();
+    store_stats_.bytes_loaded += bytes_read;
+  }
+  return out;
 }
 
-Result<storage::PinnedPartition> PartitionStore::Fetch(size_t i) {
+storage::PinnedPartition PartitionStore::AssemblePinned(
+    size_t i, std::vector<std::shared_ptr<const CachedColumn>> data,
+    std::vector<std::shared_ptr<const void>> tokens) const {
+  struct AssembledPartition {
+    storage::Table table;
+    std::vector<std::shared_ptr<const void>> tokens;
+  };
+  std::vector<storage::Column> columns;
+  columns.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (data[c] != nullptr) {
+      columns.push_back(data[c]->column);  // shares the cached buffer
+    } else {
+      columns.push_back(schema_.IsNumeric(c)
+                            ? storage::Column::MakeNumeric()
+                            : storage::Column::MakeCategorical(dicts_[c]));
+    }
+  }
+  const size_t rows = part_rows_[i];
+  auto owner = std::make_shared<const AssembledPartition>(AssembledPartition{
+      storage::Table::FromPrunedColumns(schema_, std::move(columns), rows),
+      std::move(tokens)});
+  storage::Partition view(&owner->table, 0, rows);
+  return storage::PinnedPartition(view, std::move(owner));
+}
+
+Result<storage::PinnedPartition> PartitionStore::Fetch(
+    size_t i, const storage::ColumnSet& columns) {
   if (i >= num_partitions()) {
     return Status::OutOfRange("partition index out of range");
   }
+  const std::vector<size_t> needed = columns.Resolve(schema_.num_columns());
+  // data[c] = the pinned segment serving column c; tokens hold the pins
+  // (one batch token per cache pass, one ColumnPin per cold-loaded
+  // segment) and release them all when the assembled view is dropped.
+  std::vector<std::shared_ptr<const CachedColumn>> data(
+      schema_.num_columns());
+  std::vector<std::shared_ptr<const void>> tokens;
+  std::vector<ColumnKey> want;
+  std::vector<std::shared_ptr<const CachedColumn>> got;
   for (;;) {
-    if (auto hit = cache_.AcquirePinned(i)) return std::move(*hit);
+    want.clear();
+    for (size_t c : needed) {
+      if (data[c] == nullptr) want.push_back(ColumnKey{i, c});
+    }
+    if (!want.empty()) {
+      // One lock for the whole partition's lookups (and one batched
+      // release later) instead of per-column traffic on the cache mutex.
+      if (auto token = cache_.AcquireManyPinned(want, &got)) {
+        tokens.push_back(std::move(token));
+      }
+      for (size_t k = 0; k < want.size(); ++k) {
+        if (got[k] != nullptr) data[want[k].col] = std::move(got[k]);
+      }
+    }
+    std::vector<size_t> missing;
+    for (size_t c : needed) {
+      if (data[c] == nullptr) missing.push_back(c);
+    }
+    if (missing.empty()) {
+      return AssemblePinned(i, std::move(data), std::move(tokens));
+    }
+
+    std::vector<size_t> claim;
     {
       std::unique_lock<std::mutex> lock(load_mu_);
-      if (loading_.count(i) != 0) {
-        // Single flight: someone is already reading this partition; wait
-        // for them and retry the cache instead of duplicating the IO.
-        load_cv_.wait(lock, [&] { return loading_.count(i) == 0; });
+      for (size_t c : missing) {
+        if (loading_.count(ColumnKey{i, c}) == 0) claim.push_back(c);
+      }
+      if (claim.empty()) {
+        // Single flight: every missing segment is already being read by
+        // someone; wait for them and retry the cache instead of
+        // duplicating the IO.
+        load_cv_.wait(lock, [&] {
+          for (size_t c : missing) {
+            if (loading_.count(ColumnKey{i, c}) != 0) return false;
+          }
+          return true;
+        });
         continue;
       }
-      if (cache_.Contains(i)) continue;  // a load landed since our miss
-      loading_.insert(i);
+      // A load may have landed between our cache miss and this lock.
+      claim.erase(std::remove_if(claim.begin(), claim.end(),
+                                 [&](size_t c) {
+                                   return cache_.Contains(ColumnKey{i, c});
+                                 }),
+                  claim.end());
+      if (claim.empty()) continue;
+      for (size_t c : claim) loading_.insert(ColumnKey{i, c});
       ++store_stats_.cold_loads;
     }
-    // The guard — not straight-line code — clears the loading mark, so a
+    // The guard — not straight-line code — clears the loading marks, so a
     // throwing load (e.g. bad_alloc during rehydration) can't wedge the
     // waiters forever. Insertion into the cache happens *before* the
-    // guard releases, so a waiter that wakes up finds the entry instead
-    // of reloading it.
-    LoadingGuard guard(this, i);
-    auto loaded = LoadFromDisk(i);
+    // guard releases, so a waiter that wakes up finds the entries instead
+    // of reloading them.
+    LoadingGuard guard(this, i, claim);
+    auto loaded = LoadColumns(i, claim);
     if (!loaded.ok()) {
       guard.set_failed();
       return loaded.status();
     }
-    return cache_.InsertPinned(i, std::move(*loaded));
+    for (size_t k = 0; k < claim.size(); ++k) {
+      ColumnPin pin = cache_.InsertPinned(ColumnKey{i, claim[k]},
+                                          std::move((*loaded)[k]));
+      data[claim[k]] = pin;  // the pin token doubles as the data ref
+      tokens.push_back(std::move(pin));
+    }
+    // Segments claimed by other threads (if any) are picked up by the
+    // next retry of the cache.
   }
 }
 
-Status PartitionStore::Preload(size_t i) {
+Status PartitionStore::Preload(size_t i, const storage::ColumnSet& columns) {
   if (i >= num_partitions()) {
     return Status::OutOfRange("partition index out of range");
   }
-  if (cache_.Contains(i)) return Status::OK();
+  const std::vector<size_t> needed = columns.Resolve(schema_.num_columns());
+  std::vector<size_t> claim;
   {
     std::lock_guard<std::mutex> lock(load_mu_);
-    if (loading_.count(i) != 0) return Status::OK();  // someone's on it
-    if (cache_.Contains(i)) return Status::OK();  // landed since our check
-    loading_.insert(i);
+    for (size_t c : needed) {
+      // Segments cached or mid-load are someone else's work already.
+      if (loading_.count(ColumnKey{i, c}) == 0 &&
+          !cache_.Contains(ColumnKey{i, c})) {
+        claim.push_back(c);
+      }
+    }
+    if (claim.empty()) return Status::OK();
+    for (size_t c : claim) loading_.insert(ColumnKey{i, c});
     ++store_stats_.cold_loads;
   }
-  LoadingGuard guard(this, i);
-  auto loaded = LoadFromDisk(i);
+  LoadingGuard guard(this, i, claim);
+  auto loaded = LoadColumns(i, claim);
   if (!loaded.ok()) {
     guard.set_failed();
     return loaded.status();
   }
-  cache_.Insert(i, std::move(*loaded));
+  for (size_t k = 0; k < claim.size(); ++k) {
+    cache_.Insert(ColumnKey{i, claim[k]}, std::move((*loaded)[k]));
+  }
   return Status::OK();
+}
+
+std::vector<size_t> PartitionStore::UnstagedColumns(
+    size_t i, const std::vector<size_t>& cols) const {
+  std::vector<size_t> out;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  for (size_t c : cols) {
+    if (loading_.count(ColumnKey{i, c}) == 0 &&
+        !cache_.Contains(ColumnKey{i, c})) {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 StoreStats PartitionStore::store_stats() const {

@@ -1,6 +1,7 @@
 // Out-of-core partition store: spills a partitioned table to a directory
 // of columnar partition files plus a checksummed manifest, and rehydrates
-// partitions on demand through a memory-budgeted PartitionCache.
+// *column segments* on demand through a memory-budgeted, column-granular
+// PartitionCache.
 //
 // Directory layout:
 //   manifest.ps3m    schema, per-partition row/byte counts, and every
@@ -8,16 +9,22 @@
 //                    manifest checksum
 //   part-NNNNNN.ps3p one columnar file per partition (io/partition_file)
 //
-// Determinism contract: a rehydrated partition holds bit-identical column
-// values, the same dictionary (same codes, same size), and the same row
-// order as the resident partition it was spilled from, so any scan over
-// it — either exec policy, any kernel — produces bit-identical answers.
+// Determinism contract: a rehydrated column holds bit-identical values,
+// the same dictionary (same codes, same size), and the same row order as
+// the resident column it was spilled from, so any scan over it — either
+// exec policy, any kernel, any ColumnSet hint covering the scan's
+// references — produces bit-identical answers. Pruning changes bytes
+// moved, never answers.
 //
-// Fetch() is the scan path: cache hit → pinned view; miss → single-flight
-// cold load (concurrent fetchers of the same partition wait for one load
-// instead of duplicating it), insert-pinned into the cache. Preload() is
-// the prefetch path: same load, inserted unpinned, never blocks behind an
-// in-flight load of the same partition.
+// Fetch(i, columns) is the scan path: it pins every requested column
+// segment (cache hits where possible), cold-loads the missing ones in a
+// single seek pass, and assembles them into a scan-ready pruned view.
+// Partial residency upgrades naturally: only the missing segments touch
+// disk. Cold loads are single-flight at segment granularity — concurrent
+// fetchers of overlapping column sets each load only segments nobody
+// else is already reading, and wait for the rest. Preload() is the
+// prefetch path: same loads, inserted unpinned, never blocking behind an
+// in-flight load of the same segments.
 #ifndef PS3_IO_PARTITION_STORE_H_
 #define PS3_IO_PARTITION_STORE_H_
 
@@ -28,18 +35,25 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "io/partition_cache.h"
+#include "storage/column_set.h"
 #include "storage/partition_source.h"
 #include "storage/table.h"
 
 namespace ps3::io {
 
 /// Cold-load counters (cache hit/miss live on PartitionCache::stats()).
+/// cold_loads counts disk read passes (one per claimed segment batch);
+/// segments_loaded / bytes_loaded count the column segments and file
+/// bytes those passes actually moved — the bench's bytes-per-row metric.
 struct StoreStats {
   uint64_t cold_loads = 0;
+  uint64_t segments_loaded = 0;
+  uint64_t bytes_loaded = 0;
   uint64_t load_errors = 0;
 };
 
@@ -50,10 +64,16 @@ class PartitionStore {
     size_t cache_budget_bytes = size_t{256} << 20;
     /// Simulated per-cold-load latency in microseconds — models the
     /// round trip to a remote/cloud store so an in-process reproduction
-    /// exercises real scan latency. The loading thread sleeps (doesn't
-    /// spin) before decoding, which is exactly the wait prefetch exists
-    /// to overlap. 0 disables.
+    /// exercises real scan latency. Charged once per read pass (a pruned
+    /// read pays the same RTT as a full one). The loading thread sleeps
+    /// (doesn't spin) before reading, which is exactly the wait prefetch
+    /// exists to overlap. 0 disables.
     size_t simulated_load_delay_us = 0;
+    /// Simulated link bandwidth in megabits/sec: adds bytes*8/mbps
+    /// microseconds per read pass, so column-pruned loads that move
+    /// fewer bytes also *finish* sooner, like a real object store.
+    /// 0 disables (latency-only model).
+    size_t simulated_load_bandwidth_mbps = 0;
   };
 
   /// Writes every partition of `table` plus the manifest under `dir`
@@ -70,19 +90,42 @@ class PartitionStore {
   size_t num_partitions() const { return part_rows_.size(); }
   size_t num_rows() const { return num_rows_; }
   size_t partition_rows(size_t i) const { return part_rows_[i]; }
-  /// On-disk byte size of partition `i` — the cache/read-ahead unit.
+  /// On-disk byte size of partition `i`'s whole file (segments + format
+  /// overhead).
   size_t partition_bytes(size_t i) const { return part_bytes_[i]; }
+  /// Byte size of one column segment of partition `i` — the column-
+  /// granular cache/read-ahead accounting unit.
+  size_t column_bytes(size_t i, size_t col) const;
+  /// Sum of column_bytes over `cols` (concrete indices).
+  size_t columns_bytes(size_t i, const std::vector<size_t>& cols) const;
   size_t total_bytes() const { return total_bytes_; }
   const std::string& dir() const { return dir_; }
 
-  /// Pins partition `i` for scanning: cache hit, or single-flight cold
-  /// load. Thread-safe; blocks only for the load itself.
-  Result<storage::PinnedPartition> Fetch(size_t i);
+  /// Pins the requested columns of partition `i` for scanning: cache
+  /// hits, or single-flight cold loads of the missing segments, then a
+  /// pruned assembled view (unrequested columns empty). Thread-safe;
+  /// blocks only for the loads themselves.
+  Result<storage::PinnedPartition> Fetch(size_t i,
+                                         const storage::ColumnSet& columns);
+  /// Every column (the unpruned legacy path).
+  Result<storage::PinnedPartition> Fetch(size_t i) {
+    return Fetch(i, storage::ColumnSet::All());
+  }
 
-  /// Stages partition `i` into the cache unpinned (prefetch). A no-op if
-  /// cached or already loading. Load errors are returned but advisory:
-  /// the demand-path Fetch will surface them to the query.
-  Status Preload(size_t i);
+  /// Stages the requested columns of partition `i` into the cache
+  /// unpinned (prefetch). Segments already cached or loading are
+  /// skipped. Load errors are returned but advisory: the demand-path
+  /// Fetch will surface them to the query.
+  Status Preload(size_t i, const storage::ColumnSet& columns);
+  Status Preload(size_t i) { return Preload(i, storage::ColumnSet::All()); }
+
+  /// Columns of `cols` (concrete indices) that are neither cached nor
+  /// mid-load — the prefetcher's admission filter, so overlapping
+  /// stage-ahead windows don't re-reserve read-ahead budget for
+  /// segments another pass is already reading. Advisory: a point-in-time
+  /// answer that Preload re-checks under the load lock.
+  std::vector<size_t> UnstagedColumns(size_t i,
+                                      const std::vector<size_t>& cols) const;
 
   PartitionCache& cache() { return cache_; }
   const PartitionCache& cache() const { return cache_; }
@@ -94,17 +137,18 @@ class PartitionStore {
                  std::vector<size_t> part_bytes,
                  std::vector<std::shared_ptr<storage::Dictionary>> dicts);
 
-  /// RAII owner of a partition's single-flight loading mark: erases it
+  /// RAII owner of a batch of single-flight loading marks: erases them
   /// and wakes waiters on every exit path, including a throwing load —
   /// otherwise one failed load would wedge all later fetchers forever.
   class LoadingGuard {
    public:
-    LoadingGuard(PartitionStore* store, size_t part)
-        : store_(store), part_(part) {}
+    LoadingGuard(PartitionStore* store, size_t part,
+                 const std::vector<size_t>& cols)
+        : store_(store), part_(part), cols_(cols) {}
     ~LoadingGuard() {
       {
         std::lock_guard<std::mutex> lock(store_->load_mu_);
-        store_->loading_.erase(part_);
+        for (size_t c : cols_) store_->loading_.erase(ColumnKey{part_, c});
         if (failed_) ++store_->store_stats_.load_errors;
       }
       store_->load_cv_.notify_all();
@@ -114,11 +158,21 @@ class PartitionStore {
    private:
     PartitionStore* store_;
     size_t part_;
+    std::vector<size_t> cols_;
     bool failed_ = false;
   };
 
-  /// Reads + decodes partition `i` (applying the simulated latency).
-  Result<std::shared_ptr<const LoadedPartition>> LoadFromDisk(size_t i);
+  /// Reads + decodes the given column segments of partition `i` in one
+  /// seek pass (applying the simulated latency/bandwidth model). Returns
+  /// one CachedColumn per entry of `cols`, in order.
+  Result<std::vector<std::shared_ptr<const CachedColumn>>> LoadColumns(
+      size_t i, const std::vector<size_t>& cols);
+  /// Builds the scan view for partition `i` from the pinned segment data
+  /// (indexed by column; null = pruned) plus the pin tokens that keep
+  /// them alive and release them when the view is dropped.
+  storage::PinnedPartition AssemblePinned(
+      size_t i, std::vector<std::shared_ptr<const CachedColumn>> data,
+      std::vector<std::shared_ptr<const void>> tokens) const;
   std::string PartitionPath(size_t i) const;
 
   const std::string dir_;
@@ -129,14 +183,14 @@ class PartitionStore {
   const std::vector<size_t> part_bytes_;
   size_t total_bytes_ = 0;
   /// Shared per-column dictionaries (null for numeric columns); every
-  /// rehydrated partition's categorical columns point at these.
+  /// rehydrated categorical segment's column points at these.
   const std::vector<std::shared_ptr<storage::Dictionary>> dicts_;
 
   PartitionCache cache_;
 
   mutable std::mutex load_mu_;
   std::condition_variable load_cv_;
-  std::set<size_t> loading_;  ///< partitions with an in-flight cold load
+  std::set<ColumnKey> loading_;  ///< segments with an in-flight cold load
   StoreStats store_stats_;    ///< guarded by load_mu_
 };
 

@@ -1,7 +1,6 @@
 #include "io/prefetch_pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "runtime/worker_pool.h"
@@ -19,11 +18,83 @@ PrefetchPipeline::PrefetchPipeline(PartitionStore* store,
 
 PrefetchPipeline::~PrefetchPipeline() { Drain(); }
 
-void PrefetchPipeline::Stage(std::vector<size_t> parts) {
+void PrefetchPipeline::UpdateEwma(std::atomic<uint64_t>* cell,
+                                  uint64_t sample_us) {
+  // 0 means "no sample yet" in the cells, so a sub-microsecond sample
+  // (back-to-back shard entries on a hot scan) clamps to 1us — exactly
+  // the regime where the distance must be able to widen, which a
+  // never-seeded scan EWMA would keep pinned at 1.
+  sample_us = std::max<uint64_t>(sample_us, 1);
+  // alpha = 1/4: smooth enough to ignore one stalled shard, fast enough
+  // to adapt within a few shards of a workload shift. Integer rounding
+  // floors the decayed EWMA a few microseconds above tiny samples —
+  // negligible at the millisecond scales being paced.
+  const uint64_t prev = cell->load(std::memory_order_relaxed);
+  const uint64_t next =
+      prev == 0 ? sample_us
+                : prev - prev / 4 + std::max<uint64_t>(sample_us / 4, 1);
+  cell->store(next, std::memory_order_relaxed);
+}
+
+size_t PrefetchPipeline::AheadDistance() const {
+  const uint64_t scan = scan_ewma_us_.load(std::memory_order_relaxed);
+  const uint64_t load = load_ewma_us_.load(std::memory_order_relaxed);
+  // Until both latencies have samples, stay at the conservative fixed
+  // next-shard lookahead.
+  if (scan == 0 || load == 0) return 1;
+  // Loads lagging scans by a factor k need ~k shards in flight to keep
+  // the scan fed; ceil so a 1.2x lag still widens to 2.
+  const uint64_t want = (load + scan - 1) / scan;
+  return std::max<size_t>(
+      1, std::min<size_t>(options_.max_ahead_shards,
+                          static_cast<size_t>(want)));
+}
+
+void PrefetchPipeline::StageAhead(
+    const std::vector<std::vector<size_t>>& shards, size_t current,
+    const storage::ColumnSet& columns) {
+  {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    const Clock::time_point now = Clock::now();
+    if (has_last_stage_) {
+      const uint64_t interval_us =
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - last_stage_)
+                  .count());
+      // Concurrent scans sharing one pipeline shorten the apparent
+      // interval, which only widens the distance — and the byte budget
+      // still bounds the total, so the bias is safe.
+      UpdateEwma(&scan_ewma_us_, interval_us);
+    }
+    last_stage_ = now;
+    has_last_stage_ = true;
+  }
+  const size_t ahead = AheadDistance();
+  std::vector<size_t> parts;
+  for (size_t d = 1; d <= ahead && current + d < shards.size(); ++d) {
+    const std::vector<size_t>& shard = shards[current + d];
+    parts.insert(parts.end(), shard.begin(), shard.end());
+  }
+  if (!parts.empty()) Stage(std::move(parts), columns);
+}
+
+void PrefetchPipeline::Stage(std::vector<size_t> parts,
+                             const storage::ColumnSet& columns) {
   // Budget admission up front, so the shared pool is charged before the
   // task is queued (otherwise N queries could all stage "within budget"
-  // simultaneously).
-  std::vector<size_t> to_load;
+  // simultaneously). Admission is column-granular: only a partition's
+  // *missing hinted segments* charge the pool.
+  struct Load {
+    size_t part;
+    size_t bytes;  ///< reserved against the shared read-ahead budget
+    /// Exactly the segments whose bytes were reserved: the task preloads
+    /// these, not the whole hint — re-deriving the missing set at load
+    /// time could pull in segments evicted since admission and overrun
+    /// the budget the reservation accounted for.
+    std::vector<size_t> cols;
+  };
+  std::vector<Load> to_load;
   to_load.reserve(parts.size());
   // Effective budget: the configured read-ahead cap, further bounded by
   // what the cache can actually *retain* — staging past the cache budget
@@ -34,12 +105,19 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts) {
   const size_t cached = store_->cache().bytes_cached();
   const size_t headroom = cache_budget > cached ? cache_budget - cached : 0;
   const size_t budget = std::min(options_.readahead_bytes, headroom);
+  const std::vector<size_t> hinted =
+      columns.Resolve(store_->schema().num_columns());
   for (size_t p : parts) {
-    if (store_->cache().Contains(p)) {
+    // Segments cached *or already mid-load* are someone else's bytes:
+    // with a widened stage-ahead distance, successive overlapping
+    // windows would otherwise re-reserve budget for the same in-flight
+    // segments and starve genuinely new shards into skipped_budget.
+    std::vector<size_t> missing = store_->UnstagedColumns(p, hinted);
+    if (missing.empty()) {
       skipped_cached_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    const size_t bytes = store_->partition_bytes(p);
+    const size_t bytes = store_->columns_bytes(p, missing);
     size_t cur = inflight_bytes_.load(std::memory_order_relaxed);
     bool admitted = false;
     while (cur + bytes <= budget) {
@@ -53,36 +131,52 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts) {
       skipped_budget_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    to_load.push_back(p);
+    to_load.push_back(Load{p, bytes, std::move(missing)});
   }
   if (to_load.empty()) return;
   staged_.fetch_add(to_load.size(), std::memory_order_relaxed);
 
-  // One scheduler task per staged shard; the task fans the loads out
-  // across worker-pool lanes and releases the budget as each insert
-  // lands in the cache.
-  auto task = [this, parts = std::move(to_load)] {
+  // One scheduler task per staged batch; the task fans the loads out
+  // across worker-pool lanes, releases the budget as each insert lands
+  // in the cache, and feeds the load-latency EWMA that drives the
+  // adaptive distance.
+  auto task = [this, loads = std::move(to_load)] {
     PartitionStore* store = store_;
+    const Clock::time_point start = Clock::now();
     scheduler_->pool().ParallelFor(
-        parts.size(),
-        [this, store, &parts](size_t k) {
-          const size_t p = parts[k];
+        loads.size(),
+        [this, store, &loads](size_t k) {
+          const Load& load = loads[k];
           // Prefetch is advisory, so nothing may escape: a thrown load
           // (bad_alloc during rehydration) would fail the whole pool job
           // and drain sibling items *without running them*, leaking
           // their budget reservations permanently.
           try {
-            Status s = store->Preload(p);
+            Status s = store->Preload(
+                load.part, storage::ColumnSet::Of(load.cols));
             if (!s.ok()) {
               load_errors_.fetch_add(1, std::memory_order_relaxed);
             }
           } catch (...) {
             load_errors_.fetch_add(1, std::memory_order_relaxed);
           }
-          inflight_bytes_.fetch_sub(store->partition_bytes(p),
-                                    std::memory_order_relaxed);
+          inflight_bytes_.fetch_sub(load.bytes, std::memory_order_relaxed);
         },
         options_.load_lanes);
+    // The sample is the *whole pass's* wall time, deliberately not
+    // divided by the number of shards it spanned: loads fan out across
+    // the pool lanes, so a batch lands in ~one store RTT when it fits
+    // the lanes — the pass time measures how long a prefetch batch takes
+    // to arrive, which against the per-shard scan interval is exactly
+    // the pipeline depth (shards in flight) needed to keep the scan fed.
+    // Lane-saturated batches take proportionally longer and ask for
+    // deeper read-ahead; max_ahead_shards and the cache-headroom bound
+    // cap what that can cost.
+    UpdateEwma(&load_ewma_us_,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - start)
+                       .count()));
   };
   std::future<void> fut = scheduler_->Defer(std::move(task));
   std::lock_guard<std::mutex> lock(mu_);
@@ -113,6 +207,7 @@ PrefetchPipeline::PrefetchStats PrefetchPipeline::stats() const {
   s.skipped_cached = skipped_cached_.load(std::memory_order_relaxed);
   s.skipped_budget = skipped_budget_.load(std::memory_order_relaxed);
   s.load_errors = load_errors_.load(std::memory_order_relaxed);
+  s.ahead_shards = AheadDistance();
   return s;
 }
 

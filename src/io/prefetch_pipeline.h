@@ -1,21 +1,38 @@
-// Asynchronous shard-granular read-ahead for cold scans.
+// Asynchronous shard-granular read-ahead for cold scans, with adaptive
+// stage-ahead pacing and column-pruned staging.
 //
 // While the evaluator scans shard s of a spilled table, the pipeline
-// stages shard s+1's partitions into the store's cache: Stage() admits
-// one staging task through the runtime::QueryScheduler (so prefetch IO
-// interleaves with query work instead of preempting it), and that task
-// fans the individual partition loads out across runtime::WorkerPool
-// lanes. Loads sleep through the store's simulated remote latency on
-// pool/driver threads, overlapping the wait with the current shard's
-// compute — which is the entire point of prefetching.
+// stages upcoming shards' *hinted column segments* into the store's
+// cache: StageAhead() admits one staging task through the
+// runtime::QueryScheduler (so prefetch IO interleaves with query work
+// instead of preempting it), and that task fans the individual segment
+// loads out across runtime::WorkerPool lanes. Loads sleep through the
+// store's simulated remote latency on pool/driver threads, overlapping
+// the wait with the current shard's compute — which is the entire point
+// of prefetching.
 //
-// The read-ahead budget is byte-accounted and *shared*: every query
-// prefetching through one pipeline draws from the same in-flight byte
-// pool, so N concurrent cold queries can't multiply read-ahead memory by
-// N. Partitions that don't fit the remaining budget are skipped, not
-// queued — they'll be demand-loaded by the scan; prefetch is advisory
-// and never affects answers, only timing. Staging errors are likewise
-// swallowed (counted in stats): the demand path surfaces real errors.
+// Pacing is adaptive: the pipeline keeps an EWMA of the per-shard scan
+// interval (time between successive shard entries) and of the staging
+// latency (how long a prefetch batch takes to land — loads fan out
+// across pool lanes, so this is ~one store RTT while batches fit the
+// lanes). Their ratio is the pipeline depth: when batches land slower
+// than shards are consumed — the prefetcher is losing the race — the
+// stage-ahead distance widens from 1 toward max_ahead_shards so more
+// shards load concurrently; when scans are the bottleneck it narrows
+// back to 1. The
+// distance is always additionally bounded by the shared read-ahead byte
+// budget and the cache's retention headroom, so adaptivity can never
+// stage more than the cache could keep. Pacing is advisory and affects
+// timing only, never answers.
+//
+// The read-ahead budget is byte-accounted at *column-segment*
+// granularity and *shared*: every query prefetching through one pipeline
+// draws from the same in-flight byte pool, so N concurrent cold queries
+// can't multiply read-ahead memory by N. Segments that don't fit the
+// remaining budget are skipped, not queued — they'll be demand-loaded by
+// the scan; prefetch is advisory and never affects answers, only timing.
+// Staging errors are likewise swallowed (counted in stats): the demand
+// path surfaces real errors.
 //
 // Lifetime: borrows the store and scheduler; destroy the pipeline before
 // either. The destructor drains in-flight staging tasks.
@@ -23,6 +40,7 @@
 #define PS3_IO_PREFETCH_PIPELINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -31,6 +49,7 @@
 
 #include "io/partition_store.h"
 #include "runtime/query_scheduler.h"
+#include "storage/column_set.h"
 
 namespace ps3::io {
 
@@ -44,6 +63,10 @@ class PrefetchPipeline {
     /// are latency-bound (they sleep through the simulated store RTT), so
     /// oversubscribing lanes is cheap and hides more of the wait.
     int load_lanes = 16;
+    /// Upper bound on the adaptive stage-ahead distance (shards staged
+    /// beyond the one being scanned). 1 reproduces the fixed next-shard
+    /// lookahead.
+    size_t max_ahead_shards = 4;
   };
 
   /// Default options.
@@ -55,10 +78,20 @@ class PrefetchPipeline {
   PrefetchPipeline(const PrefetchPipeline&) = delete;
   PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
 
-  /// Stages the given partitions (typically one shard's list) into the
-  /// store's cache asynchronously, bounded by the shared read-ahead
-  /// budget. Non-blocking; safe to call from pool lanes mid-scan.
-  void Stage(std::vector<size_t> parts);
+  /// Scan-entry hook (ColdShardedSource::WillScanShard): updates the
+  /// scan-pace EWMA and stages the hinted columns of the next
+  /// [1, max_ahead_shards] shards after `current`, as the current
+  /// load-vs-scan latency ratio warrants, bounded by the shared
+  /// read-ahead budget. Non-blocking; safe to call from pool lanes
+  /// mid-scan.
+  void StageAhead(const std::vector<std::vector<size_t>>& shards,
+                  size_t current, const storage::ColumnSet& columns);
+
+  /// Stages the given partitions' hinted columns into the store's cache
+  /// asynchronously, bounded by the shared read-ahead budget.
+  /// Non-blocking; safe to call from pool lanes mid-scan.
+  void Stage(std::vector<size_t> parts,
+             const storage::ColumnSet& columns = storage::ColumnSet::All());
 
   /// Waits for every in-flight staging task.
   void Drain();
@@ -68,10 +101,19 @@ class PrefetchPipeline {
     uint64_t skipped_cached = 0;  ///< already cached (or loading)
     uint64_t skipped_budget = 0;  ///< didn't fit the read-ahead budget
     uint64_t load_errors = 0;     ///< advisory failures (demand path retries)
+    size_t ahead_shards = 1;      ///< current adaptive stage-ahead distance
   };
   PrefetchStats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Current stage-ahead distance from the latency EWMAs.
+  size_t AheadDistance() const;
+  /// Folds a sample into an EWMA cell (microseconds, relaxed atomics —
+  /// pacing is advisory, approximate reads are fine).
+  static void UpdateEwma(std::atomic<uint64_t>* cell, uint64_t sample_us);
+
   PartitionStore* store_;
   runtime::QueryScheduler* scheduler_;
   const Options options_;
@@ -81,6 +123,16 @@ class PrefetchPipeline {
   std::atomic<uint64_t> skipped_cached_{0};
   std::atomic<uint64_t> skipped_budget_{0};
   std::atomic<uint64_t> load_errors_{0};
+
+  /// EWMAs (us). scan_ewma_us_ tracks the interval between successive
+  /// StageAhead calls (≈ one shard's scan time); load_ewma_us_ tracks
+  /// how long a staging batch takes to land. 0 = no sample yet
+  /// (samples clamp to >= 1).
+  std::atomic<uint64_t> scan_ewma_us_{0};
+  std::atomic<uint64_t> load_ewma_us_{0};
+  std::mutex pace_mu_;
+  Clock::time_point last_stage_;  ///< guarded by pace_mu_
+  bool has_last_stage_ = false;   ///< guarded by pace_mu_
 
   std::mutex mu_;
   std::vector<std::future<void>> inflight_;  ///< guarded by mu_

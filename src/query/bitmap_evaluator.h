@@ -23,6 +23,11 @@ class BitmapEvaluator {
     use_avx2_ = runtime::UseAvx2(level);
   }
 
+  /// The resolved kernel tier; the evaluator's SIMD-assisted grouped
+  /// aggregation keys off the same dispatch decision as the predicate
+  /// kernels.
+  bool use_avx2() const { return use_avx2_; }
+
   /// Runs `prog` over all rows of `part`; `out` ends with bit r set iff
   /// row r matches. `out` is reset to the partition size first.
   void EvalPredicate(const PredProgram& prog, const storage::Partition& part,

@@ -136,6 +136,35 @@ ExprProgram CompileExpr(const ExprPtr& expr) {
   return prog;
 }
 
+namespace {
+
+void CollectPredColumns(const PredProgram& prog, std::vector<size_t>* cols) {
+  for (const PredInstr& in : prog.instrs) {
+    if (in.op == PredInstr::Op::kCmpConst || in.op == PredInstr::Op::kInSet) {
+      cols->push_back(in.column);
+    }
+  }
+}
+
+void CollectExprColumns(const ExprProgram& prog, std::vector<size_t>* cols) {
+  for (const ExprInstr& in : prog.instrs) {
+    if (in.op == ExprInstr::Op::kLoadColumn) cols->push_back(in.column);
+  }
+}
+
+}  // namespace
+
+storage::ColumnSet ReferencedColumns(const CompiledQuery& cq) {
+  std::vector<size_t> cols;
+  CollectPredColumns(cq.predicate, &cols);
+  for (const CompiledAggregate& agg : cq.aggregates) {
+    if (agg.has_expr) CollectExprColumns(agg.expr, &cols);
+    if (agg.has_filter) CollectPredColumns(agg.filter, &cols);
+  }
+  cols.insert(cols.end(), cq.group_by.begin(), cq.group_by.end());
+  return storage::ColumnSet::Of(std::move(cols));
+}
+
 CompiledQuery CompileQuery(const Query& query) {
   CompiledQuery cq;
   cq.predicate = CompilePredicate(query.EffectivePredicate());

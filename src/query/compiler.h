@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "query/query.h"
+#include "storage/column_set.h"
 
 namespace ps3::query {
 
@@ -88,6 +89,16 @@ struct CompiledQuery {
 };
 
 CompiledQuery CompileQuery(const Query& query);
+
+/// The set of columns a scan of `cq` reads: predicate columns, every
+/// aggregate's expression and CASE-filter columns, and the GROUP BY
+/// columns. Compiled programs reference exactly the columns the source
+/// ASTs do, so the set is also valid for the scalar interpreter run on
+/// the same Query. This is the projection hint threaded through
+/// storage::PartitionSource — out-of-core sources rehydrate only these
+/// columns, so the set must be a superset of everything either policy
+/// touches. May legitimately be empty (COUNT(*) with no predicate).
+storage::ColumnSet ReferencedColumns(const CompiledQuery& cq);
 
 }  // namespace ps3::query
 

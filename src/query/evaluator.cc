@@ -62,6 +62,14 @@ struct VectorScratch {
   std::vector<size_t> strides;
   std::vector<GroupKey> keys;
   std::vector<std::vector<AggAccum>> groups;
+  // SIMD-assisted grouped-aggregation staging: selected row indices,
+  // their dense group ids, and per-aggregate gathered values (the AVX2
+  // gather kernels fill these; the FP accumulate stays scalar in row
+  // order, which is what keeps answers bit-identical to kScalar).
+  std::vector<uint32_t> row_idx;
+  std::vector<uint32_t> group_ids;
+  std::vector<uint32_t> strides32;
+  std::vector<std::vector<double>> gathered;
 };
 
 /// Resolves the pool an ExecOptions runs on.
@@ -185,6 +193,70 @@ PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
     const int32_t* const* gcodes = s->gcodes.data();
     const size_t* strides = s->strides.data();
     const size_t n_gcols = s->gcodes.size();
+
+#if defined(__x86_64__) || defined(__i386__)
+    // SIMD-assisted variant: expand the selection once, compute every
+    // selected row's dense group id with the AVX2 code-gather kernel, and
+    // compact each aggregate's expression values with the AVX2 value
+    // gather — then run a tight *scalar* accumulate in ascending row
+    // order. Only data movement and integer id math are vectorized; every
+    // FP addition happens in the same order as the scalar reference, so
+    // answers stay bit-identical. Engaged only when no aggregate carries
+    // a CASE filter (their bitmaps would need per-row tests anyway) and
+    // expression values are dense-materialized; sparse selections skip it
+    // — the setup wouldn't amortize.
+    bool simd_groups = s->be.use_avx2() && selected >= 64;
+    for (size_t a = 0; simd_groups && a < n_aggs; ++a) {
+      const CompiledAggregate& ca = cq.aggregates[a];
+      if (ca.has_filter || (ca.has_expr && !dense_expr)) simd_groups = false;
+    }
+    if (simd_groups) {
+      s->row_idx.resize(selected);
+      size_t w = 0;
+      s->main.ForEachSetBit(
+          [&](size_t r) { s->row_idx[w++] = static_cast<uint32_t>(r); });
+      s->strides32.assign(s->strides.begin(), s->strides.end());
+      s->group_ids.resize(selected);
+      runtime::DenseGroupIdsAvx2(gcodes, s->strides32.data(), n_gcols,
+                                 s->row_idx.data(), selected,
+                                 s->group_ids.data());
+      if (s->gathered.size() < n_aggs) s->gathered.resize(n_aggs);
+      for (size_t a = 0; a < n_aggs; ++a) {
+        if (!cq.aggregates[a].has_expr) continue;
+        s->gathered[a].resize(selected);
+        runtime::GatherDoublesAvx2(s->agg_ptr[a], s->row_idx.data(),
+                                   selected, s->gathered[a].data());
+      }
+      for (size_t k = 0; k < selected; ++k) {
+        const uint32_t id = s->group_ids[k];
+        int32_t slot = s->slot_of[id];
+        if (slot < 0) {
+          slot = static_cast<int32_t>(s->groups.size());
+          s->slot_of[id] = slot;
+          s->touched.push_back(id);
+          const size_t r = s->row_idx[k];
+          GroupKey key(n_gcols);
+          for (size_t g = 0; g < n_gcols; ++g) key[g] = gcodes[g][r];
+          s->keys.push_back(std::move(key));
+          s->groups.emplace_back(n_aggs);
+        }
+        std::vector<AggAccum>& accs = s->groups[static_cast<size_t>(slot)];
+        for (size_t a = 0; a < n_aggs; ++a) {
+          AggAccum& acc = accs[a];
+          acc.count += 1.0;
+          if (cq.aggregates[a].has_expr) acc.sum += s->gathered[a][k];
+        }
+      }
+      for (size_t id : s->touched) s->slot_of[id] = -1;
+      s->touched.clear();
+      answer.reserve(s->groups.size());
+      for (size_t i = 0; i < s->groups.size(); ++i) {
+        answer.emplace(std::move(s->keys[i]), std::move(s->groups[i]));
+      }
+      return answer;
+    }
+#endif  // x86
+
     s->main.ForEachSetBit([&](size_t r) {
       size_t id = 0;
       for (size_t g = 0; g < n_gcols; ++g) {
@@ -313,9 +385,13 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
   const size_t n_shards = source.num_shards();
   std::vector<std::vector<PartitionAnswer>> partials(n_shards);
   runtime::WorkerPool& pool = PoolOf(opts);
-  const CompiledQuery cq =
-      opts.policy == ExecPolicy::kVectorized ? CompileQuery(query)
-                                             : CompiledQuery{};
+  // Compiled under both policies: the vectorized engine executes it, and
+  // either way it yields the scan's referenced-column set — the
+  // projection hint out-of-core sources use to read only the segments
+  // this query touches. The compiled programs reference exactly the
+  // columns the scalar AST walk does, so the hint is safe for kScalar.
+  const CompiledQuery cq = CompileQuery(query);
+  const storage::ColumnSet scan_columns = ReferencedColumns(cq);
   // Fan out at partition granularity, flattened across shards, so
   // parallelism scales with total partitions even when shards are fewer
   // than lanes (a 1-shard table still fills an 8-lane pool). Each unit
@@ -345,9 +421,10 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
       [&](size_t u) {
         const Unit unit = units[u];
         if (!entered[unit.shard].exchange(true, std::memory_order_relaxed)) {
-          source.WillScanShard(unit.shard);
+          source.WillScanShard(unit.shard, scan_columns);
         }
-        auto pinned = source.Acquire(source.shard(unit.shard)[unit.k]);
+        auto pinned =
+            source.Acquire(source.shard(unit.shard)[unit.k], scan_columns);
         if (!pinned.ok()) {
           // The pool rethrows on this evaluation's caller; sibling
           // queries on the pool are unaffected (per-job failure).

@@ -135,10 +135,14 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
 
 /// Same fan-out over an abstract PartitionSource — the seam that lets one
 /// scan implementation serve resident tables and the io layer's cold /
-/// cached stores alike. Each unit pins its partition just before the
-/// kernels run and releases it right after; the first unit to enter a
-/// shard fires WillScanShard(s) so out-of-core sources can stage the next
-/// shard ahead of the scan. A failed Acquire (IO error, checksum
+/// cached stores alike. The query's referenced-column set (predicate +
+/// aggregate + GROUP BY columns, via query::ReferencedColumns) is passed
+/// to every Acquire/WillScanShard as the projection hint, so out-of-core
+/// sources read only the column segments this query touches. Each unit
+/// pins its partition just before the kernels run and releases it right
+/// after; the first unit to enter a shard fires WillScanShard(s, cols) so
+/// out-of-core sources can stage upcoming shards ahead of the scan. A
+/// failed Acquire (IO error, checksum
 /// mismatch) fails this evaluation only, surfaced as a thrown
 /// std::runtime_error carrying the Status. Answers are bit-identical to
 /// the resident scan for any source whose shard structure matches

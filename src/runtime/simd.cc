@@ -39,6 +39,95 @@ __attribute__((target("avx2"))) void InSetGatherWordsAvx2(
   }
 }
 
+__attribute__((target("avx2"))) void DenseGroupIdsAvx2(
+    const int32_t* const* codes, const uint32_t* strides,
+    size_t n_group_cols, const uint32_t* rows, size_t n, uint32_t* ids) {
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i ridx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(rows + k));
+    __m256i id = _mm256_setzero_si256();
+    for (size_t g = 0; g < n_group_cols; ++g) {
+      const __m256i code = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(codes[g]), ridx, 4);
+      const __m256i stride = _mm256_set1_epi32(
+          static_cast<int>(strides[g]));
+      // mullo + add in 32-bit lanes: the engine caps the id space at
+      // 2^20, so no lane can wrap.
+      id = _mm256_add_epi32(id, _mm256_mullo_epi32(code, stride));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ids + k), id);
+  }
+  if (k < n) {
+    DenseGroupIdsScalar(codes, strides, n_group_cols, rows + k, n - k,
+                        ids + k);
+  }
+}
+
+__attribute__((target("avx2"))) void GatherDoublesAvx2(const double* values,
+                                                       const uint32_t* rows,
+                                                       size_t n,
+                                                       double* out) {
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m128i ridx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(rows + k));
+    const __m256d v = _mm256_i32gather_pd(values, ridx, 8);
+    _mm256_storeu_pd(out + k, v);
+  }
+  for (; k < n; ++k) out[k] = values[rows[k]];
+}
+
+__attribute__((target("avx2"))) double MinGatherAvx2(const double* values,
+                                                     const uint32_t* rows,
+                                                     size_t n) {
+  size_t k = 0;
+  double m = values[rows[0]];
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(m);
+    for (; k + 4 <= n; k += 4) {
+      const __m128i ridx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(rows + k));
+      acc = _mm256_min_pd(acc, _mm256_i32gather_pd(values, ridx, 8));
+    }
+    const __m128d lo = _mm256_castpd256_pd128(acc);
+    const __m128d hi = _mm256_extractf128_pd(acc, 1);
+    const __m128d m2 = _mm_min_pd(lo, hi);
+    const __m128d m1 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+    m = _mm_cvtsd_f64(m1);
+  }
+  for (; k < n; ++k) {
+    const double v = values[rows[k]];
+    if (v < m) m = v;
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) double MaxGatherAvx2(const double* values,
+                                                     const uint32_t* rows,
+                                                     size_t n) {
+  size_t k = 0;
+  double m = values[rows[0]];
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(m);
+    for (; k + 4 <= n; k += 4) {
+      const __m128i ridx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(rows + k));
+      acc = _mm256_max_pd(acc, _mm256_i32gather_pd(values, ridx, 8));
+    }
+    const __m128d lo = _mm256_castpd256_pd128(acc);
+    const __m128d hi = _mm256_extractf128_pd(acc, 1);
+    const __m128d m2 = _mm_max_pd(lo, hi);
+    const __m128d m1 = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+    m = _mm_cvtsd_f64(m1);
+  }
+  for (; k < n; ++k) {
+    const double v = values[rows[k]];
+    if (v > m) m = v;
+  }
+  return m;
+}
+
 #endif  // x86
 
 }  // namespace ps3::runtime

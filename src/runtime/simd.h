@@ -2,7 +2,18 @@
 // engine. Kernels are compiled with per-function target attributes, so the
 // binary runs on any x86-64 (or non-x86) host and upgrades itself at
 // runtime when AVX2 is present. The scalar kernels remain the bit-exactness
-// reference; SIMD variants must produce identical bitmaps.
+// reference; SIMD variants must produce identical results.
+//
+// Grouped-aggregation kernels: the engine's determinism contract pins the
+// *order of floating-point additions* per group (ascending row order,
+// identical to the scalar interpreter), so SUM itself cannot be lane-
+// parallelized without changing results. What can: everything feeding the
+// accumulate loop. The kernels below gather the selected rows' group
+// codes and expression values with AVX2 gathers (DenseGroupIds*,
+// GatherDoubles*), leaving a tight scalar in-order accumulate; COUNT is
+// integer-valued in doubles (exact at any order) and MIN/MAX are order-
+// insensitive for the engine's finite, NaN-free data, so those reduce
+// fully in lanes (MinGather*/MaxGather*).
 #ifndef PS3_RUNTIME_SIMD_H_
 #define PS3_RUNTIME_SIMD_H_
 
@@ -21,6 +32,58 @@ enum class SimdLevel {
 /// True when this process can execute AVX2 instructions.
 bool Avx2Available();
 
+// ---------------------------------------------------------------------
+// Scalar reference kernels (always available, any architecture). The
+// AVX2 variants must match these bit-for-bit on the engine's data.
+
+/// ids[k] = sum_g codes[g][rows[k]] * strides[g] — the dense group-id of
+/// each selected row. Products and sums must fit uint32 (the engine caps
+/// the dense id space at 2^20).
+inline void DenseGroupIdsScalar(const int32_t* const* codes,
+                                const uint32_t* strides, size_t n_group_cols,
+                                const uint32_t* rows, size_t n,
+                                uint32_t* ids) {
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = rows[k];
+    uint32_t id = 0;
+    for (size_t g = 0; g < n_group_cols; ++g) {
+      id += static_cast<uint32_t>(codes[g][r]) * strides[g];
+    }
+    ids[k] = id;
+  }
+}
+
+/// out[k] = values[rows[k]] — compacts the selected rows' values so the
+/// ordered accumulate loop reads them contiguously.
+inline void GatherDoublesScalar(const double* values, const uint32_t* rows,
+                                size_t n, double* out) {
+  for (size_t k = 0; k < n; ++k) out[k] = values[rows[k]];
+}
+
+/// Minimum of values[rows[k]] over k; n must be >= 1. Inputs must be
+/// NaN-free (the engine's columns are); ties between +0.0 and -0.0 may
+/// resolve to either representation.
+inline double MinGatherScalar(const double* values, const uint32_t* rows,
+                              size_t n) {
+  double m = values[rows[0]];
+  for (size_t k = 1; k < n; ++k) {
+    const double v = values[rows[k]];
+    if (v < m) m = v;
+  }
+  return m;
+}
+
+/// Maximum counterpart of MinGatherScalar.
+inline double MaxGatherScalar(const double* values, const uint32_t* rows,
+                              size_t n) {
+  double m = values[rows[0]];
+  for (size_t k = 1; k < n; ++k) {
+    const double v = values[rows[k]];
+    if (v > m) m = v;
+  }
+  return m;
+}
+
 #if defined(__x86_64__) || defined(__i386__)
 /// AVX2 gather kernel for the dictionary-coded IN-list probe (set sizes
 /// too large for the cmpeq chain): probes a per-dictionary membership
@@ -33,6 +96,25 @@ bool Avx2Available();
 /// < dictionary size). Caller must have verified AVX2 support.
 void InSetGatherWordsAvx2(const int32_t* codes, size_t full_words,
                           const uint32_t* table, uint64_t* words);
+
+/// AVX2 DenseGroupIdsScalar: gathers 8 rows' codes per group column and
+/// multiply-accumulates the strides in 32-bit lanes. Bit-identical to
+/// the scalar reference (integer arithmetic). Caller must have verified
+/// AVX2 support; row indices must be < 2^31.
+void DenseGroupIdsAvx2(const int32_t* const* codes, const uint32_t* strides,
+                       size_t n_group_cols, const uint32_t* rows, size_t n,
+                       uint32_t* ids);
+
+/// AVX2 GatherDoublesScalar: 4 doubles per _mm256_i32gather_pd. Pure
+/// data movement, bit-identical by construction.
+void GatherDoublesAvx2(const double* values, const uint32_t* rows, size_t n,
+                       double* out);
+
+/// AVX2 MinGatherScalar / MaxGatherScalar: lane-parallel reduction
+/// (min/max are order-insensitive on NaN-free data, so lanes are safe
+/// where SUM would not be).
+double MinGatherAvx2(const double* values, const uint32_t* rows, size_t n);
+double MaxGatherAvx2(const double* values, const uint32_t* rows, size_t n);
 #endif
 
 /// Resolves kAuto against the host CPU.

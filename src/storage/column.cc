@@ -18,14 +18,25 @@ int32_t Dictionary::Find(const std::string& value) const {
   return it == index_.end() ? -1 : it->second;
 }
 
+// The constructor leaves dict_ null; the factories decide whether the
+// column gets a fresh dictionary or shares an existing one (the pruned-
+// assembly hot path builds placeholder categorical columns per fetch, so
+// a throwaway allocation here would be pure churn).
 Column::Column(ColumnType type) : type_(type) {
-  if (type_ == ColumnType::kCategorical) {
-    dict_ = std::make_shared<Dictionary>();
+  if (type_ == ColumnType::kNumeric) {
+    numeric_ = std::make_shared<std::vector<double>>();
+  } else {
+    codes_ = std::make_shared<std::vector<int32_t>>();
   }
 }
 
 Column Column::MakeNumeric() { return Column(ColumnType::kNumeric); }
-Column Column::MakeCategorical() { return Column(ColumnType::kCategorical); }
+
+Column Column::MakeCategorical() {
+  Column col(ColumnType::kCategorical);
+  col.dict_ = std::make_shared<Dictionary>();
+  return col;
+}
 
 Column Column::MakeCategorical(std::shared_ptr<Dictionary> dict) {
   assert(dict != nullptr);
@@ -34,46 +45,55 @@ Column Column::MakeCategorical(std::shared_ptr<Dictionary> dict) {
   return col;
 }
 
+// Appends run at build time, before a column is ever copied; mutating a
+// shared buffer would silently change every table that shares it, so
+// exclusive ownership is asserted on every append path.
+
 void Column::AppendNumeric(double v) {
   assert(is_numeric());
-  numeric_.push_back(v);
+  assert(numeric_.use_count() == 1);
+  numeric_->push_back(v);
 }
 
 void Column::AppendCategorical(const std::string& v) {
   assert(!is_numeric());
-  codes_.push_back(dict_->GetOrAdd(v));
+  assert(codes_.use_count() == 1);
+  codes_->push_back(dict_->GetOrAdd(v));
 }
 
 void Column::AppendCode(int32_t code) {
   assert(!is_numeric());
   assert(code >= 0 && static_cast<size_t>(code) < dict_->size());
-  codes_.push_back(code);
+  assert(codes_.use_count() == 1);
+  codes_->push_back(code);
 }
 
 void Column::AppendNumerics(const double* v, size_t n) {
   assert(is_numeric());
-  numeric_.insert(numeric_.end(), v, v + n);
+  assert(numeric_.use_count() == 1);
+  numeric_->insert(numeric_->end(), v, v + n);
 }
 
 void Column::AppendCodes(const int32_t* v, size_t n) {
   assert(!is_numeric());
+  assert(codes_.use_count() == 1);
 #ifndef NDEBUG
   for (size_t i = 0; i < n; ++i) {
     assert(v[i] >= 0 && static_cast<size_t>(v[i]) < dict_->size());
   }
 #endif
-  codes_.insert(codes_.end(), v, v + n);
+  codes_->insert(codes_->end(), v, v + n);
 }
 
 Column Column::Permute(const std::vector<size_t>& perm) const {
   Column out(type_);
   if (is_numeric()) {
-    out.numeric_.reserve(perm.size());
-    for (size_t src : perm) out.numeric_.push_back(numeric_[src]);
+    out.numeric_->reserve(perm.size());
+    for (size_t src : perm) out.numeric_->push_back((*numeric_)[src]);
   } else {
     out.dict_ = dict_;
-    out.codes_.reserve(perm.size());
-    for (size_t src : perm) out.codes_.push_back(codes_[src]);
+    out.codes_->reserve(perm.size());
+    for (size_t src : perm) out.codes_->push_back((*codes_)[src]);
   }
   return out;
 }

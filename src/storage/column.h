@@ -1,6 +1,13 @@
 // Columnar storage. A Column is either numeric (vector<double>) or
 // categorical (vector<int32_t> codes plus a shared Dictionary mapping
 // code -> string). All rows are dense; PS3's query scope has no NULLs.
+//
+// Value buffers are held by shared_ptr, so copying a Column shares the
+// underlying data instead of duplicating it — the io layer's column-
+// granular partition cache assembles scan views from cached segments
+// with pointer copies, not memcpys. Appends are a build-time operation:
+// they must only run while the column still exclusively owns its buffer
+// (asserted), after which columns are treated as immutable.
 #ifndef PS3_STORAGE_COLUMN_H_
 #define PS3_STORAGE_COLUMN_H_
 
@@ -48,7 +55,7 @@ class Column {
   bool is_numeric() const { return type_ == ColumnType::kNumeric; }
 
   size_t size() const {
-    return is_numeric() ? numeric_.size() : codes_.size();
+    return is_numeric() ? numeric_->size() : codes_->size();
   }
 
   void AppendNumeric(double v);
@@ -60,21 +67,23 @@ class Column {
   /// Every code must be a valid index into the column's dictionary.
   void AppendCodes(const int32_t* v, size_t n);
 
-  double NumericAt(size_t row) const { return numeric_[row]; }
-  int32_t CodeAt(size_t row) const { return codes_[row]; }
+  double NumericAt(size_t row) const { return (*numeric_)[row]; }
+  int32_t CodeAt(size_t row) const { return (*codes_)[row]; }
   const std::string& StringAt(size_t row) const {
-    return dict_->ValueOf(codes_[row]);
+    return dict_->ValueOf((*codes_)[row]);
   }
 
-  const std::vector<double>& numeric_data() const { return numeric_; }
-  const std::vector<int32_t>& codes() const { return codes_; }
+  const std::vector<double>& numeric_data() const { return *numeric_; }
+  const std::vector<int32_t>& codes() const { return *codes_; }
 
   /// Raw contiguous views for vectorized kernels. `row` must be <= size();
   /// the returned pointer covers rows [row, size()).
   const double* NumericSpan(size_t row = 0) const {
-    return numeric_.data() + row;
+    return numeric_->data() + row;
   }
-  const int32_t* CodeSpan(size_t row = 0) const { return codes_.data() + row; }
+  const int32_t* CodeSpan(size_t row = 0) const {
+    return codes_->data() + row;
+  }
   Dictionary* dict() { return dict_.get(); }
   const Dictionary* dict() const { return dict_.get(); }
   /// Shared ownership of the dictionary (null for numeric columns); lets
@@ -85,7 +94,8 @@ class Column {
   /// code as a double for categoricals (codes preserve insertion order, not
   /// lexicographic order; layouts only need a deterministic order).
   double SortKeyAt(size_t row) const {
-    return is_numeric() ? numeric_[row] : static_cast<double>(codes_[row]);
+    return is_numeric() ? (*numeric_)[row]
+                        : static_cast<double>((*codes_)[row]);
   }
 
   /// Returns a column with rows reordered as out[i] = in[perm[i]].
@@ -96,8 +106,11 @@ class Column {
   explicit Column(ColumnType type);
 
   ColumnType type_;
-  std::vector<double> numeric_;
-  std::vector<int32_t> codes_;
+  /// Never null for their type (a numeric column always has a numeric_
+  /// buffer, a categorical always has codes_); shared with every copy of
+  /// this column.
+  std::shared_ptr<std::vector<double>> numeric_;
+  std::shared_ptr<std::vector<int32_t>> codes_;
   std::shared_ptr<Dictionary> dict_;
 };
 

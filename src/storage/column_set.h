@@ -1,0 +1,75 @@
+// The column-projection hint that flows from the query compiler down to
+// whatever holds a partition's bytes. A ColumnSet names the columns a
+// scan will actually read (predicate columns + aggregate-expression
+// columns + GROUP BY columns); out-of-core sources use it to seek and
+// decode only those segments instead of rehydrating whole partitions.
+//
+// The hint is a *contract*, not advice: a source that prunes by it may
+// hand back a partition whose unrequested columns are empty, so the set
+// must cover every column the scan touches. It never affects answers —
+// requested columns rehydrate bit-identical either way — only bytes
+// moved. An empty set is valid (COUNT(*) with no predicate reads no
+// column at all; row counts come from partition metadata).
+#ifndef PS3_STORAGE_COLUMN_SET_H_
+#define PS3_STORAGE_COLUMN_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace ps3::storage {
+
+class ColumnSet {
+ public:
+  /// Every column (the no-pruning default; Contains is true for any
+  /// index, so it is valid for any arity).
+  static ColumnSet All() {
+    ColumnSet s;
+    s.all_ = true;
+    return s;
+  }
+
+  /// Exactly the given columns (sorted, deduplicated). An empty vector
+  /// means "no columns".
+  static ColumnSet Of(std::vector<size_t> cols) {
+    ColumnSet s;
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    s.cols_ = std::move(cols);
+    return s;
+  }
+
+  bool is_all() const { return all_; }
+
+  bool Contains(size_t col) const {
+    return all_ || std::binary_search(cols_.begin(), cols_.end(), col);
+  }
+
+  /// Sorted member columns; only meaningful when !is_all().
+  const std::vector<size_t>& columns() const { return cols_; }
+
+  /// Concrete ascending index list for a table of `num_columns` columns:
+  /// every index for All(), otherwise the members below `num_columns`.
+  std::vector<size_t> Resolve(size_t num_columns) const {
+    if (all_) {
+      std::vector<size_t> out(num_columns);
+      std::iota(out.begin(), out.end(), 0);
+      return out;
+    }
+    std::vector<size_t> out;
+    out.reserve(cols_.size());
+    for (size_t c : cols_) {
+      if (c < num_columns) out.push_back(c);
+    }
+    return out;
+  }
+
+ private:
+  bool all_ = false;
+  std::vector<size_t> cols_;  ///< sorted, unique; empty when all_
+};
+
+}  // namespace ps3::storage
+
+#endif  // PS3_STORAGE_COLUMN_SET_H_

@@ -7,10 +7,17 @@
 // Acquire returns a *pinned* partition: a scan-ready view plus an
 // ownership token that keeps the backing memory alive (and, for cached
 // sources, non-evictable) for the token's lifetime. Resident sources pin
-// nothing; cold sources pin a cache entry. Because the view is the same
+// nothing; cold sources pin cache entries. Because the view is the same
 // storage::Partition type either way, every kernel, accumulator, and
 // reduction runs identically — which is what makes cold-scan answers
 // bit-exact with resident-scan answers.
+//
+// Acquire and WillScanShard carry the scan's ColumnSet hint (computed by
+// query/compiler from the compiled query): the set of columns the scan
+// will actually touch. Out-of-core sources read and stage only those
+// column segments; a pruned acquire may hand back a view whose
+// unreferenced columns are empty, so the hint must cover every column
+// the caller reads. Pruning affects bytes moved, never answers.
 #ifndef PS3_STORAGE_PARTITION_SOURCE_H_
 #define PS3_STORAGE_PARTITION_SOURCE_H_
 
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/column_set.h"
 #include "storage/sharded_table.h"
 
 namespace ps3::storage {
@@ -55,18 +63,33 @@ class PartitionSource {
 
   /// Pins partition `global_index` for scanning. May block (cold load).
   /// Thread-safe: the fan-out calls this from concurrent pool lanes.
-  virtual Result<PinnedPartition> Acquire(size_t global_index) const = 0;
+  /// `columns` is the projection contract: the caller promises to touch
+  /// only those columns, and the source may leave the rest empty.
+  virtual Result<PinnedPartition> Acquire(size_t global_index,
+                                          const ColumnSet& columns) const = 0;
+
+  /// Unhinted acquire: every column materialized.
+  Result<PinnedPartition> Acquire(size_t global_index) const {
+    return Acquire(global_index, ColumnSet::All());
+  }
 
   /// Advisory: the scan cursor has entered shard `s` (fired once per
-  /// shard per scan, from whichever lane gets there first). Out-of-core
-  /// sources use it to stage the next shard's partitions ahead of the
-  /// scan; it must not affect results, only timing.
-  virtual void WillScanShard(size_t s) const { (void)s; }
+  /// shard per scan, from whichever lane gets there first), and will read
+  /// only `columns`. Out-of-core sources use it to stage upcoming shards'
+  /// column segments ahead of the scan; it must not affect results, only
+  /// timing.
+  virtual void WillScanShard(size_t s, const ColumnSet& columns) const {
+    (void)s;
+    (void)columns;
+  }
+
+  void WillScanShard(size_t s) const { WillScanShard(s, ColumnSet::All()); }
 };
 
 /// Resident adapter: a ShardedTable viewed as a PartitionSource. Acquire
-/// never fails and pins nothing (the table is borrowed, per the existing
-/// evaluator contract); WillScanShard is a no-op. The table must outlive
+/// never fails, pins nothing (the table is borrowed, per the existing
+/// evaluator contract), and ignores the column hint — every column is
+/// already resident; WillScanShard is a no-op. The table must outlive
 /// the source.
 class ResidentShardedSource : public PartitionSource {
  public:
@@ -78,9 +101,12 @@ class ResidentShardedSource : public PartitionSource {
   const std::vector<size_t>& shard(size_t s) const override {
     return table_.shard(s);
   }
-  Result<PinnedPartition> Acquire(size_t global_index) const override {
+  Result<PinnedPartition> Acquire(size_t global_index,
+                                  const ColumnSet& columns) const override {
+    (void)columns;
     return PinnedPartition(table_.partition(global_index));
   }
+  using PartitionSource::Acquire;
 
  private:
   const ShardedTable& table_;

@@ -29,6 +29,21 @@ Table Table::FromColumns(Schema schema, std::vector<Column> columns) {
   return out;
 }
 
+Table Table::FromPrunedColumns(Schema schema, std::vector<Column> columns,
+                               size_t num_rows) {
+  Table out(std::move(schema));
+  assert(columns.size() == out.schema_.num_columns());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    assert(columns[c].size() == 0 || columns[c].size() == num_rows);
+    assert((columns[c].type() == ColumnType::kNumeric) ==
+           out.schema_.IsNumeric(c));
+    (void)c;
+  }
+  out.columns_ = std::move(columns);
+  out.num_rows_ = num_rows;
+  return out;
+}
+
 Result<const Column*> Table::GetColumn(const std::string& name) const {
   auto idx = schema_.GetColumnIndex(name);
   if (!idx.ok()) return idx.status();

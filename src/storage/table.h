@@ -30,6 +30,13 @@ class Table {
   /// sizes must match the schema.
   static Table FromColumns(Schema schema, std::vector<Column> columns);
 
+  /// Like FromColumns, but for column-pruned rehydration: any column may
+  /// be *empty* (a scan that declared it unreferenced never touches it),
+  /// and the row count is supplied explicitly since column 0 may be one
+  /// of the pruned ones. Non-empty columns must hold exactly `num_rows`.
+  static Table FromPrunedColumns(Schema schema, std::vector<Column> columns,
+                                 size_t num_rows);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,8 +18,10 @@
 #include "io/partition_file.h"
 #include "io/partition_store.h"
 #include "io/prefetch_pipeline.h"
+#include "query/compiler.h"
 #include "query/evaluator.h"
 #include "runtime/query_scheduler.h"
+#include "storage/column_set.h"
 #include "storage/partition_source.h"
 #include "storage/sharded_table.h"
 #include "workload/datasets.h"
@@ -275,7 +278,9 @@ TEST(PartitionCache, EvictionKeepsBytesWithinBudget) {
   const io::CacheStats stats = (*store)->cache().stats();
   EXPECT_LE(stats.bytes_cached, opts.cache_budget_bytes);
   EXPECT_GT(stats.evictions, 0u);
-  EXPECT_EQ(stats.inserts, (*store)->num_partitions());
+  // Column-granular cache: one insert per (partition, column) segment.
+  EXPECT_EQ(stats.inserts,
+            (*store)->num_partitions() * (*store)->schema().num_columns());
   EXPECT_EQ(stats.bytes_pinned, 0u);
 }
 
@@ -297,15 +302,20 @@ TEST(PartitionCache, PinnedEntriesSurviveEviction) {
   auto pinned0 = (*store)->Fetch(0);
   ASSERT_TRUE(pinned0.ok());
   const double want = pinned0->view().NumericAt(0, 0);
+  const std::vector<size_t> all_cols =
+      storage::ColumnSet::All().Resolve((*store)->schema().num_columns());
   for (size_t p = 1; p < (*store)->num_partitions(); ++p) {
     ASSERT_TRUE((*store)->Fetch(p).ok());
-    // The pinned partition is never evicted and its view stays valid.
-    EXPECT_TRUE((*store)->cache().Contains(0));
+    // The pinned partition's segments are never evicted and its view
+    // stays valid.
+    EXPECT_TRUE((*store)->cache().ContainsAll(0, all_cols));
     EXPECT_EQ(pinned0->view().NumericAt(0, 0), want);
   }
   EXPECT_GT((*store)->cache().stats().evictions, 0u);
+  // Pinned bytes are the partition's *data* segments (format overhead —
+  // header/footer — is not cached).
   EXPECT_EQ((*store)->cache().stats().bytes_pinned,
-            (*store)->partition_bytes(0));
+            (*store)->columns_bytes(0, all_cols));
 
   // Releasing the pin drains the overshoot back under budget.
   pinned0 = Status::Internal("replaced");  // drop the pin
@@ -352,21 +362,244 @@ TEST(PrefetchPipeline, StagesPartitionsIntoCache) {
 
   runtime::QueryScheduler scheduler;
   io::PrefetchPipeline pipeline(store->get(), &scheduler);
+  const size_t n_cols = (*store)->schema().num_columns();
+  const std::vector<size_t> all_cols =
+      storage::ColumnSet::All().Resolve(n_cols);
   pipeline.Stage({0, 1, 2});
   pipeline.Drain();
-  EXPECT_TRUE((*store)->cache().Contains(0));
-  EXPECT_TRUE((*store)->cache().Contains(1));
-  EXPECT_TRUE((*store)->cache().Contains(2));
+  EXPECT_TRUE((*store)->cache().ContainsAll(0, all_cols));
+  EXPECT_TRUE((*store)->cache().ContainsAll(1, all_cols));
+  EXPECT_TRUE((*store)->cache().ContainsAll(2, all_cols));
   EXPECT_EQ(pipeline.stats().staged, 3u);
 
-  // A staged partition is a cache hit for the scan path.
+  // A staged partition is a cache hit for the scan path (one hit per
+  // column segment).
   const io::CacheStats before = (*store)->cache().stats();
   ASSERT_TRUE((*store)->Fetch(1).ok());
-  EXPECT_EQ((*store)->cache().stats().hits, before.hits + 1);
+  EXPECT_EQ((*store)->cache().stats().hits, before.hits + n_cols);
   // Restaging cached partitions is a no-op.
   pipeline.Stage({0, 1, 2});
   pipeline.Drain();
   EXPECT_EQ(pipeline.stats().skipped_cached, 3u);
+}
+
+// ------------------------------------------------------ column pruning
+
+std::vector<std::shared_ptr<storage::Dictionary>> SharedDicts(
+    const storage::Table& t) {
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
+      t.schema().num_columns());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsCategorical(c)) dicts[c] = t.column(c).dict_ptr();
+  }
+  return dicts;
+}
+
+TEST(PartitionFile, ColumnPrunedReadMatchesFullAndMovesFewerBytes) {
+  auto bundle = workload::MakeTpchStar(700, /*seed=*/47);
+  const storage::Table& t = *bundle.table;
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::WritePartitionFile(t, 0, t.num_rows(), PartPath(dir, 0)).ok());
+  auto dicts = SharedDicts(t);
+
+  size_t full_bytes = 0;
+  auto full = io::ReadPartitionColumns(PartPath(dir, 0), t.schema(), dicts,
+                                       storage::ColumnSet::All(),
+                                       &full_bytes);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  // Prune to two columns: one numeric, one categorical.
+  std::vector<size_t> keep;
+  for (size_t c = 0; c < t.schema().num_columns() && keep.size() < 2; ++c) {
+    if ((keep.empty() && t.schema().IsNumeric(c)) ||
+        (keep.size() == 1 && t.schema().IsCategorical(c))) {
+      keep.push_back(c);
+    }
+  }
+  ASSERT_EQ(keep.size(), 2u);
+  size_t pruned_bytes = 0;
+  auto pruned = io::ReadPartitionColumns(PartPath(dir, 0), t.schema(), dicts,
+                                         storage::ColumnSet::Of(keep),
+                                         &pruned_bytes);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_LT(pruned_bytes, full_bytes);
+
+  // Requested columns are bit-identical to the full read; unrequested
+  // columns are empty but correctly typed; the row count survives.
+  EXPECT_EQ(pruned->num_rows(), t.num_rows());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    const bool kept = std::find(keep.begin(), keep.end(), c) != keep.end();
+    if (!kept) {
+      EXPECT_EQ(pruned->column(c).size(), 0u) << "col " << c;
+      continue;
+    }
+    ASSERT_EQ(pruned->column(c).size(), t.num_rows());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (t.schema().IsNumeric(c)) {
+        uint64_t want, got;
+        double wv = full->column(c).NumericAt(r);
+        double gv = pruned->column(c).NumericAt(r);
+        std::memcpy(&want, &wv, sizeof(want));
+        std::memcpy(&got, &gv, sizeof(got));
+        ASSERT_EQ(want, got) << "col " << c << " row " << r;
+      } else {
+        ASSERT_EQ(pruned->column(c).CodeAt(r), full->column(c).CodeAt(r));
+      }
+    }
+  }
+}
+
+TEST(PartitionFile, PrunedReadVerifiesOnlyWhatItDecodes) {
+  auto bundle = workload::MakeAria(300, /*seed=*/49);
+  const storage::Table& t = *bundle.table;
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::WritePartitionFile(t, 0, t.num_rows(), PartPath(dir, 0)).ok());
+  auto dicts = SharedDicts(t);
+
+  // Corrupt a byte inside column 0's segment (the header is 20 bytes).
+  FlipByte(PartPath(dir, 0), 24);
+
+  // A read that requests column 0 must surface the checksum mismatch as
+  // a Status — never a wrong answer.
+  auto bad = io::ReadPartitionColumns(PartPath(dir, 0), t.schema(), dicts,
+                                      storage::ColumnSet::Of({0}));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("checksum"), std::string::npos)
+      << bad.status().ToString();
+
+  // A read that prunes column 0 away never decodes the corrupt bytes, so
+  // it succeeds — and its requested column is intact.
+  ASSERT_GE(t.schema().num_columns(), 2u);
+  auto good = io::ReadPartitionColumns(PartPath(dir, 0), t.schema(), dicts,
+                                       storage::ColumnSet::Of({1}));
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_EQ(good->column(1).size(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.schema().IsNumeric(1)) {
+      EXPECT_EQ(good->column(1).NumericAt(r), t.column(1).NumericAt(r));
+    } else {
+      EXPECT_EQ(good->column(1).CodeAt(r), t.column(1).CodeAt(r));
+    }
+  }
+}
+
+TEST(PartitionStore, PartialResidencyUpgradeFetchesOnlyMissingSegments) {
+  auto bundle = workload::MakeTpchStar(900, /*seed=*/53);
+  storage::PartitionedTable pt(bundle.table, 3);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok());
+  const size_t n_cols = (*store)->schema().num_columns();
+  ASSERT_GE(n_cols, 3u);
+
+  // First scan reads columns {0, 1}.
+  {
+    auto pinned = (*store)->Fetch(0, storage::ColumnSet::Of({0, 1}));
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  }
+  io::StoreStats after_first = (*store)->store_stats();
+  EXPECT_EQ(after_first.segments_loaded, 2u);
+  EXPECT_TRUE((*store)->cache().ContainsAll(0, {0, 1}));
+  EXPECT_FALSE((*store)->cache().Contains(io::ColumnKey{0, 2}));
+
+  // Second scan widens to {0, 1, 2}: only the missing segment loads.
+  auto pinned = (*store)->Fetch(0, storage::ColumnSet::Of({0, 1, 2}));
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  io::StoreStats after_second = (*store)->store_stats();
+  EXPECT_EQ(after_second.segments_loaded - after_first.segments_loaded, 1u);
+  EXPECT_GT(after_second.bytes_loaded, after_first.bytes_loaded);
+  EXPECT_TRUE((*store)->cache().ContainsAll(0, {0, 1, 2}));
+
+  // The upgraded view is bit-identical to the resident partition on
+  // every requested column.
+  const storage::Partition resident = pt.partition(0);
+  for (size_t c : {size_t{0}, size_t{1}, size_t{2}}) {
+    for (size_t r = 0; r < resident.num_rows(); ++r) {
+      if ((*store)->schema().IsNumeric(c)) {
+        uint64_t want, got;
+        double wv = resident.NumericAt(c, r);
+        double gv = pinned->view().NumericAt(c, r);
+        std::memcpy(&want, &wv, sizeof(want));
+        std::memcpy(&got, &gv, sizeof(got));
+        ASSERT_EQ(want, got) << "col " << c << " row " << r;
+      } else {
+        ASSERT_EQ(pinned->view().CodeAt(c, r), resident.CodeAt(c, r));
+      }
+    }
+  }
+}
+
+TEST(ColdScan, EvaluatorPrunesToReferencedColumns) {
+  auto bundle = workload::MakeTpchStar(2000, /*seed=*/59);
+  storage::PartitionedTable pt(bundle.table, 8);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok());
+  const size_t n_cols = (*store)->schema().num_columns();
+
+  query::Query q = CountSumQuery(*bundle.table);
+  const storage::ColumnSet refs =
+      query::ReferencedColumns(query::CompileQuery(q));
+  const size_t n_refs = refs.Resolve(n_cols).size();
+  ASSERT_LT(n_refs, n_cols) << "query must not reference every column";
+
+  io::ColdShardedSource cold(store->get(), 2);
+  auto cold_answers = query::EvaluateAllPartitions(q, cold, {});
+  // The scan loaded only the referenced segments of each partition...
+  EXPECT_EQ((*store)->store_stats().segments_loaded,
+            n_refs * (*store)->num_partitions());
+  // ...and the pruned answers are identical to the resident scan's.
+  auto resident = query::EvaluateAllPartitions(q, pt, {});
+  ExpectAnswersEqual(query::ExactAnswer(q, resident),
+                     query::ExactAnswer(q, cold_answers));
+
+  // COUNT(*) with no predicate references no columns at all: partition
+  // row counts come from the manifest, so zero new segments load.
+  const io::StoreStats before = (*store)->store_stats();
+  query::Query count_star;
+  count_star.aggregates.push_back(query::Aggregate::Count());
+  auto counted = query::EvaluateAllPartitions(count_star, cold, {});
+  EXPECT_EQ((*store)->store_stats().segments_loaded, before.segments_loaded);
+  auto expected = query::ExactAnswer(
+      count_star, query::EvaluateAllPartitions(count_star, pt, {}));
+  ExpectAnswersEqual(expected, query::ExactAnswer(count_star, counted));
+}
+
+TEST(PrefetchPipeline, AdaptiveDistanceWidensWhenLoadsLagScans) {
+  auto bundle = workload::MakeKdd(1200, /*seed=*/61);
+  storage::PartitionedTable pt(bundle.table, 12);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  io::PartitionStore::Options opts;
+  opts.simulated_load_delay_us = 20000;  // loads far slower than "scans"
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  runtime::QueryScheduler scheduler;
+  io::PrefetchPipeline pipeline(store->get(), &scheduler);
+  EXPECT_EQ(pipeline.stats().ahead_shards, 1u);  // no samples yet
+
+  const auto shards = storage::AssignShards(pt.num_partitions(), 12,
+                                            storage::ShardAssignment::kRange);
+  // First shard entry: fixed next-shard lookahead; draining it seeds the
+  // load-latency EWMA with the 20ms staging pass.
+  pipeline.StageAhead(shards, 0, storage::ColumnSet::All());
+  pipeline.Drain();
+  // Back-to-back shard entries (a scan far faster than the loads): the
+  // scan-interval EWMA collapses toward zero while loads stay at ~20ms,
+  // so the stage-ahead distance must widen beyond one shard. Many quick
+  // entries, so the EWMA (alpha 1/4) decays structurally — a few
+  // scheduler preemptions between iterations (sanitizer CI) can't hold
+  // it at the load latency.
+  for (int iter = 0; iter < 20; ++iter) {
+    pipeline.StageAhead(shards, 1 + (iter % 8), storage::ColumnSet::All());
+  }
+  EXPECT_GT(pipeline.stats().ahead_shards, 1u);
+  EXPECT_GT(pipeline.stats().staged, 2u);
+  pipeline.Drain();
+  EXPECT_EQ(pipeline.stats().load_errors, 0u);
 }
 
 // --------------------------------------------- cold scans, concurrency
