@@ -14,6 +14,7 @@
 
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "io/partition_file.h"
 
 namespace ps3::bench {
 
@@ -94,6 +95,36 @@ inline std::vector<size_t> BenchShardCounts() {
 /// share of the query set through a QueryScheduler on the shared pool.
 inline std::vector<size_t> BenchStreamCounts() {
   return EnvSizeList("PS3_STREAMS", {1, 2, 4});
+}
+
+/// Spill-time segment encodings exercised by the out-of-core benches
+/// (PS3_ENCODING, comma-separated "raw" / "bitpack" / "for_delta" /
+/// "auto"). Like every swept dimension, unknown names abort instead of
+/// silently shrinking the sweep.
+inline std::vector<io::EncodingMode> BenchEncodingModes() {
+  const char* v = std::getenv("PS3_ENCODING");
+  if (v == nullptr || *v == '\0') {
+    return {io::EncodingMode::kRaw, io::EncodingMode::kBitpack,
+            io::EncodingMode::kForDelta, io::EncodingMode::kAuto};
+  }
+  std::vector<io::EncodingMode> out;
+  std::string item;
+  for (const char* p = v;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      auto mode = io::ParseEncodingMode(item);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "PS3_ENCODING: %s\n",
+                     mode.status().message().c_str());
+        std::abort();
+      }
+      out.push_back(*mode);
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
 }
 
 /// Default bench scale: 100k rows over 400 partitions (the paper's 1000

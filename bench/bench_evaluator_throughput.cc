@@ -13,8 +13,10 @@
 // PS3_PARTS / PS3_TESTQ; pin sweep dimensions with PS3_THREADS /
 // PS3_SHARDS / PS3_STREAMS; PS3_IO=0 skips the out-of-core section,
 // PS3_IO_DELAY_US sets the simulated remote-store latency per cold load,
-// PS3_IO_MBPS the simulated link bandwidth for the pruning section, and
-// PS3_COLUMNS the wide table's numeric column count.
+// PS3_IO_MBPS the simulated link bandwidth for the pruning section,
+// PS3_COLUMNS the wide table's numeric column count, and PS3_ENCODING
+// pins the segment-encoding sweep (raw / bitpack / for_delta / auto:
+// on-disk bytes-per-row, encoded bytes read per row, cold rows/sec).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -157,7 +159,9 @@ void ExpectIdentical(const std::vector<ps3::query::PartitionAnswer>& a,
       if (it == b[p].end()) std::abort();
       for (size_t x = 0; x < accs.size(); ++x) {
         if (accs[x].sum != it->second[x].sum ||
-            accs[x].count != it->second[x].count) {
+            accs[x].count != it->second[x].count ||
+            accs[x].min != it->second[x].min ||
+            accs[x].max != it->second[x].max) {
           std::abort();
         }
       }
@@ -594,6 +598,100 @@ int main() {
           r.mode, wide, cols_total, cols_referenced, col_delay_us, mbps,
           r.secs, wide_rows_total / r.secs, r.bytes_per_row,
           i + 1 < col_rows.size() ? "," : "");
+    }
+  }
+  std::printf("  ],\n");
+
+  // Segment-encoding sweep (PS3_IO=0 skips; PS3_ENCODING pins modes):
+  // spill the same TPC-H table under each encoding policy and cold-scan
+  // it at a matched simulated link. The headline metrics: on-disk
+  // bytes-per-row (total and for the dictionary-coded columns, where the
+  // encodings act), *encoded* bytes read per row during the scan, and
+  // cold rows/sec — compression must buy bytes without costing scan
+  // throughput, since the decode runs through the AVX2 unpack kernels.
+  std::printf("  \"encoding_results\": [\n");
+  if (io_enabled) {
+    const size_t enc_delay_us =
+        bench::EnvSizeScalar("PS3_IO_DELAY_US", 1500, /*min_value=*/0);
+    const size_t enc_mbps =
+        bench::EnvSizeScalar("PS3_IO_MBPS", 1000, /*min_value=*/0);
+    const std::vector<io::EncodingMode> modes = bench::BenchEncodingModes();
+    const std::vector<query::Query> enc_queries(
+        queries.begin(),
+        queries.begin() + std::min<size_t>(queries.size(), 4));
+    const double enc_rows_total =
+        static_cast<double>(rows) * static_cast<double>(enc_queries.size());
+    std::vector<size_t> cat_cols;
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      if (table.schema().IsCategorical(c)) cat_cols.push_back(c);
+    }
+
+    for (size_t m = 0; m < modes.size(); ++m) {
+      char dir_tmpl[] = "/tmp/ps3_enc_benchXXXXXX";
+      if (mkdtemp(dir_tmpl) == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        std::abort();
+      }
+      io::PartitionStore::SpillOptions spill_opts;
+      spill_opts.encoding = modes[m];
+      auto spill_start = Clock::now();
+      if (!io::PartitionStore::Spill(table, dir_tmpl, spill_opts).ok()) {
+        std::abort();
+      }
+      const double spill_secs =
+          std::chrono::duration<double>(Clock::now() - spill_start).count();
+
+      io::PartitionStore::Options sopts;
+      sopts.simulated_load_delay_us = enc_delay_us;
+      sopts.simulated_load_bandwidth_mbps = enc_mbps;
+      auto probe_r = io::PartitionStore::Open(dir_tmpl, sopts);
+      if (!probe_r.ok()) std::abort();
+      sopts.cache_budget_bytes =
+          std::max<size_t>((*probe_r)->total_bytes() / 2, 1);
+      auto store_r = io::PartitionStore::Open(dir_tmpl, sopts);
+      if (!store_r.ok()) std::abort();
+      io::PartitionStore& store = **store_r;
+
+      size_t cat_disk_bytes = 0;
+      for (size_t p = 0; p < store.num_partitions(); ++p) {
+        cat_disk_bytes += store.encoded_columns_bytes(p, cat_cols);
+      }
+
+      io::ColdShardedSource cold(&store, /*num_shards=*/4);
+      query::ExecOptions eopts;
+      eopts.policy = query::ExecPolicy::kVectorized;
+      eopts.num_threads = static_cast<int>(wide);
+      eopts.simd = runtime::SimdLevel::kAuto;
+      // Correctness gate: every encoding's cold scan must be bit-exact
+      // with the resident scan before its bytes or seconds mean anything.
+      if (!enc_queries.empty()) {
+        ExpectIdentical(
+            query::EvaluateAllPartitions(enc_queries[0], table, eopts),
+            query::EvaluateAllPartitions(enc_queries[0], cold, eopts));
+      }
+      const uint64_t bytes_before = store.store_stats().bytes_loaded;
+      double secs = 0.0;
+      for (const auto& q : enc_queries) {
+        store.cache().Clear();
+        auto start = Clock::now();
+        auto answers = query::EvaluateAllPartitions(q, cold, eopts);
+        secs += std::chrono::duration<double>(Clock::now() - start).count();
+        if (answers.empty()) std::abort();
+      }
+      const uint64_t bytes_moved =
+          store.store_stats().bytes_loaded - bytes_before;
+      std::printf(
+          "    {\"encoding\": \"%s\", \"threads\": %zu, \"delay_us\": %zu, "
+          "\"bandwidth_mbps\": %zu, \"spill_seconds\": %.4f, "
+          "\"disk_bytes_per_row\": %.2f, \"cat_disk_bytes_per_row\": %.2f, "
+          "\"bytes_read_per_row\": %.2f, \"seconds\": %.4f, "
+          "\"rows_per_sec\": %.3e}%s\n",
+          io::EncodingModeName(modes[m]), wide, enc_delay_us, enc_mbps,
+          spill_secs,
+          static_cast<double>(store.total_bytes()) / static_cast<double>(rows),
+          static_cast<double>(cat_disk_bytes) / static_cast<double>(rows),
+          static_cast<double>(bytes_moved) / enc_rows_total, secs,
+          enc_rows_total / secs, m + 1 < modes.size() ? "," : "");
     }
   }
   std::printf("  ],\n");

@@ -41,8 +41,12 @@ namespace ps3::io {
 
 /// An immutable, scan-ready column segment rehydrated from disk: one
 /// column of one partition, buffer shared with every pin. `bytes` is the
-/// segment's on-disk length (raw fixed-width values, so in-memory size
-/// tracks it closely) — the cache accounting unit. Row counts live on
+/// segment's *decoded* length (rows x fixed value width) — the cache
+/// accounting unit, because that is what the entry occupies in memory.
+/// Segments spill compressed, so the encoded on-disk length can be far
+/// smaller; it is the store's accounting unit (bytes_read, bandwidth
+/// model, read-ahead budget), never the cache's — otherwise compression
+/// would silently inflate effective cache capacity. Row counts live on
 /// the store's manifest (part_rows_), not here.
 struct CachedColumn {
   CachedColumn(storage::Column c, size_t bytes_)

@@ -17,7 +17,8 @@ namespace ps3::io {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x4D335350;  // "PS3M"
-constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestVersionV1 = 1;
 constexpr const char* kManifestName = "manifest.ps3m";
 
 std::string JoinPath(const std::string& dir, const std::string& name) {
@@ -46,18 +47,27 @@ std::string PartitionStore::PartitionPath(size_t i) const {
 
 Status PartitionStore::Spill(const storage::PartitionedTable& table,
                              const std::string& dir) {
+  return Spill(table, dir, SpillOptions{});
+}
+
+Status PartitionStore::Spill(const storage::PartitionedTable& table,
+                             const std::string& dir,
+                             const SpillOptions& spill) {
   PS3_RETURN_IF_ERROR(EnsureDir(dir));
   const storage::Table& t = table.table();
   const storage::Schema& schema = t.schema();
   const size_t n_parts = table.num_partitions();
 
   std::vector<uint64_t> part_bytes(n_parts);
+  std::vector<std::vector<size_t>> part_col_bytes(n_parts);
   for (size_t i = 0; i < n_parts; ++i) {
     const storage::Partition p = table.partition(i);
-    auto bytes = WritePartitionFile(t, p.begin_row(), p.end_row(),
-                                    PartitionFilePath(dir, i));
-    if (!bytes.ok()) return bytes.status();
-    part_bytes[i] = *bytes;
+    auto info = WritePartitionFile(t, p.begin_row(), p.end_row(),
+                                   PartitionFilePath(dir, i),
+                                   spill.encoding);
+    if (!info.ok()) return info.status();
+    part_bytes[i] = info->file_bytes;
+    part_col_bytes[i] = std::move(info->column_bytes);
   }
 
   BinaryWriter w;
@@ -73,6 +83,12 @@ Status PartitionStore::Spill(const storage::PartitionedTable& table,
   for (size_t i = 0; i < n_parts; ++i) {
     w.PutU64(table.partition_rows(i));
     w.PutU64(part_bytes[i]);
+    // v2: per-column *encoded* segment sizes, so disk-byte accounting
+    // (bandwidth model, read-ahead budget, bytes_read expectations)
+    // never has to reopen partition footers.
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      w.PutU64(part_col_bytes[i][c]);
+    }
   }
   // Dictionaries in code order: GetOrAdd on load reassigns the identical
   // codes, so spilled code segments keep their meaning.
@@ -111,7 +127,8 @@ Result<std::unique_ptr<PartitionStore>> PartitionStore::Open(
   auto magic = r.GetU32();
   auto version = r.GetU32();
   if (!magic.ok() || *magic != kManifestMagic) return corrupt("bad magic");
-  if (!version.ok() || *version != kManifestVersion) {
+  if (!version.ok() || (*version != kManifestVersion &&
+                        *version != kManifestVersionV1)) {
     return corrupt("unsupported version");
   }
   auto num_rows = r.GetU64();
@@ -133,6 +150,7 @@ Result<std::unique_ptr<PartitionStore>> PartitionStore::Open(
   auto n_parts = r.GetU32();
   if (!n_parts.ok()) return corrupt("truncated partition map");
   std::vector<size_t> part_rows(*n_parts), part_bytes(*n_parts);
+  std::vector<std::vector<size_t>> part_col_bytes(*n_parts);
   uint64_t total_rows = 0;
   for (uint32_t i = 0; i < *n_parts; ++i) {
     auto rows = r.GetU64();
@@ -141,6 +159,20 @@ Result<std::unique_ptr<PartitionStore>> PartitionStore::Open(
     part_rows[i] = static_cast<size_t>(*rows);
     part_bytes[i] = static_cast<size_t>(*bytes);
     total_rows += *rows;
+    part_col_bytes[i].resize(schema.num_columns());
+    if (*version == kManifestVersionV1) {
+      // v1 spills are raw-only, so encoded == decoded segment sizes.
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        part_col_bytes[i][c] =
+            ColumnSegmentBytes(schema, c, part_rows[i]);
+      }
+    } else {
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        auto col_bytes = r.GetU64();
+        if (!col_bytes.ok()) return corrupt("truncated partition map");
+        part_col_bytes[i][c] = static_cast<size_t>(*col_bytes);
+      }
+    }
   }
   if (total_rows != *num_rows) return corrupt("partition rows don't sum");
 
@@ -162,13 +194,14 @@ Result<std::unique_ptr<PartitionStore>> PartitionStore::Open(
 
   return std::unique_ptr<PartitionStore>(new PartitionStore(
       dir, options, std::move(schema), *num_rows, std::move(part_rows),
-      std::move(part_bytes), std::move(dicts)));
+      std::move(part_bytes), std::move(part_col_bytes), std::move(dicts)));
 }
 
 PartitionStore::PartitionStore(
     std::string dir, Options options, storage::Schema schema,
     uint64_t num_rows, std::vector<size_t> part_rows,
     std::vector<size_t> part_bytes,
+    std::vector<std::vector<size_t>> part_col_bytes,
     std::vector<std::shared_ptr<storage::Dictionary>> dicts)
     : dir_(std::move(dir)),
       options_(options),
@@ -176,6 +209,7 @@ PartitionStore::PartitionStore(
       num_rows_(num_rows),
       part_rows_(std::move(part_rows)),
       part_bytes_(std::move(part_bytes)),
+      part_col_bytes_(std::move(part_col_bytes)),
       dicts_(std::move(dicts)),
       cache_(options.cache_budget_bytes) {
   for (size_t b : part_bytes_) total_bytes_ += b;
@@ -192,14 +226,27 @@ size_t PartitionStore::columns_bytes(size_t i,
   return total;
 }
 
+size_t PartitionStore::encoded_column_bytes(size_t i, size_t col) const {
+  return part_col_bytes_[i][col];
+}
+
+size_t PartitionStore::encoded_columns_bytes(
+    size_t i, const std::vector<size_t>& cols) const {
+  size_t total = 0;
+  for (size_t c : cols) total += encoded_column_bytes(i, c);
+  return total;
+}
+
 Result<std::vector<std::shared_ptr<const CachedColumn>>>
 PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols) {
   // The latency model sleeps *before* the read, like a request round
-  // trip; the bandwidth term scales with the bytes this pruned pass will
-  // actually move, so narrower reads finish sooner.
+  // trip; the bandwidth term scales with the *encoded* bytes this pruned
+  // pass will actually move — compressed segments cross the simulated
+  // link at their on-disk size, so narrower *and denser* reads finish
+  // sooner.
   size_t delay_us = options_.simulated_load_delay_us;
   if (options_.simulated_load_bandwidth_mbps > 0) {
-    delay_us += columns_bytes(i, cols) * 8 /
+    delay_us += encoded_columns_bytes(i, cols) * 8 /
                 options_.simulated_load_bandwidth_mbps;
   }
   if (delay_us > 0) {
@@ -218,7 +265,9 @@ PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols) {
   out.reserve(cols.size());
   for (size_t c : cols) {
     // Column copies share the decoded buffer; the discarded table was
-    // just the decode vehicle.
+    // just the decode vehicle. The cache is charged the *decoded* size
+    // (column_bytes) — what the entry actually occupies in memory — not
+    // the smaller encoded size the disk read reported.
     out.push_back(std::make_shared<const CachedColumn>(
         table->column(c), column_bytes(i, c)));
   }

@@ -40,6 +40,7 @@
 
 #include "common/status.h"
 #include "io/partition_cache.h"
+#include "io/partition_file.h"
 #include "storage/column_set.h"
 #include "storage/partition_source.h"
 #include "storage/table.h"
@@ -76,10 +77,19 @@ class PartitionStore {
     size_t simulated_load_bandwidth_mbps = 0;
   };
 
+  struct SpillOptions {
+    /// Per-segment encoding policy handed to WritePartitionFile: kAuto
+    /// lets the picker choose per column segment; forced modes exist
+    /// for the bench's encoding sweep.
+    EncodingMode encoding = EncodingMode::kAuto;
+  };
+
   /// Writes every partition of `table` plus the manifest under `dir`
   /// (created if absent). Overwrites a previous spill of the same shape.
   static Status Spill(const storage::PartitionedTable& table,
                       const std::string& dir);
+  static Status Spill(const storage::PartitionedTable& table,
+                      const std::string& dir, const SpillOptions& spill);
 
   /// Opens a spilled directory: reads + verifies the manifest (schema,
   /// partition map, dictionaries). Partition files are read lazily.
@@ -93,11 +103,21 @@ class PartitionStore {
   /// On-disk byte size of partition `i`'s whole file (segments + format
   /// overhead).
   size_t partition_bytes(size_t i) const { return part_bytes_[i]; }
-  /// Byte size of one column segment of partition `i` — the column-
-  /// granular cache/read-ahead accounting unit.
+  /// *Decoded* byte size of one column segment of partition `i` — the
+  /// cache-budget accounting unit (a cached column costs its rehydrated
+  /// size no matter how small its encoded form was on disk, so
+  /// compression never silently inflates effective cache capacity).
   size_t column_bytes(size_t i, size_t col) const;
   /// Sum of column_bytes over `cols` (concrete indices).
   size_t columns_bytes(size_t i, const std::vector<size_t>& cols) const;
+  /// *Encoded* (on-disk) byte size of one column segment of partition
+  /// `i`, from the manifest — the unit for bytes_read expectations, the
+  /// simulated bandwidth model, and the prefetch read-ahead budget.
+  /// v1 manifests carry no per-segment sizes; raw sizes are assumed.
+  size_t encoded_column_bytes(size_t i, size_t col) const;
+  /// Sum of encoded_column_bytes over `cols` (concrete indices).
+  size_t encoded_columns_bytes(size_t i,
+                               const std::vector<size_t>& cols) const;
   size_t total_bytes() const { return total_bytes_; }
   const std::string& dir() const { return dir_; }
 
@@ -135,6 +155,7 @@ class PartitionStore {
   PartitionStore(std::string dir, Options options, storage::Schema schema,
                  uint64_t num_rows, std::vector<size_t> part_rows,
                  std::vector<size_t> part_bytes,
+                 std::vector<std::vector<size_t>> part_col_bytes,
                  std::vector<std::shared_ptr<storage::Dictionary>> dicts);
 
   /// RAII owner of a batch of single-flight loading marks: erases them
@@ -181,6 +202,9 @@ class PartitionStore {
   const uint64_t num_rows_;
   const std::vector<size_t> part_rows_;
   const std::vector<size_t> part_bytes_;
+  /// part_col_bytes_[i][c] = encoded payload bytes of partition i's
+  /// column-c segment (manifest v2; derived raw sizes for v1).
+  const std::vector<std::vector<size_t>> part_col_bytes_;
   size_t total_bytes_ = 0;
   /// Shared per-column dictionaries (null for numeric columns); every
   /// rehydrated categorical segment's column points at these.

@@ -87,7 +87,7 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
   // *missing hinted segments* charge the pool.
   struct Load {
     size_t part;
-    size_t bytes;  ///< reserved against the shared read-ahead budget
+    size_t bytes;  ///< *encoded* bytes reserved against the read-ahead pool
     /// Exactly the segments whose bytes were reserved: the task preloads
     /// these, not the whole hint — re-deriving the missing set at load
     /// time could pull in segments evicted since admission and overrun
@@ -96,15 +96,19 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
   };
   std::vector<Load> to_load;
   to_load.reserve(parts.size());
-  // Effective budget: the configured read-ahead cap, further bounded by
-  // what the cache can actually *retain* — staging past the cache budget
-  // just evicts read-ahead before the scan reaches it (wasted loads that
-  // still occupy lanes). Headroom is sampled once per Stage call;
-  // advisory, like everything here.
+  // Two admission tests in two different units, because compression
+  // split them: the shared read-ahead pool meters *encoded* bytes (what
+  // the disk/link actually moves — the thing read-ahead IO pressure is
+  // made of), while the cache-retention bound meters *decoded* bytes
+  // (what a staged segment occupies once it lands — staging past the
+  // cache budget just evicts read-ahead before the scan reaches it).
+  // Charging the cache bound at encoded size would let compressed
+  // segments overcommit the cache by their compression ratio. Headroom
+  // is sampled once per Stage call; advisory, like everything here.
   const size_t cache_budget = store_->cache().budget_bytes();
   const size_t cached = store_->cache().bytes_cached();
   const size_t headroom = cache_budget > cached ? cache_budget - cached : 0;
-  const size_t budget = std::min(options_.readahead_bytes, headroom);
+  size_t decoded_admitted = 0;
   const std::vector<size_t> hinted =
       columns.Resolve(store_->schema().num_columns());
   for (size_t p : parts) {
@@ -117,10 +121,15 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
       skipped_cached_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    const size_t bytes = store_->columns_bytes(p, missing);
+    const size_t decoded = store_->columns_bytes(p, missing);
+    if (decoded_admitted + decoded > headroom) {
+      skipped_budget_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const size_t bytes = store_->encoded_columns_bytes(p, missing);
     size_t cur = inflight_bytes_.load(std::memory_order_relaxed);
     bool admitted = false;
-    while (cur + bytes <= budget) {
+    while (cur + bytes <= options_.readahead_bytes) {
       if (inflight_bytes_.compare_exchange_weak(cur, cur + bytes,
                                                 std::memory_order_relaxed)) {
         admitted = true;
@@ -131,6 +140,7 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
       skipped_budget_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    decoded_admitted += decoded;
     to_load.push_back(Load{p, bytes, std::move(missing)});
   }
   if (to_load.empty()) return;

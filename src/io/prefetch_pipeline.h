@@ -28,8 +28,11 @@
 // The read-ahead budget is byte-accounted at *column-segment*
 // granularity and *shared*: every query prefetching through one pipeline
 // draws from the same in-flight byte pool, so N concurrent cold queries
-// can't multiply read-ahead memory by N. Segments that don't fit the
-// remaining budget are skipped, not queued — they'll be demand-loaded by
+// can't multiply read-ahead memory by N. Since segments spill compressed,
+// admission runs in two units: the shared pool meters *encoded* bytes
+// (disk/link traffic), the cache-headroom bound meters *decoded* bytes
+// (resident footprint once a staged segment lands). Segments that don't
+// fit either budget are skipped, not queued — they'll be demand-loaded by
 // the scan; prefetch is advisory and never affects answers, only timing.
 // Staging errors are likewise swallowed (counted in stats): the demand
 // path surfaces real errors.
@@ -56,8 +59,11 @@ namespace ps3::io {
 class PrefetchPipeline {
  public:
   struct Options {
-    /// Cap on bytes staged-but-not-yet-inserted across *all* queries
-    /// sharing this pipeline.
+    /// Cap on *encoded* (on-disk) bytes staged-but-not-yet-inserted
+    /// across *all* queries sharing this pipeline — the read-ahead IO
+    /// pool meters what the disk/link actually moves. The decoded
+    /// footprint of staged segments is bounded separately by the
+    /// store's cache headroom.
     size_t readahead_bytes = size_t{64} << 20;
     /// Worker-pool lanes a staging task may fan its loads across. Loads
     /// are latency-bound (they sleep through the simulated store RTT), so

@@ -124,11 +124,16 @@ PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
                       : s->be.EvalExprAt(cq.aggregates[a].expr, part, r);
   };
 
-  // ---- single-group fast path (no GROUP BY): bulk count + ordered sum.
+  // ---- single-group fast path (no GROUP BY): bulk count + ordered sum;
+  // MIN/MAX reduce through the lane-parallel gather kernels when the
+  // aggregate is unfiltered over dense-materialized values (extrema are
+  // order-insensitive on NaN-free data, so lanes are safe where SUM
+  // would not be — see runtime/simd.h).
   if (cq.group_by.empty()) {
     auto [it, inserted] = answer.try_emplace(GroupKey{});
     (void)inserted;
     it->second.resize(n_aggs);
+    bool rows_built = false;
     for (size_t a = 0; a < n_aggs; ++a) {
       const CompiledAggregate& ca = cq.aggregates[a];
       const SelectionBitmap& eff =
@@ -146,6 +151,35 @@ PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
               [&](size_t r) { sum += s->be.EvalExprAt(ca.expr, part, r); });
         }
         acc.sum = sum;
+        if (ca.func == AggFunc::kMin || ca.func == AggFunc::kMax) {
+#if defined(__x86_64__) || defined(__i386__)
+          if (!ca.has_filter && dense_expr && s->be.use_avx2()) {
+            if (!rows_built) {
+              s->row_idx.resize(selected);
+              size_t w = 0;
+              s->main.ForEachSetBit([&](size_t r) {
+                s->row_idx[w++] = static_cast<uint32_t>(r);
+              });
+              rows_built = true;
+            }
+            double mn = runtime::MinGatherAvx2(s->agg_ptr[a],
+                                               s->row_idx.data(), selected);
+            double mx = runtime::MaxGatherAvx2(s->agg_ptr[a],
+                                               s->row_idx.data(), selected);
+            // Canonicalizing the reduced extrema (not each lane) is
+            // equivalent to the scalar per-row fold: signed zeros only
+            // ever tie with each other.
+            if (mn == 0.0) mn = 0.0;
+            if (mx == 0.0) mx = 0.0;
+            if (mn < acc.min) acc.min = mn;
+            if (mx > acc.max) acc.max = mx;
+          } else
+#endif
+          {
+            eff.ForEachSetBit(
+                [&](size_t r) { acc.FoldExtrema(expr_value(a, r)); });
+          }
+        }
       }
     }
     return answer;
@@ -160,7 +194,13 @@ PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
       if (ca.has_filter && !s->agg_bitmaps[a].Test(r)) continue;
       AggAccum& acc = accs[a];
       acc.count += 1.0;
-      if (ca.has_expr) acc.sum += expr_value(a, r);
+      if (ca.has_expr) {
+        const double v = expr_value(a, r);
+        acc.sum += v;
+        if (ca.func == AggFunc::kMin || ca.func == AggFunc::kMax) {
+          acc.FoldExtrema(v);
+        }
+      }
     }
   };
 
@@ -242,9 +282,16 @@ PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
         }
         std::vector<AggAccum>& accs = s->groups[static_cast<size_t>(slot)];
         for (size_t a = 0; a < n_aggs; ++a) {
+          const CompiledAggregate& ca = cq.aggregates[a];
           AggAccum& acc = accs[a];
           acc.count += 1.0;
-          if (cq.aggregates[a].has_expr) acc.sum += s->gathered[a][k];
+          if (ca.has_expr) {
+            const double v = s->gathered[a][k];
+            acc.sum += v;
+            if (ca.func == AggFunc::kMin || ca.func == AggFunc::kMax) {
+              acc.FoldExtrema(v);
+            }
+          }
         }
       }
       for (size_t id : s->touched) s->slot_of[id] = -1;
@@ -316,7 +363,13 @@ PartitionAnswer EvaluateOnPartition(const Query& query,
       if (agg.filter && !agg.filter->Matches(part, r)) continue;
       AggAccum& acc = it->second[a];
       acc.count += 1.0;
-      if (agg.expr) acc.sum += agg.expr->Eval(part, r);
+      if (agg.expr) {
+        const double v = agg.expr->Eval(part, r);
+        acc.sum += v;
+        if (agg.func == AggFunc::kMin || agg.func == AggFunc::kMax) {
+          acc.FoldExtrema(v);
+        }
+      }
     }
   }
   return answer;
@@ -505,6 +558,12 @@ double FinalizeAgg(AggFunc func, const AggAccum& acc) {
       return acc.count;
     case AggFunc::kAvg:
       return acc.count > 0.0 ? acc.sum / acc.count : 0.0;
+    case AggFunc::kMin:
+      // Accumulated extrema are already -0.0-canonicalized; an empty or
+      // weight-zeroed row set finalizes to 0.0, like AVG.
+      return acc.count > 0.0 ? acc.min : 0.0;
+    case AggFunc::kMax:
+      return acc.count > 0.0 ? acc.max : 0.0;
   }
   return 0.0;
 }

@@ -1,9 +1,10 @@
 // Exact per-partition query evaluation and weighted combination (§2.4).
 //
 // Each partition produces a PartitionAnswer: group key -> per-aggregate
-// (sum, count) accumulators. Weighted combination scales accumulators by
-// the partition weight and finalizes SUM/COUNT/AVG at the end, which makes
-// AVG correct under weighting (weighted sum / weighted count).
+// (sum, count, min, max) accumulators. Weighted combination scales
+// sum/count by the partition weight (extrema merge weight-free) and
+// finalizes SUM/COUNT/AVG/MIN/MAX at the end, which makes AVG correct
+// under weighting (weighted sum / weighted count).
 //
 // Two execution policies produce bit-identical answers:
 //  - kScalar: the reference row-at-a-time interpreter (predicate AST walk
@@ -20,6 +21,7 @@
 #define PS3_QUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -55,14 +57,35 @@ struct GroupKeyHash {
   }
 };
 
-/// Accumulator for one aggregate within one group.
+/// Accumulator for one aggregate within one group. Every path maintains
+/// sum/count; min/max are tracked only for kMin/kMax aggregates (gated
+/// on the function identically in all paths, so accumulators stay
+/// comparable across policies). Extrema updates canonicalize -0.0 to
+/// +0.0 before comparing, which makes the lane-parallel AVX2 reductions
+/// (whose tie resolution between signed zeros differs from the scalar
+/// `v < m` loop) bit-identical to the scalar reference.
 struct AggAccum {
   double sum = 0.0;
   double count = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
 
   void Add(const AggAccum& other, double weight) {
     sum += other.sum * weight;
     count += other.count * weight;
+    // Extrema merge weight-free: scaling a minimum by a partition weight
+    // is meaningless (MIN over a weighted union is still the smallest
+    // observed value). A partition where the aggregate matched no rows
+    // contributes the +/-inf identity and drops out.
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  /// Folds one expression value into the extrema (kMin/kMax paths only).
+  void FoldExtrema(double v) {
+    if (v == 0.0) v = 0.0;  // canonicalize -0.0, like EncodeGroupValue
+    if (v < min) min = v;
+    if (v > max) max = v;
   }
 };
 

@@ -27,6 +27,22 @@ Aggregate Aggregate::Avg(ExprPtr e, std::string name) {
   return a;
 }
 
+Aggregate Aggregate::Min(ExprPtr e, std::string name) {
+  Aggregate a;
+  a.func = AggFunc::kMin;
+  a.expr = std::move(e);
+  a.name = std::move(name);
+  return a;
+}
+
+Aggregate Aggregate::Max(ExprPtr e, std::string name) {
+  Aggregate a;
+  a.func = AggFunc::kMax;
+  a.expr = std::move(e);
+  a.name = std::move(name);
+  return a;
+}
+
 Aggregate Aggregate::SumCase(ExprPtr e, PredicatePtr filter,
                              std::string name) {
   Aggregate a;
@@ -61,9 +77,24 @@ std::string Query::ToString(const storage::Schema& schema) const {
   std::vector<std::string> sel;
   for (const auto& agg : aggregates) {
     std::string body = agg.expr ? agg.expr->ToString(schema) : "*";
-    const char* fn = agg.func == AggFunc::kSum
-                         ? "SUM"
-                         : (agg.func == AggFunc::kCount ? "COUNT" : "AVG");
+    const char* fn = "SUM";
+    switch (agg.func) {
+      case AggFunc::kSum:
+        fn = "SUM";
+        break;
+      case AggFunc::kCount:
+        fn = "COUNT";
+        break;
+      case AggFunc::kAvg:
+        fn = "AVG";
+        break;
+      case AggFunc::kMin:
+        fn = "MIN";
+        break;
+      case AggFunc::kMax:
+        fn = "MAX";
+        break;
+    }
     std::string s = StrFormat("%s(%s)", fn, body.c_str());
     if (agg.filter) s += " FILTER " + agg.filter->ToString(schema);
     sel.push_back(std::move(s));

@@ -12,11 +12,13 @@
 
 namespace ps3::query {
 
-enum class AggFunc { kSum, kCount, kAvg };
+enum class AggFunc { kSum, kCount, kAvg, kMin, kMax };
 
-/// One aggregate in the SELECT list. COUNT(*) leaves `expr` null.
+/// One aggregate in the SELECT list. COUNT(*) leaves `expr` null; every
+/// other function requires one (use the factories).
 /// `filter` implements the CASE-condition rewrite (§2.2): the aggregate
 /// only accumulates rows matching both the query predicate and `filter`.
+/// MIN/MAX over an empty row set finalize to 0.0, like AVG.
 struct Aggregate {
   AggFunc func = AggFunc::kSum;
   ExprPtr expr;
@@ -26,6 +28,8 @@ struct Aggregate {
   static Aggregate Sum(ExprPtr e, std::string name = "sum");
   static Aggregate Count(std::string name = "count");
   static Aggregate Avg(ExprPtr e, std::string name = "avg");
+  static Aggregate Min(ExprPtr e, std::string name = "min");
+  static Aggregate Max(ExprPtr e, std::string name = "max");
   static Aggregate SumCase(ExprPtr e, PredicatePtr filter,
                            std::string name = "sum_case");
 };

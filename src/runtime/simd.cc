@@ -128,6 +128,82 @@ __attribute__((target("avx2"))) double MaxGatherAvx2(const double* values,
   return m;
 }
 
+__attribute__((target("avx2"))) void BitUnpackAvx2(const uint8_t* packed,
+                                                   size_t n, unsigned width,
+                                                   uint32_t* out) {
+  const __m256i mask = _mm256_set1_epi64x(
+      width >= 64 ? -1 : static_cast<long long>((1ull << width) - 1));
+  // Lane k reads the 8 bytes containing value (i+k)'s first bit and
+  // shifts by the sub-byte remainder: a value of <= 32 bits starting
+  // anywhere inside a byte always fits those 8 bytes.
+  const uint64_t w = width;
+  __m256i bitpos = _mm256_set_epi64x(static_cast<long long>(3 * w),
+                                     static_cast<long long>(2 * w),
+                                     static_cast<long long>(w), 0);
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * w));
+  const __m256i seven = _mm256_set1_epi64x(7);
+  const __m256i compact = _mm256_set_epi32(0, 0, 0, 0, 6, 4, 2, 0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i bytes = _mm256_srli_epi64(bitpos, 3);
+    const __m256i shifts = _mm256_and_si256(bitpos, seven);
+    __m256i v = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(packed), bytes, 1);
+    v = _mm256_srlv_epi64(v, shifts);
+    v = _mm256_and_si256(v, mask);
+    const __m128i four = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(v, compact));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), four);
+    bitpos = _mm256_add_epi64(bitpos, step);
+  }
+  if (i < n) {
+    // Tail re-derives positions from i — identical bit arithmetic.
+    const uint64_t mask_s = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    for (; i < n; ++i) {
+      const size_t bit = i * w;
+      uint64_t word;
+      __builtin_memcpy(&word, packed + (bit >> 3), 8);
+      out[i] = static_cast<uint32_t>((word >> (bit & 7)) & mask_s);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void ForDeltaReconstructAvx2(
+    const uint32_t* zz, size_t n, uint32_t base, int32_t* out) {
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i carry = _mm256_set1_epi32(static_cast<int>(base));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i z = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(zz + i));
+    // Zigzag decode per lane: (z >> 1) ^ -(z & 1).
+    __m256i d = _mm256_xor_si256(
+        _mm256_srli_epi32(z, 1),
+        _mm256_sub_epi32(zero, _mm256_and_si256(z, one)));
+    // In-register inclusive prefix sum within each 128-bit half...
+    d = _mm256_add_epi32(d, _mm256_slli_si256(d, 4));
+    d = _mm256_add_epi32(d, _mm256_slli_si256(d, 8));
+    // ...then fold the low half's total into the high half: broadcast
+    // lane 3 everywhere and zero it out of the low half.
+    __m256i low_total =
+        _mm256_permutevar8x32_epi32(d, _mm256_set1_epi32(3));
+    low_total = _mm256_blend_epi32(zero, low_total, 0xF0);
+    d = _mm256_add_epi32(d, low_total);
+    const __m256i v = _mm256_add_epi32(d, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    carry = _mm256_permutevar8x32_epi32(v, _mm256_set1_epi32(7));
+  }
+  if (i < n) {
+    uint32_t v = static_cast<uint32_t>(
+        _mm256_extract_epi32(carry, 0));
+    for (; i < n; ++i) {
+      v += ZigzagDecode32(zz[i]);
+      out[i] = static_cast<int32_t>(v);
+    }
+  }
+}
+
 #endif  // x86
 
 }  // namespace ps3::runtime

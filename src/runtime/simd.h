@@ -84,6 +84,113 @@ inline double MaxGatherScalar(const double* values, const uint32_t* rows,
   return m;
 }
 
+// ---------------------------------------------------------------------
+// Segment-decode kernels (io/partition_file's compressed segments).
+//
+// Bit-packing layout: n values of `width` bits (1..32) are packed
+// LSB-first into a little-endian stream of 64-bit words; the payload is
+// padded to a whole number of words. Value i occupies bits
+// [i*width, (i+1)*width) of the stream. The scalar kernels are the
+// bit-exactness reference; the AVX2 unpack must produce identical
+// output for identical input.
+
+/// Packed payload size in bytes for n values at `width` bits: whole
+/// 64-bit words, zero-padded.
+inline size_t BitPackedBytes(size_t n, unsigned width) {
+  return ((n * width + 63) / 64) * 8;
+}
+
+/// Bits needed to represent v (>= 1 so a zero-valued segment still has a
+/// well-formed width).
+inline unsigned BitWidthForU32(uint32_t v) {
+  unsigned w = 1;
+  while (w < 32 && (v >> w) != 0) ++w;
+  return w;
+}
+
+/// Zigzag map for signed deltas: 0,-1,1,-2,2... -> 0,1,2,3,4..., so
+/// descending runs pack as tightly as ascending ones.
+inline uint32_t ZigzagEncode32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^
+         static_cast<uint32_t>(v >> 31);
+}
+
+inline uint32_t ZigzagDecode32(uint32_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+/// Packs n values at `width` bits into `out`, which must hold
+/// BitPackedBytes(n, width) zero-initialized bytes. Values must fit
+/// `width` bits. Write-path only; no SIMD variant (spill is
+/// once-per-table, decode is once-per-cold-scan).
+inline void BitPackScalar(const uint32_t* values, size_t n, unsigned width,
+                          uint8_t* out);
+
+/// Unpacks n values of `width` bits (1..32) from `packed`, which holds
+/// BitPackedBytes(n, width) bytes. Reads whole 64-bit words within the
+/// padded payload only — no slack needed.
+inline void BitUnpackScalar(const uint8_t* packed, size_t n, unsigned width,
+                            uint32_t* out);
+
+/// Frame-of-reference + delta reconstruction: out[i] =
+/// base + sum_{j<=i} zigzag_decode(zz[j]) in wrapping uint32 arithmetic,
+/// reinterpreted as int32. The encoder stores base = first value and
+/// zz[0] = 0, but any (base, deltas) pair decodes deterministically.
+inline void ForDeltaReconstructScalar(const uint32_t* zz, size_t n,
+                                      uint32_t base, int32_t* out) {
+  uint32_t v = base;
+  for (size_t i = 0; i < n; ++i) {
+    v += ZigzagDecode32(zz[i]);
+    out[i] = static_cast<int32_t>(v);
+  }
+}
+
+inline void BitPackScalar(const uint32_t* values, size_t n, unsigned width,
+                          uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t bit = i * width;
+    const size_t byte = bit >> 3;
+    const unsigned off = static_cast<unsigned>(bit & 7);
+    // Read-modify-write exactly the bytes this value spans (<= 5: 32
+    // bits plus 7 bits of misalignment); the value's last bit is inside
+    // the padded payload, so the span is too.
+    const size_t nbytes = (off + width + 7) >> 3;
+    uint64_t word = 0;
+    __builtin_memcpy(&word, out + byte, nbytes);
+    word |= static_cast<uint64_t>(values[i]) << off;
+    __builtin_memcpy(out + byte, &word, nbytes);
+  }
+}
+
+inline void BitUnpackScalar(const uint8_t* packed, size_t n, unsigned width,
+                            uint32_t* out) {
+  const uint64_t mask = (width >= 64) ? ~0ull : ((1ull << width) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t bit = i * width;
+    const size_t word_idx = bit >> 6;
+    const unsigned off = static_cast<unsigned>(bit & 63);
+    uint64_t lo;
+    __builtin_memcpy(&lo, packed + 8 * word_idx, 8);
+    uint64_t v = lo >> off;
+    if (off + width > 64) {
+      // The value straddles into the next word, which exists because the
+      // value's last bit lies inside the padded payload.
+      uint64_t hi;
+      __builtin_memcpy(&hi, packed + 8 * (word_idx + 1), 8);
+      v |= hi << (64 - off);
+    }
+    out[i] = static_cast<uint32_t>(v & mask);
+  }
+}
+
+/// Readable slack the AVX2 unpack kernel requires *past* the packed
+/// payload: it 64-bit-gathers at byte granularity, so the last values'
+/// loads reach up to 7 bytes beyond their final bit. Callers (the
+/// partition reader, tests) allocate payload + this; the garbage bits
+/// are masked off, only readability matters. Defined unconditionally so
+/// decode-buffer sizing is identical on every platform.
+constexpr size_t kBitUnpackSlackBytes = 8;
+
 #if defined(__x86_64__) || defined(__i386__)
 /// AVX2 gather kernel for the dictionary-coded IN-list probe (set sizes
 /// too large for the cmpeq chain): probes a per-dictionary membership
@@ -115,6 +222,19 @@ void GatherDoublesAvx2(const double* values, const uint32_t* rows, size_t n,
 /// where SUM would not be).
 double MinGatherAvx2(const double* values, const uint32_t* rows, size_t n);
 double MaxGatherAvx2(const double* values, const uint32_t* rows, size_t n);
+
+/// AVX2 BitUnpackScalar: 4 values per iteration via _mm256_i64gather at
+/// byte offsets + per-lane variable shifts. Bit-identical to the scalar
+/// reference (pure bit movement). `packed` must be readable for
+/// BitPackedBytes(n, width) + kBitUnpackSlackBytes bytes.
+void BitUnpackAvx2(const uint8_t* packed, size_t n, unsigned width,
+                   uint32_t* out);
+
+/// AVX2 ForDeltaReconstructScalar: zigzag-decodes 8 deltas per
+/// iteration and prefix-sums them in 32-bit lanes with a running carry.
+/// Wrapping integer arithmetic — bit-identical to the scalar reference.
+void ForDeltaReconstructAvx2(const uint32_t* zz, size_t n, uint32_t base,
+                             int32_t* out);
 #endif
 
 /// Resolves kAuto against the host CPU.

@@ -10,10 +10,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/serialize.h"
 #include "io/cold_source.h"
 #include "io/partition_file.h"
 #include "io/partition_store.h"
@@ -72,6 +75,38 @@ query::Query CountSumQuery(const storage::Table& t) {
   return q;
 }
 
+std::vector<std::shared_ptr<storage::Dictionary>> SharedDicts(
+    const storage::Table& t) {
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
+      t.schema().num_columns());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    if (t.schema().IsCategorical(c)) dicts[c] = t.column(c).dict_ptr();
+  }
+  return dicts;
+}
+
+/// Bitwise column-by-column comparison of a rehydrated partition table
+/// against rows [begin_row, begin_row + loaded.num_rows()) of `t`.
+void ExpectTableBitExact(const storage::Table& t, size_t begin_row,
+                         const storage::Table& loaded) {
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    for (size_t r = 0; r < loaded.num_rows(); ++r) {
+      if (t.schema().IsNumeric(c)) {
+        uint64_t want, got;
+        double wv = t.column(c).NumericAt(begin_row + r);
+        double gv = loaded.column(c).NumericAt(r);
+        std::memcpy(&want, &wv, sizeof(want));
+        std::memcpy(&got, &gv, sizeof(got));
+        ASSERT_EQ(want, got) << "col " << c << " row " << r;
+      } else {
+        ASSERT_EQ(loaded.column(c).CodeAt(r),
+                  t.column(c).CodeAt(begin_row + r))
+            << "col " << c << " row " << r;
+      }
+    }
+  }
+}
+
 void ExpectAnswersEqual(const query::QueryAnswer& a,
                         const query::QueryAnswer& b) {
   ASSERT_EQ(a.size(), b.size());
@@ -103,10 +138,10 @@ TEST(PartitionFile, RoundtripAllColumnsBitExact) {
   }
   for (size_t p = 0; p < pt.num_partitions(); ++p) {
     const storage::Partition part = pt.partition(p);
-    auto bytes = io::WritePartitionFile(t, part.begin_row(), part.end_row(),
-                                        PartPath(dir, p));
-    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
-    EXPECT_GT(*bytes, 0u);
+    auto info = io::WritePartitionFile(t, part.begin_row(), part.end_row(),
+                                       PartPath(dir, p));
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_GT(info->file_bytes, 0u);
 
     auto loaded = io::ReadPartitionFile(PartPath(dir, p), t.schema(), dicts);
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -175,6 +210,201 @@ TEST(PartitionFile, TruncatedFileIsDetected) {
       io::ReadPartitionFile(PartPath(dir, 0), t.schema(), dicts).ok());
 }
 
+// ------------------------------------------------------------ encodings
+
+TEST(PartitionFile, EncodingModesRoundtripBitExact) {
+  auto bundle = workload::MakeTpchStar(700, /*seed=*/57);
+  const storage::Table& t = *bundle.table;
+  auto dicts = SharedDicts(t);
+  const std::string dir = MakeSpillDir();
+
+  const io::EncodingMode kModes[] = {
+      io::EncodingMode::kRaw, io::EncodingMode::kBitpack,
+      io::EncodingMode::kForDelta, io::EncodingMode::kAuto};
+  size_t cat_payload_raw = 0;
+  size_t cat_payload_auto = 0;
+  for (io::EncodingMode mode : kModes) {
+    const std::string path = PartPath(dir, static_cast<size_t>(mode));
+    auto info = io::WritePartitionFile(t, 0, t.num_rows(), path, mode);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    ASSERT_EQ(info->encodings.size(), t.schema().num_columns());
+    ASSERT_EQ(info->column_bytes.size(), t.schema().num_columns());
+
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      if (t.schema().IsNumeric(c)) {
+        // Numeric segments spill raw under every mode.
+        EXPECT_EQ(info->encodings[c], io::SegmentEncoding::kRaw)
+            << "numeric col " << c << " under " << io::EncodingModeName(mode);
+        continue;
+      }
+      // Forced modes must take effect on every categorical segment
+      // (dictionary codes are never negative).
+      if (mode == io::EncodingMode::kRaw) {
+        EXPECT_EQ(info->encodings[c], io::SegmentEncoding::kRaw);
+        cat_payload_raw += info->column_bytes[c];
+      } else if (mode == io::EncodingMode::kBitpack) {
+        EXPECT_EQ(info->encodings[c], io::SegmentEncoding::kBitpack);
+      } else if (mode == io::EncodingMode::kForDelta) {
+        EXPECT_EQ(info->encodings[c], io::SegmentEncoding::kForDelta);
+      } else {
+        cat_payload_auto += info->column_bytes[c];
+      }
+    }
+
+    auto loaded = io::ReadPartitionFile(path, t.schema(), dicts);
+    ASSERT_TRUE(loaded.ok())
+        << io::EncodingModeName(mode) << ": " << loaded.status().ToString();
+    ASSERT_EQ(loaded->num_rows(), t.num_rows());
+    ExpectTableBitExact(t, 0, *loaded);
+  }
+  // The acceptance bar: dictionary-coded columns shrink at least 2x on
+  // disk under auto relative to raw 4-byte codes.
+  ASSERT_GT(cat_payload_raw, 0u);
+  EXPECT_LE(cat_payload_auto * 2, cat_payload_raw);
+}
+
+TEST(PartitionFile, BitFlipInEncodedPayloadIsDetected) {
+  auto bundle = workload::MakeAria(500, /*seed=*/59);
+  const storage::Table& t = *bundle.table;
+  auto dicts = SharedDicts(t);
+  const std::string dir = MakeSpillDir();
+
+  const io::EncodingMode kModes[] = {io::EncodingMode::kBitpack,
+                                     io::EncodingMode::kForDelta};
+  for (size_t m = 0; m < 2; ++m) {
+    const std::string path = PartPath(dir, m);
+    auto info = io::WritePartitionFile(t, 0, t.num_rows(), path, kModes[m]);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+    // Locate the first categorical column's *encoded* segment: segments
+    // are written back to back starting right after the 20-byte header.
+    size_t cat = t.schema().num_columns();
+    size_t offset = 20;
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      if (t.schema().IsCategorical(c)) {
+        cat = c;
+        break;
+      }
+      offset += info->column_bytes[c];
+    }
+    ASSERT_LT(cat, t.schema().num_columns());
+    ASSERT_NE(info->encodings[cat], io::SegmentEncoding::kRaw);
+    FlipByte(path, static_cast<long>(offset + 1));
+
+    // Decoding the corrupt encoded payload must fail the checksum before
+    // any unpacked value is used — a Status, never a wrong answer.
+    auto bad = io::ReadPartitionColumns(path, t.schema(), dicts,
+                                        storage::ColumnSet::Of({cat}));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("checksum"), std::string::npos)
+        << bad.status().ToString();
+    EXPECT_FALSE(io::ReadPartitionFile(path, t.schema(), dicts).ok());
+  }
+}
+
+TEST(PartitionFile, CorruptFooterMetadataIsDetected) {
+  auto bundle = workload::MakeAria(300, /*seed=*/61);
+  const storage::Table& t = *bundle.table;
+  auto dicts = SharedDicts(t);
+  const std::string dir = MakeSpillDir();
+  const size_t n_cols = t.schema().num_columns();
+  size_t cat = n_cols;
+  for (size_t c = 0; c < n_cols; ++c) {
+    if (t.schema().IsCategorical(c)) {
+      cat = c;
+      break;
+    }
+  }
+  ASSERT_LT(cat, n_cols);
+
+  // v2 footer entries are 35 bytes: type, encoding, bit_width, then
+  // offset / byte_len / checksum / base. The trailer is 12 bytes.
+  const size_t kEntry = 35;
+  const size_t kTrailer = 12;
+
+  {  // A flipped bit_width can never reach the decoder.
+    const std::string path = PartPath(dir, 0);
+    auto info =
+        io::WritePartitionFile(t, 0, t.num_rows(), path,
+                               io::EncodingMode::kBitpack);
+    ASSERT_TRUE(info.ok());
+    const size_t footer_off = info->file_bytes - kTrailer - n_cols * kEntry;
+    FlipByte(path, static_cast<long>(footer_off + cat * kEntry + 2));
+    auto bad = io::ReadPartitionColumns(path, t.schema(), dicts,
+                                        storage::ColumnSet::Of({cat}));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("bit width"), std::string::npos)
+        << bad.status().ToString();
+  }
+  {  // An unknown encoding tag is rejected at footer parse.
+    const std::string path = PartPath(dir, 1);
+    auto info =
+        io::WritePartitionFile(t, 0, t.num_rows(), path,
+                               io::EncodingMode::kBitpack);
+    ASSERT_TRUE(info.ok());
+    const size_t footer_off = info->file_bytes - kTrailer - n_cols * kEntry;
+    FlipByte(path, static_cast<long>(footer_off + cat * kEntry + 1));
+    auto bad = io::ReadPartitionFile(path, t.schema(), dicts);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("encoding"), std::string::npos)
+        << bad.status().ToString();
+  }
+}
+
+TEST(PartitionFile, V1RawFileStillReadable) {
+  // Hand-write a version-1 file (raw-only segments, 25-byte footer
+  // entries): v2 readers must keep opening spills from before the
+  // encoding change.
+  storage::Schema schema({{"n", storage::ColumnType::kNumeric},
+                          {"c", storage::ColumnType::kCategorical}});
+  auto dict = std::make_shared<storage::Dictionary>();
+  dict->GetOrAdd("a");
+  dict->GetOrAdd("b");
+  dict->GetOrAdd("c");
+  const std::vector<double> nums = {1.5, -2.25, 0.0, 1e9};
+  const std::vector<int32_t> codes = {0, 1, 1, 2};
+
+  BinaryWriter w;
+  w.PutU32(0x50335350u);  // 'PS3P'
+  w.PutU32(1u);           // version 1
+  w.PutU64(nums.size());
+  w.PutU32(2u);
+  const uint64_t num_off = w.buffer().size();
+  for (double v : nums) w.PutDouble(v);
+  const uint64_t num_len = w.buffer().size() - num_off;
+  const uint64_t cat_off = w.buffer().size();
+  for (int32_t v : codes) w.PutI32(v);
+  const uint64_t cat_len = w.buffer().size() - cat_off;
+  const uint64_t footer_off = w.buffer().size();
+  w.PutU8(0);  // numeric
+  w.PutU64(num_off);
+  w.PutU64(num_len);
+  w.PutU64(Fnv1a64(w.buffer().data() + num_off, num_len));
+  w.PutU8(1);  // categorical
+  w.PutU64(cat_off);
+  w.PutU64(cat_len);
+  w.PutU64(Fnv1a64(w.buffer().data() + cat_off, cat_len));
+  w.PutU64(footer_off);
+  w.PutU32(0x50335350u);
+
+  const std::string dir = MakeSpillDir();
+  const std::string path = PartPath(dir, 0);
+  ASSERT_TRUE(w.WriteFile(path).ok());
+
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts = {nullptr, dict};
+  auto loaded = io::ReadPartitionFile(path, schema, dicts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), nums.size());
+  for (size_t r = 0; r < nums.size(); ++r) {
+    uint64_t want, got;
+    const double gv = loaded->column(0).NumericAt(r);
+    std::memcpy(&want, &nums[r], sizeof(want));
+    std::memcpy(&got, &gv, sizeof(got));
+    EXPECT_EQ(want, got) << "row " << r;
+    EXPECT_EQ(loaded->column(1).CodeAt(r), codes[r]) << "row " << r;
+  }
+}
+
 // ---------------------------------------------------------------- store
 
 TEST(PartitionStore, SpillOpenFetchRoundtrip) {
@@ -199,6 +429,72 @@ TEST(PartitionStore, SpillOpenFetchRoundtrip) {
     EXPECT_EQ(pinned->view().num_rows(), pt.partition_rows(p));
   }
   EXPECT_EQ(total, (*store)->total_bytes());
+}
+
+TEST(PartitionStore, EncodedBytesAccountingSplitsDiskFromCache) {
+  auto bundle = workload::MakeTpchStar(1200, /*seed=*/63);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir, {}).ok());  // kAuto
+  auto store = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const size_t n_cols = (*store)->schema().num_columns();
+
+  size_t cat = n_cols;
+  for (size_t c = 0; c < n_cols; ++c) {
+    if ((*store)->schema().IsCategorical(c)) {
+      cat = c;
+      break;
+    }
+  }
+  ASSERT_LT(cat, n_cols);
+
+  for (size_t i = 0; i < (*store)->num_partitions(); ++i) {
+    // Dictionary-coded segments must be at least 2x smaller on disk than
+    // their decoded (cache-unit) size; decoded sizes never change.
+    EXPECT_LE((*store)->encoded_column_bytes(i, cat) * 2,
+              (*store)->column_bytes(i, cat))
+        << "partition " << i;
+    EXPECT_EQ((*store)->column_bytes(i, cat),
+              (*store)->partition_rows(i) * 4);
+  }
+
+  // A single-column cold load reads exactly header + trailer + footer +
+  // that segment's *encoded* bytes (20 + 12 + 35 * n_cols format
+  // overhead), while the cache is charged the *decoded* size.
+  {
+    auto pinned = (*store)->Fetch(0, storage::ColumnSet::Of({cat}));
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  }
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.segments_loaded, 1u);
+  EXPECT_EQ(stats.bytes_loaded,
+            20 + 12 + 35 * n_cols + (*store)->encoded_column_bytes(0, cat));
+  EXPECT_EQ((*store)->cache().bytes_cached(),
+            (*store)->column_bytes(0, cat));
+}
+
+TEST(PartitionStore, ForcedEncodingSpillsScanBitExact) {
+  auto bundle = workload::MakeAria(700, /*seed=*/67);
+  storage::PartitionedTable pt(bundle.table, 5);
+  query::Query q = CountSumQuery(*bundle.table);
+  const auto resident =
+      query::ExactAnswer(q, query::EvaluateAllPartitions(q, pt, {}));
+
+  for (io::EncodingMode mode :
+       {io::EncodingMode::kRaw, io::EncodingMode::kBitpack,
+        io::EncodingMode::kForDelta, io::EncodingMode::kAuto}) {
+    const std::string dir = MakeSpillDir();
+    io::PartitionStore::SpillOptions sopts;
+    sopts.encoding = mode;
+    ASSERT_TRUE(io::PartitionStore::Spill(pt, dir, sopts).ok());
+    auto store = io::PartitionStore::Open(dir, {});
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    io::ColdShardedSource cold(store->get(), 2);
+    const auto spilled =
+        query::ExactAnswer(q, query::EvaluateAllPartitions(q, cold, {}));
+    ExpectAnswersEqual(resident, spilled);
+  }
 }
 
 TEST(PartitionStore, CorruptManifestFailsOpen) {
@@ -384,16 +680,6 @@ TEST(PrefetchPipeline, StagesPartitionsIntoCache) {
 }
 
 // ------------------------------------------------------ column pruning
-
-std::vector<std::shared_ptr<storage::Dictionary>> SharedDicts(
-    const storage::Table& t) {
-  std::vector<std::shared_ptr<storage::Dictionary>> dicts(
-      t.schema().num_columns());
-  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
-    if (t.schema().IsCategorical(c)) dicts[c] = t.column(c).dict_ptr();
-  }
-  return dicts;
-}
 
 TEST(PartitionFile, ColumnPrunedReadMatchesFullAndMovesFewerBytes) {
   auto bundle = workload::MakeTpchStar(700, /*seed=*/47);

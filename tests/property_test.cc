@@ -376,6 +376,13 @@ query::Query RandomQuery(const storage::Table& t, RandomEngine* rng) {
     q.aggregates.push_back(query::Aggregate::SumCase(
         query::Expr::Column(random_numeric()),
         RandomPredicate(t, rng, 1)));
+    // Extrema: plain column MIN plus MAX of a compound expression, so
+    // both the gather-kernel fast path and the AST-walk fallback run.
+    q.aggregates.push_back(
+        query::Aggregate::Min(query::Expr::Column(random_numeric())));
+    q.aggregates.push_back(query::Aggregate::Max(
+        query::Expr::Sub(query::Expr::Column(random_numeric()),
+                         query::Expr::Const(rng->NextGaussian()))));
   }
   if (rng->NextBool(0.8)) q.predicate = RandomPredicate(t, rng, 3);
   double group_roll = rng->NextDouble();
@@ -405,6 +412,10 @@ void ExpectAnswersBitIdentical(
         EXPECT_EQ(BitsOf(accs[a].sum), BitsOf(it->second[a].sum))
             << label << " partition " << p << " agg " << a;
         EXPECT_EQ(BitsOf(accs[a].count), BitsOf(it->second[a].count))
+            << label << " partition " << p << " agg " << a;
+        EXPECT_EQ(BitsOf(accs[a].min), BitsOf(it->second[a].min))
+            << label << " partition " << p << " agg " << a;
+        EXPECT_EQ(BitsOf(accs[a].max), BitsOf(it->second[a].max))
             << label << " partition " << p << " agg " << a;
       }
     }
@@ -581,6 +592,8 @@ struct StoreCase {
   bool prefetch;
   /// Cache budget = table bytes / budget_divisor (1 = everything fits).
   size_t budget_divisor;
+  /// Spill-time segment encoding; omitted = kAuto (the default policy).
+  io::EncodingMode encoding;
 };
 
 class StoreRoundtripInvariance : public ::testing::TestWithParam<StoreCase> {
@@ -594,7 +607,9 @@ TEST_P(StoreRoundtripInvariance, ColdScanBitIdenticalToResident) {
 
   std::string dir = ::testing::TempDir() + "ps3_prop_XXXXXX";
   ASSERT_NE(mkdtemp(dir.data()), nullptr);
-  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+  io::PartitionStore::SpillOptions sopts;
+  sopts.encoding = GetParam().encoding;
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir, sopts).ok());
 
   io::PartitionStore::Options opts;
   auto probe = io::PartitionStore::Open(dir, opts);
@@ -655,7 +670,17 @@ INSTANTIATE_TEST_SUITE_P(
         StoreCase{"range4_prefetch_budget20", 4,
                   storage::ShardAssignment::kRange, true, 20},
         StoreCase{"hash4_budget20", 4, storage::ShardAssignment::kHash,
-                  false, 20}),
+                  false, 20},
+        // Encoding sweep: every forced segment encoding must rescan
+        // bit-exactly too (kAuto is what every unsuffixed case above
+        // exercises, since it is the spill default).
+        StoreCase{"range4_raw", 4, storage::ShardAssignment::kRange, false,
+                  5, io::EncodingMode::kRaw},
+        StoreCase{"range4_bitpack_prefetch", 4,
+                  storage::ShardAssignment::kRange, true, 5,
+                  io::EncodingMode::kBitpack},
+        StoreCase{"hash4_for_delta", 4, storage::ShardAssignment::kHash,
+                  false, 5, io::EncodingMode::kForDelta}),
     [](const auto& info) { return std::string(info.param.name); });
 
 // ---------------------------------------------------------------------
@@ -726,6 +751,67 @@ TEST(AggregationKernels, GatherAndGroupIdKernelsMatchScalar) {
 }
 #endif  // x86
 
+// Compressed-segment decode kernels vs their scalar references: random
+// widths 1..32, lengths crossing every lane tail, values saturating the
+// width. BitPackScalar/BitUnpackScalar are the layout contract; the AVX2
+// unpack and the FoR+delta prefix-sum reconstruct must match them
+// bit-for-bit. Buffers carry kBitUnpackSlackBytes of readable slack past
+// the payload, as the AVX2 kernel's contract requires (the reader's
+// segment buffers do the same).
+TEST(CompressionKernels, BitUnpackRoundtripAndForDeltaMatchScalar) {
+  RandomEngine rng(20260808);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.NextUint64(32));
+    const size_t n = 1 + rng.NextUint64(1200);
+    const uint32_t mask =
+        width == 32 ? 0xFFFFFFFFu : ((uint32_t{1} << width) - 1);
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) {
+      v = static_cast<uint32_t>(rng.NextUint64(uint64_t{1} << 32)) & mask;
+    }
+    if (n > 2) {
+      values[0] = mask;  // saturate the width at both ends
+      values[n - 1] = mask;
+    }
+
+    const size_t payload = runtime::BitPackedBytes(n, width);
+    std::vector<uint8_t> packed(payload + runtime::kBitUnpackSlackBytes, 0);
+    // Nonzero slack: the unpack kernels must mask it away.
+    std::fill(packed.begin() + static_cast<long>(payload), packed.end(),
+              0xAB);
+    runtime::BitPackScalar(values.data(), n, width, packed.data());
+
+    std::vector<uint32_t> want(n, 0);
+    runtime::BitUnpackScalar(packed.data(), n, width, want.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(want[i], values[i])
+          << "scalar roundtrip width=" << width << " i=" << i;
+    }
+
+    const uint32_t base =
+        static_cast<uint32_t>(rng.NextUint64(uint64_t{1} << 32));
+    std::vector<int32_t> rwant(n, 0);
+    runtime::ForDeltaReconstructScalar(want.data(), n, base, rwant.data());
+
+#if defined(__x86_64__) || defined(__i386__)
+    if (runtime::Avx2Available()) {
+      std::vector<uint32_t> got(n, 0);
+      runtime::BitUnpackAvx2(packed.data(), n, width, got.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "avx2 unpack width=" << width << " i=" << i;
+      }
+      std::vector<int32_t> rgot(n, 0);
+      runtime::ForDeltaReconstructAvx2(want.data(), n, base, rgot.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(rgot[i], rwant[i])
+            << "avx2 reconstruct width=" << width << " i=" << i;
+      }
+    }
+#endif  // x86
+  }
+}
+
 // The evaluator's SIMD-assisted dense-group path engages only for
 // filter-free grouped aggregates with dense expression values — a shape
 // RandomQuery never produces (it always adds a CASE-filtered aggregate).
@@ -752,6 +838,10 @@ TEST(ExecEquivalence, FilterFreeGroupedSimdPathBitIdentical) {
         query::Expr::Column(
             numeric_cols[rng.NextUint64(numeric_cols.size())]),
         query::Expr::Const(1.0 + rng.NextDouble()))));
+    q.aggregates.push_back(query::Aggregate::Min(query::Expr::Column(
+        numeric_cols[rng.NextUint64(numeric_cols.size())])));
+    q.aggregates.push_back(query::Aggregate::Max(query::Expr::Column(
+        numeric_cols[rng.NextUint64(numeric_cols.size())])));
     q.group_by.push_back(cat_cols[rng.NextUint64(cat_cols.size())]);
     if (rng.NextBool(0.5) && cat_cols.size() > 1) {
       size_t extra = cat_cols[rng.NextUint64(cat_cols.size())];

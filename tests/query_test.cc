@@ -205,6 +205,73 @@ TEST(Evaluator, CaseFilterAggregates) {
   EXPECT_DOUBLE_EQ(exact.begin()->second[1], 100.0);
 }
 
+TEST(Evaluator, MinMaxBasicAndPolicyAgreement) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 5);
+  Query q;
+  q.aggregates = {Aggregate::Min(Expr::Column(0), "min_x"),
+                  Aggregate::Max(Expr::Column(1), "max_y")};
+  // Restrict to rows 10..89: extrema are interior, not the data bounds.
+  q.predicate = Predicate::And(
+      {Predicate::NumericCompare(0, CompareOp::kGe, 10.0),
+       Predicate::NumericCompare(0, CompareOp::kLt, 90.0)});
+  for (ExecPolicy policy : {ExecPolicy::kScalar, ExecPolicy::kVectorized}) {
+    auto exact =
+        ExactAnswer(q, EvaluateAllPartitions(q, pt, {policy, 1}));
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_DOUBLE_EQ(exact.begin()->second[0], 10.0);
+    EXPECT_DOUBLE_EQ(exact.begin()->second[1], 89.0 * 89.0);
+  }
+}
+
+TEST(Evaluator, MinMaxCombineIsWeightFree) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 10);
+  Query q;
+  q.aggregates = {Aggregate::Min(Expr::Column(0), "min_x"),
+                  Aggregate::Max(Expr::Column(0), "max_x")};
+  auto answers = EvaluateAllPartitions(q, pt);
+  // Partition weights scale sums and counts, never extrema: MIN/MAX over
+  // the weighted union are still the smallest/largest observed values.
+  std::vector<WeightedPartition> sel{{2, 5.0}, {7, 5.0}};
+  auto approx = CombineWeighted(q, answers, sel);
+  ASSERT_EQ(approx.size(), 1u);
+  EXPECT_DOUBLE_EQ(approx.begin()->second[0], 20.0);  // rows 20-29, 70-79
+  EXPECT_DOUBLE_EQ(approx.begin()->second[1], 79.0);
+}
+
+TEST(Evaluator, MinMaxOverEmptyRowSetIsZero) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 2);
+  Query q;
+  q.aggregates = {Aggregate::Min(Expr::Column(0), "min_x"),
+                  Aggregate::Max(Expr::Column(0), "max_x"),
+                  Aggregate::Count()};
+  q.predicate = Predicate::NumericCompare(0, CompareOp::kLt, -1.0);
+  q.group_by = {2};
+  for (ExecPolicy policy : {ExecPolicy::kScalar, ExecPolicy::kVectorized}) {
+    auto exact =
+        ExactAnswer(q, EvaluateAllPartitions(q, pt, {policy, 1}));
+    // No rows match: no groups at all (like SUM/COUNT/AVG).
+    EXPECT_TRUE(exact.empty());
+  }
+  // With a filtered aggregate matching nothing, the group exists but the
+  // extrema finalize to 0.0, like AVG over zero rows.
+  Query q2;
+  q2.aggregates = {
+      Aggregate{AggFunc::kMin, Expr::Column(0),
+                Predicate::NumericCompare(0, CompareOp::kLt, -1.0),
+                "min_none"},
+      Aggregate::Count()};
+  for (ExecPolicy policy : {ExecPolicy::kScalar, ExecPolicy::kVectorized}) {
+    auto exact =
+        ExactAnswer(q2, EvaluateAllPartitions(q2, pt, {policy, 1}));
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_DOUBLE_EQ(exact.begin()->second[0], 0.0);
+    EXPECT_DOUBLE_EQ(exact.begin()->second[1], 100.0);
+  }
+}
+
 TEST(Evaluator, GroupByNumericColumn) {
   auto t = MakeTable();
   PartitionedTable pt(t, 4);
