@@ -127,6 +127,97 @@ inline std::vector<io::EncodingMode> BenchEncodingModes() {
   return out;
 }
 
+/// Strict parse of one sampling fraction: a plain decimal in (0, 1] —
+/// digits and at most one '.', nothing else. Signs, exponents, inf/nan
+/// spellings, empty items, 0, and values above 1 all abort: a malformed
+/// fraction must never silently run a different sampling sweep (and a
+/// NaN fraction can never reach the picker budget math).
+inline double ParseEnvFractionItem(const char* name, const std::string& item) {
+  auto die = [&](const char* why) {
+    std::fprintf(stderr, "%s: %s in \"%s\"\n", name, why, item.c_str());
+    std::abort();
+  };
+  if (item.empty()) die("empty value");
+  bool saw_digit = false;
+  bool saw_dot = false;
+  for (char c : item) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      saw_digit = true;
+    } else if (c == '.') {
+      if (saw_dot) die("malformed value (multiple '.')");
+      saw_dot = true;
+    } else {
+      die("malformed value (digits and one '.' only)");
+    }
+  }
+  if (!saw_digit) die("malformed value (no digits)");
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(item.c_str(), &end);
+  if (errno == ERANGE || end != item.c_str() + item.size()) {
+    die("value out of range");
+  }
+  // The grammar above already excludes nan/inf/negatives; this is the
+  // range contract: fractions are a share of the partition count.
+  if (!(x > 0.0)) die("value must be > 0");
+  if (x > 1.0) die("value must be <= 1");
+  return x;
+}
+
+/// Comma-separated sampling fractions ("0.05,0.1,0.25"); `fallback` only
+/// when unset or empty, abort on anything malformed.
+inline std::vector<double> EnvFractionList(const char* name,
+                                           std::vector<double> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::vector<double> out;
+  std::string item;
+  for (const char* p = v;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      out.push_back(ParseEnvFractionItem(name, item));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
+/// Sampling fractions exercised by the approximate-serving bench
+/// (PS3_FRACTIONS). Each fraction caps the picker budget at
+/// ceil(fraction * partitions).
+inline std::vector<double> BenchPickerFractions() {
+  return EnvFractionList("PS3_FRACTIONS", {0.05, 0.1, 0.25});
+}
+
+/// Pickers exercised by the approximate-serving bench (PS3_PICKERS,
+/// comma-separated from {"exact", "random", "ps3"}). Unknown names abort,
+/// like every swept dimension.
+inline std::vector<std::string> BenchPickerModes() {
+  const char* v = std::getenv("PS3_PICKERS");
+  if (v == nullptr || *v == '\0') return {"exact", "random", "ps3"};
+  std::vector<std::string> out;
+  std::string item;
+  for (const char* p = v;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (item != "exact" && item != "random" && item != "ps3") {
+        std::fprintf(stderr,
+                     "PS3_PICKERS: unknown picker \"%s\" "
+                     "(expected exact, random, or ps3)\n",
+                     item.c_str());
+        std::abort();
+      }
+      out.push_back(item);
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
 /// Default bench scale: 100k rows over 400 partitions (the paper's 1000
 /// partitions scaled to this simulator), 96 training / 40 test queries.
 inline eval::ExperimentConfig BenchConfig(const std::string& dataset,

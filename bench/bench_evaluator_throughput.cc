@@ -14,26 +14,38 @@
 // PS3_SHARDS / PS3_STREAMS; PS3_IO=0 skips the out-of-core section,
 // PS3_IO_DELAY_US sets the simulated remote-store latency per cold load,
 // PS3_IO_MBPS the simulated link bandwidth for the pruning section,
-// PS3_COLUMNS the wide table's numeric column count, and PS3_ENCODING
+// PS3_COLUMNS the wide table's numeric column count, PS3_ENCODING
 // pins the segment-encoding sweep (raw / bitpack / for_delta / auto:
-// on-disk bytes-per-row, encoded bytes read per row, cold rows/sec).
+// on-disk bytes-per-row, encoded bytes read per row, cold rows/sec), and
+// PS3_PICKERS / PS3_FRACTIONS pin the approximate-serving sweep
+// (SubmitApproximate over the cold store with exact / random / learned
+// ps3 pickers at several sampling fractions: rows/sec, encoded bytes
+// read per row, and relative error vs the exact answer).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/random.h"
+#include "core/exact_picker.h"
+#include "core/ps3_picker.h"
+#include "core/ps3_trainer.h"
+#include "core/random_picker.h"
+#include "core/training_data.h"
 #include "io/cold_source.h"
 #include "io/partition_store.h"
 #include "io/prefetch_pipeline.h"
 #include "query/compiler.h"
 #include "query/evaluator.h"
+#include "query/metrics.h"
 #include "runtime/query_scheduler.h"
 #include "runtime/simd.h"
+#include "stats/stats_builder.h"
 #include "storage/column_set.h"
 #include "storage/sharded_table.h"
 #include "workload/datasets.h"
@@ -692,6 +704,200 @@ int main() {
           static_cast<double>(cat_disk_bytes) / static_cast<double>(rows),
           static_cast<double>(bytes_moved) / enc_rows_total, secs,
           enc_rows_total / secs, m + 1 < modes.size() ? "," : "");
+    }
+  }
+  std::printf("  ],\n");
+
+  // Approximate serving (PS3_IO=0 skips; PS3_PICKERS / PS3_FRACTIONS pin
+  // the sweep): SubmitApproximate over the cold store, where the picker's
+  // weighted partition subset drives the scan — only picked (partition,
+  // column) segments are fetched or prefetched. The exact row is the
+  // same cold scan through the approximate path with an ExactPicker
+  // (all partitions, weight 1; gated bit-identical to Submit), so the
+  // learned rows' bytes_read_per_row divides directly against it. Errors
+  // are measured against the resident exact answer.
+  std::printf("  \"picker_results\": [\n");
+  if (io_enabled) {
+    const size_t pk_delay_us =
+        bench::EnvSizeScalar("PS3_IO_DELAY_US", 1500, /*min_value=*/0);
+    const size_t pk_mbps =
+        bench::EnvSizeScalar("PS3_IO_MBPS", 1000, /*min_value=*/0);
+    const size_t pk_shards =
+        *std::max_element(shard_counts.begin(), shard_counts.end());
+    const std::vector<std::string> picker_modes = bench::BenchPickerModes();
+    const std::vector<double> fractions = bench::BenchPickerFractions();
+
+    // Per-partition statistics + featurization over the same TPC-H table,
+    // and a PS3 model trained on a disjoint generated workload — the
+    // serving-path funnel consumes exactly what the offline pipeline
+    // maintains.
+    stats::StatsOptions stat_opts;
+    for (const auto& name : bundle.spec.groupby_columns) {
+      stat_opts.grouping_columns.push_back(
+          static_cast<size_t>(laid_out->schema().FindColumn(name)));
+    }
+    stats::TableStats pk_stats = stats::StatsBuilder(stat_opts).Build(table);
+    featurize::Featurizer pk_featurizer(laid_out->schema(), &pk_stats);
+    core::PickerContext pk_ctx{&table, &pk_stats, &pk_featurizer};
+    core::Ps3Model pk_model;
+    bool want_ps3 = false;
+    for (const auto& m : picker_modes) want_ps3 |= (m == "ps3");
+    if (want_ps3) {
+      const size_t train_q = bench::EnvSizeScalar("PS3_TRAINQ", 64);
+      core::TrainingData tdata =
+          core::BuildTrainingData(pk_ctx, gen.GenerateSet(train_q, 101));
+      core::Ps3Options popts;
+      popts.feature_selection.restarts = 1;
+      popts.feature_selection.eval_queries = 5;
+      pk_model = core::TrainPs3(pk_ctx, tdata, popts);
+    }
+
+    // Cold scans cost ~partitions x delay per query; sweep a small fixed
+    // query subset, with resident exact answers as the error reference.
+    const std::vector<query::Query> pk_queries(
+        queries.begin(),
+        queries.begin() + std::min<size_t>(queries.size(), 4));
+    std::vector<query::QueryAnswer> pk_exact;
+    for (const auto& q : pk_queries) {
+      pk_exact.push_back(
+          query::ExactAnswer(q, query::EvaluateAllPartitions(q, table)));
+    }
+    const double pk_rows_total =
+        static_cast<double>(rows) * static_cast<double>(pk_queries.size());
+
+    char dir_tmpl[] = "/tmp/ps3_pick_benchXXXXXX";
+    if (mkdtemp(dir_tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      std::abort();
+    }
+    if (!io::PartitionStore::Spill(table, dir_tmpl).ok()) std::abort();
+    io::PartitionStore::Options sopts;
+    sopts.simulated_load_delay_us = pk_delay_us;
+    sopts.simulated_load_bandwidth_mbps = pk_mbps;
+    auto probe_r = io::PartitionStore::Open(dir_tmpl, sopts);
+    if (!probe_r.ok()) std::abort();
+    sopts.cache_budget_bytes =
+        std::max<size_t>((*probe_r)->total_bytes() / 2, 1);
+    auto store_r = io::PartitionStore::Open(dir_tmpl, sopts);
+    if (!store_r.ok()) std::abort();
+    io::PartitionStore& store = **store_r;
+
+    runtime::QueryScheduler scheduler;
+    io::PrefetchPipeline pipeline(&store, &scheduler);
+    io::ColdShardedSource cold(&store, pk_shards,
+                               storage::ShardAssignment::kRange, &pipeline);
+
+    query::ExecOptions pexec;
+    pexec.policy = query::ExecPolicy::kVectorized;
+    pexec.num_threads = static_cast<int>(wide);
+    pexec.simd = runtime::SimdLevel::kAuto;
+
+    const core::ExactPicker exact_picker(table.num_partitions());
+    const core::RandomPicker random_picker(pk_ctx);
+    const core::Ps3Picker ps3_picker(pk_ctx, &pk_model);
+
+    // Correctness gate: the approximate path with the exact picker must
+    // reproduce Submit's answer bit for bit before any row is reported.
+    if (!pk_queries.empty()) {
+      auto expect_bits = [](const query::QueryAnswer& a,
+                            const query::QueryAnswer& b) {
+        if (a.size() != b.size()) std::abort();
+        for (const auto& [key, vals] : a) {
+          auto it = b.find(key);
+          if (it == b.end() || vals.size() != it->second.size()) std::abort();
+          for (size_t x = 0; x < vals.size(); ++x) {
+            if (std::memcmp(&vals[x], &it->second[x], sizeof(double)) != 0) {
+              std::abort();
+            }
+          }
+        }
+      };
+      query::QueryAnswer via_submit =
+          scheduler.Submit(pk_queries[0], cold, pexec).get();
+      runtime::ApproxAnswer via_approx =
+          scheduler
+              .SubmitApproximate(pk_queries[0], cold, exact_picker,
+                                 {/*sampling_fraction=*/1.0, /*seed=*/1},
+                                 pexec)
+              .get();
+      expect_bits(via_submit, via_approx.value);
+      expect_bits(pk_exact[0], via_approx.value);
+    }
+
+    struct PickRow {
+      std::string picker;
+      double fraction;
+      double secs = 0.0;
+      uint64_t bytes_read = 0;
+      uint64_t planned_bytes = 0;
+      double scanned_frac = 0.0;
+      double avg_rel_error = 0.0;
+      double missed_groups = 0.0;
+    };
+    auto run_sweep = [&](const core::PartitionPicker& picker,
+                         double fraction) {
+      PickRow row;
+      row.picker = picker.name();
+      row.fraction = fraction;
+      const uint64_t bytes_before = store.store_stats().bytes_loaded;
+      for (size_t i = 0; i < pk_queries.size(); ++i) {
+        pipeline.Drain();
+        store.cache().Clear();
+        runtime::ApproxOptions aopts;
+        aopts.sampling_fraction = fraction;
+        aopts.seed = 1000 + i;
+        auto start = Clock::now();
+        runtime::ApproxAnswer ans =
+            scheduler
+                .SubmitApproximate(pk_queries[i], cold, picker, aopts, pexec)
+                .get();
+        row.secs +=
+            std::chrono::duration<double>(Clock::now() - start).count();
+        row.planned_bytes += ans.bytes_moved;
+        row.scanned_frac += static_cast<double>(ans.partitions_scanned) /
+                            static_cast<double>(ans.partitions_total);
+        query::ErrorMetrics err =
+            query::ComputeErrorMetrics(pk_queries[i], pk_exact[i], ans.value);
+        row.avg_rel_error += err.avg_rel_error;
+        row.missed_groups += err.missed_groups;
+      }
+      pipeline.Drain();
+      row.bytes_read = store.store_stats().bytes_loaded - bytes_before;
+      const double nq = static_cast<double>(pk_queries.size());
+      row.scanned_frac /= nq;
+      row.avg_rel_error /= nq;
+      row.missed_groups /= nq;
+      return row;
+    };
+
+    std::vector<PickRow> pick_rows;
+    for (const auto& mode : picker_modes) {
+      if (mode == "exact") {
+        // One row: the exact picker reads everything at any fraction.
+        pick_rows.push_back(run_sweep(exact_picker, 1.0));
+      } else {
+        const core::PartitionPicker& picker =
+            mode == "random"
+                ? static_cast<const core::PartitionPicker&>(random_picker)
+                : ps3_picker;
+        for (double f : fractions) pick_rows.push_back(run_sweep(picker, f));
+      }
+    }
+    for (size_t i = 0; i < pick_rows.size(); ++i) {
+      const PickRow& r = pick_rows[i];
+      std::printf(
+          "    {\"picker\": \"%s\", \"fraction\": %.3f, \"threads\": %zu, "
+          "\"shards\": %zu, \"delay_us\": %zu, \"bandwidth_mbps\": %zu, "
+          "\"seconds\": %.4f, \"rows_per_sec\": %.3e, "
+          "\"bytes_read_per_row\": %.2f, \"planned_bytes_per_row\": %.2f, "
+          "\"partitions_scanned_frac\": %.3f, \"avg_rel_error\": %.4f, "
+          "\"missed_groups\": %.2f}%s\n",
+          r.picker.c_str(), r.fraction, wide, pk_shards, pk_delay_us, pk_mbps,
+          r.secs, pk_rows_total / r.secs,
+          static_cast<double>(r.bytes_read) / pk_rows_total,
+          static_cast<double>(r.planned_bytes) / pk_rows_total,
+          r.scanned_frac, r.avg_rel_error, r.missed_groups,
+          i + 1 < pick_rows.size() ? "," : "");
     }
   }
   std::printf("  ],\n");

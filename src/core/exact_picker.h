@@ -1,0 +1,45 @@
+// The degenerate picker that reads everything: every partition, weight 1,
+// regardless of budget. SubmitApproximate with an ExactPicker *is* the
+// exact scan — same partitions, same weights, bit-identical answer with a
+// zero error estimate — which makes it the baseline row of the PS3_PICKER
+// bench dimension and the anchor of the approximate-path determinism
+// property (fraction 1.0 / uniform weights == exact, bit for bit).
+#ifndef PS3_CORE_EXACT_PICKER_H_
+#define PS3_CORE_EXACT_PICKER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/picker.h"
+
+namespace ps3::core {
+
+class ExactPicker : public PartitionPicker {
+ public:
+  explicit ExactPicker(size_t num_partitions) : n_(num_partitions) {}
+  explicit ExactPicker(const PickerContext& ctx)
+      : n_(ctx.table->num_partitions()) {}
+
+  std::string name() const override { return "exact"; }
+
+  /// Ignores the budget by design: "exact" means no pruning, so the
+  /// serving path scans everything and the HT weights are all 1.
+  Selection Pick(const query::Query& query, size_t budget, RandomEngine* rng,
+                 PickTelemetry* telemetry) const override {
+    (void)query;
+    (void)budget;
+    (void)rng;
+    (void)telemetry;
+    Selection sel;
+    sel.parts.reserve(n_);
+    for (size_t i = 0; i < n_; ++i) sel.parts.push_back({i, 1.0});
+    return sel;
+  }
+
+ private:
+  size_t n_;
+};
+
+}  // namespace ps3::core
+
+#endif  // PS3_CORE_EXACT_PICKER_H_

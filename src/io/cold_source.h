@@ -19,6 +19,7 @@
 #define PS3_IO_COLD_SOURCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "io/partition_store.h"
@@ -57,9 +58,32 @@ class ColdShardedSource : public storage::PartitionSource {
 
   void WillScanShard(size_t s,
                      const storage::ColumnSet& columns) const override {
-    if (prefetch_ != nullptr) prefetch_->StageAhead(shards_, s, columns);
+    StageHint(shards_, s, columns);
   }
   using storage::PartitionSource::WillScanShard;
+
+  /// Stages read-ahead along an explicit shard plan — this source's own
+  /// plan for a full scan, or a filtered one handed down by a
+  /// storage::PickedSource view, in which case pruned partitions are
+  /// absent from the plan and never staged.
+  void StageHint(const std::vector<std::vector<size_t>>& plan, size_t current,
+                 const storage::ColumnSet& columns) const override {
+    if (prefetch_ != nullptr) prefetch_->StageAhead(plan, current, columns);
+  }
+
+  /// Encoded on-disk footprint of the given (partition, column) set,
+  /// straight from the spill manifest — deterministic regardless of what
+  /// is currently cached.
+  uint64_t ColdScanBytes(const std::vector<size_t>& partitions,
+                         const storage::ColumnSet& columns) const override {
+    const std::vector<size_t> cols =
+        columns.Resolve(store_->schema().num_columns());
+    uint64_t total = 0;
+    for (size_t p : partitions) {
+      total += store_->encoded_columns_bytes(p, cols);
+    }
+    return total;
+  }
 
   PartitionStore& store() const { return *store_; }
 

@@ -1,6 +1,8 @@
 #include "query/evaluator.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -603,6 +605,99 @@ QueryAnswer ExactAnswer(const Query& query,
     all.push_back({i, 1.0});
   }
   return CombineWeighted(query, per_partition, all);
+}
+
+void CanonicalizeSelection(std::vector<WeightedPartition>* selection) {
+  std::sort(selection->begin(), selection->end(),
+            [](const WeightedPartition& a, const WeightedPartition& b) {
+              return a.partition < b.partition;
+            });
+}
+
+namespace {
+
+/// Per-(group, aggregate) variance accumulators for the HT estimator:
+/// vs/vc are the SUM- and COUNT-total variance estimates, cov the
+/// covariance between them (the delta-method AVG term).
+struct VarAccum {
+  double vs = 0.0;
+  double vc = 0.0;
+  double cov = 0.0;
+};
+
+double FinalizeError(AggFunc func, const AggAccum& acc, const VarAccum& var) {
+  switch (func) {
+    case AggFunc::kSum:
+      return std::sqrt(std::max(var.vs, 0.0));
+    case AggFunc::kCount:
+      return std::sqrt(std::max(var.vc, 0.0));
+    case AggFunc::kAvg: {
+      // Delta method on the ratio S/C of two HT totals:
+      //   Var(S/C) ~= (Var(S) - 2r Cov(S,C) + r^2 Var(C)) / C^2,  r = S/C.
+      if (!(acc.count > 0.0)) return 0.0;
+      const double r = acc.sum / acc.count;
+      const double v = (var.vs - 2.0 * r * var.cov + r * r * var.vc) /
+                       (acc.count * acc.count);
+      return std::sqrt(std::max(v, 0.0));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      // No distribution-free estimate for subset extrema; 0 by contract
+      // (the value is a one-sided bound on the true extremum).
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ApproxCombined CombineWeightedWithError(
+    const Query& query, const std::vector<PartitionAnswer>& per_partition,
+    const std::vector<WeightedPartition>& selection) {
+  // The merge below replays CombineWeighted's accumulation exactly (same
+  // order, same arithmetic) so `value` stays bit-identical to it; the
+  // variance terms ride along in a parallel map.
+  PartitionAnswer merged;
+  std::unordered_map<GroupKey, std::vector<VarAccum>, GroupKeyHash> variance;
+  const size_t n_aggs = query.aggregates.size();
+  for (const auto& wp : selection) {
+    const PartitionAnswer& pa = per_partition[wp.partition];
+    for (const auto& [key, accs] : pa) {
+      auto [it, inserted] = merged.try_emplace(key);
+      if (inserted) it->second.resize(n_aggs);
+      auto [vit, vinserted] = variance.try_emplace(key);
+      if (vinserted) vit->second.resize(n_aggs);
+      for (size_t a = 0; a < n_aggs; ++a) {
+        it->second[a].Add(accs[a], wp.weight);
+        if (wp.weight > 1.0) {
+          // Inclusion probability 1/w: this partition's expanded totals
+          // w*t contribute (1 - 1/w) * (w*t)^2 to the HT variance.
+          const double f = 1.0 - 1.0 / wp.weight;
+          const double ts = wp.weight * accs[a].sum;
+          const double tc = wp.weight * accs[a].count;
+          VarAccum& v = vit->second[a];
+          v.vs += f * ts * ts;
+          v.vc += f * tc * tc;
+          v.cov += f * ts * tc;
+        }
+      }
+    }
+  }
+  ApproxCombined out;
+  out.value.reserve(merged.size());
+  out.error.reserve(merged.size());
+  for (const auto& [key, accs] : merged) {
+    const std::vector<VarAccum>& vaccs = variance.at(key);
+    std::vector<double> vals(n_aggs);
+    std::vector<double> errs(n_aggs);
+    for (size_t a = 0; a < n_aggs; ++a) {
+      vals[a] = FinalizeAgg(query.aggregates[a].func, accs[a]);
+      errs[a] = FinalizeError(query.aggregates[a].func, accs[a], vaccs[a]);
+    }
+    out.value.emplace(key, std::move(vals));
+    out.error.emplace(key, std::move(errs));
+  }
+  return out;
 }
 
 }  // namespace ps3::query

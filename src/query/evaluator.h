@@ -202,6 +202,38 @@ QueryAnswer CombineWeighted(const Query& query,
 QueryAnswer ExactAnswer(const Query& query,
                         const std::vector<PartitionAnswer>& per_partition);
 
+/// Sorts a selection into canonical combine order: ascending global
+/// partition index. CombineWeighted folds partitions in selection order,
+/// so canonicalizing first pins the floating-point merge order — the
+/// combined answer is then bit-identical for any order the picker emitted
+/// its choices in, and a full uniform selection reproduces ExactAnswer
+/// bit for bit. Selections hold at most one entry per partition.
+void CanonicalizeSelection(std::vector<WeightedPartition>* selection);
+
+/// A weighted combination plus its per-(group, aggregate) standard-error
+/// estimate. `error` mirrors `value`: same keys, one entry per aggregate.
+struct ApproxCombined {
+  QueryAnswer value;
+  QueryAnswer error;
+};
+
+/// CombineWeighted plus an honest error surface, computed in one pass.
+/// `value` is bit-identical to CombineWeighted on the same selection
+/// (identical accumulation order and arithmetic). `error` is the
+/// Horvitz–Thompson-style standard-error estimate treating each
+/// partition j as included with probability 1/w_j:
+///   V^(T) = sum_j (1 - 1/w_j) * (w_j * t_j)^2
+/// per group for SUM and COUNT totals (partitions read exactly, w_j = 1,
+/// contribute zero — a fraction-1.0 uniform selection reports zero error
+/// everywhere); AVG uses the delta method on the (sum, count) ratio with
+/// the matching covariance term; MIN/MAX report 0 by contract (subset
+/// extrema admit no distribution-free error estimate — consumers must
+/// treat them as one-sided bounds). These are estimates of sampling
+/// standard error, not hard bounds.
+ApproxCombined CombineWeightedWithError(
+    const Query& query, const std::vector<PartitionAnswer>& per_partition,
+    const std::vector<WeightedPartition>& selection);
+
 /// Finalizes a single accumulator for an aggregate function.
 double FinalizeAgg(AggFunc func, const AggAccum& acc);
 

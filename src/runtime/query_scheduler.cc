@@ -1,6 +1,13 @@
 #include "runtime/query_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/random.h"
+#include "core/picker.h"
+#include "query/compiler.h"
+#include "storage/picked_source.h"
 
 namespace ps3::runtime {
 
@@ -118,6 +125,49 @@ std::future<query::QueryAnswer> QueryScheduler::Submit(
   return Defer([q = std::move(query), &source, opts] {
     return query::ExactAnswer(q,
                               query::EvaluateAllPartitions(q, source, opts));
+  });
+}
+
+std::future<ApproxAnswer> QueryScheduler::SubmitApproximate(
+    query::Query query, const storage::PartitionSource& source,
+    const core::PartitionPicker& picker, ApproxOptions approx,
+    query::ExecOptions opts) {
+  opts.pool = pool_;
+  return Defer([q = std::move(query), &source, &picker, approx, opts] {
+    const double frac = approx.sampling_fraction;
+    if (!(frac > 0.0) || frac > 1.0) {  // !(> 0) also rejects NaN
+      throw std::invalid_argument(
+          "SubmitApproximate: sampling_fraction must be in (0, 1]");
+    }
+    const size_t n = source.num_partitions();
+    size_t budget =
+        static_cast<size_t>(std::ceil(frac * static_cast<double>(n)));
+    budget = std::max<size_t>(1, std::min(budget, n));
+    RandomEngine rng(approx.seed);
+    core::Selection sel = picker.Pick(q, budget, &rng, nullptr);
+    // Canonical combine order (ascending global partition index) pins the
+    // FP merge order, so the answer's bit pattern is independent of the
+    // order the picker emitted its choices in — and a full uniform
+    // selection reproduces the exact answer bit for bit.
+    query::CanonicalizeSelection(&sel.parts);
+    std::vector<size_t> picked;
+    picked.reserve(sel.parts.size());
+    for (const auto& wp : sel.parts) picked.push_back(wp.partition);
+
+    const storage::PickedSource view(source, picked);
+    std::vector<query::PartitionAnswer> partials =
+        query::EvaluateAllPartitions(q, view, opts);
+    query::ApproxCombined combined =
+        query::CombineWeightedWithError(q, partials, sel.parts);
+
+    ApproxAnswer out;
+    out.value = std::move(combined.value);
+    out.error_estimate = std::move(combined.error);
+    out.partitions_scanned = picked.size();
+    out.partitions_total = n;
+    out.bytes_moved = source.ColdScanBytes(
+        picked, query::ReferencedColumns(query::CompileQuery(q)));
+    return out;
   });
 }
 

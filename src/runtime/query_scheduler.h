@@ -41,7 +41,41 @@
 #include "storage/partition_source.h"
 #include "storage/sharded_table.h"
 
+namespace ps3::core {
+class PartitionPicker;
+}  // namespace ps3::core
+
 namespace ps3::runtime {
+
+/// Options for the approximate query class (paper §4: a learned picker
+/// prunes the partition set before any byte moves).
+struct ApproxOptions {
+  /// Fraction of partitions the picker may read, in (0, 1]. The picker
+  /// budget is ceil(fraction * num_partitions), at least 1. Out of range
+  /// (or NaN) poisons the query's future with std::invalid_argument.
+  double sampling_fraction = 0.1;
+  /// Picker RNG seed. Determinism contract: same picker + seed +
+  /// fraction give a bit-identical ApproxAnswer for any shard count,
+  /// cache budget, ExecPolicy, thread count, or concurrent load.
+  uint64_t seed = 1;
+};
+
+/// An approximate answer plus the metadata that keeps it honest.
+struct ApproxAnswer {
+  query::QueryAnswer value;
+  /// Per-(group, aggregate) standard-error estimate, mirroring `value`
+  /// (HT variance for SUM/COUNT, delta method for AVG, 0 for MIN/MAX and
+  /// for exactly-read strata — see query::CombineWeightedWithError).
+  query::QueryAnswer error_estimate;
+  /// Partitions the picker selected (== partitions the scan acquired).
+  size_t partitions_scanned = 0;
+  size_t partitions_total = 0;
+  /// Encoded on-disk bytes a fully-cold scan of the picked
+  /// (partition, column) set moves — the planned footprint, from the
+  /// spill manifest, so it is deterministic under any cache state.
+  /// Resident sources report 0.
+  uint64_t bytes_moved = 0;
+};
 
 class QueryScheduler {
  public:
@@ -90,6 +124,21 @@ class QueryScheduler {
   std::future<query::QueryAnswer> Submit(query::Query query,
                                          const storage::PartitionSource& source,
                                          query::ExecOptions opts = {});
+
+  /// Admits an *approximate* aggregate query: `picker` chooses a weighted
+  /// partition subset (budget = ceil(sampling_fraction * partitions)),
+  /// and the scan runs over a storage::PickedSource view of `source`, so
+  /// only picked partitions are ever acquired and prefetch read-ahead
+  /// follows the picked shard plan. The future resolves to the
+  /// Horvitz–Thompson reweighted answer with per-group error estimates
+  /// and the scan's planned byte footprint. The picker runs on the driver
+  /// thread against per-partition statistics only (it never touches
+  /// partition data); `picker`, `source`, and whatever they borrow must
+  /// stay alive until the future is ready.
+  std::future<ApproxAnswer> SubmitApproximate(
+      query::Query query, const storage::PartitionSource& source,
+      const core::PartitionPicker& picker, ApproxOptions approx,
+      query::ExecOptions opts = {});
 
   /// Admits a query but resolves to the raw per-partition answers (global
   /// partition order) — the form the trainer and pickers consume.

@@ -22,6 +22,7 @@
 #define PS3_STORAGE_PARTITION_SOURCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -84,6 +85,33 @@ class PartitionSource {
   }
 
   void WillScanShard(size_t s) const { WillScanShard(s, ColumnSet::All()); }
+
+  /// Advisory read-ahead hook with an *explicit* shard plan: the scan has
+  /// entered plan[current] and will touch only `columns` of the plan's
+  /// partitions. This is how a filtered view of this source (a picked
+  /// subset, see PickedSource) routes its prefetch hints: the base source
+  /// stages upcoming shards of *the view's plan*, so read-ahead budget is
+  /// never spent on partitions the view pruned. Default no-op; like
+  /// WillScanShard it must not affect results, only timing.
+  virtual void StageHint(const std::vector<std::vector<size_t>>& plan,
+                         size_t current, const ColumnSet& columns) const {
+    (void)plan;
+    (void)current;
+    (void)columns;
+  }
+
+  /// Planning-time accounting: encoded (on-disk) bytes a fully-cold scan
+  /// of the given partitions restricted to `columns` would move. Resident
+  /// sources return 0 (nothing moves). Deterministic by contract —
+  /// derived from the manifest, never from live cache state — so
+  /// approximate answers can report bytes_moved identically for any
+  /// cache budget or prior scan history.
+  virtual uint64_t ColdScanBytes(const std::vector<size_t>& partitions,
+                                 const ColumnSet& columns) const {
+    (void)partitions;
+    (void)columns;
+    return 0;
+  }
 };
 
 /// Resident adapter: a ShardedTable viewed as a PartitionSource. Acquire

@@ -405,6 +405,87 @@ TEST(PartitionFile, V1RawFileStillReadable) {
   }
 }
 
+TEST(PartitionFile, V2UnknownEncodingIdIsRejected) {
+  // Forward-compat: hand-write a well-formed v2 file (valid magic,
+  // footer geometry, and FNV checksums) whose categorical segment
+  // carries an encoding id from a future format revision. Today's
+  // reader must surface Status at footer parse — never decode the
+  // payload as some other encoding, and never crash — for both full
+  // reads and reads pruned to the still-valid column.
+  storage::Schema schema({{"n", storage::ColumnType::kNumeric},
+                          {"c", storage::ColumnType::kCategorical}});
+  auto dict = std::make_shared<storage::Dictionary>();
+  dict->GetOrAdd("a");
+  dict->GetOrAdd("b");
+  const std::vector<double> nums = {3.5, -0.25, 42.0, 7e8};
+  const std::vector<int32_t> codes = {1, 0, 1, 0};
+  const uint8_t kFutureEncoding = 3;  // one past kForDelta
+
+  BinaryWriter w;
+  w.PutU32(0x50335350u);  // 'PS3P'
+  w.PutU32(2u);           // version 2
+  w.PutU64(nums.size());
+  w.PutU32(2u);
+  const uint64_t num_off = w.buffer().size();
+  for (double v : nums) w.PutDouble(v);
+  const uint64_t num_len = w.buffer().size() - num_off;
+  const uint64_t cat_off = w.buffer().size();
+  for (int32_t v : codes) w.PutI32(v);
+  const uint64_t cat_len = w.buffer().size() - cat_off;
+  const uint64_t footer_off = w.buffer().size();
+  w.PutU8(0);  // numeric, raw encoding
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutU64(num_off);
+  w.PutU64(num_len);
+  w.PutU64(Fnv1a64(w.buffer().data() + num_off, num_len));
+  w.PutU64(0);  // base (unused for raw)
+  w.PutU8(1);  // categorical, future encoding
+  w.PutU8(kFutureEncoding);
+  w.PutU8(0);
+  w.PutU64(cat_off);
+  w.PutU64(cat_len);
+  w.PutU64(Fnv1a64(w.buffer().data() + cat_off, cat_len));
+  w.PutU64(0);
+  w.PutU64(footer_off);
+  w.PutU32(0x50335350u);
+
+  const std::string dir = MakeSpillDir();
+  const std::string path = PartPath(dir, 0);
+  ASSERT_TRUE(w.WriteFile(path).ok());
+
+  std::vector<std::shared_ptr<storage::Dictionary>> dicts = {nullptr, dict};
+  auto full = io::ReadPartitionFile(path, schema, dicts);
+  ASSERT_FALSE(full.ok());
+  EXPECT_NE(full.status().message().find("unknown segment encoding"),
+            std::string::npos)
+      << full.status().ToString();
+  // Pruning to the valid numeric column does not rescue the file: the
+  // footer is rejected as a whole, so a future-format spill can never
+  // partially decode into a wrong answer.
+  auto pruned = io::ReadPartitionColumns(path, schema, dicts,
+                                         storage::ColumnSet::Of({0}));
+  ASSERT_FALSE(pruned.ok());
+  EXPECT_NE(pruned.status().message().find("unknown segment encoding"),
+            std::string::npos)
+      << pruned.status().ToString();
+
+  // Same bytes with today's encoding id decode fine — the rejection
+  // above is the unknown id, not some other malformation of the file.
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(footer_off + 35 + 1), SEEK_SET),
+            0);
+  std::fputc(0, f);  // raw
+  std::fclose(f);
+  auto fixed = io::ReadPartitionFile(path, schema, dicts);
+  ASSERT_TRUE(fixed.ok()) << fixed.status().ToString();
+  ASSERT_EQ(fixed->num_rows(), nums.size());
+  for (size_t r = 0; r < codes.size(); ++r) {
+    EXPECT_EQ(fixed->column(1).CodeAt(r), codes[r]) << "row " << r;
+  }
+}
+
 // ---------------------------------------------------------------- store
 
 TEST(PartitionStore, SpillOpenFetchRoundtrip) {

@@ -12,9 +12,12 @@
 #include <cstdlib>
 
 #include "core/cluster_select.h"
+#include "core/exact_picker.h"
 #include "core/lss_picker.h"
 #include "core/ps3_picker.h"
+#include "core/ps3_trainer.h"
 #include "core/random_picker.h"
+#include "core/training_data.h"
 #include "featurize/featurizer.h"
 #include "io/cold_source.h"
 #include "io/partition_store.h"
@@ -29,6 +32,7 @@
 #include "stats/stats_builder.h"
 #include "storage/sharded_table.h"
 #include "workload/datasets.h"
+#include "workload/generator.h"
 
 namespace ps3 {
 namespace {
@@ -883,6 +887,213 @@ TEST(EdgeCases, NotOfTruePredicateMatchesNothing) {
   q.predicate = query::Predicate::Not(query::Predicate::True());
   auto exact = query::ExactAnswer(q, query::EvaluateAllPartitions(q, pt));
   EXPECT_TRUE(exact.empty());
+}
+
+// ---------------------------------------------------------------------
+// Approximate-serving determinism. The contract extends the exact-path
+// one: for a fixed picker (model included), seed, and sampling fraction,
+// SubmitApproximate must produce a bit-identical ApproxAnswer — value,
+// error estimate, partition counts, AND planned bytes_moved — across
+// shard counts, shard assignments, prefetch on/off, cache budgets, and
+// both ExecPolicy modes. And the degenerate ends must collapse to the
+// exact path: fraction 1.0 with uniform weights (ExactPicker, or
+// RandomPicker whose budget covers every candidate) equals the exact
+// resident answer bit for bit with a zero error estimate.
+
+void ExpectQueryAnswerBits(const query::QueryAnswer& expected,
+                           const query::QueryAnswer& actual,
+                           const char* label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [key, vals] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << label;
+    ASSERT_EQ(vals.size(), it->second.size()) << label;
+    for (size_t a = 0; a < vals.size(); ++a) {
+      EXPECT_EQ(BitsOf(vals[a]), BitsOf(it->second[a]))
+          << label << " agg " << a;
+    }
+  }
+}
+
+void ExpectApproxBits(const runtime::ApproxAnswer& expected,
+                      const runtime::ApproxAnswer& actual,
+                      const char* label) {
+  ExpectQueryAnswerBits(expected.value, actual.value, label);
+  ExpectQueryAnswerBits(expected.error_estimate, actual.error_estimate,
+                        label);
+  EXPECT_EQ(expected.partitions_scanned, actual.partitions_scanned) << label;
+  EXPECT_EQ(expected.partitions_total, actual.partitions_total) << label;
+  EXPECT_EQ(expected.bytes_moved, actual.bytes_moved) << label;
+}
+
+/// Shared fixture: TPC-H analog with per-partition stats, featurization,
+/// and a small trained PS3 model (the real funnel, not a stub), plus one
+/// spilled copy of the table that each case reopens under its own cache
+/// budget.
+struct ApproxFixture {
+  workload::DatasetBundle bundle;
+  std::shared_ptr<storage::Table> table;
+  std::unique_ptr<storage::PartitionedTable> pt;
+  std::unique_ptr<stats::TableStats> stats;
+  std::unique_ptr<featurize::Featurizer> featurizer;
+  core::PickerContext ctx;
+  core::Ps3Model model;
+  std::vector<query::Query> queries;
+  std::string dir;
+  size_t total_bytes = 0;
+
+  ApproxFixture() {
+    bundle = workload::MakeTpchStar(4000, /*seed=*/57);
+    auto sorted = bundle.table->SortedBy(bundle.default_sort);
+    table = std::make_shared<storage::Table>(std::move(sorted).value());
+    // 13 partitions: uneven shards for every swept shard count.
+    pt = std::make_unique<storage::PartitionedTable>(table, 13);
+    stats::StatsOptions sopts;
+    for (const auto& name : bundle.spec.groupby_columns) {
+      sopts.grouping_columns.push_back(
+          static_cast<size_t>(table->schema().FindColumn(name)));
+    }
+    stats = std::make_unique<stats::TableStats>(
+        stats::StatsBuilder(sopts).Build(*pt));
+    featurizer =
+        std::make_unique<featurize::Featurizer>(table->schema(), stats.get());
+    ctx = {pt.get(), stats.get(), featurizer.get()};
+
+    workload::QueryGenerator gen(table.get(), bundle.spec);
+    core::TrainingData tdata =
+        core::BuildTrainingData(ctx, gen.GenerateSet(12, 77));
+    core::Ps3Options popts;
+    popts.gbdt.num_trees = 8;
+    popts.feature_selection.enabled = false;
+    model = core::TrainPs3(ctx, tdata, popts);
+    // Held-out generator queries: shapes the featurizer understands (the
+    // learned funnel consults selectivity sketches per predicate).
+    queries = gen.GenerateSet(4, 91);
+
+    dir = ::testing::TempDir() + "ps3_approx_XXXXXX";
+    EXPECT_NE(mkdtemp(dir.data()), nullptr);
+    EXPECT_TRUE(io::PartitionStore::Spill(*pt, dir).ok());
+    io::PartitionStore::Options o;
+    auto probe = io::PartitionStore::Open(dir, o);
+    EXPECT_TRUE(probe.ok());
+    total_bytes = (*probe)->total_bytes();
+  }
+};
+
+ApproxFixture& SharedApproxFixture() {
+  static ApproxFixture* f = new ApproxFixture();
+  return *f;
+}
+
+TEST(ApproximateServing, BitIdenticalAcrossStoreConfigsAndPolicies) {
+  ApproxFixture& fx = SharedApproxFixture();
+  core::Ps3Picker ps3(fx.ctx, &fx.model);
+  core::RandomFilterPicker rfilter(fx.ctx);
+  const core::PartitionPicker* pickers[] = {&ps3, &rfilter};
+  runtime::QueryScheduler scheduler;
+
+  struct Cfg {
+    const char* name;
+    size_t shards;
+    storage::ShardAssignment assignment;
+    bool prefetch;
+    size_t budget_divisor;
+    query::ExecPolicy policy;
+    int threads;
+  };
+  const Cfg cfgs[] = {
+      // The reference: flat, roomy, scalar, single-lane.
+      {"ref", 1, storage::ShardAssignment::kRange, false, 1,
+       query::ExecPolicy::kScalar, 1},
+      {"range4_vec", 4, storage::ShardAssignment::kRange, false, 1,
+       query::ExecPolicy::kVectorized, 3},
+      {"range7_prefetch_budget8", 7, storage::ShardAssignment::kRange, true,
+       8, query::ExecPolicy::kVectorized, 3},
+      {"hash4_budget8_scalar", 4, storage::ShardAssignment::kHash, false, 8,
+       query::ExecPolicy::kScalar, 2},
+      {"range13_prefetch", 13, storage::ShardAssignment::kRange, true, 1,
+       query::ExecPolicy::kVectorized, 3},
+  };
+
+  // reference[q][p] filled by the first config, compared by the rest.
+  std::vector<std::vector<runtime::ApproxAnswer>> reference(
+      fx.queries.size());
+  for (const Cfg& cfg : cfgs) {
+    io::PartitionStore::Options o;
+    o.cache_budget_bytes =
+        std::max<size_t>(fx.total_bytes / cfg.budget_divisor, 1);
+    auto store = io::PartitionStore::Open(fx.dir, o);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    io::PrefetchPipeline pipeline(store->get(), &scheduler);
+    io::ColdShardedSource cold(store->get(), cfg.shards, cfg.assignment,
+                               cfg.prefetch ? &pipeline : nullptr);
+
+    query::ExecOptions eopts;
+    eopts.policy = cfg.policy;
+    eopts.num_threads = cfg.threads;
+    for (size_t qi = 0; qi < fx.queries.size(); ++qi) {
+      for (size_t pi = 0; pi < 2; ++pi) {
+        runtime::ApproxOptions aopts;
+        aopts.sampling_fraction = 0.4;
+        aopts.seed = 500 + qi;
+        runtime::ApproxAnswer ans =
+            scheduler
+                .SubmitApproximate(fx.queries[qi], cold, *pickers[pi], aopts,
+                                   eopts)
+                .get();
+        if (reference[qi].size() <= pi) {
+          EXPECT_LE(ans.partitions_scanned, ans.partitions_total);
+          reference[qi].push_back(std::move(ans));
+        } else {
+          ExpectApproxBits(reference[qi][pi], ans, cfg.name);
+        }
+      }
+    }
+    pipeline.Drain();
+  }
+}
+
+TEST(ApproximateServing, FullFractionUniformWeightsEqualsExact) {
+  ApproxFixture& fx = SharedApproxFixture();
+  core::ExactPicker exact_picker(fx.pt->num_partitions());
+  core::RandomPicker random_picker(fx.ctx);
+  runtime::QueryScheduler scheduler;
+
+  io::PartitionStore::Options o;
+  o.cache_budget_bytes = std::max<size_t>(fx.total_bytes / 5, 1);
+  auto store = io::PartitionStore::Open(fx.dir, o);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  io::ColdShardedSource cold(store->get(), 4);
+
+  for (size_t qi = 0; qi < fx.queries.size(); ++qi) {
+    const query::Query& q = fx.queries[qi];
+    for (query::ExecPolicy policy :
+         {query::ExecPolicy::kScalar, query::ExecPolicy::kVectorized}) {
+      query::ExecOptions eopts;
+      eopts.policy = policy;
+      eopts.num_threads = 2;
+      const query::QueryAnswer exact =
+          query::ExactAnswer(q, query::EvaluateAllPartitions(q, *fx.pt,
+                                                             eopts));
+      // At fraction 1.0 the uniform budget covers every candidate, so
+      // both pickers return all partitions with weight 1 — the combine
+      // degenerates to ExactAnswer and the error estimate vanishes.
+      for (const core::PartitionPicker* picker :
+           {static_cast<const core::PartitionPicker*>(&exact_picker),
+            static_cast<const core::PartitionPicker*>(&random_picker)}) {
+        runtime::ApproxOptions aopts;
+        aopts.sampling_fraction = 1.0;
+        aopts.seed = 11 + qi;
+        runtime::ApproxAnswer ans =
+            scheduler.SubmitApproximate(q, cold, *picker, aopts, eopts).get();
+        ExpectQueryAnswerBits(exact, ans.value, picker->name().c_str());
+        EXPECT_EQ(ans.partitions_scanned, fx.pt->num_partitions());
+        for (const auto& [key, errs] : ans.error_estimate) {
+          for (double e : errs) EXPECT_EQ(e, 0.0);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

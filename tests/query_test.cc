@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "query/bitmap_evaluator.h"
@@ -187,6 +188,138 @@ TEST(Evaluator, WeightedSumScalesUp) {
   }
   auto approx = CombineWeighted(q, answers, sel);
   EXPECT_DOUBLE_EQ(approx.begin()->second[0], expected);
+}
+
+TEST(Evaluator, CombineWithErrorWeightOneEqualsExact) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 10);
+  Query q;
+  q.aggregates = {Aggregate::Sum(Expr::Column(0), "sum_x"),
+                  Aggregate::Count("n"),
+                  Aggregate::Avg(Expr::Column(1), "avg_y")};
+  q.group_by = {2};
+  auto answers = EvaluateAllPartitions(q, pt);
+  auto exact = ExactAnswer(q, answers);
+  std::vector<WeightedPartition> sel;
+  for (size_t p = 0; p < 10; ++p) sel.push_back({p, 1.0});
+  // A full selection at uniform weight 1 is the exact plan: values must
+  // be bit-identical to ExactAnswer and every error entry exactly zero
+  // (weight-1 strata contribute no sampling variance).
+  auto combined = CombineWeightedWithError(q, answers, sel);
+  ASSERT_EQ(combined.value.size(), exact.size());
+  ASSERT_EQ(combined.error.size(), exact.size());
+  for (const auto& [key, vals] : exact) {
+    const auto& got = combined.value.at(key);
+    ASSERT_EQ(got.size(), vals.size());
+    for (size_t a = 0; a < vals.size(); ++a) {
+      uint64_t want_bits, got_bits;
+      std::memcpy(&want_bits, &vals[a], sizeof(want_bits));
+      std::memcpy(&got_bits, &got[a], sizeof(got_bits));
+      EXPECT_EQ(want_bits, got_bits) << "aggregate " << a;
+    }
+    for (double e : combined.error.at(key)) EXPECT_EQ(e, 0.0);
+  }
+}
+
+TEST(Evaluator, CombineWithErrorMatchesHandComputedVariance) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 10);
+  Query q;
+  q.aggregates = {Aggregate::Sum(Expr::Column(0), "sum_x"),
+                  Aggregate::Count("n")};
+  auto answers = EvaluateAllPartitions(q, pt);
+  // Partition p holds rows 10p..10p+9, so sum_p(x) = 100p + 45 and
+  // count_p = 10: small enough to hand-compute the HT/Poisson estimator
+  // V = sum_{w_j > 1} (1 - 1/w_j) * (w_j * t_j)^2 independently of the
+  // accumulators the implementation folds.
+  std::vector<WeightedPartition> sel{{1, 2.0}, {3, 4.0}, {5, 1.0}};
+  auto combined = CombineWeightedWithError(q, answers, sel);
+  ASSERT_EQ(combined.value.size(), 1u);
+  const double s1 = 145.0, s3 = 345.0, s5 = 545.0;
+  EXPECT_DOUBLE_EQ(combined.value.begin()->second[0],
+                   2.0 * s1 + 4.0 * s3 + 1.0 * s5);
+  EXPECT_DOUBLE_EQ(combined.value.begin()->second[1],
+                   2.0 * 10 + 4.0 * 10 + 1.0 * 10);
+  const double vs = 0.5 * (2.0 * s1) * (2.0 * s1) +
+                    0.75 * (4.0 * s3) * (4.0 * s3);  // weight-1 drops out
+  const double vc = 0.5 * 20.0 * 20.0 + 0.75 * 40.0 * 40.0;
+  EXPECT_DOUBLE_EQ(combined.error.begin()->second[0], std::sqrt(vs));
+  EXPECT_DOUBLE_EQ(combined.error.begin()->second[1], std::sqrt(vc));
+}
+
+TEST(Evaluator, CombineWithErrorAvgUsesDeltaMethod) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 10);
+  Query q;
+  q.aggregates = {Aggregate::Avg(Expr::Column(0), "avg_x")};
+  auto answers = EvaluateAllPartitions(q, pt);
+  std::vector<WeightedPartition> sel{{1, 2.0}, {3, 4.0}, {5, 1.0}};
+  auto combined = CombineWeightedWithError(q, answers, sel);
+  ASSERT_EQ(combined.value.size(), 1u);
+  // AVG is a ratio S/C of two correlated HT totals; its standard error
+  // comes from the delta method:
+  //   Var(S/C) ~= (Var(S) - 2 r Cov(S,C) + r^2 Var(C)) / C^2,  r = S/C.
+  const double s1 = 145.0, s3 = 345.0, s5 = 545.0;
+  const double S = 2.0 * s1 + 4.0 * s3 + 1.0 * s5;
+  const double C = 20.0 + 40.0 + 10.0;
+  const double r = S / C;
+  const double vs = 0.5 * (2.0 * s1) * (2.0 * s1) +
+                    0.75 * (4.0 * s3) * (4.0 * s3);
+  const double vc = 0.5 * 20.0 * 20.0 + 0.75 * 40.0 * 40.0;
+  const double cov = 0.5 * (2.0 * s1) * 20.0 + 0.75 * (4.0 * s3) * 40.0;
+  const double var = (vs - 2.0 * r * cov + r * r * vc) / (C * C);
+  EXPECT_DOUBLE_EQ(combined.value.begin()->second[0], r);
+  EXPECT_DOUBLE_EQ(combined.error.begin()->second[0], std::sqrt(var));
+}
+
+TEST(Evaluator, CombineWithErrorMinMaxErrorIsZero) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 10);
+  Query q;
+  q.aggregates = {Aggregate::Min(Expr::Column(0), "min_x"),
+                  Aggregate::Max(Expr::Column(0), "max_x")};
+  auto answers = EvaluateAllPartitions(q, pt);
+  // Extrema are one-sided bounds under sampling, not reweighted
+  // estimates: the error contract pins them to exactly zero even at
+  // large weights, and the values stay weight-free.
+  std::vector<WeightedPartition> sel{{2, 5.0}, {7, 5.0}};
+  auto combined = CombineWeightedWithError(q, answers, sel);
+  ASSERT_EQ(combined.value.size(), 1u);
+  EXPECT_DOUBLE_EQ(combined.value.begin()->second[0], 20.0);
+  EXPECT_DOUBLE_EQ(combined.value.begin()->second[1], 79.0);
+  EXPECT_EQ(combined.error.begin()->second[0], 0.0);
+  EXPECT_EQ(combined.error.begin()->second[1], 0.0);
+}
+
+TEST(Evaluator, CanonicalizeSelectionPinsCombineOrder) {
+  auto t = MakeTable();
+  PartitionedTable pt(t, 10);
+  Query q;
+  q.aggregates = {Aggregate::Sum(Expr::Column(1), "sum_y")};
+  q.group_by = {2};
+  auto answers = EvaluateAllPartitions(q, pt);
+  std::vector<WeightedPartition> shuffled{{7, 2.5}, {0, 3.0}, {4, 1.5}};
+  std::vector<WeightedPartition> sorted{{0, 3.0}, {4, 1.5}, {7, 2.5}};
+  CanonicalizeSelection(&shuffled);
+  ASSERT_EQ(shuffled.size(), 3u);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(shuffled[i].partition, sorted[i].partition);
+    EXPECT_DOUBLE_EQ(shuffled[i].weight, sorted[i].weight);
+  }
+  // After canonicalization the FP merge order is pinned, so any
+  // permutation of the same picks combines to bit-identical answers.
+  auto a = CombineWeightedWithError(q, answers, shuffled);
+  auto b = CombineWeightedWithError(q, answers, sorted);
+  ASSERT_EQ(a.value.size(), b.value.size());
+  for (const auto& [key, vals] : a.value) {
+    const auto& other = b.value.at(key);
+    for (size_t i = 0; i < vals.size(); ++i) {
+      uint64_t ab, bb;
+      std::memcpy(&ab, &vals[i], sizeof(ab));
+      std::memcpy(&bb, &other[i], sizeof(bb));
+      EXPECT_EQ(ab, bb);
+    }
+  }
 }
 
 TEST(Evaluator, CaseFilterAggregates) {

@@ -9,12 +9,17 @@
 #include <atomic>
 #include <cstring>
 #include <future>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "core/exact_picker.h"
+#include "core/random_picker.h"
 #include "query/evaluator.h"
 #include "runtime/query_scheduler.h"
+#include "storage/partition_source.h"
 #include "storage/sharded_table.h"
 #include "workload/datasets.h"
 #include "workload/generator.h"
@@ -243,6 +248,135 @@ TEST(QueryScheduler, SubmitIsThreadSafeUnderChurn) {
   EXPECT_EQ(collected, 240u);
   EXPECT_EQ(ticks.load(), 240u);
   ExpectAnswerBitIdentical(fx.serial[0], q.get(), "churn-query");
+}
+
+void ExpectApproxBitIdentical(const runtime::ApproxAnswer& expected,
+                              const runtime::ApproxAnswer& actual,
+                              const char* label) {
+  ExpectAnswerBitIdentical(expected.value, actual.value, label);
+  ExpectAnswerBitIdentical(expected.error_estimate, actual.error_estimate,
+                           label);
+  EXPECT_EQ(expected.partitions_scanned, actual.partitions_scanned) << label;
+  EXPECT_EQ(expected.partitions_total, actual.partitions_total) << label;
+  EXPECT_EQ(expected.bytes_moved, actual.bytes_moved) << label;
+}
+
+TEST(QueryScheduler, ApproximateWithExactPickerMatchesSubmit) {
+  // The approximate class with the degenerate "read everything" picker is
+  // the exact scan: same value bit for bit, zero error estimate (every
+  // stratum is read exactly), full scan accounting, and 0 bytes_moved on
+  // a resident source.
+  StreamFixture& fx = Fixture();
+  storage::ResidentShardedSource src(*fx.sharded);
+  core::ExactPicker picker(fx.pt->num_partitions());
+  runtime::QueryScheduler scheduler;
+  for (size_t i = 0; i < fx.queries.size(); ++i) {
+    runtime::ApproxOptions aopts;
+    aopts.sampling_fraction = 1.0;
+    aopts.seed = 7;
+    runtime::ApproxAnswer ans =
+        scheduler.SubmitApproximate(fx.queries[i], src, picker, aopts).get();
+    ExpectAnswerBitIdentical(fx.serial[i], ans.value, "approx-exact");
+    EXPECT_EQ(ans.partitions_scanned, fx.pt->num_partitions());
+    EXPECT_EQ(ans.partitions_total, fx.pt->num_partitions());
+    EXPECT_EQ(ans.bytes_moved, 0u);
+    ASSERT_EQ(ans.error_estimate.size(), ans.value.size());
+    for (const auto& [key, errs] : ans.error_estimate) {
+      for (double e : errs) EXPECT_EQ(e, 0.0) << "exact strata report 0";
+    }
+  }
+}
+
+TEST(QueryScheduler, ApproximateInvalidFractionPoisonsOnlyItsFuture) {
+  StreamFixture& fx = Fixture();
+  storage::ResidentShardedSource src(*fx.sharded);
+  core::ExactPicker picker(fx.pt->num_partitions());
+  runtime::QueryScheduler scheduler;
+  for (double bad : {0.0, -0.25, 1.5,
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    runtime::ApproxOptions aopts;
+    aopts.sampling_fraction = bad;
+    auto fut = scheduler.SubmitApproximate(fx.queries[0], src, picker, aopts);
+    EXPECT_THROW(fut.get(), std::invalid_argument) << bad;
+  }
+  // The scheduler stays serviceable after the rejections.
+  ExpectAnswerBitIdentical(
+      fx.serial[1], scheduler.Submit(fx.queries[1], *fx.sharded).get(),
+      "after-bad-fraction");
+}
+
+TEST(QueryScheduler, ConcurrentApproximateBitIdenticalToSerial) {
+  // Determinism contract on the approximate path: same picker + seed +
+  // fraction must produce a bit-identical ApproxAnswer (value, error
+  // estimate, and accounting) whether the query runs alone or races
+  // sibling approximate and exact queries across drivers — the picker
+  // runs per-query with its own seeded RNG and the combine order is
+  // canonical, so concurrency can't reorder anything observable.
+  StreamFixture& fx = Fixture();
+  storage::ResidentShardedSource src(*fx.sharded);
+  core::PickerContext ctx;
+  ctx.table = fx.pt.get();
+  core::RandomPicker picker(ctx);
+
+  auto approx_opts = [](size_t i) {
+    runtime::ApproxOptions aopts;
+    aopts.sampling_fraction = 0.25 + 0.15 * static_cast<double>(i % 3);
+    aopts.seed = 100 + i;
+    return aopts;
+  };
+
+  std::vector<runtime::ApproxAnswer> reference;
+  {
+    runtime::QueryScheduler::Options sopts;
+    sopts.num_drivers = 1;
+    runtime::QueryScheduler serial_sched(sopts);
+    for (size_t i = 0; i < fx.queries.size(); ++i) {
+      query::ExecOptions opts;
+      opts.policy = query::ExecPolicy::kScalar;
+      opts.num_threads = 1;
+      reference.push_back(
+          serial_sched
+              .SubmitApproximate(fx.queries[i], src, picker, approx_opts(i),
+                                 opts)
+              .get());
+    }
+  }
+
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 4;
+  runtime::QueryScheduler scheduler(sopts);
+  constexpr size_t kSubmitters = 4;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<std::future<runtime::ApproxAnswer>>> futures(
+        kSubmitters);
+    std::vector<std::future<query::QueryAnswer>> exact_siblings;
+    std::vector<std::thread> submitters;
+    std::mutex exact_mu;
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = t; i < fx.queries.size(); i += kSubmitters) {
+          query::ExecOptions opts;
+          opts.policy = i % 2 == 0 ? query::ExecPolicy::kScalar
+                                   : query::ExecPolicy::kVectorized;
+          opts.num_threads = 1 + static_cast<int>(i % 3);
+          futures[t].push_back(scheduler.SubmitApproximate(
+              fx.queries[i], src, picker, approx_opts(i), opts));
+          auto exact = scheduler.Submit(fx.queries[i], *fx.sharded, opts);
+          std::lock_guard<std::mutex> lock(exact_mu);
+          exact_siblings.push_back(std::move(exact));
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      size_t k = 0;
+      for (size_t i = t; i < fx.queries.size(); i += kSubmitters, ++k) {
+        ExpectApproxBitIdentical(reference[i], futures[t][k].get(),
+                                 "concurrent-approx");
+      }
+    }
+    for (auto& f : exact_siblings) f.get();
+  }
 }
 
 }  // namespace
