@@ -97,6 +97,32 @@ inline std::vector<size_t> BenchStreamCounts() {
   return EnvSizeList("PS3_STREAMS", {1, 2, 4});
 }
 
+/// Stream counts for the multi-tenant class bench (PS3_CLASSES). Each
+/// count n is one closed-loop *interactive* stream (with think time)
+/// racing n-1 closed-loop *batch* streams through one QueryScheduler;
+/// counts below 2 are clamped to 2 (the smallest mixed-class shape).
+inline std::vector<size_t> BenchClassStreamCounts() {
+  return EnvSizeList("PS3_CLASSES", {9, 16, 64});
+}
+
+/// Queries the interactive stream completes per class-bench mode
+/// (PS3_CLASSQ) — the latency sample count behind the p50/p99.
+inline size_t BenchClassQuota() { return EnvSizeScalar("PS3_CLASSQ", 32); }
+
+/// Interactive think time in microseconds between queries
+/// (PS3_CLASS_THINK_US). An interactive tenant is bursty by definition —
+/// think time is what distinguishes it from one more batch stream, and
+/// its duty cycle bounds how much batch throughput the class weighting
+/// may cost.
+inline size_t BenchClassThinkUs() {
+  return EnvSizeScalar("PS3_CLASS_THINK_US", 30000, /*min_value=*/0);
+}
+
+/// Worker lanes per query in the class bench (PS3_CLASS_THREADS).
+inline size_t BenchClassThreads() {
+  return EnvSizeScalar("PS3_CLASS_THREADS", 16);
+}
+
 /// Spill-time segment encodings exercised by the out-of-core benches
 /// (PS3_ENCODING, comma-separated "raw" / "bitpack" / "for_delta" /
 /// "auto"). Like every swept dimension, unknown names abort instead of

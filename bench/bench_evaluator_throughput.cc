@@ -20,8 +20,17 @@
 // PS3_PICKERS / PS3_FRACTIONS pin the approximate-serving sweep
 // (SubmitApproximate over the cold store with exact / random / learned
 // ps3 pickers at several sampling fractions: rows/sec, encoded bytes
-// read per row, and relative error vs the exact answer).
+// read per row, and relative error vs the exact answer). The
+// multi-tenant class section (PS3_CLASSES pins the stream counts,
+// PS3_CLASSQ the interactive sample count, PS3_CLASS_THINK_US the
+// interactive think time, PS3_CLASS_THREADS the lanes per query) races
+// one bursty interactive stream against n-1 closed-loop batch streams
+// twice per count — "classless" submits the interactive tenant as just
+// another batch stream (the pre-class baseline), "classed" marks it
+// QueryClass::kInteractive — reporting interactive p50/p99 latency and
+// batch rows/sec side by side.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -114,6 +123,94 @@ double TimeStreamed(const std::vector<ps3::query::Query>& queries,
   }
   for (auto& t : streams) t.join();
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ClassBenchResult {
+  double inter_p50_ms = 0.0;
+  double inter_p99_ms = 0.0;
+  size_t batch_queries = 0;
+  double batch_rows_per_sec = 0.0;
+};
+
+/// Multi-tenant class mix: one closed-loop interactive stream (think
+/// time between queries, `quota` queries total — the latency samples)
+/// races `streams - 1` closed-loop batch streams through one
+/// QueryScheduler with fewer drivers than streams — drivers track the
+/// core count (capped at 8) like a real deployment would, so a driver
+/// queue forms and the interactive queue jump is part of what's
+/// measured, not just the weighted lane picks. `classed` submits the
+/// interactive stream as
+/// QueryClass::kInteractive; classless submits it as one more batch
+/// stream — the pre-class baseline the p99 improvement is measured
+/// against. Batch throughput is counted over the interactive stream's
+/// window, so the classed row's batch_rows_per_sec prices what the
+/// latency win costs the batch tenants.
+ClassBenchResult TimeClassed(const std::vector<ps3::query::Query>& queries,
+                             const ps3::storage::PartitionedTable& table,
+                             const ps3::query::ExecOptions& opts,
+                             size_t streams, bool classed, size_t quota,
+                             size_t think_us, size_t rows) {
+  using namespace ps3;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t drivers = std::min(
+      streams, std::min<size_t>(8, hw == 0 ? 1 : static_cast<size_t>(hw)));
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = static_cast<int>(drivers);
+  runtime::QueryScheduler scheduler(sopts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> batch_done{0};
+  std::vector<std::thread> batch_streams;
+  batch_streams.reserve(streams - 1);
+  for (size_t s = 1; s < streams; ++s) {
+    batch_streams.emplace_back([&, s] {
+      size_t i = s;
+      while (!stop.load(std::memory_order_relaxed)) {
+        scheduler.Submit(queries[i % queries.size()], table, opts).get();
+        batch_done.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  runtime::SubmitOptions submit;
+  if (classed) submit.query_class = QueryClass::kInteractive;
+  std::vector<double> lat_ms;
+  lat_ms.reserve(quota);
+  const auto window_start = Clock::now();
+  for (size_t k = 0; k < quota; ++k) {
+    if (think_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(think_us));
+    }
+    const auto q_start = Clock::now();
+    scheduler.Submit(queries[k % queries.size()], table, submit, opts).get();
+    lat_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - q_start)
+            .count());
+  }
+  const double window_secs =
+      std::chrono::duration<double>(Clock::now() - window_start).count();
+  // Sampled before stop: queries the batch tenants completed while the
+  // interactive tenant was live, not during the shutdown straggle.
+  const uint64_t batch_in_window = batch_done.load(std::memory_order_relaxed);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : batch_streams) t.join();
+
+  std::sort(lat_ms.begin(), lat_ms.end());
+  auto pct = [&](double p) {
+    if (lat_ms.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(p * (lat_ms.size() - 1) + 0.5);
+    return lat_ms[std::min(idx, lat_ms.size() - 1)];
+  };
+  ClassBenchResult out;
+  out.inter_p50_ms = pct(0.50);
+  out.inter_p99_ms = pct(0.99);
+  out.batch_queries = batch_in_window;
+  out.batch_rows_per_sec =
+      window_secs > 0.0 ? static_cast<double>(batch_in_window) *
+                              static_cast<double>(rows) / window_secs
+                        : 0.0;
+  return out;
 }
 
 /// Cold source that ignores the evaluator's projection hint and always
@@ -352,6 +449,39 @@ int main() {
                   s + 1 < streams ? ", " : "");
     }
     std::printf("]}%s\n", i + 1 < stream_counts.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  // Multi-tenant classes: per stream count, a classless baseline row and
+  // a classed row from identical mixes, so interactive p99 improvement
+  // and batch throughput cost divide directly within one JSON capture.
+  const std::vector<size_t> class_counts = bench::BenchClassStreamCounts();
+  const size_t class_quota = bench::BenchClassQuota();
+  const size_t class_think_us = bench::BenchClassThinkUs();
+  const size_t class_threads = bench::BenchClassThreads();
+  std::printf("  \"class_results\": [\n");
+  for (size_t i = 0; i < class_counts.size(); ++i) {
+    const size_t streams = std::max<size_t>(2, class_counts[i]);
+    query::ExecOptions clopts;
+    clopts.policy = query::ExecPolicy::kVectorized;
+    clopts.num_threads = static_cast<int>(class_threads);
+    clopts.simd = runtime::SimdLevel::kAuto;
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool classed = mode == 1;
+      const ClassBenchResult r =
+          TimeClassed(queries, table, clopts, streams, classed, class_quota,
+                      class_think_us, rows);
+      std::printf(
+          "    {\"mode\": \"%s\", \"streams\": %zu, \"batch_streams\": %zu, "
+          "\"threads\": %zu, \"think_us\": %zu, "
+          "\"interactive_queries\": %zu, \"interactive_p50_ms\": %.3f, "
+          "\"interactive_p99_ms\": %.3f, \"batch_queries\": %zu, "
+          "\"batch_rows_per_sec\": %.3e}%s\n",
+          classed ? "classed" : "classless", streams, streams - 1,
+          class_threads, class_think_us, class_quota, r.inter_p50_ms,
+          r.inter_p99_ms, r.batch_queries, r.batch_rows_per_sec,
+          (i + 1 < class_counts.size() || !classed) ? "," : "");
+    }
   }
   std::printf("  ],\n");
 

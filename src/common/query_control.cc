@@ -1,0 +1,30 @@
+#include "common/query_control.h"
+
+namespace ps3 {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kBatch:
+      return "batch";
+    case QueryClass::kInteractive:
+      return "interactive";
+  }
+  return "unknown";
+}
+
+Status CancelToken::Check() const {
+  if (cancelled()) return Status::Cancelled("query cancelled");
+  const int64_t deadline_us = deadline_us_.load(std::memory_order_acquire);
+  if (deadline_us != 0) {
+    const int64_t now_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now_us >= deadline_us) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ps3

@@ -18,6 +18,8 @@ enum class StatusCode {
   kOutOfRange,
   kUnsupported,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a status code ("InvalidArgument", ...).
@@ -44,6 +46,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -54,11 +54,23 @@ class ColdShardedSource : public storage::PartitionSource {
       const storage::ColumnSet& columns) const override {
     return store_->Fetch(global_index, columns);
   }
+  /// The control-aware scan path: the token lets a cold load (and its
+  /// single-flight wait) abort with the token's Status instead of riding
+  /// out the simulated IO for a dead query.
+  Result<storage::PinnedPartition> Acquire(
+      size_t global_index, const storage::ColumnSet& columns,
+      const storage::ScanControl& control) const override {
+    return store_->Fetch(global_index, columns, control.cancel);
+  }
   using storage::PartitionSource::Acquire;
 
   void WillScanShard(size_t s,
                      const storage::ColumnSet& columns) const override {
     StageHint(shards_, s, columns);
+  }
+  void WillScanShard(size_t s, const storage::ColumnSet& columns,
+                     const storage::ScanControl& control) const override {
+    StageHint(shards_, s, columns, control);
   }
   using storage::PartitionSource::WillScanShard;
 
@@ -68,7 +80,18 @@ class ColdShardedSource : public storage::PartitionSource {
   /// absent from the plan and never staged.
   void StageHint(const std::vector<std::vector<size_t>>& plan, size_t current,
                  const storage::ColumnSet& columns) const override {
-    if (prefetch_ != nullptr) prefetch_->StageAhead(plan, current, columns);
+    if (prefetch_ != nullptr) {
+      prefetch_->StageAhead(plan, current, columns, QueryClass::kBatch);
+    }
+  }
+  /// Class-aware plan hint: the scan's class decides which share of the
+  /// pipeline's read-ahead budget this staging draws from.
+  void StageHint(const std::vector<std::vector<size_t>>& plan, size_t current,
+                 const storage::ColumnSet& columns,
+                 const storage::ScanControl& control) const override {
+    if (prefetch_ != nullptr) {
+      prefetch_->StageAhead(plan, current, columns, control.query_class);
+    }
   }
 
   /// Encoded on-disk footprint of the given (partition, column) set,

@@ -238,7 +238,14 @@ size_t PartitionStore::encoded_columns_bytes(
 }
 
 Result<std::vector<std::shared_ptr<const CachedColumn>>>
-PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols) {
+PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols,
+                            const CancelToken* cancel) {
+  // Last poll before the expensive part: a query cancelled (or expired)
+  // by now skips the simulated RTT and the read entirely.
+  if (cancel != nullptr) {
+    Status live = cancel->Check();
+    if (!live.ok()) return live;
+  }
   // The latency model sleeps *before* the read, like a request round
   // trip; the bandwidth term scales with the *encoded* bytes this pruned
   // pass will actually move — compressed segments cross the simulated
@@ -306,7 +313,7 @@ storage::PinnedPartition PartitionStore::AssemblePinned(
 }
 
 Result<storage::PinnedPartition> PartitionStore::Fetch(
-    size_t i, const storage::ColumnSet& columns) {
+    size_t i, const storage::ColumnSet& columns, const CancelToken* cancel) {
   if (i >= num_partitions()) {
     return Status::OutOfRange("partition index out of range");
   }
@@ -320,6 +327,12 @@ Result<storage::PinnedPartition> PartitionStore::Fetch(
   std::vector<ColumnKey> want;
   std::vector<std::shared_ptr<const CachedColumn>> got;
   for (;;) {
+    // Cooperative abort between passes: the early return drops `data`
+    // and `tokens`, releasing every pin this fetch already took.
+    if (cancel != nullptr) {
+      Status live = cancel->Check();
+      if (!live.ok()) return live;
+    }
     want.clear();
     for (size_t c : needed) {
       if (data[c] == nullptr) want.push_back(ColumnKey{i, c});
@@ -352,12 +365,26 @@ Result<storage::PinnedPartition> PartitionStore::Fetch(
         // Single flight: every missing segment is already being read by
         // someone; wait for them and retry the cache instead of
         // duplicating the IO.
-        load_cv_.wait(lock, [&] {
+        auto landed = [&] {
           for (size_t c : missing) {
             if (loading_.count(ColumnKey{i, c}) != 0) return false;
           }
           return true;
-        });
+        };
+        if (cancel == nullptr) {
+          load_cv_.wait(lock, landed);
+        } else {
+          // Cancellable wait: poll the token between waits so a waiter
+          // whose deadline fires mid-flight unblocks without waiting out
+          // another query's (possibly much longer) load. The poll period
+          // only bounds abort latency — wakeups still come from the
+          // loaders' notify.
+          while (!landed()) {
+            Status live = cancel->Check();
+            if (!live.ok()) return live;
+            load_cv_.wait_for(lock, std::chrono::microseconds(200));
+          }
+        }
         continue;
       }
       // A load may have landed between our cache miss and this lock.
@@ -376,9 +403,16 @@ Result<storage::PinnedPartition> PartitionStore::Fetch(
     // guard releases, so a waiter that wakes up finds the entries instead
     // of reloading them.
     LoadingGuard guard(this, i, claim);
-    auto loaded = LoadColumns(i, claim);
+    auto loaded = LoadColumns(i, claim, cancel);
     if (!loaded.ok()) {
-      guard.set_failed();
+      // An abort is not a load error: the guard still clears the claim
+      // marks and wakes waiters (who re-claim and load for themselves),
+      // but the store's error counter only tracks real IO failures.
+      const StatusCode code = loaded.status().code();
+      if (code != StatusCode::kCancelled &&
+          code != StatusCode::kDeadlineExceeded) {
+        guard.set_failed();
+      }
       return loaded.status();
     }
     for (size_t k = 0; k < claim.size(); ++k) {

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/query_control.h"
 #include "common/status.h"
 #include "io/partition_cache.h"
 #include "io/partition_file.h"
@@ -125,8 +126,19 @@ class PartitionStore {
   /// hits, or single-flight cold loads of the missing segments, then a
   /// pruned assembled view (unrequested columns empty). Thread-safe;
   /// blocks only for the loads themselves.
+  ///
+  /// `cancel` (nullable, borrowed for the call) makes the blocking parts
+  /// cooperative: the token is polled before each load pass, before the
+  /// simulated IO sleep, and while waiting on another fetcher's
+  /// single-flight load. A fired token returns its Status (kCancelled /
+  /// kDeadlineExceeded) with every pin already taken released; loads
+  /// this fetch had claimed are unwound through the same guard path as a
+  /// failed load (marks cleared, waiters woken, *not* counted as a load
+  /// error), so concurrent fetchers of the same segments simply reclaim
+  /// them — a cancelled query never poisons co-resident ones.
   Result<storage::PinnedPartition> Fetch(size_t i,
-                                         const storage::ColumnSet& columns);
+                                         const storage::ColumnSet& columns,
+                                         const CancelToken* cancel = nullptr);
   /// Every column (the unpruned legacy path).
   Result<storage::PinnedPartition> Fetch(size_t i) {
     return Fetch(i, storage::ColumnSet::All());
@@ -185,9 +197,12 @@ class PartitionStore {
 
   /// Reads + decodes the given column segments of partition `i` in one
   /// seek pass (applying the simulated latency/bandwidth model). Returns
-  /// one CachedColumn per entry of `cols`, in order.
+  /// one CachedColumn per entry of `cols`, in order. A fired `cancel`
+  /// (nullable) aborts with its Status before the simulated sleep — the
+  /// long pole — so a dead query doesn't ride out the modeled RTT.
   Result<std::vector<std::shared_ptr<const CachedColumn>>> LoadColumns(
-      size_t i, const std::vector<size_t>& cols);
+      size_t i, const std::vector<size_t>& cols,
+      const CancelToken* cancel = nullptr);
   /// Builds the scan view for partition `i` from the pinned segment data
   /// (indexed by column; null = pruned) plus the pin tokens that keep
   /// them alive and release them when the view is dropped.

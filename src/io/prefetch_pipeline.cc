@@ -11,10 +11,24 @@ PrefetchPipeline::PrefetchPipeline(PartitionStore* store,
                                    runtime::QueryScheduler* scheduler)
     : PrefetchPipeline(store, scheduler, Options()) {}
 
+namespace {
+
+size_t BatchCapBytes(const PrefetchPipeline::Options& options) {
+  const double f =
+      std::min(1.0, std::max(0.0, options.interactive_reserve_fraction));
+  return static_cast<size_t>(
+      static_cast<double>(options.readahead_bytes) * (1.0 - f));
+}
+
+}  // namespace
+
 PrefetchPipeline::PrefetchPipeline(PartitionStore* store,
                                    runtime::QueryScheduler* scheduler,
                                    Options options)
-    : store_(store), scheduler_(scheduler), options_(options) {}
+    : store_(store),
+      scheduler_(scheduler),
+      options_(options),
+      batch_cap_bytes_(BatchCapBytes(options)) {}
 
 PrefetchPipeline::~PrefetchPipeline() { Drain(); }
 
@@ -50,9 +64,36 @@ size_t PrefetchPipeline::AheadDistance() const {
                           static_cast<size_t>(want)));
 }
 
+bool PrefetchPipeline::TryReserve(size_t bytes, QueryClass query_class) {
+  std::lock_guard<std::mutex> lock(budget_mu_);
+  // The total pool bounds everyone; batch additionally stops at its
+  // share, leaving the reserve to interactive staging (which may also
+  // soak up whatever batch left idle).
+  if (inflight_batch_ + inflight_interactive_ + bytes >
+      options_.readahead_bytes) {
+    return false;
+  }
+  if (query_class == QueryClass::kBatch) {
+    if (inflight_batch_ + bytes > batch_cap_bytes_) return false;
+    inflight_batch_ += bytes;
+  } else {
+    inflight_interactive_ += bytes;
+  }
+  return true;
+}
+
+void PrefetchPipeline::Release(size_t bytes, QueryClass query_class) {
+  std::lock_guard<std::mutex> lock(budget_mu_);
+  if (query_class == QueryClass::kBatch) {
+    inflight_batch_ -= bytes;
+  } else {
+    inflight_interactive_ -= bytes;
+  }
+}
+
 void PrefetchPipeline::StageAhead(
     const std::vector<std::vector<size_t>>& shards, size_t current,
-    const storage::ColumnSet& columns) {
+    const storage::ColumnSet& columns, QueryClass query_class) {
   {
     std::lock_guard<std::mutex> lock(pace_mu_);
     const Clock::time_point now = Clock::now();
@@ -76,11 +117,12 @@ void PrefetchPipeline::StageAhead(
     const std::vector<size_t>& shard = shards[current + d];
     parts.insert(parts.end(), shard.begin(), shard.end());
   }
-  if (!parts.empty()) Stage(std::move(parts), columns);
+  if (!parts.empty()) Stage(std::move(parts), columns, query_class);
 }
 
 void PrefetchPipeline::Stage(std::vector<size_t> parts,
-                             const storage::ColumnSet& columns) {
+                             const storage::ColumnSet& columns,
+                             QueryClass query_class) {
   // Budget admission up front, so the shared pool is charged before the
   // task is queued (otherwise N queries could all stage "within budget"
   // simultaneously). Admission is column-granular: only a partition's
@@ -127,16 +169,7 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
       continue;
     }
     const size_t bytes = store_->encoded_columns_bytes(p, missing);
-    size_t cur = inflight_bytes_.load(std::memory_order_relaxed);
-    bool admitted = false;
-    while (cur + bytes <= options_.readahead_bytes) {
-      if (inflight_bytes_.compare_exchange_weak(cur, cur + bytes,
-                                                std::memory_order_relaxed)) {
-        admitted = true;
-        break;
-      }
-    }
-    if (!admitted) {
+    if (!TryReserve(bytes, query_class)) {
       skipped_budget_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -146,33 +179,47 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
   if (to_load.empty()) return;
   staged_.fetch_add(to_load.size(), std::memory_order_relaxed);
 
+  // Total reservation for this batch, released in one piece when the
+  // whole pass lands (success, load error, or failed dispatch alike).
+  // Per-load release would return budget marginally sooner, but a single
+  // batch-scoped release makes "no reservation can outlive its task"
+  // auditable on every path — the leak class the budget tests pin.
+  size_t reserved_bytes = 0;
+  for (const Load& l : to_load) reserved_bytes += l.bytes;
+
   // One scheduler task per staged batch; the task fans the loads out
-  // across worker-pool lanes, releases the budget as each insert lands
-  // in the cache, and feeds the load-latency EWMA that drives the
-  // adaptive distance.
-  auto task = [this, loads = std::move(to_load)] {
+  // across worker-pool lanes, releases the budget when the pass lands,
+  // and feeds the load-latency EWMA that drives the adaptive distance.
+  auto task = [this, loads = std::move(to_load), reserved_bytes,
+               query_class] {
     PartitionStore* store = store_;
     const Clock::time_point start = Clock::now();
-    scheduler_->pool().ParallelFor(
-        loads.size(),
-        [this, store, &loads](size_t k) {
-          const Load& load = loads[k];
-          // Prefetch is advisory, so nothing may escape: a thrown load
-          // (bad_alloc during rehydration) would fail the whole pool job
-          // and drain sibling items *without running them*, leaking
-          // their budget reservations permanently.
-          try {
-            Status s = store->Preload(
-                load.part, storage::ColumnSet::Of(load.cols));
-            if (!s.ok()) {
+    try {
+      scheduler_->pool().ParallelFor(
+          loads.size(),
+          [this, store, &loads](size_t k) {
+            const Load& load = loads[k];
+            // Prefetch is advisory, so nothing may escape: a thrown load
+            // (bad_alloc during rehydration) would fail the whole pool
+            // job and drain sibling items without running them.
+            try {
+              Status s = store->Preload(
+                  load.part, storage::ColumnSet::Of(load.cols));
+              if (!s.ok()) {
+                load_errors_.fetch_add(1, std::memory_order_relaxed);
+              }
+            } catch (...) {
               load_errors_.fetch_add(1, std::memory_order_relaxed);
             }
-          } catch (...) {
-            load_errors_.fetch_add(1, std::memory_order_relaxed);
-          }
-          inflight_bytes_.fetch_sub(load.bytes, std::memory_order_relaxed);
-        },
-        options_.load_lanes);
+          },
+          options_.load_lanes);
+    } catch (...) {
+      // ParallelFor itself failing (job allocation) is still advisory —
+      // the demand path loads what staging didn't — but the reservation
+      // must not leak with it.
+      load_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Release(reserved_bytes, query_class);
     // The sample is the *whole pass's* wall time, deliberately not
     // divided by the number of shards it spanned: loads fan out across
     // the pool lanes, so a batch lands in ~one store RTT when it fits
@@ -188,7 +235,17 @@ void PrefetchPipeline::Stage(std::vector<size_t> parts,
                        Clock::now() - start)
                        .count()));
   };
-  std::future<void> fut = scheduler_->Defer(std::move(task));
+  std::future<void> fut;
+  try {
+    fut = scheduler_->Defer(std::move(task));
+  } catch (...) {
+    // Dispatch failed (allocation): the task will never run, so return
+    // its reservation here — otherwise the bytes leak from the pool
+    // forever. Advisory, like every staging failure.
+    Release(reserved_bytes, query_class);
+    load_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   // Prune finished futures so a long query stream doesn't accumulate one
   // handle per staged shard forever.
@@ -218,6 +275,12 @@ PrefetchPipeline::PrefetchStats PrefetchPipeline::stats() const {
   s.skipped_budget = skipped_budget_.load(std::memory_order_relaxed);
   s.load_errors = load_errors_.load(std::memory_order_relaxed);
   s.ahead_shards = AheadDistance();
+  {
+    std::lock_guard<std::mutex> lock(budget_mu_);
+    s.inflight_batch_bytes = inflight_batch_;
+    s.inflight_interactive_bytes = inflight_interactive_;
+  }
+  s.inflight_bytes = s.inflight_batch_bytes + s.inflight_interactive_bytes;
   return s;
 }
 

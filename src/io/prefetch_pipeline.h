@@ -28,7 +28,12 @@
 // The read-ahead budget is byte-accounted at *column-segment*
 // granularity and *shared*: every query prefetching through one pipeline
 // draws from the same in-flight byte pool, so N concurrent cold queries
-// can't multiply read-ahead memory by N. Since segments spill compressed,
+// can't multiply read-ahead memory by N. The pool is split by admission
+// class: batch staging stops at (1 - interactive_reserve_fraction) of
+// the budget while interactive staging may use all of it, so any amount
+// of batch read-ahead leaves the reserved share of IO available to
+// interactive cold loads — batch prefetch cannot starve the latency
+// class. Since segments spill compressed,
 // admission runs in two units: the shared pool meters *encoded* bytes
 // (disk/link traffic), the cache-headroom bound meters *decoded* bytes
 // (resident footprint once a staged segment lands). Segments that don't
@@ -50,6 +55,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/query_control.h"
 #include "io/partition_store.h"
 #include "runtime/query_scheduler.h"
 #include "storage/column_set.h"
@@ -65,6 +71,15 @@ class PrefetchPipeline {
     /// footprint of staged segments is bounded separately by the
     /// store's cache headroom.
     size_t readahead_bytes = size_t{64} << 20;
+    /// Share of `readahead_bytes` reserved for interactive-class
+    /// read-ahead: batch staging stops admitting once batch in-flight
+    /// bytes reach (1 - fraction) * budget, while interactive staging may
+    /// draw on the whole pool (including whatever the batch share left
+    /// idle). This is the multi-tenant isolation knob — any number of
+    /// batch scans sharing the pipeline leave this fraction of read-ahead
+    /// IO available to interactive cold loads. 0 restores the single
+    /// shared pool. Clamped to [0, 1].
+    double interactive_reserve_fraction = 0.25;
     /// Worker-pool lanes a staging task may fan its loads across. Loads
     /// are latency-bound (they sleep through the simulated store RTT), so
     /// oversubscribing lanes is cheap and hides more of the wait.
@@ -87,17 +102,19 @@ class PrefetchPipeline {
   /// Scan-entry hook (ColdShardedSource::WillScanShard): updates the
   /// scan-pace EWMA and stages the hinted columns of the next
   /// [1, max_ahead_shards] shards after `current`, as the current
-  /// load-vs-scan latency ratio warrants, bounded by the shared
-  /// read-ahead budget. Non-blocking; safe to call from pool lanes
-  /// mid-scan.
+  /// load-vs-scan latency ratio warrants, bounded by `query_class`'s
+  /// share of the read-ahead budget. Non-blocking; safe to call from
+  /// pool lanes mid-scan.
   void StageAhead(const std::vector<std::vector<size_t>>& shards,
-                  size_t current, const storage::ColumnSet& columns);
+                  size_t current, const storage::ColumnSet& columns,
+                  QueryClass query_class = QueryClass::kBatch);
 
   /// Stages the given partitions' hinted columns into the store's cache
-  /// asynchronously, bounded by the shared read-ahead budget.
-  /// Non-blocking; safe to call from pool lanes mid-scan.
+  /// asynchronously, bounded by `query_class`'s share of the read-ahead
+  /// budget. Non-blocking; safe to call from pool lanes mid-scan.
   void Stage(std::vector<size_t> parts,
-             const storage::ColumnSet& columns = storage::ColumnSet::All());
+             const storage::ColumnSet& columns = storage::ColumnSet::All(),
+             QueryClass query_class = QueryClass::kBatch);
 
   /// Waits for every in-flight staging task.
   void Drain();
@@ -108,6 +125,14 @@ class PrefetchPipeline {
     uint64_t skipped_budget = 0;  ///< didn't fit the read-ahead budget
     uint64_t load_errors = 0;     ///< advisory failures (demand path retries)
     size_t ahead_shards = 1;      ///< current adaptive stage-ahead distance
+    /// Encoded bytes currently reserved against the read-ahead pool, per
+    /// class and total. Every reservation is released when its staging
+    /// task finishes (success, load error, or a failed dispatch alike),
+    /// so with no staging in flight these are exactly 0 — the invariant
+    /// the budget-leak tests pin.
+    size_t inflight_batch_bytes = 0;
+    size_t inflight_interactive_bytes = 0;
+    size_t inflight_bytes = 0;
   };
   PrefetchStats stats() const;
 
@@ -120,11 +145,24 @@ class PrefetchPipeline {
   /// pacing is advisory, approximate reads are fine).
   static void UpdateEwma(std::atomic<uint64_t>* cell, uint64_t sample_us);
 
+  /// Tries to reserve `bytes` of read-ahead budget for `query_class`:
+  /// the total pool bounds both classes, and batch additionally stops at
+  /// its (1 - interactive_reserve_fraction) share. Admission and release
+  /// share one small mutex — staging runs per partition batch, far off
+  /// the per-chunk hot path.
+  bool TryReserve(size_t bytes, QueryClass query_class);
+  void Release(size_t bytes, QueryClass query_class);
+
   PartitionStore* store_;
   runtime::QueryScheduler* scheduler_;
   const Options options_;
+  /// Batch admission ceiling: (1 - interactive_reserve_fraction) *
+  /// readahead_bytes, precomputed.
+  const size_t batch_cap_bytes_;
 
-  std::atomic<size_t> inflight_bytes_{0};
+  mutable std::mutex budget_mu_;
+  size_t inflight_batch_ = 0;        ///< guarded by budget_mu_
+  size_t inflight_interactive_ = 0;  ///< guarded by budget_mu_
   std::atomic<uint64_t> staged_{0};
   std::atomic<uint64_t> skipped_cached_{0};
   std::atomic<uint64_t> skipped_budget_{0};

@@ -79,6 +79,16 @@ runtime::WorkerPool& PoolOf(const ExecOptions& opts) {
   return opts.pool != nullptr ? *opts.pool : runtime::WorkerPool::Shared();
 }
 
+/// Maps an ExecOptions onto the pool's per-job scheduling options, so
+/// every evaluation pass carries the query's class and cancel token.
+runtime::WorkerPool::TaskOptions TaskOf(const ExecOptions& opts) {
+  runtime::WorkerPool::TaskOptions topts;
+  topts.max_lanes = opts.num_threads;
+  topts.query_class = opts.query_class;
+  topts.cancel = opts.cancel;
+  return topts;
+}
+
 PartitionAnswer EvaluateVectorized(const CompiledQuery& cq,
                                    const storage::Partition& part,
                                    VectorScratch* s) {
@@ -407,7 +417,7 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
         [&](size_t i) {
           out[i] = EvaluateOnPartition(query, table.partition(i));
         },
-        opts.num_threads);
+        TaskOf(opts));
     return out;
   }
   // Compile once, execute everywhere; scratch is per pool lane and
@@ -420,7 +430,7 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
         s.be.set_simd(opts.simd);
         out[i] = EvaluateVectorized(cq, table.partition(i), &s);
       },
-      opts.num_threads);
+      TaskOf(opts));
   return out;
 }
 
@@ -471,18 +481,32 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
   for (size_t s = 0; s < n_shards; ++s) {
     entered[s].store(false, std::memory_order_relaxed);
   }
+  storage::ScanControl ctl;
+  ctl.query_class = opts.query_class;
+  ctl.cancel = opts.cancel;
   pool.ParallelFor(
       units.size(),
       [&](size_t u) {
         const Unit unit = units[u];
+        // Units are heavier than typical chunk items (a whole partition
+        // each), so poll the token per unit too — before the acquire, so
+        // a dead query stops issuing cold loads immediately.
+        ThrowIfAborted(opts.cancel);
         if (!entered[unit.shard].exchange(true, std::memory_order_relaxed)) {
-          source.WillScanShard(unit.shard, scan_columns);
+          source.WillScanShard(unit.shard, scan_columns, ctl);
         }
-        auto pinned =
-            source.Acquire(source.shard(unit.shard)[unit.k], scan_columns);
+        auto pinned = source.Acquire(source.shard(unit.shard)[unit.k],
+                                     scan_columns, ctl);
         if (!pinned.ok()) {
           // The pool rethrows on this evaluation's caller; sibling
-          // queries on the pool are unaffected (per-job failure).
+          // queries on the pool are unaffected (per-job failure). An
+          // abort keeps its structured Status; real IO errors stay
+          // generic runtime_errors.
+          const StatusCode code = pinned.status().code();
+          if (code == StatusCode::kCancelled ||
+              code == StatusCode::kDeadlineExceeded) {
+            throw QueryAborted(pinned.status());
+          }
           throw std::runtime_error(pinned.status().ToString());
         }
         const storage::Partition& part = pinned->view();
@@ -494,7 +518,7 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
         sc.be.set_simd(opts.simd);
         partials[unit.shard][unit.k] = EvaluateVectorized(cq, part, &sc);
       },
-      opts.num_threads);
+      TaskOf(opts));
   // Ordered merge: walk shards in index order, placing each partial at its
   // global partition id. Deterministic for any lane count or assignment.
   std::vector<PartitionAnswer> out(source.num_partitions());
@@ -529,7 +553,7 @@ size_t CountMatchingRows(const PredicatePtr& pred,
           }
           counts[i] = c;
         },
-        opts.num_threads);
+        TaskOf(opts));
   } else {
     const PredProgram prog = CompilePredicate(pred);
     pool.ParallelFor(
@@ -545,7 +569,7 @@ size_t CountMatchingRows(const PredicatePtr& pred,
           s.be.EvalPredicate(prog, part, &s.main);
           counts[i] = s.main.CountOnes();
         },
-        opts.num_threads);
+        TaskOf(opts));
   }
   size_t total = 0;
   for (size_t c : counts) total += c;

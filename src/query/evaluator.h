@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/query_control.h"
 #include "query/query.h"
 #include "runtime/simd.h"
 #include "storage/table.h"
@@ -123,6 +124,17 @@ struct ExecOptions {
   /// Predicate kernel selection for the vectorized policy (scalar packing
   /// vs explicit AVX2); answers are bit-identical either way.
   runtime::SimdLevel simd = runtime::SimdLevel::kAuto;
+  /// Admission class under concurrent load: interactive scans preempt
+  /// batch scans at chunk granularity on the shared pool, and cold
+  /// sources keep their prefetch outside the batch read-ahead share.
+  /// Affects only when chunks run — answers are class-blind.
+  QueryClass query_class = QueryClass::kBatch;
+  /// Cooperative cancel/deadline token, polled at chunk boundaries, at
+  /// every partition acquire, and inside cold-load single-flight waits;
+  /// nullable, borrowed for the evaluation's duration. When it fires the
+  /// evaluation throws QueryAborted (pins already taken are released);
+  /// concurrent evaluations on the pool are unaffected.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Evaluates the query exactly on one partition with the scalar policy.
@@ -165,11 +177,12 @@ std::vector<PartitionAnswer> EvaluateAllPartitions(
 /// pins its partition just before the kernels run and releases it right
 /// after; the first unit to enter a shard fires WillScanShard(s, cols) so
 /// out-of-core sources can stage upcoming shards ahead of the scan. A
-/// failed Acquire (IO error, checksum
-/// mismatch) fails this evaluation only, surfaced as a thrown
-/// std::runtime_error carrying the Status. Answers are bit-identical to
-/// the resident scan for any source whose shard structure matches
-/// storage::AssignShards.
+/// failed Acquire (IO error, checksum mismatch) fails this evaluation
+/// only, surfaced as a thrown std::runtime_error carrying the Status —
+/// or as QueryAborted when opts.cancel fired (the abort is also checked
+/// before every acquire, so a cancelled query stops issuing cold loads).
+/// Answers are bit-identical to the resident scan for any source whose
+/// shard structure matches storage::AssignShards.
 std::vector<PartitionAnswer> EvaluateAllPartitions(
     const Query& query, const storage::PartitionSource& source,
     const ExecOptions& opts = {});

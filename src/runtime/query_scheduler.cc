@@ -44,13 +44,15 @@ QueryScheduler::~QueryScheduler() {
 
 size_t QueryScheduler::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size() + executing_;
+  return queues_[0].size() + queues_[1].size() + executing_;
 }
 
-void QueryScheduler::Enqueue(std::function<void()> task) {
+void QueryScheduler::Enqueue(std::function<void()> task,
+                             QueryClass query_class) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queues_[query_class == QueryClass::kInteractive ? 1 : 0].push_back(
+        std::move(task));
   }
   cv_.notify_one();
 }
@@ -60,12 +62,19 @@ void QueryScheduler::DriverMain() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      // Drain-on-destruction: exit only once the queue is empty, so every
-      // admitted future becomes ready.
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [&] {
+        return stop_ || !queues_[0].empty() || !queues_[1].empty();
+      });
+      // Drain-on-destruction: exit only once both queues are empty, so
+      // every admitted future becomes ready.
+      // Interactive first: a latency-class query never waits behind the
+      // batch backlog (or behind staged prefetch tasks, which enqueue as
+      // batch) for a driver.
+      std::deque<std::function<void()>>& q =
+          !queues_[1].empty() ? queues_[1] : queues_[0];
+      if (q.empty()) return;
+      task = std::move(q.front());
+      q.pop_front();
       ++executing_;
     }
     // packaged_task catches the body's exception and parks it in the
@@ -78,107 +87,201 @@ void QueryScheduler::DriverMain() {
   }
 }
 
+QueryScheduler::Admission QueryScheduler::Admit(const SubmitOptions& submit,
+                                                query::ExecOptions opts) const {
+  Admission a;
+  a.token = submit.cancel;
+  if (a.token == nullptr && submit.deadline.count() != 0) {
+    a.token = std::make_shared<CancelToken>();
+  }
+  if (a.token != nullptr && submit.deadline.count() != 0) {
+    // Armed now — at admission — so time spent queued behind other tasks
+    // counts against the deadline, which is what a latency SLO means.
+    a.token->SetDeadline(std::chrono::steady_clock::now() + submit.deadline);
+  }
+  opts.pool = pool_;
+  opts.query_class = submit.query_class;
+  opts.cancel = a.token.get();
+  a.opts = std::move(opts);
+  return a;
+}
+
+// Classless overloads delegate to the multi-tenant ones: a default
+// SubmitOptions is the batch class with no deadline and no token, which
+// admits and executes exactly as the pre-class scheduler did.
 std::future<query::QueryAnswer> QueryScheduler::Submit(
     query::Query query, const storage::ShardedTable& table,
     query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &table, opts] {
-    return query::ExactAnswer(q,
-                              query::EvaluateAllPartitions(q, table, opts));
-  });
+  return Submit(std::move(query), table, SubmitOptions{}, std::move(opts));
 }
 
 std::future<query::QueryAnswer> QueryScheduler::Submit(
     query::Query query, const storage::PartitionedTable& table,
     query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &table, opts] {
-    return query::ExactAnswer(q,
-                              query::EvaluateAllPartitions(q, table, opts));
-  });
+  return Submit(std::move(query), table, SubmitOptions{}, std::move(opts));
 }
 
 std::future<std::vector<query::PartitionAnswer>>
 QueryScheduler::SubmitPartials(query::Query query,
                                const storage::PartitionedTable& table,
                                query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &table, opts] {
-    return query::EvaluateAllPartitions(q, table, opts);
-  });
+  return SubmitPartials(std::move(query), table, SubmitOptions{},
+                        std::move(opts));
 }
 
 std::future<std::vector<query::PartitionAnswer>>
 QueryScheduler::SubmitPartials(query::Query query,
                                const storage::ShardedTable& table,
                                query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &table, opts] {
-    return query::EvaluateAllPartitions(q, table, opts);
-  });
+  return SubmitPartials(std::move(query), table, SubmitOptions{},
+                        std::move(opts));
 }
 
 std::future<query::QueryAnswer> QueryScheduler::Submit(
     query::Query query, const storage::PartitionSource& source,
     query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &source, opts] {
-    return query::ExactAnswer(q,
-                              query::EvaluateAllPartitions(q, source, opts));
-  });
+  return Submit(std::move(query), source, SubmitOptions{}, std::move(opts));
 }
 
 std::future<ApproxAnswer> QueryScheduler::SubmitApproximate(
     query::Query query, const storage::PartitionSource& source,
     const core::PartitionPicker& picker, ApproxOptions approx,
     query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &source, &picker, approx, opts] {
-    const double frac = approx.sampling_fraction;
-    if (!(frac > 0.0) || frac > 1.0) {  // !(> 0) also rejects NaN
-      throw std::invalid_argument(
-          "SubmitApproximate: sampling_fraction must be in (0, 1]");
-    }
-    const size_t n = source.num_partitions();
-    size_t budget =
-        static_cast<size_t>(std::ceil(frac * static_cast<double>(n)));
-    budget = std::max<size_t>(1, std::min(budget, n));
-    RandomEngine rng(approx.seed);
-    core::Selection sel = picker.Pick(q, budget, &rng, nullptr);
-    // Canonical combine order (ascending global partition index) pins the
-    // FP merge order, so the answer's bit pattern is independent of the
-    // order the picker emitted its choices in — and a full uniform
-    // selection reproduces the exact answer bit for bit.
-    query::CanonicalizeSelection(&sel.parts);
-    std::vector<size_t> picked;
-    picked.reserve(sel.parts.size());
-    for (const auto& wp : sel.parts) picked.push_back(wp.partition);
-
-    const storage::PickedSource view(source, picked);
-    std::vector<query::PartitionAnswer> partials =
-        query::EvaluateAllPartitions(q, view, opts);
-    query::ApproxCombined combined =
-        query::CombineWeightedWithError(q, partials, sel.parts);
-
-    ApproxAnswer out;
-    out.value = std::move(combined.value);
-    out.error_estimate = std::move(combined.error);
-    out.partitions_scanned = picked.size();
-    out.partitions_total = n;
-    out.bytes_moved = source.ColdScanBytes(
-        picked, query::ReferencedColumns(query::CompileQuery(q)));
-    return out;
-  });
+  return SubmitApproximate(std::move(query), source, picker, approx,
+                           SubmitOptions{}, std::move(opts));
 }
 
 std::future<std::vector<query::PartitionAnswer>>
 QueryScheduler::SubmitPartials(query::Query query,
                                const storage::PartitionSource& source,
                                query::ExecOptions opts) {
-  opts.pool = pool_;
-  return Defer([q = std::move(query), &source, opts] {
-    return query::EvaluateAllPartitions(q, source, opts);
-  });
+  return SubmitPartials(std::move(query), source, SubmitOptions{},
+                        std::move(opts));
+}
+
+std::future<query::QueryAnswer> QueryScheduler::Submit(
+    query::Query query, const storage::ShardedTable& table,
+    SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &table, a = std::move(a)] {
+        a.ThrowIfDead();
+        return query::ExactAnswer(
+            q, query::EvaluateAllPartitions(q, table, a.opts));
+      },
+      submit.query_class);
+}
+
+std::future<query::QueryAnswer> QueryScheduler::Submit(
+    query::Query query, const storage::PartitionedTable& table,
+    SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &table, a = std::move(a)] {
+        a.ThrowIfDead();
+        return query::ExactAnswer(
+            q, query::EvaluateAllPartitions(q, table, a.opts));
+      },
+      submit.query_class);
+}
+
+std::future<query::QueryAnswer> QueryScheduler::Submit(
+    query::Query query, const storage::PartitionSource& source,
+    SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &source, a = std::move(a)] {
+        a.ThrowIfDead();
+        return query::ExactAnswer(
+            q, query::EvaluateAllPartitions(q, source, a.opts));
+      },
+      submit.query_class);
+}
+
+std::future<std::vector<query::PartitionAnswer>>
+QueryScheduler::SubmitPartials(query::Query query,
+                               const storage::PartitionedTable& table,
+                               SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &table, a = std::move(a)] {
+        a.ThrowIfDead();
+        return query::EvaluateAllPartitions(q, table, a.opts);
+      },
+      submit.query_class);
+}
+
+std::future<std::vector<query::PartitionAnswer>>
+QueryScheduler::SubmitPartials(query::Query query,
+                               const storage::ShardedTable& table,
+                               SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &table, a = std::move(a)] {
+        a.ThrowIfDead();
+        return query::EvaluateAllPartitions(q, table, a.opts);
+      },
+      submit.query_class);
+}
+
+std::future<std::vector<query::PartitionAnswer>>
+QueryScheduler::SubmitPartials(query::Query query,
+                               const storage::PartitionSource& source,
+                               SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &source, a = std::move(a)] {
+        a.ThrowIfDead();
+        return query::EvaluateAllPartitions(q, source, a.opts);
+      },
+      submit.query_class);
+}
+
+std::future<ApproxAnswer> QueryScheduler::SubmitApproximate(
+    query::Query query, const storage::PartitionSource& source,
+    const core::PartitionPicker& picker, ApproxOptions approx,
+    SubmitOptions submit, query::ExecOptions opts) {
+  Admission a = Admit(submit, std::move(opts));
+  return Defer(
+      [q = std::move(query), &source, &picker, approx, a = std::move(a)] {
+        a.ThrowIfDead();
+        const query::ExecOptions& opts = a.opts;
+        const double frac = approx.sampling_fraction;
+        if (!(frac > 0.0) || frac > 1.0) {  // !(> 0) also rejects NaN
+          throw std::invalid_argument(
+              "SubmitApproximate: sampling_fraction must be in (0, 1]");
+        }
+        const size_t n = source.num_partitions();
+        size_t budget =
+            static_cast<size_t>(std::ceil(frac * static_cast<double>(n)));
+        budget = std::max<size_t>(1, std::min(budget, n));
+        RandomEngine rng(approx.seed);
+        core::Selection sel = picker.Pick(q, budget, &rng, nullptr);
+        // Canonical combine order (ascending global partition index) pins
+        // the FP merge order, so the answer's bit pattern is independent
+        // of the order the picker emitted its choices in — and a full
+        // uniform selection reproduces the exact answer bit for bit.
+        query::CanonicalizeSelection(&sel.parts);
+        std::vector<size_t> picked;
+        picked.reserve(sel.parts.size());
+        for (const auto& wp : sel.parts) picked.push_back(wp.partition);
+
+        const storage::PickedSource view(source, picked);
+        std::vector<query::PartitionAnswer> partials =
+            query::EvaluateAllPartitions(q, view, opts);
+        query::ApproxCombined combined =
+            query::CombineWeightedWithError(q, partials, sel.parts);
+
+        ApproxAnswer out;
+        out.value = std::move(combined.value);
+        out.error_estimate = std::move(combined.error);
+        out.partitions_scanned = picked.size();
+        out.partitions_total = n;
+        out.bytes_moved = source.ColdScanBytes(
+            picked, query::ReferencedColumns(query::CompileQuery(q)));
+        return out;
+      },
+      submit.query_class);
 }
 
 }  // namespace ps3::runtime

@@ -10,13 +10,25 @@
 // work onto shared execution resources rather than from one query owning
 // every lane.
 //
+// Admission is multi-tenant: every Submit* has an overload taking
+// SubmitOptions{query_class, deadline, cancel}. Interactive-class queries
+// jump the driver queue ahead of batch work and preempt batch jobs at
+// chunk granularity on the pool (weighted — batch still progresses); a
+// deadline is armed at admission (queue wait counts against it), and a
+// cancelled or expired query resolves its future with QueryAborted
+// carrying Status::Cancelled / Status::DeadlineExceeded — its cache pins
+// are released, its cold loads unwound, and co-resident queries are
+// untouched. Classless call sites default to batch and behave exactly as
+// before.
+//
 // Determinism contract: each query's per-partition reduction is ordered
 // (index-addressed slots, ascending row order within a partition), so the
 // answer a future resolves to is bit-identical to running the same query
-// serially — for any driver count, lane count, steal schedule, or set of
-// concurrently admitted queries. Failure is per query: a task that throws
-// fails only its own future; sibling queries and the resident lanes are
-// unaffected.
+// serially — for any driver count, lane count, steal schedule, query
+// class mix, or set of concurrently admitted queries (class and deadline
+// affect when chunks run, never merge order or results). Failure is per
+// query: a task that throws fails only its own future; sibling queries
+// and the resident lanes are unaffected.
 //
 // Tables are borrowed, not owned: a table passed to Submit must stay alive
 // until the returned future is ready (or the scheduler is destroyed,
@@ -24,6 +36,7 @@
 #ifndef PS3_RUNTIME_QUERY_SCHEDULER_H_
 #define PS3_RUNTIME_QUERY_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -36,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/query_control.h"
 #include "query/evaluator.h"
 #include "runtime/worker_pool.h"
 #include "storage/partition_source.h"
@@ -75,6 +89,28 @@ struct ApproxAnswer {
   /// spill manifest, so it is deterministic under any cache state.
   /// Resident sources report 0.
   uint64_t bytes_moved = 0;
+};
+
+/// Per-query admission options for the multi-tenant Submit* overloads.
+struct SubmitOptions {
+  /// kInteractive jumps the driver queue ahead of batch tasks and wins
+  /// the weighted chunk-granularity picks on the pool; kBatch (default)
+  /// matches the classless overloads exactly.
+  QueryClass query_class = QueryClass::kBatch;
+  /// Relative deadline, armed at *admission* so queue wait counts
+  /// against it. 0 (default) = none; <= 0 is already expired (the query
+  /// fast-fails with DeadlineExceeded before touching a partition). On
+  /// expiry mid-flight the future resolves with QueryAborted carrying
+  /// Status::DeadlineExceeded at the next chunk boundary.
+  std::chrono::microseconds deadline{0};
+  /// External cancellation handle: call Cancel() from any thread and the
+  /// query aborts cooperatively (future resolves with QueryAborted
+  /// carrying Status::Cancelled). Optional; one is created internally
+  /// when a deadline is set without a token. A deadline is armed on this
+  /// token at admission, so sharing one token across submissions shares
+  /// the latest deadline too — share tokens only to cancel a group
+  /// together.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 class QueryScheduler {
@@ -152,21 +188,69 @@ class QueryScheduler {
       query::Query query, const storage::PartitionSource& source,
       query::ExecOptions opts = {});
 
+  /// Multi-tenant admission: same contracts as the overloads above, plus
+  /// SubmitOptions semantics — class-priority queueing and lane picks, a
+  /// deadline armed at admission, cooperative cancellation. An aborted
+  /// query's future rethrows QueryAborted; survivors stay bit-identical
+  /// to serial evaluation.
+  std::future<query::QueryAnswer> Submit(query::Query query,
+                                         const storage::ShardedTable& table,
+                                         SubmitOptions submit,
+                                         query::ExecOptions opts = {});
+  std::future<query::QueryAnswer> Submit(
+      query::Query query, const storage::PartitionedTable& table,
+      SubmitOptions submit, query::ExecOptions opts = {});
+  std::future<query::QueryAnswer> Submit(query::Query query,
+                                         const storage::PartitionSource& source,
+                                         SubmitOptions submit,
+                                         query::ExecOptions opts = {});
+  std::future<ApproxAnswer> SubmitApproximate(
+      query::Query query, const storage::PartitionSource& source,
+      const core::PartitionPicker& picker, ApproxOptions approx,
+      SubmitOptions submit, query::ExecOptions opts = {});
+  std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
+      query::Query query, const storage::PartitionedTable& table,
+      SubmitOptions submit, query::ExecOptions opts = {});
+  std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
+      query::Query query, const storage::ShardedTable& table,
+      SubmitOptions submit, query::ExecOptions opts = {});
+  std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
+      query::Query query, const storage::PartitionSource& source,
+      SubmitOptions submit, query::ExecOptions opts = {});
+
   /// Generic admission: runs `fn` on a driver thread and resolves the
   /// future with its result (or exception). Parallel passes inside `fn`
   /// (stats builds, featurization, labeling scans) are admitted to the
   /// pool as that task's own jobs, concurrent with other tasks'.
+  /// Interactive-class tasks are dequeued ahead of batch tasks (and of
+  /// staged prefetch work, which defers as batch); within a class, FIFO.
   template <typename F>
-  auto Defer(F fn) -> std::future<std::invoke_result_t<F>> {
+  auto Defer(F fn, QueryClass query_class = QueryClass::kBatch)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> fut = task->get_future();
-    Enqueue([task] { (*task)(); });
+    Enqueue([task] { (*task)(); }, query_class);
     return fut;
   }
 
  private:
-  void Enqueue(std::function<void()> task);
+  /// The evaluation options + token a Submit overload hands its deferred
+  /// task: pool pinned, class stamped, deadline armed (at admission).
+  /// The token rides in the task's capture so an externally held
+  /// CancelToken stays alive until the future resolves.
+  struct Admission {
+    query::ExecOptions opts;
+    std::shared_ptr<CancelToken> token;
+
+    /// Pre-execution gate, run first on the driver: a query cancelled or
+    /// expired while queued fast-fails without touching a partition.
+    void ThrowIfDead() const { ThrowIfAborted(token.get()); }
+  };
+  Admission Admit(const SubmitOptions& submit, query::ExecOptions opts) const;
+
+  void Enqueue(std::function<void()> task,
+               QueryClass query_class = QueryClass::kBatch);
   void DriverMain();
 
   WorkerPool* pool_;
@@ -174,9 +258,11 @@ class QueryScheduler {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  ///< guarded by mu_
-  size_t executing_ = 0;                     ///< guarded by mu_
-  bool stop_ = false;                        ///< guarded by mu_
+  /// Two-level priority queue: queues_[1] (interactive) drains before
+  /// queues_[0] (batch); FIFO within each. Guarded by mu_.
+  std::deque<std::function<void()>> queues_[2];
+  size_t executing_ = 0;  ///< guarded by mu_
+  bool stop_ = false;     ///< guarded by mu_
 };
 
 }  // namespace ps3::runtime

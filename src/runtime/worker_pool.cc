@@ -17,8 +17,34 @@ constexpr size_t kChunksPerLane = 4;
 /// of sleeping threads for the process lifetime.
 constexpr size_t kMaxLanes = 256;
 
+/// Contested-pick ratio: when both classes have servable work,
+/// interactive wins this many picks for every one batch pick. High
+/// enough that an interactive query runs at near-full lane share under
+/// batch load, low enough that batch aggregate progress is guaranteed
+/// (never starved, merely slowed) while interactive work is in flight.
+constexpr size_t kInteractivePickWeight = 4;
+
+/// Cancel-poll stride for the inline (single-lane) ParallelFor path,
+/// standing in for the chunk boundaries the pooled path polls at. Items
+/// are partition- or chunk-sized, so even a stride of 64 keeps poll cost
+/// invisible while bounding abort latency to a few items.
+constexpr size_t kInlineCancelStride = 64;
+
 thread_local WorkerPool* t_pool = nullptr;
 thread_local size_t t_lane = 0;
+
+/// Single-lane execution with the same cooperative-cancel contract as the
+/// pooled path: polls every kInlineCancelStride items and throws
+/// QueryAborted when the token fires.
+void RunInline(size_t n, const std::function<void(size_t)>& fn,
+               const CancelToken* cancel) {
+  for (size_t i = 0; i < n; ++i) {
+    if (cancel != nullptr && i % kInlineCancelStride == 0) {
+      ThrowIfAborted(cancel);
+    }
+    fn(i);
+  }
+}
 
 }  // namespace
 
@@ -98,26 +124,53 @@ void WorkerPool::WorkerMain(size_t lane) {
 
 std::shared_ptr<WorkerPool::Job> WorkerPool::PickJob() {
   std::lock_guard<std::mutex> lock(jobs_mu_);
-  const size_t n = jobs_.size();
-  for (size_t k = 0; k < n; ++k) {
-    const size_t idx = (rr_next_ + k) % n;
-    const std::shared_ptr<Job>& job = jobs_[idx];
+  // Best servable candidate per class, least chunks served first (ties
+  // go to registry order, which the service counters immediately break).
+  // Balancing on service executed — not a shared cursor — is what makes
+  // picks fair under churn: a cursor reset by job retirement parked on
+  // the registry head and favored whichever stream re-submitted into
+  // that slot, the 2-stream skew in the PR 5 bench capture.
+  std::shared_ptr<Job>* best[2] = {nullptr, nullptr};
+  for (auto& job : jobs_) {
     if (job->queued.load(std::memory_order_relaxed) == 0) continue;
-    // Reserve a lane slot under the job's cap (CAS loop: concurrent
-    // workers may race for the last slot).
-    size_t active = job->active_lanes.load(std::memory_order_relaxed);
-    bool reserved = false;
-    while (active < job->cap) {
-      if (job->active_lanes.compare_exchange_weak(active, active + 1)) {
-        reserved = true;
-        break;
-      }
+    if (job->active_lanes.load(std::memory_order_relaxed) >= job->cap) {
+      continue;  // saturated: every cap slot is already serving
     }
-    if (!reserved) continue;  // job saturated; try the next one
-    rr_next_ = (idx + 1) % n;
-    return job;
+    const size_t c = job->query_class == QueryClass::kInteractive ? 1 : 0;
+    if (best[c] == nullptr ||
+        job->served.load(std::memory_order_relaxed) <
+            (*best[c])->served.load(std::memory_order_relaxed)) {
+      best[c] = &job;
+    }
   }
-  return nullptr;
+  size_t chosen;
+  if (best[1] != nullptr && best[0] != nullptr) {
+    // Both classes contend: interactive wins kInteractivePickWeight of
+    // every kInteractivePickWeight+1 picks; the deficit counter hands
+    // the remaining one to batch, so batch progresses under any
+    // interactive load.
+    if (batch_deficit_ >= kInteractivePickWeight) {
+      batch_deficit_ = 0;
+      chosen = 0;
+    } else {
+      ++batch_deficit_;
+      chosen = 1;
+    }
+  } else if (best[1] != nullptr) {
+    chosen = 1;
+  } else if (best[0] != nullptr) {
+    chosen = 0;
+  } else {
+    return nullptr;
+  }
+  // Reserve a lane slot under the job's cap. All reservations happen
+  // under jobs_mu_, so only releases (decrements) race this CAS: having
+  // observed active < cap above, the loop always lands.
+  Job* job = best[chosen]->get();
+  size_t active = job->active_lanes.load(std::memory_order_relaxed);
+  while (!job->active_lanes.compare_exchange_weak(active, active + 1)) {
+  }
+  return *best[chosen];
 }
 
 bool WorkerPool::PopOrSteal(Job* job, size_t slot, Chunk* out) {
@@ -146,6 +199,26 @@ bool WorkerPool::PopOrSteal(Job* job, size_t slot, Chunk* out) {
 }
 
 void WorkerPool::ExecuteChunk(Job* job, const Chunk& c) {
+  job->served.fetch_add(1, std::memory_order_relaxed);
+  // Cooperative cancel/deadline poll at the chunk boundary: a fired
+  // token fails the job exactly like a thrown item — first recorder
+  // wins, remaining chunks drain without running, the caller rethrows —
+  // so cancellation reuses the per-job isolation and cannot poison
+  // co-resident jobs.
+  if (job->cancel != nullptr &&
+      !job->failed.load(std::memory_order_relaxed)) {
+    Status live = job->cancel->Check();
+    if (!live.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (!job->error) {
+          job->error =
+              std::make_exception_ptr(QueryAborted(std::move(live)));
+        }
+      }
+      job->failed.store(true, std::memory_order_relaxed);
+    }
+  }
   if (!job->failed.load(std::memory_order_relaxed)) {
     try {
       for (size_t i = c.begin; i < c.end; ++i) {
@@ -198,16 +271,20 @@ void WorkerPool::DrainAsCaller(Job* job) {
 }
 
 void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                             int max_lanes) {
+                             const TaskOptions& topts) {
   if (n == 0) return;
-  const size_t target = std::min(
-      max_lanes <= 0 ? default_lanes_ : static_cast<size_t>(max_lanes),
-      kMaxLanes);
+  // A token that fired before any work ran aborts up front — an
+  // expired-in-queue query never touches a partition.
+  ThrowIfAborted(topts.cancel);
+  const size_t target =
+      std::min(topts.max_lanes <= 0 ? default_lanes_
+                                    : static_cast<size_t>(topts.max_lanes),
+               kMaxLanes);
   const size_t want = std::min(target, n);
   // Nested calls (a task spawning parallel work on its own pool) run
   // inline: the outer job's lanes are already saturated.
   if (want <= 1 || t_pool != nullptr) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    RunInline(n, fn, topts.cancel);
     return;
   }
 
@@ -218,13 +295,15 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   const size_t lanes =
       std::min(want, lanes_.load(std::memory_order_relaxed));
   if (lanes <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    RunInline(n, fn, topts.cancel);
     return;
   }
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->cap = lanes;
+  job->query_class = topts.query_class;
+  job->cancel = topts.cancel;
   // The submitting caller occupies one lane slot for its whole drain, so
   // the job makes progress even if every worker is serving other jobs.
   job->active_lanes.store(1, std::memory_order_relaxed);
@@ -289,7 +368,6 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
         break;
       }
     }
-    if (rr_next_ >= jobs_.size()) rr_next_ = 0;
   }
 
   std::exception_ptr err;

@@ -11,12 +11,32 @@
 //
 // Multiple jobs are in flight at once. Concurrent top-level ParallelFor
 // callers are admitted side by side instead of serialized: resident workers
-// pick jobs round-robin (one chunk per pick) from the active-job registry,
-// and each job caps how many lanes may serve it simultaneously
-// (`max_lanes`, the ExecOptions::num_threads convention), so one heavy
-// query cannot monopolize the pool while others starve. The submitting
-// thread always serves its own job until that job's queues are dry, so a
-// job completes even if every worker is busy elsewhere.
+// pick one chunk per pick from the active-job registry, and each job caps
+// how many lanes may serve it simultaneously (`max_lanes`, the
+// ExecOptions::num_threads convention), so one heavy query cannot
+// monopolize the pool while others starve. The submitting thread always
+// serves its own job until that job's queues are dry, so a job completes
+// even if every worker is busy elsewhere.
+//
+// Picks are class-aware and service-balanced. Each job carries a
+// QueryClass: when both classes have servable work, interactive jobs win
+// kInteractivePickWeight of every kInteractivePickWeight+1 picks (a
+// weighted-deficit counter guarantees the remaining pick goes to batch,
+// so batch always progresses — preemption at chunk granularity, never
+// starvation). Within a class the least-served job (fewest chunks
+// executed) is picked, which keeps service even across same-class jobs
+// regardless of registration order or churn — the earlier shared
+// round-robin cursor was reset on every job retirement and parked on the
+// registry head, systematically favoring whichever job sat there under
+// submit/finish churn, and it advanced past jobs whose reservation found
+// a momentarily-empty deque, double-penalizing them a full scan cycle.
+//
+// Jobs may also carry a CancelToken. The token is polled at every chunk
+// boundary (and per item once a job has failed): when it fires, the job
+// is failed with QueryAborted carrying the token's Status, its remaining
+// chunks drain without running, and the caller rethrows — exactly the
+// per-job failure isolation path, so cancellation never poisons
+// co-resident jobs.
 //
 // Determinism: results are written to caller-indexed slots by the supplied
 // function, so every reduction stays ordered and bit-identical to serial
@@ -46,10 +66,27 @@
 #include <thread>
 #include <vector>
 
+#include "common/query_control.h"
+
 namespace ps3::runtime {
 
 class WorkerPool {
  public:
+  /// Per-job scheduling options for ParallelFor.
+  struct TaskOptions {
+    /// Lane cap, ExecOptions::num_threads convention: <= 0 = pool
+    /// default, 1 = fully inline on the caller.
+    int max_lanes = 0;
+    /// Admission class: interactive jobs preempt batch at chunk
+    /// granularity (weighted, batch still progresses). Affects only when
+    /// chunks run, never results.
+    QueryClass query_class = QueryClass::kBatch;
+    /// Cooperative cancel/deadline token, polled at chunk boundaries;
+    /// nullable. Must outlive the ParallelFor call. When it fires the
+    /// call throws QueryAborted on the caller; sibling jobs are
+    /// unaffected.
+    const CancelToken* cancel = nullptr;
+  };
   /// `num_threads` <= 0 selects the hardware concurrency. Worker threads
   /// are spawned on construction and stay resident until destruction.
   explicit WorkerPool(int num_threads = 0);
@@ -77,7 +114,17 @@ class WorkerPool {
   /// other jobs' on the shared lanes (round-robin), and whose results and
   /// failure state are isolated to that call.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   int max_lanes = 0);
+                   int max_lanes = 0) {
+    TaskOptions topts;
+    topts.max_lanes = max_lanes;
+    ParallelFor(n, fn, topts);
+  }
+
+  /// Same, with full scheduling options (class-weighted picks,
+  /// cooperative cancellation). A fired token aborts the job at the next
+  /// chunk boundary and rethrows as QueryAborted on the caller.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const TaskOptions& topts);
 
   /// Process-wide resident pool, sized to the hardware concurrency (and
   /// growing to the peak explicitly requested lane count).
@@ -131,11 +178,19 @@ class WorkerPool {
     const std::function<void(size_t)>* fn = nullptr;
     std::deque<SlotQueue> queues;  ///< fixed before publication
     size_t cap = 0;  ///< max lanes serving concurrently (incl. caller)
+    QueryClass query_class = QueryClass::kBatch;
+    /// Cooperative abort flag; polled at chunk boundaries. Borrowed from
+    /// the caller, valid for the job's lifetime (the caller blocks in
+    /// ParallelFor until every chunk retires).
+    const CancelToken* cancel = nullptr;
 
     std::atomic<size_t> queued{0};     ///< chunks still sitting in queues
     std::atomic<size_t> remaining{0};  ///< chunks not yet executed/drained
     std::atomic<size_t> active_lanes{0};
     std::atomic<size_t> next_slot{0};  ///< slot handed to a joining worker
+    /// Chunks executed so far — the service counter least-served-first
+    /// picking balances on.
+    std::atomic<uint64_t> served{0};
 
     std::atomic<bool> failed{false};
     std::mutex error_mu;
@@ -182,8 +237,10 @@ class WorkerPool {
   /// Grows to `lanes` total lanes. Caller must hold grow_mu_.
   void EnsureLanes(size_t lanes);
   void WorkerMain(size_t lane);
-  /// Round-robin pick of a job with queued chunks and spare lane capacity;
-  /// reserves a lane on it. Returns nullptr when nothing is servable.
+  /// Picks a job with queued chunks and spare lane capacity — class
+  /// weighting between interactive and batch, least-served-first within a
+  /// class — and reserves a lane on it. Returns nullptr when nothing is
+  /// servable.
   std::shared_ptr<Job> PickJob();
   /// Pops (or steals) and executes at most one chunk, then releases the
   /// reserved lane.
@@ -206,7 +263,10 @@ class WorkerPool {
 
   std::mutex jobs_mu_;
   std::vector<std::shared_ptr<Job>> jobs_;  ///< active-job registry
-  size_t rr_next_ = 0;  ///< round-robin cursor, guarded by jobs_mu_
+  /// Interactive picks made since batch last won while both classes had
+  /// servable work; at kInteractivePickWeight the next contested pick
+  /// goes to batch. Guarded by jobs_mu_.
+  size_t batch_deficit_ = 0;
 
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;

@@ -26,11 +26,24 @@
 #include <memory>
 #include <vector>
 
+#include "common/query_control.h"
 #include "common/status.h"
 #include "storage/column_set.h"
 #include "storage/sharded_table.h"
 
 namespace ps3::storage {
+
+/// Per-scan control handed down the acquire/prefetch seam: the query's
+/// admission class (routes out-of-core read-ahead to the right share of
+/// the prefetch budget) and its cancel/deadline token (lets a cold-load
+/// wait abort instead of riding out the IO). Both advisory-or-abort:
+/// they change when and whether bytes move, never what a successful scan
+/// answers.
+struct ScanControl {
+  QueryClass query_class = QueryClass::kBatch;
+  /// Nullable; borrowed for the duration of the call.
+  const CancelToken* cancel = nullptr;
+};
 
 /// A scan-ready partition plus the token that keeps it alive. The token
 /// is opaque: a cache pin for out-of-core sources, null for resident
@@ -74,6 +87,19 @@ class PartitionSource {
     return Acquire(global_index, ColumnSet::All());
   }
 
+  /// Control-aware acquire: like Acquire(index, columns), but carrying
+  /// the scan's class and cancel token so cold sources can abort a
+  /// pending load (returning the token's Status with every pin already
+  /// taken released) instead of completing IO for a dead query. The
+  /// default ignores the control and delegates, so sources that never
+  /// block (resident tables, test fakes) need not override it.
+  virtual Result<PinnedPartition> Acquire(size_t global_index,
+                                          const ColumnSet& columns,
+                                          const ScanControl& control) const {
+    (void)control;
+    return Acquire(global_index, columns);
+  }
+
   /// Advisory: the scan cursor has entered shard `s` (fired once per
   /// shard per scan, from whichever lane gets there first), and will read
   /// only `columns`. Out-of-core sources use it to stage upcoming shards'
@@ -85,6 +111,16 @@ class PartitionSource {
   }
 
   void WillScanShard(size_t s) const { WillScanShard(s, ColumnSet::All()); }
+
+  /// Control-aware scan-entry hint: the class routes an out-of-core
+  /// source's read-ahead to the right share of the prefetch byte budget
+  /// (batch staging may not starve interactive cold loads). Advisory like
+  /// the 2-arg form; the default ignores the control and delegates.
+  virtual void WillScanShard(size_t s, const ColumnSet& columns,
+                             const ScanControl& control) const {
+    (void)control;
+    WillScanShard(s, columns);
+  }
 
   /// Advisory read-ahead hook with an *explicit* shard plan: the scan has
   /// entered plan[current] and will touch only `columns` of the plan's
@@ -98,6 +134,16 @@ class PartitionSource {
     (void)plan;
     (void)current;
     (void)columns;
+  }
+
+  /// Control-aware plan hint, for views that must forward the scan's
+  /// class/token along with their filtered plan. Default delegates to the
+  /// classless form.
+  virtual void StageHint(const std::vector<std::vector<size_t>>& plan,
+                         size_t current, const ColumnSet& columns,
+                         const ScanControl& control) const {
+    (void)control;
+    StageHint(plan, current, columns);
   }
 
   /// Planning-time accounting: encoded (on-disk) bytes a fully-cold scan

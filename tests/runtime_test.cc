@@ -6,7 +6,10 @@
 // caps and per-job failure isolation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -234,6 +237,212 @@ TEST(WorkerPoolConcurrent, ConcurrentFailuresDoNotCrossPollinate) {
   EXPECT_EQ(a_caught.load(), 4);
   EXPECT_EQ(b_caught.load(), 4);
   EXPECT_EQ(wrong.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Query classes and cooperative cancellation: a fired token aborts only
+// its own job with a structured Status; class weighting affects timing
+// only, never coverage.
+
+TEST(WorkerPoolCancel, PreCancelledTokenAbortsWithCancelledStatus) {
+  runtime::WorkerPool pool(4);
+  CancelToken token;
+  token.Cancel();
+  runtime::WorkerPool::TaskOptions topts;
+  topts.cancel = &token;
+  std::atomic<size_t> ran{0};
+  try {
+    pool.ParallelFor(
+        4096, [&](size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+        topts);
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  }
+  // Cooperative: nothing promises zero items ran, but the abort must cut
+  // the job short rather than draining all 4096 through the kernel.
+  EXPECT_LT(ran.load(), 4096u);
+  // The pool stays serviceable and isolated after the abort.
+  std::atomic<size_t> done{0};
+  pool.ParallelFor(128, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 128u);
+}
+
+TEST(WorkerPoolCancel, InlinePathPollsToken) {
+  // max_lanes=1 runs fully inline on the caller; the token must still be
+  // polled (every kInlineCancelStride items), not only on pool lanes.
+  runtime::WorkerPool pool(2);
+  CancelToken token;
+  token.Cancel();
+  runtime::WorkerPool::TaskOptions topts;
+  topts.max_lanes = 1;
+  topts.cancel = &token;
+  EXPECT_THROW(pool.ParallelFor(512, [](size_t) {}, topts), QueryAborted);
+}
+
+TEST(WorkerPoolCancel, DeadlineExpiryAbortsMidFlight) {
+  runtime::WorkerPool pool(4);
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(5));
+  runtime::WorkerPool::TaskOptions topts;
+  topts.cancel = &token;
+  try {
+    // Each item sleeps, so the job takes far longer than the deadline;
+    // the chunk-boundary poll must fire DeadlineExceeded mid-flight.
+    pool.ParallelFor(
+        4096,
+        [](size_t) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        },
+        topts);
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(WorkerPoolCancel, CancelMidFlightFromAnotherThread) {
+  // The racy shape (cancel fires while chunks are executing): the job
+  // must abort with kCancelled and co-resident jobs must complete fully.
+  runtime::WorkerPool pool(4);
+  CancelToken token;
+  std::atomic<size_t> victim_ran{0};
+  std::atomic<size_t> sibling_ran{0};
+  std::thread sibling([&] {
+    pool.ParallelFor(2048, [&](size_t) {
+      sibling_ran.fetch_add(1, std::memory_order_relaxed);
+      volatile double x = 1.0;
+      for (int k = 0; k < 20; ++k) x = x * 1.0000001;
+      (void)x;
+    });
+  });
+  std::thread canceller([&] {
+    while (victim_ran.load(std::memory_order_relaxed) < 64) {
+      std::this_thread::yield();
+    }
+    token.Cancel();
+  });
+  runtime::WorkerPool::TaskOptions topts;
+  topts.cancel = &token;
+  try {
+    pool.ParallelFor(
+        1 << 20,
+        [&](size_t) {
+          victim_ran.fetch_add(1, std::memory_order_relaxed);
+          volatile double x = 1.0;
+          for (int k = 0; k < 20; ++k) x = x * 1.0000001;
+          (void)x;
+        },
+        topts);
+    FAIL() << "expected QueryAborted";
+  } catch (const QueryAborted& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  }
+  canceller.join();
+  sibling.join();
+  EXPECT_LT(victim_ran.load(), size_t{1} << 20);
+  EXPECT_EQ(sibling_ran.load(), 2048u);
+}
+
+TEST(WorkerPoolClasses, InteractiveAndBatchJobsBothComplete) {
+  // Class weighting is preemption, not starvation: with both classes in
+  // flight continuously, every job still covers exactly its indices.
+  runtime::WorkerPool pool(4);
+  constexpr size_t kN = 4096;
+  std::atomic<size_t> batch_done{0}, inter_done{0};
+  std::vector<std::thread> submitters;
+  for (int j = 0; j < 2; ++j) {
+    submitters.emplace_back([&] {
+      runtime::WorkerPool::TaskOptions topts;
+      topts.query_class = QueryClass::kBatch;
+      for (int round = 0; round < 6; ++round) {
+        pool.ParallelFor(
+            kN,
+            [&](size_t) { batch_done.fetch_add(1, std::memory_order_relaxed); },
+            topts);
+      }
+    });
+    submitters.emplace_back([&] {
+      runtime::WorkerPool::TaskOptions topts;
+      topts.query_class = QueryClass::kInteractive;
+      for (int round = 0; round < 6; ++round) {
+        pool.ParallelFor(
+            kN,
+            [&](size_t) { inter_done.fetch_add(1, std::memory_order_relaxed); },
+            topts);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(batch_done.load(), 2 * 6 * kN);
+  EXPECT_EQ(inter_done.load(), 2 * 6 * kN);
+}
+
+/// Runs `streams` identical concurrent submitters, each looping
+/// ParallelFor jobs of identical work for a fixed wall-clock window, and
+/// returns max/min of the per-stream completed-item counts — the
+/// per-stream throughput spread (the unit BENCH_PR5 reported the skew
+/// in). A windowed steady-state measure, so a brief OS preemption of one
+/// submitter washes out instead of deciding the verdict.
+double StreamSpread(size_t streams, int window_ms) {
+  runtime::WorkerPool pool(4);
+  constexpr size_t kN = 1024;
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> items(streams, 0);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < streams; ++s) {
+    submitters.emplace_back([&, s] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        pool.ParallelFor(kN, [](size_t) {
+          volatile double x = 1.0;
+          for (int k = 0; k < 60; ++k) x = x * 1.0000001;
+          (void)x;
+        });
+        items[s] += kN;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+  const auto [mn, mx] = std::minmax_element(items.begin(), items.end());
+  return *mn > 0 ? static_cast<double>(*mx) / static_cast<double>(*mn)
+                 : std::numeric_limits<double>::infinity();
+}
+
+// ThreadSanitizer's instrumentation slows and reshuffles thread timing
+// by ~10x, which turns this throughput-ratio assertion into a coin
+// flip; the races in the pick path are covered by the rest of the
+// suite, so the fairness property is only asserted uninstrumented.
+#if defined(__SANITIZE_THREAD__)
+#define PS3_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PS3_TSAN_BUILD 1
+#endif
+#endif
+
+TEST(WorkerPoolFairness, EqualStreamsGetEqualServiceAtLowStreamCounts) {
+#ifdef PS3_TSAN_BUILD
+  GTEST_SKIP() << "throughput ratios are not meaningful under TSan timing";
+#endif
+  // Regression for the per-stream unfairness BENCH_PR5 exposed at 2
+  // streams (110M vs 65M rows/sec — a ~1.7x spread): the shared pick
+  // cursor was reset to the registry head on every job retirement, so
+  // under submit/finish churn whichever stream re-registered into the
+  // head slot was served first, round after round. Least-served-first
+  // picking is self-correcting, so equal streams must finish equal work
+  // in near-equal time. Best-of-rounds guards against one unlucky OS
+  // scheduling burst; the pre-fix skew was systematic and survived every
+  // round.
+  for (size_t streams : {size_t{2}, size_t{4}}) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int attempt = 0; attempt < 3 && best >= 1.5; ++attempt) {
+      best = std::min(best, StreamSpread(streams, /*window_ms=*/150));
+    }
+    EXPECT_LT(best, 1.5) << streams << " streams";
+  }
 }
 
 struct CountingScratch {

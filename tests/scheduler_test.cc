@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -248,6 +250,180 @@ TEST(QueryScheduler, SubmitIsThreadSafeUnderChurn) {
   EXPECT_EQ(collected, 240u);
   EXPECT_EQ(ticks.load(), 240u);
   ExpectAnswerBitIdentical(fx.serial[0], q.get(), "churn-query");
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant admission: priority classes, deadlines, cancellation.
+
+TEST(MultiTenant, MixedClassConcurrentBitIdenticalToSerial) {
+  // Interactive and batch queries racing across drivers and shared lanes:
+  // class affects when chunks run, never results — every answer must stay
+  // bit-identical to the serial scalar reference.
+  StreamFixture& fx = Fixture();
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 4;
+  runtime::QueryScheduler scheduler(sopts);
+
+  constexpr size_t kSubmitters = 4;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<std::future<query::QueryAnswer>>> futures(
+        kSubmitters);
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = t; i < fx.queries.size(); i += kSubmitters) {
+          query::ExecOptions opts;
+          opts.policy = i % 2 == 0 ? query::ExecPolicy::kScalar
+                                   : query::ExecPolicy::kVectorized;
+          opts.num_threads = 1 + static_cast<int>(i % 3);
+          runtime::SubmitOptions submit;
+          submit.query_class = (i + t) % 2 == 0 ? QueryClass::kInteractive
+                                                : QueryClass::kBatch;
+          // A generous deadline on some queries arms the whole deadline
+          // machinery (token creation, chunk-boundary polls) without ever
+          // firing.
+          if (i % 3 == 0) submit.deadline = std::chrono::seconds(300);
+          futures[t].push_back(
+              i % 2 == 0
+                  ? scheduler.Submit(fx.queries[i], *fx.pt, submit, opts)
+                  : scheduler.Submit(fx.queries[i], *fx.sharded, submit,
+                                     opts));
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      size_t k = 0;
+      for (size_t i = t; i < fx.queries.size(); i += kSubmitters, ++k) {
+        ExpectAnswerBitIdentical(fx.serial[i], futures[t][k].get(),
+                                 "mixed-class");
+      }
+    }
+  }
+}
+
+TEST(MultiTenant, ExpiredDeadlineFailsFastWithoutPoisoningSiblings) {
+  StreamFixture& fx = Fixture();
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 3;
+  runtime::QueryScheduler scheduler(sopts);
+
+  std::vector<std::future<query::QueryAnswer>> dead;
+  std::vector<std::future<query::QueryAnswer>> alive;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 4; ++i) {
+      runtime::SubmitOptions submit;
+      submit.deadline = std::chrono::microseconds(-1);  // already expired
+      dead.push_back(scheduler.Submit(fx.queries[i], *fx.pt, submit));
+      alive.push_back(scheduler.Submit(fx.queries[i], *fx.sharded));
+    }
+  }
+  for (auto& f : dead) {
+    try {
+      f.get();
+      FAIL() << "expected QueryAborted";
+    } catch (const QueryAborted& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+    }
+  }
+  for (size_t k = 0; k < alive.size(); ++k) {
+    ExpectAnswerBitIdentical(fx.serial[k % 4], alive[k].get(),
+                             "deadline-sibling");
+  }
+}
+
+TEST(MultiTenant, CancelResolvesFutureAndSparesSiblings) {
+  StreamFixture& fx = Fixture();
+  runtime::QueryScheduler scheduler;
+
+  // Deterministic shape: a token cancelled before submission resolves
+  // with kCancelled (the admission gate fires before any partition is
+  // touched).
+  {
+    runtime::SubmitOptions submit;
+    submit.cancel = std::make_shared<CancelToken>();
+    submit.cancel->Cancel();
+    auto fut = scheduler.Submit(fx.queries[0], *fx.pt, submit);
+    try {
+      fut.get();
+      FAIL() << "expected QueryAborted";
+    } catch (const QueryAborted& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+    }
+  }
+
+  // Racy shape (the TSan target): cancel fires from another thread while
+  // the query may be anywhere between queued and finished. Either
+  // outcome — a clean abort or a completed bit-exact answer — is legal;
+  // a wrong answer, a hung future, or a poisoned sibling is not.
+  for (int round = 0; round < 8; ++round) {
+    runtime::SubmitOptions submit;
+    submit.cancel = std::make_shared<CancelToken>();
+    auto racy = scheduler.Submit(fx.queries[1], *fx.pt, submit);
+    auto sibling = scheduler.Submit(fx.queries[2], *fx.sharded);
+    std::thread canceller(
+        [token = submit.cancel] { token->Cancel(); });
+    try {
+      ExpectAnswerBitIdentical(fx.serial[1], racy.get(), "racy-complete");
+    } catch (const QueryAborted& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+    }
+    canceller.join();
+    ExpectAnswerBitIdentical(fx.serial[2], sibling.get(), "racy-sibling");
+  }
+
+  // One token shared by a group cancels the whole group.
+  {
+    runtime::SubmitOptions submit;
+    submit.cancel = std::make_shared<CancelToken>();
+    submit.cancel->Cancel();
+    std::vector<std::future<query::QueryAnswer>> group;
+    for (size_t i = 0; i < 3; ++i) {
+      group.push_back(scheduler.Submit(fx.queries[i], *fx.pt, submit));
+    }
+    for (auto& f : group) EXPECT_THROW(f.get(), QueryAborted);
+  }
+  // Scheduler still serviceable after all the aborts.
+  ExpectAnswerBitIdentical(fx.serial[3],
+                           scheduler.Submit(fx.queries[3], *fx.pt).get(),
+                           "after-cancels");
+}
+
+TEST(MultiTenant, InteractiveJumpsTheDriverQueue) {
+  // One driver, held busy by a gate task while a batch backlog and then
+  // one interactive task are enqueued. When the gate opens, the driver
+  // must pop the interactive task before any of the earlier-enqueued
+  // batch tasks — the two-level queue, observed deterministically.
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 1;
+  runtime::QueryScheduler scheduler(sopts);
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto held = scheduler.Defer([open] { open.wait(); });
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  std::vector<std::future<void>> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(scheduler.Defer([&order_mu, &order, i] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);
+    }));
+  }
+  auto interactive = scheduler.Defer(
+      [&order_mu, &order] {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(100);
+      },
+      QueryClass::kInteractive);
+
+  gate.set_value();
+  held.get();
+  interactive.get();
+  for (auto& f : batch) f.get();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.front(), 100) << "interactive must run first";
 }
 
 void ExpectApproxBitIdentical(const runtime::ApproxAnswer& expected,
