@@ -54,14 +54,15 @@ inline size_t ParseEnvSizeItem(const char* name, const std::string& item,
 /// dimensions. Malformed input (including zero entries and stray commas)
 /// aborts with a clear error instead of silently shrinking the sweep.
 inline std::vector<size_t> EnvSizeList(const char* name,
-                                       std::vector<size_t> fallback) {
+                                       std::vector<size_t> fallback,
+                                       size_t min_value = 1) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   std::vector<size_t> out;
   std::string item;
   for (const char* p = v;; ++p) {
     if (*p == ',' || *p == '\0') {
-      out.push_back(ParseEnvSizeItem(name, item, /*min_value=*/1));
+      out.push_back(ParseEnvSizeItem(name, item, min_value));
       item.clear();
       if (*p == '\0') break;
     } else {
@@ -158,7 +159,8 @@ inline std::vector<io::EncodingMode> BenchEncodingModes() {
 /// spellings, empty items, 0, and values above 1 all abort: a malformed
 /// fraction must never silently run a different sampling sweep (and a
 /// NaN fraction can never reach the picker budget math).
-inline double ParseEnvFractionItem(const char* name, const std::string& item) {
+inline double ParseEnvFractionItem(const char* name, const std::string& item,
+                                   bool allow_zero = false) {
   auto die = [&](const char* why) {
     std::fprintf(stderr, "%s: %s in \"%s\"\n", name, why, item.c_str());
     std::abort();
@@ -184,23 +186,26 @@ inline double ParseEnvFractionItem(const char* name, const std::string& item) {
     die("value out of range");
   }
   // The grammar above already excludes nan/inf/negatives; this is the
-  // range contract: fractions are a share of the partition count.
-  if (!(x > 0.0)) die("value must be > 0");
+  // range contract: fractions are a share of the partition count (rates,
+  // which sweep "no faults" as a legitimate point, also admit 0).
+  if (!allow_zero && !(x > 0.0)) die("value must be > 0");
   if (x > 1.0) die("value must be <= 1");
   return x;
 }
 
 /// Comma-separated sampling fractions ("0.05,0.1,0.25"); `fallback` only
-/// when unset or empty, abort on anything malformed.
+/// when unset or empty, abort on anything malformed. `allow_zero` admits
+/// 0 entries (probability-rate sweeps); fractions reject them.
 inline std::vector<double> EnvFractionList(const char* name,
-                                           std::vector<double> fallback) {
+                                           std::vector<double> fallback,
+                                           bool allow_zero = false) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   std::vector<double> out;
   std::string item;
   for (const char* p = v;; ++p) {
     if (*p == ',' || *p == '\0') {
-      out.push_back(ParseEnvFractionItem(name, item));
+      out.push_back(ParseEnvFractionItem(name, item, allow_zero));
       item.clear();
       if (*p == '\0') break;
     } else {
@@ -242,6 +247,35 @@ inline std::vector<std::string> BenchPickerModes() {
     }
   }
   return out;
+}
+
+/// Injected fault rates swept by the fault-tolerance bench
+/// (PS3_FAULT_RATE, comma-separated, 0 legal — the fault-free baseline
+/// is a swept point). Each rate drives both the transient-error and the
+/// latency-spike probability of the store's FaultInjector.
+inline std::vector<double> BenchFaultRates() {
+  return EnvFractionList("PS3_FAULT_RATE", {0.0, 0.01, 0.05},
+                         /*allow_zero=*/true);
+}
+
+/// Fault-plan seed (PS3_FAULT_SEED). Same seed + same rates => the
+/// identical injected fault sequence, so two bench runs are comparable
+/// failure-for-failure.
+inline uint64_t BenchFaultSeed() {
+  return static_cast<uint64_t>(
+      EnvSizeScalar("PS3_FAULT_SEED", 42, /*min_value=*/0));
+}
+
+/// Retry attempt counts swept by the fault-tolerance bench (PS3_RETRY,
+/// comma-separated total attempts per load step; 1 = retries off).
+inline std::vector<size_t> BenchRetryAttempts() {
+  return EnvSizeList("PS3_RETRY", {1, 3});
+}
+
+/// Hedge delays in milliseconds swept by the fault-tolerance bench
+/// (PS3_HEDGE_MS, comma-separated; 0 = hedging off).
+inline std::vector<size_t> BenchHedgeDelaysMs() {
+  return EnvSizeList("PS3_HEDGE_MS", {0, 2}, /*min_value=*/0);
 }
 
 /// Default bench scale: 100k rows over 400 partitions (the paper's 1000

@@ -28,7 +28,15 @@
 // twice per count — "classless" submits the interactive tenant as just
 // another batch stream (the pre-class baseline), "classed" marks it
 // QueryClass::kInteractive — reporting interactive p50/p99 latency and
-// batch rows/sec side by side.
+// batch rows/sec side by side. The fault-tolerance section replays cold
+// exact scans while the store's seeded FaultInjector throws transient
+// errors and latency spikes: PS3_FAULT_RATE sweeps the injected rate
+// (0 = fault-free baseline), PS3_FAULT_SEED pins the fault sequence,
+// PS3_RETRY sweeps total load attempts (1 = retries off), PS3_HEDGE_MS
+// sweeps the hedged-read delay (0 = hedging off); it reports success
+// rate, cold p50/p99 latency, rows/sec, and the store's retry / hedge
+// counters, with every successful answer gated bit-identical to the
+// resident scan.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -1028,6 +1036,160 @@ int main() {
           static_cast<double>(r.planned_bytes) / pk_rows_total,
           r.scanned_frac, r.avg_rel_error, r.missed_groups,
           i + 1 < pick_rows.size() ? "," : "");
+    }
+  }
+  std::printf("  ],\n");
+
+  // Fault tolerance (PS3_IO=0 skips): exact cold scans through the
+  // scheduler while the store's FaultInjector throws seeded transient
+  // errors and latency spikes, swept over fault rate (PS3_FAULT_RATE,
+  // 0 = the fault-free baseline), retry attempts (PS3_RETRY, 1 = retries
+  // off), and hedge delay (PS3_HEDGE_MS, 0 = hedging off), all under
+  // PS3_FAULT_SEED so two runs see the identical failure sequence.
+  // Successful answers are gated bit-identical to the resident scan —
+  // faults may cost retries, latency, and failed queries, never bits.
+  std::printf("  \"fault_results\": [\n");
+  if (io_enabled) {
+    const size_t ft_delay_us =
+        bench::EnvSizeScalar("PS3_IO_DELAY_US", 1500, /*min_value=*/0);
+    const size_t ft_shards =
+        *std::max_element(shard_counts.begin(), shard_counts.end());
+    const std::vector<double> fault_rates = bench::BenchFaultRates();
+    const uint64_t fault_seed = bench::BenchFaultSeed();
+    const std::vector<size_t> retry_attempts = bench::BenchRetryAttempts();
+    const std::vector<size_t> hedge_delays_ms = bench::BenchHedgeDelaysMs();
+    constexpr int kFaultReps = 3;
+
+    const std::vector<query::Query> ft_queries(
+        queries.begin(),
+        queries.begin() + std::min<size_t>(queries.size(), 4));
+    std::vector<query::QueryAnswer> ft_exact;
+    for (const auto& q : ft_queries) {
+      ft_exact.push_back(
+          query::ExactAnswer(q, query::EvaluateAllPartitions(q, table)));
+    }
+
+    char dir_tmpl[] = "/tmp/ps3_fault_benchXXXXXX";
+    if (mkdtemp(dir_tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      std::abort();
+    }
+    if (!io::PartitionStore::Spill(table, dir_tmpl).ok()) std::abort();
+
+    auto expect_bits = [](const query::QueryAnswer& a,
+                          const query::QueryAnswer& b) {
+      if (a.size() != b.size()) std::abort();
+      for (const auto& [key, vals] : a) {
+        auto it = b.find(key);
+        if (it == b.end() || vals.size() != it->second.size()) std::abort();
+        for (size_t x = 0; x < vals.size(); ++x) {
+          if (std::memcmp(&vals[x], &it->second[x], sizeof(double)) != 0) {
+            std::abort();
+          }
+        }
+      }
+    };
+    auto percentile_ms = [](std::vector<double> v, double q) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      const size_t idx = std::min(
+          v.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(v.size())));
+      return v[idx] * 1000.0;
+    };
+
+    struct FaultCfg {
+      double rate;
+      size_t attempts;
+      size_t hedge_ms;
+    };
+    std::vector<FaultCfg> cfgs;
+    for (double rate : fault_rates) {
+      for (size_t attempts : retry_attempts) {
+        for (size_t hedge_ms : hedge_delays_ms) {
+          cfgs.push_back({rate, attempts, hedge_ms});
+        }
+      }
+    }
+    for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+      const FaultCfg& cfg = cfgs[ci];
+      io::PartitionStore::Options sopts;
+      sopts.simulated_load_delay_us = ft_delay_us;
+      if (cfg.rate > 0.0) {
+        io::FaultPlan plan;
+        plan.seed = fault_seed;
+        plan.transient_rate = cfg.rate;
+        plan.latency_rate = cfg.rate;
+        // Spikes must dwarf the base RTT, or a hedged duplicate read has
+        // nothing to win against.
+        plan.latency_spike_us = std::max<size_t>(2000, ft_delay_us * 4);
+        sopts.faults = std::make_shared<io::FaultInjector>(std::move(plan));
+      }
+      sopts.retry.max_attempts = static_cast<int>(cfg.attempts);
+      sopts.hedge.enabled = cfg.hedge_ms > 0;
+      sopts.hedge.fixed_delay_us = cfg.hedge_ms * 1000;
+      auto store_r = io::PartitionStore::Open(dir_tmpl, sopts);
+      if (!store_r.ok()) std::abort();
+      io::PartitionStore& store = **store_r;
+
+      runtime::QueryScheduler scheduler;
+      io::ColdShardedSource cold(&store, ft_shards);
+      query::ExecOptions fopts;
+      fopts.policy = query::ExecPolicy::kVectorized;
+      fopts.num_threads = static_cast<int>(wide);
+      fopts.simd = runtime::SimdLevel::kAuto;
+
+      size_t successes = 0;
+      size_t attempts_total = 0;
+      double success_secs = 0.0;
+      std::vector<double> cold_secs;
+      for (int rep = 0; rep < kFaultReps; ++rep) {
+        for (size_t i = 0; i < ft_queries.size(); ++i) {
+          store.cache().Clear();
+          ++attempts_total;
+          auto start = Clock::now();
+          try {
+            query::QueryAnswer ans =
+                scheduler.Submit(ft_queries[i], cold, fopts).get();
+            const double secs =
+                std::chrono::duration<double>(Clock::now() - start).count();
+            expect_bits(ft_exact[i], ans);
+            ++successes;
+            success_secs += secs;
+            cold_secs.push_back(secs);
+          } catch (const std::exception&) {
+            // Retry-exhausted load: the query fails cleanly (a failure,
+            // never a wrong answer) and counts against success_rate.
+          }
+        }
+      }
+      const io::StoreStats st = store.store_stats();
+      const double success_rows =
+          static_cast<double>(rows) * static_cast<double>(successes);
+      std::printf(
+          "    {\"fault_rate\": %.3f, \"fault_seed\": %llu, "
+          "\"max_attempts\": %zu, \"hedge_ms\": %zu, \"threads\": %zu, "
+          "\"shards\": %zu, \"delay_us\": %zu, \"queries\": %zu, "
+          "\"successes\": %zu, \"success_rate\": %.3f, "
+          "\"cold_p50_ms\": %.2f, \"cold_p99_ms\": %.2f, "
+          "\"rows_per_sec\": %.3e, \"retries\": %llu, "
+          "\"transient_errors\": %llu, \"load_errors\": %llu, "
+          "\"hedged_loads\": %llu, \"hedge_wins\": %llu}%s\n",
+          cfg.rate, static_cast<unsigned long long>(fault_seed), cfg.attempts,
+          cfg.hedge_ms, wide, ft_shards, ft_delay_us, attempts_total,
+          successes,
+          attempts_total > 0
+              ? static_cast<double>(successes) /
+                    static_cast<double>(attempts_total)
+              : 0.0,
+          percentile_ms(cold_secs, 0.50), percentile_ms(cold_secs, 0.99),
+          success_secs > 0.0 ? success_rows / success_secs : 0.0,
+          static_cast<unsigned long long>(st.retries),
+          static_cast<unsigned long long>(st.transient_errors),
+          static_cast<unsigned long long>(st.load_errors),
+          static_cast<unsigned long long>(st.hedged_loads),
+          static_cast<unsigned long long>(st.hedge_wins),
+          ci + 1 < cfgs.size() ? "," : "");
     }
   }
   std::printf("  ],\n");

@@ -96,6 +96,23 @@ class QueryAborted : public std::runtime_error {
   Status status_;
 };
 
+/// Thrown when a query fails for a structural reason that is not an
+/// abort: permanently lost partitions under DegradedMode::kFail, an
+/// exhausted retry budget, an open circuit breaker. Distinct from
+/// QueryAborted on purpose — aborts are the *caller's* doing and count
+/// toward no error statistic; failures are the *store's* doing and the
+/// consumer may want to resubmit in a degraded mode.
+class QueryFailed : public std::runtime_error {
+ public:
+  explicit QueryFailed(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
 /// Throws QueryAborted if `cancel` (nullable) has fired. The one-liner
 /// executors use at chunk/partition/acquire boundaries.
 inline void ThrowIfAborted(const CancelToken* cancel) {

@@ -1,0 +1,116 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace ps3 {
+
+size_t BackoffUs(const RetryPolicy& policy, int retry, uint64_t salt) {
+  if (retry < 1) return 0;
+  double backoff = static_cast<double>(policy.backoff_base_us);
+  for (int i = 1; i < retry; ++i) backoff *= policy.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.backoff_cap_us));
+  if (policy.jitter_fraction > 0.0) {
+    // u in [0, 1) from the top 53 bits of a (seed, salt, retry) hash —
+    // a pure function of the policy, so replays are bit-identical.
+    uint64_t h = Mix64(policy.jitter_seed ^ Mix64(salt) ^
+                       Mix64(static_cast<uint64_t>(retry)));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    backoff *= 1.0 + policy.jitter_fraction * u;
+  }
+  return static_cast<size_t>(backoff);
+}
+
+Status SleepWithCancel(size_t us, const CancelToken* cancel) {
+  // Same 200us slice the store's single-flight wait uses: fine enough
+  // that a fired deadline stops a backoff almost immediately, coarse
+  // enough to stay off the scheduler's back.
+  constexpr size_t kSliceUs = 200;
+  size_t remaining = us;
+  while (remaining > 0) {
+    if (cancel != nullptr) {
+      Status aborted = cancel->Check();
+      if (!aborted.ok()) return aborted;
+    }
+    size_t step = std::min(remaining, kSliceUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(step));
+    remaining -= step;
+  }
+  if (cancel != nullptr) return cancel->Check();
+  return Status::OK();
+}
+
+bool CircuitBreaker::Admit() {
+  if (policy_.failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() < open_until_) {
+        ++open_rejects_;
+        return false;
+      }
+      // Cooldown elapsed: this caller becomes the half-open probe.
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++open_rejects_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (policy_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (policy_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open for another cooldown.
+    state_ = State::kOpen;
+    probe_in_flight_ = false;
+    open_until_ = Clock::now() + std::chrono::microseconds(
+                                     policy_.open_duration_us);
+    ++opens_;
+    return;
+  }
+  if (++consecutive_failures_ >= policy_.failure_threshold &&
+      state_ == State::kClosed) {
+    state_ = State::kOpen;
+    open_until_ = Clock::now() + std::chrono::microseconds(
+                                     policy_.open_duration_us);
+    ++opens_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+uint64_t CircuitBreaker::open_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_rejects_;
+}
+
+}  // namespace ps3

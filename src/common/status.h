@@ -20,6 +20,11 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  /// The resource exists but cannot be reached right now — transient
+  /// store failures, an open circuit breaker, a permanently lost
+  /// partition. Retry-eligible by the io layer's classification (lost
+  /// partitions are excluded at the source, which knows they are gone).
+  kUnavailable,
 };
 
 /// Human-readable name for a status code ("InvalidArgument", ...).
@@ -52,6 +57,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -108,6 +108,12 @@ class ColdShardedSource : public storage::PartitionSource {
     return total;
   }
 
+  /// Partitions the store's fault plan lists as permanently lost — the
+  /// set the scheduler's degraded serving plans around.
+  std::vector<size_t> UnreachablePartitions() const override {
+    return store_->LostPartitions();
+  }
+
   PartitionStore& store() const { return *store_; }
 
  private:

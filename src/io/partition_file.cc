@@ -274,6 +274,15 @@ Result<storage::Table> ReadPartitionColumns(
     const std::string& path, const storage::Schema& schema,
     const std::vector<std::shared_ptr<storage::Dictionary>>& dicts,
     const storage::ColumnSet& columns, size_t* bytes_read) {
+  return ReadPartitionColumns(path, schema, dicts, columns, SegmentTamper(),
+                              bytes_read);
+}
+
+Result<storage::Table> ReadPartitionColumns(
+    const std::string& path, const storage::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts,
+    const storage::ColumnSet& columns, const SegmentTamper& tamper,
+    size_t* bytes_read) {
   SeekingFile file;
   PS3_RETURN_IF_ERROR(file.Open(path));
 
@@ -395,6 +404,12 @@ Result<storage::Table> ReadPartitionColumns(
     PS3_RETURN_IF_ERROR(
         file.ReadAt(seg.offset, static_cast<size_t>(seg.byte_len),
                     seg_buf.data()));
+    // Tamper seam: injected corruption lands on the encoded bytes here,
+    // upstream of the checksum, so it is caught by the same verification
+    // real corruption would hit.
+    if (tamper) {
+      tamper(c, seg_buf.data(), static_cast<size_t>(seg.byte_len));
+    }
     // Checksum over the *encoded* bytes: corruption is caught before any
     // decode arithmetic touches the payload.
     if (Fnv1a64(seg_buf.data(), static_cast<size_t>(seg.byte_len)) !=

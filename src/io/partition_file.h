@@ -45,6 +45,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,6 +115,24 @@ Result<storage::Table> ReadPartitionColumns(
     const std::string& path, const storage::Schema& schema,
     const std::vector<std::shared_ptr<storage::Dictionary>>& dicts,
     const storage::ColumnSet& columns, size_t* bytes_read = nullptr);
+
+/// Test seam for the fault injector: called on each requested column's
+/// *encoded* segment bytes after the read and before checksum
+/// verification, so an injected bit flip exercises the real corruption
+/// detection path (checksum mismatch → Status, never a wrong answer)
+/// rather than bypassing it. `col` is the column index; mutate
+/// `data[0, len)` in place (or not) per the fault plan.
+using SegmentTamper = std::function<void(size_t col, uint8_t* data,
+                                         size_t len)>;
+
+/// ReadPartitionColumns with a tamper hook applied to every requested
+/// segment's encoded bytes before its checksum is verified. A null
+/// tamper is identical to the overload above.
+Result<storage::Table> ReadPartitionColumns(
+    const std::string& path, const storage::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Dictionary>>& dicts,
+    const storage::ColumnSet& columns, const SegmentTamper& tamper,
+    size_t* bytes_read);
 
 /// Reads and verifies every column (ReadPartitionColumns with All).
 Result<storage::Table> ReadPartitionFile(

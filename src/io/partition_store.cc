@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <thread>
 
 #include "common/hash.h"
@@ -37,6 +38,34 @@ std::string PartitionFilePath(const std::string& dir, size_t i) {
 Status EnsureDir(const std::string& dir) {
   if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
   return Status::InvalidArgument("cannot create directory '" + dir + "'");
+}
+
+bool IsAbort(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Sliced sleep polling *two* nullable tokens: the query's own cancel
+/// and the hedge racer's local stop. Either firing aborts the sleep with
+/// its Status.
+Status SleepWithTokens(size_t us, const CancelToken* cancel,
+                       const CancelToken* hedge_stop) {
+  constexpr size_t kSliceUs = 200;
+  size_t remaining = us;
+  for (;;) {
+    if (cancel != nullptr) {
+      Status live = cancel->Check();
+      if (!live.ok()) return live;
+    }
+    if (hedge_stop != nullptr) {
+      Status live = hedge_stop->Check();
+      if (!live.ok()) return live;
+    }
+    if (remaining == 0) return Status::OK();
+    const size_t step = std::min(remaining, kSliceUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(step));
+    remaining -= step;
+  }
 }
 
 }  // namespace
@@ -211,7 +240,8 @@ PartitionStore::PartitionStore(
       part_bytes_(std::move(part_bytes)),
       part_col_bytes_(std::move(part_col_bytes)),
       dicts_(std::move(dicts)),
-      cache_(options.cache_budget_bytes) {
+      cache_(options.cache_budget_bytes),
+      breaker_(options.breaker) {
   for (size_t b : part_bytes_) total_bytes_ += b;
 }
 
@@ -237,38 +267,93 @@ size_t PartitionStore::encoded_columns_bytes(
   return total;
 }
 
-Result<std::vector<std::shared_ptr<const CachedColumn>>>
-PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols,
-                            const CancelToken* cancel) {
+Result<PartitionStore::LoadedColumns> PartitionStore::LoadColumnsOnce(
+    size_t i, const std::vector<size_t>& cols, const CancelToken* cancel,
+    const CancelToken* hedge_stop) {
+  const auto start = std::chrono::steady_clock::now();
   // Last poll before the expensive part: a query cancelled (or expired)
   // by now skips the simulated RTT and the read entirely.
-  if (cancel != nullptr) {
-    Status live = cancel->Check();
-    if (!live.ok()) return live;
+  PS3_RETURN_IF_ERROR(SleepWithTokens(0, cancel, hedge_stop));
+
+  // Resolve this pass's injected faults up front: one attempt per
+  // column coordinate, pass-level effect. A transient draw on *any*
+  // column fails the whole pass (it is one physical read); corrupt
+  // draws flip a bit in exactly their column's encoded segment; spike
+  // latencies take the max across columns (one link, slowest replica).
+  FaultInjector* const faults = options_.faults.get();
+  bool transient = false;
+  int transient_attempt = 0;
+  size_t spike_us = 0;
+  std::vector<FaultDecision> decisions;
+  if (faults != nullptr && faults->plan().AnyFaults()) {
+    decisions.reserve(cols.size());
+    for (size_t c : cols) {
+      FaultDecision d = faults->Next(i, c);
+      if (d.kind == FaultKind::kLost) {
+        // Resilient callers fail fast before consuming attempts; this
+        // covers an injector whose lost set raced a direct call.
+        return Status::Unavailable("partition " + std::to_string(i) +
+                                   " permanently lost");
+      }
+      if (d.kind == FaultKind::kTransient) {
+        transient = true;
+        transient_attempt = d.attempt;
+      }
+      spike_us = std::max(spike_us, d.extra_latency_us);
+      decisions.push_back(d);
+    }
   }
+
   // The latency model sleeps *before* the read, like a request round
   // trip; the bandwidth term scales with the *encoded* bytes this pruned
   // pass will actually move — compressed segments cross the simulated
   // link at their on-disk size, so narrower *and denser* reads finish
-  // sooner.
-  size_t delay_us = options_.simulated_load_delay_us;
+  // sooner. Injected spikes are additive: a slow replica is slow before
+  // it answers (or fails). The sleep is sliced and polls both tokens so
+  // neither an expired query nor a beaten hedge racer rides out the RTT.
+  size_t delay_us = options_.simulated_load_delay_us + spike_us;
   if (options_.simulated_load_bandwidth_mbps > 0) {
     delay_us += encoded_columns_bytes(i, cols) * 8 /
                 options_.simulated_load_bandwidth_mbps;
   }
-  if (delay_us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  PS3_RETURN_IF_ERROR(SleepWithTokens(delay_us, cancel, hedge_stop));
+
+  // A transient fault fails *after* the latency is paid — the bytes
+  // moved and were dropped, which is why transient retries cost real
+  // time and why the retry byte budget charges them.
+  if (transient) {
+    return Status::Unavailable(
+        "injected transient read error (partition " + std::to_string(i) +
+        ", attempt " + std::to_string(transient_attempt) + ")");
   }
+
+  SegmentTamper tamper;
+  if (!decisions.empty()) {
+    // Map the pass's corrupt decisions onto the reader's tamper seam so
+    // the bit flips land on encoded bytes upstream of the checksum —
+    // injected corruption exercises the real detection machinery.
+    const uint64_t seed = faults->plan().seed;
+    tamper = [&cols, &decisions, seed, i](size_t col, uint8_t* data,
+                                          size_t len) {
+      for (size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == col && decisions[k].kind == FaultKind::kCorrupt) {
+          FaultInjector::CorruptBytes(seed, i, col, decisions[k].attempt,
+                                      data, len);
+        }
+      }
+    };
+  }
+
   size_t bytes_read = 0;
   auto table = ReadPartitionColumns(PartitionPath(i), schema_, dicts_,
-                                    storage::ColumnSet::Of(cols),
+                                    storage::ColumnSet::Of(cols), tamper,
                                     &bytes_read);
   if (!table.ok()) return table.status();
   if (table->num_rows() != part_rows_[i]) {
     return Status::Internal("partition " + std::to_string(i) +
                             " row count disagrees with manifest");
   }
-  std::vector<std::shared_ptr<const CachedColumn>> out;
+  LoadedColumns out;
   out.reserve(cols.size());
   for (size_t c : cols) {
     // Column copies share the decoded buffer; the discarded table was
@@ -283,7 +368,197 @@ PartitionStore::LoadColumns(size_t i, const std::vector<size_t>& cols,
     store_stats_.segments_loaded += cols.size();
     store_stats_.bytes_loaded += bytes_read;
   }
+  RecordLoadLatency(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   return out;
+}
+
+void PartitionStore::RecordLoadLatency(uint64_t us) {
+  if (us == 0) us = 1;  // 0 is the "no sample" sentinel
+  // Same alpha-1/4 EWMA the prefetch pipeline paces with; the second
+  // cell tracks mean absolute deviation, so mean + 3*dev approximates a
+  // p99 without keeping a histogram.
+  uint64_t prev = load_lat_ewma_us_.load(std::memory_order_relaxed);
+  uint64_t mean = prev == 0 ? us : prev + (us - prev) / 4;
+  if (mean == 0) mean = 1;
+  load_lat_ewma_us_.store(mean, std::memory_order_relaxed);
+  const uint64_t dev_sample = us > mean ? us - mean : mean - us;
+  uint64_t prev_dev = load_dev_ewma_us_.load(std::memory_order_relaxed);
+  uint64_t dev =
+      prev == 0 ? dev_sample : prev_dev + (dev_sample - prev_dev) / 4;
+  load_dev_ewma_us_.store(dev, std::memory_order_relaxed);
+}
+
+size_t PartitionStore::HedgeDelayUs() const {
+  if (options_.hedge.fixed_delay_us != 0) return options_.hedge.fixed_delay_us;
+  const uint64_t mean = load_lat_ewma_us_.load(std::memory_order_relaxed);
+  if (mean == 0) return 0;  // no sample yet: don't hedge blind
+  const uint64_t dev = load_dev_ewma_us_.load(std::memory_order_relaxed);
+  const uint64_t p99 = mean + 3 * dev;
+  return std::clamp(static_cast<size_t>(p99), options_.hedge.min_delay_us,
+                    options_.hedge.max_delay_us);
+}
+
+Result<PartitionStore::LoadedColumns> PartitionStore::LoadPass(
+    size_t i, const std::vector<size_t>& cols, const CancelToken* cancel) {
+  if (!options_.hedge.enabled) {
+    return LoadColumnsOnce(i, cols, cancel, nullptr);
+  }
+  const size_t hedge_delay_us = HedgeDelayUs();
+  if (hedge_delay_us == 0) {
+    // No latency estimate yet (and no fixed delay): load plain and let
+    // the sample prime the EWMA.
+    return LoadColumnsOnce(i, cols, cancel, nullptr);
+  }
+
+  // Hedged race: primary fires immediately; if it hasn't landed within
+  // the hedge delay (~p99 of recent passes), a duplicate read fires and
+  // the first success cancels the other through its racer-local token.
+  // Both futures are joined on every path — the loser aborts within one
+  // sleep slice of its token firing, so the join is short.
+  CancelToken primary_stop;
+  CancelToken secondary_stop;
+  auto primary = std::async(std::launch::async, [&] {
+    return LoadColumnsOnce(i, cols, cancel, &primary_stop);
+  });
+  if (primary.wait_for(std::chrono::microseconds(hedge_delay_us)) ==
+      std::future_status::ready) {
+    return primary.get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    ++store_stats_.hedged_loads;
+  }
+  auto secondary = std::async(std::launch::async, [&] {
+    return LoadColumnsOnce(i, cols, cancel, &secondary_stop);
+  });
+  for (;;) {
+    if (primary.wait_for(std::chrono::microseconds(200)) ==
+        std::future_status::ready) {
+      auto r = primary.get();
+      if (r.ok()) {
+        secondary_stop.Cancel();
+        secondary.wait();
+        return r;
+      }
+      // Primary failed: the hedge is now the only hope — wait it out.
+      auto r2 = secondary.get();
+      if (r2.ok()) {
+        std::lock_guard<std::mutex> lock(load_mu_);
+        ++store_stats_.hedge_wins;
+        return r2;
+      }
+      // Both failed: surface the primary's error (the hedge's is the
+      // same fault class one attempt later).
+      return r;
+    }
+    if (secondary.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      auto r2 = secondary.get();
+      if (r2.ok()) {
+        primary_stop.Cancel();
+        primary.wait();
+        std::lock_guard<std::mutex> lock(load_mu_);
+        ++store_stats_.hedge_wins;
+        return r2;
+      }
+      // Hedge failed first; keep waiting on the primary.
+      return primary.get();
+    }
+  }
+}
+
+Result<PartitionStore::LoadedColumns> PartitionStore::LoadColumns(
+    size_t i, const std::vector<size_t>& cols, const CancelToken* cancel) {
+  // Lost partitions fail fast before consuming attempts or bothering
+  // the breaker: retries can't resurrect a partition the plan says is
+  // gone, and a degraded table must not wedge the breaker shut for the
+  // reachable ones.
+  FaultInjector* const faults = options_.faults.get();
+  if (faults != nullptr && faults->IsLost(i)) {
+    {
+      std::lock_guard<std::mutex> lock(load_mu_);
+      ++store_stats_.lost_errors;
+    }
+    return Status::Unavailable("partition " + std::to_string(i) +
+                               " permanently lost");
+  }
+
+  if (!breaker_.Admit()) {
+    return Status::Unavailable("circuit breaker open for store '" + dir_ +
+                               "'");
+  }
+
+  const RetryPolicy& retry = options_.retry;
+  const auto start = std::chrono::steady_clock::now();
+  const size_t pass_bytes = encoded_columns_bytes(i, cols);
+  const int max_attempts = std::max(1, retry.max_attempts);
+  bool corrupt_refetched = false;
+  size_t retry_bytes = 0;
+  Status last;
+  for (int attempt = 1;;) {
+    auto loaded = LoadPass(i, cols, cancel);
+    if (loaded.ok()) {
+      breaker_.RecordSuccess();
+      return loaded;
+    }
+    last = loaded.status();
+    // Aborts are the caller's verdict, not the store's: no counters, no
+    // breaker input, straight out.
+    if (IsAbort(last)) return last;
+
+    if (last.code() == StatusCode::kInternal) {
+      // Corruption (checksum mismatch, decode validation): the bad
+      // pass's buffers are already discarded — nothing reached the
+      // cache — so the "evict" is implicit and exactly one immediate
+      // refetch re-reads clean bytes. A second corrupt pass surfaces:
+      // the file itself is bad, not the link.
+      std::lock_guard<std::mutex> lock(load_mu_);
+      ++store_stats_.corrupt_errors;
+      if (corrupt_refetched) break;
+      corrupt_refetched = true;
+      ++store_stats_.retries;
+      continue;
+    }
+    if (last.code() == StatusCode::kUnavailable) {
+      {
+        std::lock_guard<std::mutex> lock(load_mu_);
+        ++store_stats_.transient_errors;
+      }
+      if (attempt >= max_attempts) break;
+      // Retry budgets: wall-clock including backoffs, and extra encoded
+      // bytes re-read (the first attempt is free).
+      if (retry.retry_time_budget_us > 0 &&
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+                  .count() >=
+              static_cast<int64_t>(retry.retry_time_budget_us)) {
+        break;
+      }
+      if (retry.retry_byte_budget > 0 &&
+          retry_bytes + pass_bytes > retry.retry_byte_budget) {
+        break;
+      }
+      retry_bytes += pass_bytes;
+      const size_t backoff_us = BackoffUs(
+          retry, attempt, HashCombine(static_cast<uint64_t>(i),
+                                      cols.empty() ? 0 : cols.front()));
+      Status slept = SleepWithCancel(backoff_us, cancel);
+      if (!slept.ok()) return slept;  // abort mid-backoff: uncounted
+      {
+        std::lock_guard<std::mutex> lock(load_mu_);
+        ++store_stats_.retries;
+      }
+      ++attempt;
+      continue;
+    }
+    // Anything else (missing file, out-of-range, ...) is not retryable.
+    break;
+  }
+  breaker_.RecordFailure();
+  return last;
 }
 
 storage::PinnedPartition PartitionStore::AssemblePinned(
@@ -364,26 +639,40 @@ Result<storage::PinnedPartition> PartitionStore::Fetch(
       if (claim.empty()) {
         // Single flight: every missing segment is already being read by
         // someone; wait for them and retry the cache instead of
-        // duplicating the IO.
+        // duplicating the IO. The wait is bounded: a loader that died
+        // without unwinding (so its guard never cleared the marks) used
+        // to wedge waiters forever — now a timed-out waiter breaks the
+        // stale claim and re-claims the load on the next pass. If the
+        // original loader was merely slow and finishes anyway, its
+        // duplicate insert is benign (the cache keeps the existing
+        // entry) and its guard's mark-erase just wakes waiters early.
         auto landed = [&] {
           for (size_t c : missing) {
             if (loading_.count(ColumnKey{i, c}) != 0) return false;
           }
           return true;
         };
-        if (cancel == nullptr) {
-          load_cv_.wait(lock, landed);
-        } else {
-          // Cancellable wait: poll the token between waits so a waiter
-          // whose deadline fires mid-flight unblocks without waiting out
-          // another query's (possibly much longer) load. The poll period
-          // only bounds abort latency — wakeups still come from the
-          // loaders' notify.
-          while (!landed()) {
+        const size_t wait_cap_us = options_.single_flight_wait_us;
+        const auto wait_start = std::chrono::steady_clock::now();
+        while (!landed()) {
+          if (cancel != nullptr) {
+            // Poll the token between waits so a waiter whose deadline
+            // fires mid-flight unblocks without waiting out another
+            // query's (possibly much longer) load. The poll period only
+            // bounds abort latency — wakeups still come from the
+            // loaders' notify.
             Status live = cancel->Check();
             if (!live.ok()) return live;
-            load_cv_.wait_for(lock, std::chrono::microseconds(200));
           }
+          if (wait_cap_us > 0 &&
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                      .count() >= static_cast<int64_t>(wait_cap_us)) {
+            ++store_stats_.single_flight_timeouts;
+            for (size_t c : missing) loading_.erase(ColumnKey{i, c});
+            break;
+          }
+          load_cv_.wait_for(lock, std::chrono::microseconds(200));
         }
         continue;
       }
@@ -471,8 +760,25 @@ std::vector<size_t> PartitionStore::UnstagedColumns(
 }
 
 StoreStats PartitionStore::store_stats() const {
-  std::lock_guard<std::mutex> lock(load_mu_);
-  return store_stats_;
+  StoreStats out;
+  {
+    std::lock_guard<std::mutex> lock(load_mu_);
+    out = store_stats_;
+  }
+  // The breaker keeps its own counters (it has its own lock discipline);
+  // fold them into the snapshot so callers see one stats surface.
+  out.breaker_opens = breaker_.opens();
+  out.breaker_open_rejects = breaker_.open_rejects();
+  return out;
+}
+
+std::vector<size_t> PartitionStore::LostPartitions() const {
+  std::vector<size_t> out;
+  if (options_.faults != nullptr) {
+    const std::set<size_t>& lost = options_.faults->lost_partitions();
+    out.assign(lost.begin(), lost.end());
+  }
+  return out;
 }
 
 }  // namespace ps3::io

@@ -22,12 +22,28 @@
 // Partial residency upgrades naturally: only the missing segments touch
 // disk. Cold loads are single-flight at segment granularity — concurrent
 // fetchers of overlapping column sets each load only segments nobody
-// else is already reading, and wait for the rest. Preload() is the
-// prefetch path: same loads, inserted unpinned, never blocking behind an
-// in-flight load of the same segments.
+// else is already reading, and wait for the rest (bounded by
+// Options::single_flight_wait_us; a timed-out waiter breaks the stale
+// claim and re-claims the load). Preload() is the prefetch path: same
+// loads, inserted unpinned, never blocking behind an in-flight load of
+// the same segments.
+//
+// Fault tolerance: a seeded io::FaultInjector in Options makes the
+// simulated store fail like a real cloud store — transient read errors,
+// latency spikes, checksum corruption, permanently lost partitions —
+// deterministically per (partition, column, attempt). Every claimed load
+// step runs through a resilient loop: circuit-breaker admission, up to
+// RetryPolicy::max_attempts passes with deterministic exponential
+// backoff (sleeps poll the query's CancelToken, so retries never outlive
+// the SLO), one evict-and-refetch on checksum corruption, fail-fast on
+// lost partitions, and an optional hedged second read after an
+// EWMA-p99-derived delay where the first success cancels the loser.
+// Zero-fault configs take none of these paths and stay bit-identical to
+// the pre-fault-tolerance store.
 #ifndef PS3_IO_PARTITION_STORE_H_
 #define PS3_IO_PARTITION_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -39,7 +55,9 @@
 #include <vector>
 
 #include "common/query_control.h"
+#include "common/retry.h"
 #include "common/status.h"
+#include "io/fault_injector.h"
 #include "io/partition_cache.h"
 #include "io/partition_file.h"
 #include "storage/column_set.h"
@@ -49,14 +67,39 @@
 namespace ps3::io {
 
 /// Cold-load counters (cache hit/miss live on PartitionCache::stats()).
-/// cold_loads counts disk read passes (one per claimed segment batch);
-/// segments_loaded / bytes_loaded count the column segments and file
-/// bytes those passes actually moved — the bench's bytes-per-row metric.
+/// cold_loads counts claimed load steps (one per claimed segment batch,
+/// however many physical read attempts it takes); segments_loaded /
+/// bytes_loaded count the column segments and file bytes *successful*
+/// read passes actually moved — the bench's bytes-per-row metric.
+///
+/// Error accounting: `load_errors` counts load steps that ultimately
+/// failed (after retries), the same meaning it always had. The per-kind
+/// counters classify individual *events* underneath: one failed step
+/// with two transient attempts is load_errors+1, transient_errors+2,
+/// retries+1. Aborts (kCancelled / kDeadlineExceeded) are the caller's
+/// doing and count in none of these.
 struct StoreStats {
   uint64_t cold_loads = 0;
   uint64_t segments_loaded = 0;
   uint64_t bytes_loaded = 0;
   uint64_t load_errors = 0;
+  /// Physical read passes that failed retryably (Status::Unavailable).
+  uint64_t transient_errors = 0;
+  /// Read passes that failed checksum/decode verification (kInternal).
+  uint64_t corrupt_errors = 0;
+  /// Load steps that failed because the partition is permanently lost.
+  uint64_t lost_errors = 0;
+  /// Extra physical read attempts (transient backoff retries plus the
+  /// one corrupt evict-and-refetch).
+  uint64_t retries = 0;
+  /// Hedged second reads fired / hedges that finished first.
+  uint64_t hedged_loads = 0;
+  uint64_t hedge_wins = 0;
+  /// Circuit-breaker transitions to open / loads rejected while open.
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_open_rejects = 0;
+  /// Single-flight waits that hit the timeout and re-claimed the load.
+  uint64_t single_flight_timeouts = 0;
 };
 
 class PartitionStore {
@@ -76,6 +119,39 @@ class PartitionStore {
     /// fewer bytes also *finish* sooner, like a real object store.
     /// 0 disables (latency-only model).
     size_t simulated_load_bandwidth_mbps = 0;
+    /// Deterministic fault plan (null = no faults, exactly today's
+    /// behavior). Shared so tests can hold the injector and inspect /
+    /// reset attempt counters across store rebuilds.
+    std::shared_ptr<FaultInjector> faults;
+    /// Retry policy for each cold-load step. The default (3 attempts,
+    /// exponential backoff) only changes behavior when a load actually
+    /// fails; zero-fault runs never enter the retry loop.
+    RetryPolicy retry;
+    /// Per-store circuit breaker over load *steps* (post-retry). The
+    /// default threshold only trips after a run of hopeless loads; lost
+    /// partitions are excluded from its accounting so a degraded table
+    /// can't wedge reachable partitions shut.
+    CircuitBreakerPolicy breaker;
+    /// Hedged (duplicate) cold reads for latency-spike tolerance.
+    struct HedgeOptions {
+      /// Off by default: hedging spawns a second read thread per slow
+      /// pass, and zero-fault configs must stay bit-identical (and
+      /// thread-identical) to the pre-fault-tolerance store.
+      bool enabled = false;
+      /// Fixed hedge delay; 0 derives the delay from the store's load
+      /// latency EWMA (~p99: mean + 3 * mean absolute deviation).
+      size_t fixed_delay_us = 0;
+      /// Clamp for the adaptive delay.
+      size_t min_delay_us = 500;
+      size_t max_delay_us = 100000;
+    };
+    HedgeOptions hedge;
+    /// Upper bound on a single-flight wait for another fetcher's
+    /// in-flight load of the same segments. On timeout the waiter counts
+    /// it, breaks the stale claim, and re-claims the load itself — so a
+    /// loader that died without unwinding can no longer wedge waiters
+    /// forever. 0 = wait indefinitely (the pre-PR behavior).
+    size_t single_flight_wait_us = 5000000;
   };
 
   struct SpillOptions {
@@ -163,6 +239,17 @@ class PartitionStore {
   const PartitionCache& cache() const { return cache_; }
   StoreStats store_stats() const;
 
+  /// Partitions the fault plan lists as permanently lost (sorted;
+  /// empty without an injector). The degradation path plans around
+  /// exactly this set.
+  std::vector<size_t> LostPartitions() const;
+  /// The store's fault injector (null when no faults are configured).
+  const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return options_.faults;
+  }
+  /// Circuit-breaker state, for tests and ops introspection.
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+
  private:
   PartitionStore(std::string dir, Options options, storage::Schema schema,
                  uint64_t num_rows, std::vector<size_t> part_rows,
@@ -195,14 +282,34 @@ class PartitionStore {
     bool failed_ = false;
   };
 
-  /// Reads + decodes the given column segments of partition `i` in one
-  /// seek pass (applying the simulated latency/bandwidth model). Returns
-  /// one CachedColumn per entry of `cols`, in order. A fired `cancel`
-  /// (nullable) aborts with its Status before the simulated sleep — the
-  /// long pole — so a dead query doesn't ride out the modeled RTT.
-  Result<std::vector<std::shared_ptr<const CachedColumn>>> LoadColumns(
-      size_t i, const std::vector<size_t>& cols,
-      const CancelToken* cancel = nullptr);
+  using LoadedColumns = std::vector<std::shared_ptr<const CachedColumn>>;
+
+  /// The resilient load for one claimed segment batch: circuit-breaker
+  /// admission, then up to retry.max_attempts physical passes (hedged
+  /// when enabled) with deterministic backoff between transient
+  /// failures, one evict-and-refetch on corruption, and fail-fast on
+  /// lost partitions. Backoff sleeps poll `cancel`; aborts surface
+  /// uncounted. This is what Fetch and Preload call.
+  Result<LoadedColumns> LoadColumns(size_t i, const std::vector<size_t>& cols,
+                                    const CancelToken* cancel = nullptr);
+  /// One physical read pass: simulated latency/bandwidth sleep (sliced,
+  /// polling both tokens), injected faults applied, then the seek-read-
+  /// verify-decode of io/partition_file. `hedge_stop` (nullable) is the
+  /// racer-local token a winning hedge uses to abort the loser.
+  Result<LoadedColumns> LoadColumnsOnce(size_t i,
+                                        const std::vector<size_t>& cols,
+                                        const CancelToken* cancel,
+                                        const CancelToken* hedge_stop);
+  /// One *attempt* of the resilient loop: plain pass, or a hedged race
+  /// (second read fired after HedgeDelayUs; first success cancels the
+  /// loser) when hedging is on and a latency estimate exists.
+  Result<LoadedColumns> LoadPass(size_t i, const std::vector<size_t>& cols,
+                                 const CancelToken* cancel);
+  /// Folds a successful pass latency into the EWMA cells.
+  void RecordLoadLatency(uint64_t us);
+  /// Current hedge trigger delay (~p99 of successful pass latency), or
+  /// 0 for "don't hedge yet" (no samples and no fixed delay).
+  size_t HedgeDelayUs() const;
   /// Builds the scan view for partition `i` from the pinned segment data
   /// (indexed by column; null = pruned) plus the pin tokens that keep
   /// them alive and release them when the view is dropped.
@@ -231,6 +338,13 @@ class PartitionStore {
   std::condition_variable load_cv_;
   std::set<ColumnKey> loading_;  ///< segments with an in-flight cold load
   StoreStats store_stats_;    ///< guarded by load_mu_
+
+  CircuitBreaker breaker_;
+  /// EWMA of successful pass latency and of its absolute deviation
+  /// (microseconds; 0 = no sample yet, samples clamp to >= 1). Relaxed
+  /// atomics — the hedge delay is advisory timing, never answers.
+  std::atomic<uint64_t> load_lat_ewma_us_{0};
+  std::atomic<uint64_t> load_dev_ewma_us_{0};
 };
 
 }  // namespace ps3::io

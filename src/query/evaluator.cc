@@ -638,6 +638,21 @@ void CanonicalizeSelection(std::vector<WeightedPartition>* selection) {
             });
 }
 
+std::vector<WeightedPartition> DegradedSelection(
+    const std::vector<size_t>& reachable, size_t total_partitions) {
+  std::vector<WeightedPartition> sel;
+  sel.reserve(reachable.size());
+  // Weight exactly 1.0 when nothing is lost — not total/total computed in
+  // floating point — so the healthy path's bit-identity with ExactAnswer
+  // never hinges on a division rounding to one.
+  const double w = reachable.size() == total_partitions
+                       ? 1.0
+                       : static_cast<double>(total_partitions) /
+                             static_cast<double>(reachable.size());
+  for (size_t p : reachable) sel.push_back(WeightedPartition{p, w});
+  return sel;
+}
+
 namespace {
 
 /// Per-(group, aggregate) variance accumulators for the HT estimator:

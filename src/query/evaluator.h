@@ -230,6 +230,17 @@ struct ApproxCombined {
   QueryAnswer error;
 };
 
+/// The degraded-serving selection: every reachable partition, each with
+/// the uniform Horvitz–Thompson weight total/|reachable| — the estimator
+/// for "scan everything we can still reach, treat it as a uniform sample
+/// of the whole table". With nothing lost (reachable.size() == total)
+/// every weight is exactly 1.0, so CombineWeighted reproduces ExactAnswer
+/// bit for bit and CombineWeightedWithError reports zero error — degraded
+/// submissions over a healthy store cost nothing in fidelity. `reachable`
+/// must be ascending (the canonical combine order) and non-empty.
+std::vector<WeightedPartition> DegradedSelection(
+    const std::vector<size_t>& reachable, size_t total_partitions);
+
 /// CombineWeighted plus an honest error surface, computed in one pass.
 /// `value` is bit-identical to CombineWeighted on the same selection
 /// (identical accumulation order and arithmetic). `error` is the

@@ -91,6 +91,22 @@ struct ApproxAnswer {
   uint64_t bytes_moved = 0;
 };
 
+/// What an exact submission does when the source reports permanently
+/// lost partitions (PartitionSource::UnreachablePartitions).
+enum class DegradedMode : uint8_t {
+  /// Fail structurally: the future rethrows QueryFailed carrying
+  /// Status::Unavailable naming the lost partitions. The default — an
+  /// exact answer that silently isn't exact is never acceptable without
+  /// an explicit opt-in.
+  kFail = 0,
+  /// Degrade gracefully (SubmitDegradable only): re-plan the scan over
+  /// the reachable set and resolve to an ApproxAnswer whose values are
+  /// HT-reweighted at total/|reachable| and whose error surface reflects
+  /// the effective sampling fraction — the paper's approximate machinery
+  /// as the availability story.
+  kApproximate = 1,
+};
+
 /// Per-query admission options for the multi-tenant Submit* overloads.
 struct SubmitOptions {
   /// kInteractive jumps the driver queue ahead of batch tasks and wins
@@ -111,6 +127,11 @@ struct SubmitOptions {
   /// the latest deadline too — share tokens only to cancel a group
   /// together.
   std::shared_ptr<CancelToken> cancel;
+  /// Lost-partition policy for SubmitDegradable. Plain Submit is
+  /// mode-blind: its future is a QueryAnswer, which cannot carry a
+  /// degraded result, so lost partitions always surface as QueryFailed
+  /// naming them — resubmit through SubmitDegradable to opt in.
+  DegradedMode degraded_mode = DegradedMode::kFail;
 };
 
 class QueryScheduler {
@@ -170,7 +191,12 @@ class QueryScheduler {
   /// and the scan's planned byte footprint. The picker runs on the driver
   /// thread against per-partition statistics only (it never touches
   /// partition data); `picker`, `source`, and whatever they borrow must
-  /// stay alive until the future is ready.
+  /// stay alive until the future is ready. If the source reports lost
+  /// partitions and the pick overlaps them, the pick is deterministically
+  /// re-drawn around the lost set at unchanged budget (derived seeds,
+  /// first lost-free selection wins; pickers that can never avoid the
+  /// set fall back to dropping lost choices and rescaling the survivors'
+  /// weights).
   std::future<ApproxAnswer> SubmitApproximate(
       query::Query query, const storage::PartitionSource& source,
       const core::PartitionPicker& picker, ApproxOptions approx,
@@ -208,6 +234,24 @@ class QueryScheduler {
       query::Query query, const storage::PartitionSource& source,
       const core::PartitionPicker& picker, ApproxOptions approx,
       SubmitOptions submit, query::ExecOptions opts = {});
+
+  /// Degradation-aware exact submission: the graceful-degradation entry
+  /// point. With every partition reachable, resolves to an ApproxAnswer
+  /// whose value is bit-identical to Submit's exact answer (all-weight-1
+  /// combine) with a zero error surface and partitions_scanned == total.
+  /// With lost partitions, the behavior follows submit.degraded_mode:
+  /// kFail rethrows QueryFailed carrying Status::Unavailable naming the
+  /// lost partitions; kApproximate scans the reachable complement
+  /// through a storage::PickedSource (lost partitions are never
+  /// acquired), HT-reweights at total/|reachable|, and reports the error
+  /// surface of the effective sampling fraction plus the bytes the
+  /// reachable scan plans to move. Deterministic: the same lost set
+  /// yields a bit-identical ApproxAnswer for any shard count, policy,
+  /// thread count, or concurrent load.
+  std::future<ApproxAnswer> SubmitDegradable(
+      query::Query query, const storage::PartitionSource& source,
+      SubmitOptions submit = {}, query::ExecOptions opts = {});
+
   std::future<std::vector<query::PartitionAnswer>> SubmitPartials(
       query::Query query, const storage::PartitionedTable& table,
       SubmitOptions submit, query::ExecOptions opts = {});

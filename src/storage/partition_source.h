@@ -158,6 +158,15 @@ class PartitionSource {
     (void)columns;
     return 0;
   }
+
+  /// Global indices of partitions this source *cannot* serve — an
+  /// Acquire on any of them is guaranteed to fail (permanently lost in
+  /// the backing store's fault plan). Sorted ascending. The scheduler's
+  /// degradation path plans around exactly this set: kFail names it in
+  /// the failure Status, kApproximate re-plans the scan over its
+  /// complement. Resident sources (and any source without a fault
+  /// model) return empty — every partition reachable.
+  virtual std::vector<size_t> UnreachablePartitions() const { return {}; }
 };
 
 /// Resident adapter: a ShardedTable viewed as a PartitionSource. Acquire

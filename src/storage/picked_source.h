@@ -82,6 +82,13 @@ class PickedSource : public PartitionSource {
     return base_.ColdScanBytes(partitions, columns);
   }
 
+  /// Loss is a property of the backing store, not of this view's
+  /// filter: forwarded so degraded re-planning sees through stacked
+  /// views.
+  std::vector<size_t> UnreachablePartitions() const override {
+    return base_.UnreachablePartitions();
+  }
+
  private:
   const PartitionSource& base_;
   std::vector<std::vector<size_t>> shards_;  ///< base shards ∩ picked

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,8 +18,10 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/retry.h"
 #include "common/serialize.h"
 #include "io/cold_source.h"
+#include "io/fault_injector.h"
 #include "io/partition_file.h"
 #include "io/partition_store.h"
 #include "io/prefetch_pipeline.h"
@@ -1057,9 +1060,15 @@ TEST(PartitionStoreCancel, CancelledFetchReturnsCancelledAndReleasesPins) {
   auto pinned = (*store)->Fetch(0, storage::ColumnSet::All(), &token);
   ASSERT_FALSE(pinned.ok());
   EXPECT_EQ(pinned.status().code(), StatusCode::kCancelled);
-  // An abort is not a load error, leaves no pins, and leaves the
-  // partition fetchable by the next (healthy) caller.
-  EXPECT_EQ((*store)->store_stats().load_errors, 0u);
+  // An abort is not a load error — not in the aggregate counter and not
+  // in any per-kind one — leaves no pins, and leaves the partition
+  // fetchable by the next (healthy) caller.
+  const io::StoreStats aborted = (*store)->store_stats();
+  EXPECT_EQ(aborted.load_errors, 0u);
+  EXPECT_EQ(aborted.transient_errors, 0u);
+  EXPECT_EQ(aborted.corrupt_errors, 0u);
+  EXPECT_EQ(aborted.lost_errors, 0u);
+  EXPECT_EQ(aborted.retries, 0u);
   EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
   auto healthy = (*store)->Fetch(0);
   ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
@@ -1235,6 +1244,581 @@ TEST(PrefetchBudget, InteractiveReserveSurvivesBatchPressure) {
       << "interactive staging must not be starved by batch pressure";
   pipeline.Drain();
   EXPECT_EQ(pipeline.stats().inflight_bytes, 0u);
+}
+
+// ------------------------------------- fault injection battery
+
+/// Store options with a seeded fault plan and a fast (but semantically
+/// default) backoff schedule so the battery doesn't sleep for real.
+io::PartitionStore::Options FaultOptions(io::FaultPlan plan) {
+  io::PartitionStore::Options opts;
+  opts.faults = std::make_shared<io::FaultInjector>(std::move(plan));
+  opts.retry.backoff_base_us = 50;
+  opts.retry.backoff_cap_us = 500;
+  return opts;
+}
+
+/// Bitwise comparison of a fetched partition view against the resident
+/// partition it was spilled from, over every column.
+void ExpectPartitionBitExact(const storage::Schema& schema,
+                             const storage::Partition& resident,
+                             const storage::Partition& got) {
+  ASSERT_EQ(got.num_rows(), resident.num_rows());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    for (size_t r = 0; r < resident.num_rows(); ++r) {
+      if (schema.IsNumeric(c)) {
+        uint64_t want, have;
+        double wv = resident.NumericAt(c, r);
+        double gv = got.NumericAt(c, r);
+        std::memcpy(&want, &wv, sizeof(want));
+        std::memcpy(&have, &gv, sizeof(have));
+        ASSERT_EQ(want, have) << "col " << c << " row " << r;
+      } else {
+        ASSERT_EQ(got.CodeAt(c, r), resident.CodeAt(c, r))
+            << "col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+/// A rule failing every column of `partition` on attempts
+/// [attempt_begin, attempt_end) with `kind`.
+io::FaultRule RuleFor(size_t partition, int attempt_begin, int attempt_end,
+                      io::FaultKind kind) {
+  io::FaultRule rule;
+  rule.partition = partition;
+  rule.attempt_begin = attempt_begin;
+  rule.attempt_end = attempt_end;
+  rule.kind = kind;
+  return rule;
+}
+
+TEST(FaultInjector, SeedReplaysIdenticalSequence) {
+  io::FaultPlan plan;
+  plan.seed = 42;
+  plan.transient_rate = 0.3;
+  plan.corrupt_rate = 0.2;
+  plan.latency_rate = 0.25;
+  plan.lost_partitions = {7};
+
+  io::FaultInjector a(plan);
+  io::FaultInjector b(plan);
+  bool any_fault = false;
+  for (size_t p = 0; p < 8; ++p) {
+    for (size_t c = 0; c < 4; ++c) {
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        // Peek is pure and Next consumes exactly the peeked attempt.
+        const io::FaultDecision peek = a.Peek(p, c, attempt);
+        const io::FaultDecision next = a.Next(p, c);
+        EXPECT_EQ(next.kind, peek.kind);
+        EXPECT_EQ(next.extra_latency_us, peek.extra_latency_us);
+        EXPECT_EQ(next.attempt, attempt);
+        // A second injector over the same plan replays bit-identically.
+        const io::FaultDecision other = b.Next(p, c);
+        EXPECT_EQ(other.kind, next.kind);
+        EXPECT_EQ(other.extra_latency_us, next.extra_latency_us);
+        EXPECT_EQ(other.attempt, next.attempt);
+        if (next.kind != io::FaultKind::kNone) any_fault = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_fault) << "rates this high must fire somewhere";
+
+  // Lost dominates every rate draw, on every attempt.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    EXPECT_EQ(a.Peek(7, 0, attempt).kind, io::FaultKind::kLost);
+  }
+  EXPECT_TRUE(a.IsLost(7));
+  EXPECT_FALSE(a.IsLost(6));
+
+  // A different seed gives a different sequence somewhere.
+  io::FaultPlan reseeded = plan;
+  reseeded.seed = 43;
+  io::FaultInjector c(reseeded);
+  int diffs = 0;
+  for (size_t p = 0; p < 7; ++p) {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      if (c.Peek(p, 0, attempt).kind != b.Peek(p, 0, attempt).kind) ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+
+  // ResetAttempts replays the sequence from attempt 0.
+  a.ResetAttempts();
+  const io::FaultDecision replay = a.Next(3, 1);
+  EXPECT_EQ(replay.attempt, 0);
+  EXPECT_EQ(replay.kind, a.Peek(3, 1, 0).kind);
+}
+
+TEST(FaultInjector, CorruptBytesIsDeterministicAndSingleBit) {
+  std::vector<uint8_t> buf(257, 0xA5);
+  std::vector<uint8_t> ref = buf;
+  io::FaultInjector::CorruptBytes(9, 2, 1, 0, buf.data(), buf.size());
+  size_t flipped_bits = 0;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    uint8_t delta = buf[i] ^ ref[i];
+    while (delta != 0) {
+      flipped_bits += delta & 1u;
+      delta >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1u);
+  // Same coordinate flips the same bit: corrupting twice restores.
+  io::FaultInjector::CorruptBytes(9, 2, 1, 0, buf.data(), buf.size());
+  EXPECT_EQ(buf, ref);
+}
+
+TEST(FaultBattery, TransientFailuresRetryAndRecoverBitExact) {
+  auto bundle = workload::MakeKdd(700, /*seed=*/101);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Partition 1 fails transient on attempts 0 and 1 of every column,
+  // then reads clean: the default 3-attempt policy must absorb it.
+  io::FaultPlan plan;
+  plan.rules.push_back(RuleFor(1, 0, 2, io::FaultKind::kTransient));
+  auto store = io::PartitionStore::Open(dir, FaultOptions(plan));
+  ASSERT_TRUE(store.ok());
+
+  auto pinned = (*store)->Fetch(1);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->view().num_rows(), pt.partition_rows(1));
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.cold_loads, 1u);
+  EXPECT_EQ(stats.transient_errors, 2u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.load_errors, 0u);
+  EXPECT_EQ(stats.corrupt_errors, 0u);
+  EXPECT_EQ(stats.lost_errors, 0u);
+
+  // The recovered data serves a scan bit-identical to the resident one.
+  query::Query q = CountSumQuery(*bundle.table);
+  const auto expected = query::ExactAnswer(
+      q, query::EvaluateAllPartitions(q, pt,
+                                      {query::ExecPolicy::kScalar, 1}));
+  runtime::QueryScheduler scheduler;
+  io::ColdShardedSource cold(store->get(), 2);
+  ExpectAnswersEqual(expected, scheduler.Submit(q, cold).get());
+}
+
+TEST(FaultBattery, RetryExhaustionSurfacesUnavailable) {
+  auto bundle = workload::MakeAria(500, /*seed=*/103);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Partition 0 never reads clean; the retry loop must give up after
+  // max_attempts passes and surface the retryable class.
+  io::FaultPlan plan;
+  plan.rules.push_back(RuleFor(0, 0, 1000, io::FaultKind::kTransient));
+  auto store = io::PartitionStore::Open(dir, FaultOptions(plan));
+  ASSERT_TRUE(store.ok());
+
+  auto pinned = (*store)->Fetch(0);
+  ASSERT_FALSE(pinned.ok());
+  EXPECT_EQ(pinned.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(pinned.status().message().find("transient"), std::string::npos)
+      << pinned.status().ToString();
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.load_errors, 1u);  // one failed load *step*
+  EXPECT_EQ(stats.transient_errors, 3u);  // three failed passes under it
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
+
+  // Other partitions are untouched by partition 0's bad luck.
+  auto healthy = (*store)->Fetch(1);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(FaultBattery, CorruptThenCleanRefetchRecovers) {
+  auto bundle = workload::MakeKdd(900, /*seed=*/107);
+  storage::PartitionedTable pt(bundle.table, 6);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // The first read of partition 2's column 0 comes back bit-flipped;
+  // the real checksum machinery must catch it and the single
+  // evict-and-refetch must read clean bytes.
+  io::FaultRule rule = RuleFor(2, 0, 1, io::FaultKind::kCorrupt);
+  rule.column = 0;
+  io::FaultPlan plan;
+  plan.rules.push_back(rule);
+  auto store = io::PartitionStore::Open(dir, FaultOptions(plan));
+  ASSERT_TRUE(store.ok());
+
+  auto pinned = (*store)->Fetch(2);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.corrupt_errors, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.load_errors, 0u);
+  EXPECT_EQ(stats.transient_errors, 0u);
+
+  // The refetched data is the spilled data, bit for bit.
+  ExpectPartitionBitExact((*store)->schema(), pt.partition(2),
+                          pinned->view());
+}
+
+TEST(FaultBattery, PersistentCorruptionSurfacesAfterOneRefetch) {
+  auto bundle = workload::MakeKdd(600, /*seed=*/109);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Every read of partition 2 corrupts: the file is bad, not the link.
+  // Exactly one refetch, then the corruption surfaces as kInternal —
+  // never a wrong answer, and never an infinite refetch loop.
+  io::FaultPlan plan;
+  plan.rules.push_back(RuleFor(2, 0, 1000, io::FaultKind::kCorrupt));
+  auto store = io::PartitionStore::Open(dir, FaultOptions(plan));
+  ASSERT_TRUE(store.ok());
+
+  auto pinned = (*store)->Fetch(2);
+  ASSERT_FALSE(pinned.ok());
+  EXPECT_EQ(pinned.status().code(), StatusCode::kInternal);
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.corrupt_errors, 2u);  // original pass + the one refetch
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.load_errors, 1u);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
+}
+
+TEST(FaultBattery, LostPartitionFailsFastAndSparesTheBreaker) {
+  auto bundle = workload::MakeAria(800, /*seed=*/113);
+  storage::PartitionedTable pt(bundle.table, 8);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  io::FaultPlan plan;
+  plan.lost_partitions = {3, 5};
+  auto store = io::PartitionStore::Open(dir, FaultOptions(plan));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->LostPartitions(), (std::vector<size_t>{3, 5}));
+
+  // Lost fails fast: no retries, no attempt consumed, named kind.
+  for (int round = 0; round < 4; ++round) {
+    auto pinned = (*store)->Fetch(3);
+    ASSERT_FALSE(pinned.ok());
+    EXPECT_EQ(pinned.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(pinned.status().message().find("lost"), std::string::npos);
+  }
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.lost_errors, 4u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.transient_errors, 0u);
+  EXPECT_EQ(stats.load_errors, 4u);
+
+  // Repeated lost hits must not trip the breaker: the reachable set
+  // keeps serving even on a store with a low threshold.
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kClosed);
+  auto healthy = (*store)->Fetch(0);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->view().num_rows(), pt.partition_rows(0));
+}
+
+TEST(FaultBattery, HedgeFiresOnLatencySpikeAndWinnerCancelsLoser) {
+  auto bundle = workload::MakeKdd(800, /*seed=*/127);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Attempt 0 of partition 0 pays a 250ms spike; attempt 1 is clean.
+  // With a 2ms fixed hedge delay the duplicate read fires, lands first,
+  // and cancels the spiking primary — the fetch returns long before the
+  // spike would have drained, with no error counted anywhere.
+  io::FaultRule spike = RuleFor(0, 0, 1, io::FaultKind::kLatency);
+  spike.latency_us = 250000;
+  io::FaultPlan plan;
+  plan.rules.push_back(spike);
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.hedge.enabled = true;
+  opts.hedge.fixed_delay_us = 2000;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto pinned = (*store)->Fetch(0);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->view().num_rows(), pt.partition_rows(0));
+  EXPECT_LT(elapsed.count(), 200) << "hedge must beat the 250ms spike";
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.hedged_loads, 1u);
+  EXPECT_EQ(stats.hedge_wins, 1u);
+  EXPECT_EQ(stats.load_errors, 0u);
+  EXPECT_EQ(stats.transient_errors, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+
+  // The hedged read's data is the spilled data, bit for bit.
+  ExpectPartitionBitExact((*store)->schema(), pt.partition(0),
+                          pinned->view());
+}
+
+TEST(FaultBattery, BreakerOpensFailsFastHalfOpensAndCloses) {
+  auto bundle = workload::MakeAria(600, /*seed=*/131);
+  storage::PartitionedTable pt(bundle.table, 6);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Partitions 0 and 1 are hopeless (always transient); 2 is healthy.
+  // Single-attempt policy so every fetch is one load step, threshold 2
+  // so two hopeless steps open the circuit.
+  io::FaultPlan plan;
+  plan.rules.push_back(RuleFor(0, 0, 1000, io::FaultKind::kTransient));
+  plan.rules.push_back(RuleFor(1, 0, 1000, io::FaultKind::kTransient));
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 2;
+  opts.breaker.open_duration_us = 500000;  // 500ms cooldown
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  EXPECT_FALSE((*store)->Fetch(0).ok());
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE((*store)->Fetch(1).ok());
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kOpen);
+
+  // Open fails fast — even a healthy partition is rejected, cheaply.
+  auto rejected = (*store)->Fetch(2);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("circuit breaker"),
+            std::string::npos);
+  {
+    const io::StoreStats stats = (*store)->store_stats();
+    EXPECT_EQ(stats.breaker_opens, 1u);
+    EXPECT_EQ(stats.breaker_open_rejects, 1u);
+    EXPECT_EQ(stats.transient_errors, 2u);  // the reject read nothing
+  }
+
+  // After the cooldown one half-open probe is admitted; a failing probe
+  // re-opens the circuit for another cooldown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  EXPECT_FALSE((*store)->Fetch(0).ok());
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ((*store)->store_stats().breaker_opens, 2u);
+
+  // A succeeding probe closes it and normal service resumes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  auto probe = (*store)->Fetch(2);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kClosed);
+  auto after = (*store)->Fetch(3);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(FaultBattery, SingleFlightTimeoutStealsAndReclaims) {
+  auto bundle = workload::MakeKdd(700, /*seed=*/137);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // The first loader of partition 0 rides out a 400ms spike while
+  // holding the single-flight marks. A waiter bounded at 30ms must time
+  // out, break the stale claim, re-claim the load itself (attempt 1 is
+  // clean), and return long before the original loader lands.
+  io::FaultRule spike = RuleFor(0, 0, 1, io::FaultKind::kLatency);
+  spike.latency_us = 400000;
+  io::FaultPlan plan;
+  plan.rules.push_back(spike);
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.single_flight_wait_us = 30000;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  std::promise<void> loader_started;
+  std::thread loader([&] {
+    loader_started.set_value();
+    auto slow = (*store)->Fetch(0);
+    EXPECT_TRUE(slow.ok()) << slow.status().ToString();
+  });
+  loader_started.get_future().wait();
+  // Let the loader claim its marks and enter the spike sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    auto stolen = (*store)->Fetch(0);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    ASSERT_TRUE(stolen.ok()) << stolen.status().ToString();
+    EXPECT_EQ(stolen->view().num_rows(), pt.partition_rows(0));
+    EXPECT_LT(elapsed.count(), 300) << "waiter must not ride out the spike";
+  }
+  loader.join();
+
+  EXPECT_GE((*store)->store_stats().single_flight_timeouts, 1u);
+  EXPECT_EQ((*store)->store_stats().load_errors, 0u);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
+}
+
+TEST(FaultBattery, AbortsCountInNoErrorCounter) {
+  auto bundle = workload::MakeAria(500, /*seed=*/139);
+  storage::PartitionedTable pt(bundle.table, 4);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Partition 0 always fails transient, with real backoffs between
+  // attempts; the token fires mid-retry-loop. The abort must surface as
+  // kCancelled and must not be folded into any failure statistic — only
+  // the passes that actually failed before the abort count.
+  io::FaultPlan plan;
+  plan.rules.push_back(RuleFor(0, 0, 1000, io::FaultKind::kTransient));
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.retry.max_attempts = 50;
+  opts.retry.backoff_base_us = 20000;  // wide backoff window to land in
+  opts.retry.backoff_cap_us = 20000;
+  opts.retry.retry_time_budget_us = 0;
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  CancelToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.Cancel();
+  });
+  auto pinned = (*store)->Fetch(0, storage::ColumnSet::All(), &token);
+  canceller.join();
+  ASSERT_FALSE(pinned.ok());
+  EXPECT_EQ(pinned.status().code(), StatusCode::kCancelled);
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.load_errors, 0u) << "an abort is not a load error";
+  EXPECT_EQ(stats.corrupt_errors, 0u);
+  EXPECT_EQ(stats.lost_errors, 0u);
+  EXPECT_GE(stats.transient_errors, 1u);  // the real pre-abort failures
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ((*store)->cache().stats().bytes_pinned, 0u);
+
+  // The partition is still loadable once the faults clear: a fresh
+  // injector over the same directory reads it fine.
+  auto clean = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(clean.ok());
+  auto healthy = (*clean)->Fetch(0);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+}
+
+TEST(FaultBattery, ZeroFaultPlanIsIdenticalToNoInjector) {
+  auto bundle = workload::MakeKdd(900, /*seed=*/149);
+  storage::PartitionedTable pt(bundle.table, 6);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  auto plain = io::PartitionStore::Open(dir, {});
+  ASSERT_TRUE(plain.ok());
+  io::PartitionStore::Options opts;
+  opts.faults = std::make_shared<io::FaultInjector>(io::FaultPlan{});
+  auto faulted = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(faulted.ok());
+
+  query::Query q = CountSumQuery(*bundle.table);
+  runtime::QueryScheduler scheduler;
+  io::ColdShardedSource cold_plain(plain->get(), 2);
+  io::ColdShardedSource cold_faulted(faulted->get(), 2);
+  ExpectAnswersEqual(scheduler.Submit(q, cold_plain).get(),
+                     scheduler.Submit(q, cold_faulted).get());
+
+  const io::StoreStats a = (*plain)->store_stats();
+  const io::StoreStats b = (*faulted)->store_stats();
+  EXPECT_EQ(a.cold_loads, b.cold_loads);
+  EXPECT_EQ(a.segments_loaded, b.segments_loaded);
+  EXPECT_EQ(a.bytes_loaded, b.bytes_loaded);
+  for (const io::StoreStats& s : {a, b}) {
+    EXPECT_EQ(s.load_errors, 0u);
+    EXPECT_EQ(s.transient_errors, 0u);
+    EXPECT_EQ(s.corrupt_errors, 0u);
+    EXPECT_EQ(s.lost_errors, 0u);
+    EXPECT_EQ(s.retries, 0u);
+    EXPECT_EQ(s.hedged_loads, 0u);
+    EXPECT_EQ(s.breaker_opens, 0u);
+    EXPECT_EQ(s.single_flight_timeouts, 0u);
+  }
+}
+
+TEST(FaultBattery, SeededRatesReplayIdenticallyThroughStore) {
+  auto bundle = workload::MakeKdd(1000, /*seed=*/151);
+  storage::PartitionedTable pt(bundle.table, 8);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Two independent stores over the same directory, each with its own
+  // injector built from the same plan: every fetch outcome and every
+  // counter must replay bit-identically — the hashed rates are a pure
+  // function of (seed, partition, column, attempt), not a live RNG.
+  io::FaultPlan plan;
+  plan.seed = 7;
+  plan.transient_rate = 0.02;
+  plan.corrupt_rate = 0.005;
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.retry.max_attempts = 6;
+  auto first = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(first.ok());
+  io::PartitionStore::Options opts2 = FaultOptions(plan);
+  opts2.retry.max_attempts = 6;
+  auto second = io::PartitionStore::Open(dir, opts2);
+  ASSERT_TRUE(second.ok());
+
+  for (size_t p = 0; p < pt.num_partitions(); ++p) {
+    auto fa = (*first)->Fetch(p);
+    auto fb = (*second)->Fetch(p);
+    ASSERT_EQ(fa.ok(), fb.ok()) << "partition " << p;
+    if (!fa.ok()) {
+      EXPECT_EQ(fa.status().code(), fb.status().code()) << "partition " << p;
+    } else {
+      EXPECT_EQ(fa->view().num_rows(), fb->view().num_rows());
+    }
+  }
+  const io::StoreStats sa = (*first)->store_stats();
+  const io::StoreStats sb = (*second)->store_stats();
+  EXPECT_EQ(sa.cold_loads, sb.cold_loads);
+  EXPECT_EQ(sa.load_errors, sb.load_errors);
+  EXPECT_EQ(sa.transient_errors, sb.transient_errors);
+  EXPECT_EQ(sa.corrupt_errors, sb.corrupt_errors);
+  EXPECT_EQ(sa.retries, sb.retries);
+  EXPECT_EQ(sa.segments_loaded, sb.segments_loaded);
+  EXPECT_EQ(sa.bytes_loaded, sb.bytes_loaded);
+}
+
+TEST(FaultBattery, DeterministicBackoffSchedule) {
+  RetryPolicy policy;
+  policy.backoff_base_us = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap_us = 1000;
+  // Same policy + retry + salt => identical sleep; different salts
+  // decorrelate; the exponential envelope holds under the cap.
+  for (int retry = 1; retry <= 5; ++retry) {
+    const size_t a = BackoffUs(policy, retry, /*salt=*/11);
+    const size_t b = BackoffUs(policy, retry, /*salt=*/11);
+    EXPECT_EQ(a, b);
+    const size_t base = std::min<size_t>(
+        policy.backoff_cap_us,
+        static_cast<size_t>(100 * std::pow(2.0, retry - 1)));
+    EXPECT_GE(a, base);
+    EXPECT_LE(a, static_cast<size_t>(
+                     static_cast<double>(base) *
+                     (1.0 + policy.jitter_fraction)) +
+                     1);
+  }
+  size_t diff = 0;
+  for (uint64_t salt = 0; salt < 8; ++salt) {
+    if (BackoffUs(policy, 3, salt) != BackoffUs(policy, 3, salt + 100)) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0u) << "jitter must decorrelate across salts";
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(BackoffUs(policy, 1, 0), 100u);
+  EXPECT_EQ(BackoffUs(policy, 2, 0), 200u);
+  EXPECT_EQ(BackoffUs(policy, 5, 0), 1000u);  // capped
 }
 
 }  // namespace

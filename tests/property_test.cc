@@ -20,6 +20,7 @@
 #include "core/training_data.h"
 #include "featurize/featurizer.h"
 #include "io/cold_source.h"
+#include "io/fault_injector.h"
 #include "io/partition_store.h"
 #include "io/prefetch_pipeline.h"
 #include "query/evaluator.h"
@@ -1093,6 +1094,93 @@ TEST(ApproximateServing, FullFractionUniformWeightsEqualsExact) {
         }
       }
     }
+  }
+}
+
+TEST(DegradedServing, BitIdenticalAcrossStoreConfigsAndPolicies) {
+  // The degraded-serving property: with the same partitions lost, the
+  // kApproximate answer — value, error surface, and accounting — is a
+  // pure function of (query, lost set), bit-identical across shard
+  // counts, shard assignments, prefetch on/off, cache budgets, exec
+  // policies, and thread counts; and it equals the Horvitz–Thompson
+  // reweighted combine computed directly from resident scalar partials.
+  ApproxFixture& fx = SharedApproxFixture();
+  runtime::QueryScheduler scheduler;
+
+  const std::set<size_t> lost = {3, 8, 12};
+  const size_t n = fx.pt->num_partitions();
+  std::vector<size_t> reachable;
+  for (size_t p = 0; p < n; ++p) {
+    if (lost.count(p) == 0) reachable.push_back(p);
+  }
+  const std::vector<query::WeightedPartition> sel =
+      query::DegradedSelection(reachable, n);
+
+  struct Cfg {
+    const char* name;
+    size_t shards;
+    storage::ShardAssignment assignment;
+    bool prefetch;
+    size_t budget_divisor;
+    query::ExecPolicy policy;
+    int threads;
+  };
+  const Cfg cfgs[] = {
+      {"flat_scalar", 1, storage::ShardAssignment::kRange, false, 1,
+       query::ExecPolicy::kScalar, 1},
+      {"range4_vec", 4, storage::ShardAssignment::kRange, false, 1,
+       query::ExecPolicy::kVectorized, 3},
+      {"hash4_budget8", 4, storage::ShardAssignment::kHash, false, 8,
+       query::ExecPolicy::kScalar, 2},
+      {"range7_prefetch", 7, storage::ShardAssignment::kRange, true, 1,
+       query::ExecPolicy::kVectorized, 3},
+  };
+
+  std::vector<runtime::ApproxAnswer> reference;
+  for (const Cfg& cfg : cfgs) {
+    io::PartitionStore::Options o;
+    o.cache_budget_bytes =
+        std::max<size_t>(fx.total_bytes / cfg.budget_divisor, 1);
+    io::FaultPlan plan;
+    plan.lost_partitions = lost;
+    o.faults = std::make_shared<io::FaultInjector>(std::move(plan));
+    auto store = io::PartitionStore::Open(fx.dir, o);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    io::PrefetchPipeline pipeline(store->get(), &scheduler);
+    io::ColdShardedSource cold(store->get(), cfg.shards, cfg.assignment,
+                               cfg.prefetch ? &pipeline : nullptr);
+
+    query::ExecOptions eopts;
+    eopts.policy = cfg.policy;
+    eopts.num_threads = cfg.threads;
+    runtime::SubmitOptions submit;
+    submit.degraded_mode = runtime::DegradedMode::kApproximate;
+    for (size_t qi = 0; qi < fx.queries.size(); ++qi) {
+      runtime::ApproxAnswer ans =
+          scheduler.SubmitDegradable(fx.queries[qi], cold, submit, eopts)
+              .get();
+      EXPECT_EQ(ans.partitions_scanned, reachable.size()) << cfg.name;
+      EXPECT_EQ(ans.partitions_total, n) << cfg.name;
+      if (reference.size() <= qi) {
+        // Independent reference: the same HT combine from resident
+        // scalar partials — the degraded path must reproduce it exactly.
+        query::ExecOptions ref;
+        ref.policy = query::ExecPolicy::kScalar;
+        ref.num_threads = 1;
+        query::ApproxCombined expected = query::CombineWeightedWithError(
+            fx.queries[qi],
+            query::EvaluateAllPartitions(fx.queries[qi], *fx.pt, ref), sel);
+        ExpectQueryAnswerBits(expected.value, ans.value, cfg.name);
+        ExpectQueryAnswerBits(expected.error, ans.error_estimate, cfg.name);
+        reference.push_back(std::move(ans));
+      } else {
+        ExpectApproxBits(reference[qi], ans, cfg.name);
+      }
+    }
+    pipeline.Drain();
+    // Degraded planning routes around the lost set up front: no load
+    // was ever even attempted against a lost partition.
+    EXPECT_EQ((*store)->store_stats().lost_errors, 0u) << cfg.name;
   }
 }
 

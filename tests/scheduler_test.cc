@@ -5,9 +5,11 @@
 // equivalence pattern to concurrent admission. Also covers per-query
 // failure isolation and drain-on-destruction.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <limits>
@@ -19,6 +21,9 @@
 
 #include "core/exact_picker.h"
 #include "core/random_picker.h"
+#include "io/cold_source.h"
+#include "io/fault_injector.h"
+#include "io/partition_store.h"
 #include "query/evaluator.h"
 #include "runtime/query_scheduler.h"
 #include "storage/partition_source.h"
@@ -552,6 +557,251 @@ TEST(QueryScheduler, ConcurrentApproximateBitIdenticalToSerial) {
       }
     }
     for (auto& f : exact_siblings) f.get();
+  }
+}
+
+// ------------------------------------- degraded serving battery
+
+/// Spills the fixture table once and hands out stores over it with
+/// per-test fault plans.
+std::string SpilledFixtureDir() {
+  static std::string* dir = [] {
+    std::string tmpl = ::testing::TempDir() + "ps3_sched_XXXXXX";
+    EXPECT_NE(mkdtemp(tmpl.data()), nullptr);
+    EXPECT_TRUE(io::PartitionStore::Spill(*Fixture().pt, tmpl).ok());
+    return new std::string(tmpl);
+  }();
+  return *dir;
+}
+
+std::unique_ptr<io::PartitionStore> OpenFaulted(io::FaultPlan plan) {
+  io::PartitionStore::Options opts;
+  if (plan.AnyFaults()) {
+    opts.faults = std::make_shared<io::FaultInjector>(std::move(plan));
+  }
+  opts.retry.max_attempts = 6;
+  opts.retry.backoff_base_us = 50;
+  opts.retry.backoff_cap_us = 500;
+  auto store = io::PartitionStore::Open(SpilledFixtureDir(), opts);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(*store);
+}
+
+TEST(DegradedServing, ColdFaultyConcurrentBitIdenticalToSerial) {
+  // A 1% transient fault rate under the full concurrency battery: the
+  // retry loop must absorb every injected failure and each answer must
+  // stay bit-identical to the fault-free serial scalar reference —
+  // faults cost retries and latency, never bits.
+  StreamFixture& fx = Fixture();
+  io::FaultPlan plan;
+  plan.seed = 17;
+  plan.transient_rate = 0.01;
+  auto store = OpenFaulted(plan);
+  io::ColdShardedSource cold(store.get(), 4);
+
+  runtime::QueryScheduler::Options sopts;
+  sopts.num_drivers = 4;
+  runtime::QueryScheduler scheduler(sopts);
+  constexpr size_t kSubmitters = 4;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<std::future<query::QueryAnswer>>> futures(
+        kSubmitters);
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = t; i < fx.queries.size(); i += kSubmitters) {
+          query::ExecOptions opts;
+          opts.policy = i % 2 == 0 ? query::ExecPolicy::kScalar
+                                   : query::ExecPolicy::kVectorized;
+          opts.num_threads = 1 + static_cast<int>(i % 3);
+          futures[t].push_back(scheduler.Submit(fx.queries[i], cold, opts));
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      size_t k = 0;
+      for (size_t i = t; i < fx.queries.size(); i += kSubmitters, ++k) {
+        ExpectAnswerBitIdentical(fx.serial[i], futures[t][k].get(),
+                                 "cold-faulty");
+      }
+    }
+  }
+  // The plan actually fired (1% over this many cold segment reads) and
+  // everything it threw was absorbed by retries.
+  const io::StoreStats stats = store->store_stats();
+  EXPECT_GT(stats.transient_errors, 0u);
+  EXPECT_EQ(stats.transient_errors, stats.retries);
+  EXPECT_EQ(stats.load_errors, 0u);
+}
+
+TEST(DegradedServing, ExactSubmitFailsFastNamingLostPartitions) {
+  StreamFixture& fx = Fixture();
+  io::FaultPlan plan;
+  plan.lost_partitions = {2, 5};
+  auto store = OpenFaulted(plan);
+  io::ColdShardedSource cold(store.get(), 3);
+
+  runtime::QueryScheduler scheduler;
+  // Both the exact path and the degradable path in its default kFail
+  // mode refuse to serve: the failure is structured, naming exactly the
+  // lost set so the consumer can re-plan around it.
+  auto exact = scheduler.Submit(fx.queries[0], cold);
+  runtime::ApproxAnswer unused;
+  auto degradable = scheduler.SubmitDegradable(fx.queries[0], cold);
+  for (int which = 0; which < 2; ++which) {
+    try {
+      if (which == 0) {
+        exact.get();
+      } else {
+        unused = degradable.get();
+      }
+      FAIL() << "lost partitions must fail the exact path";
+    } catch (const QueryFailed& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kUnavailable);
+      const std::string& msg = e.status().message();
+      EXPECT_NE(msg.find("permanently lost"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(" 2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(" 5"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("SubmitDegradable"), std::string::npos) << msg;
+    }
+  }
+  // No byte moved for either refusal: the guard runs before any load.
+  EXPECT_EQ(store->store_stats().cold_loads, 0u);
+
+  // A healthy store over the same spill still serves the exact answer.
+  auto healthy = OpenFaulted(io::FaultPlan{});
+  io::ColdShardedSource healthy_cold(healthy.get(), 3);
+  ExpectAnswerBitIdentical(fx.serial[0],
+                           scheduler.Submit(fx.queries[0], healthy_cold).get(),
+                           "healthy-sibling");
+}
+
+TEST(DegradedServing, ApproximateModeReweightsReachableSet) {
+  // kApproximate over a store with lost partitions: the answer is the
+  // Horvitz–Thompson reweighted combine over exactly the reachable set,
+  // bit-identical to the same combine computed straight from resident
+  // partials — and identical across shard counts and exec policies.
+  StreamFixture& fx = Fixture();
+  io::FaultPlan plan;
+  plan.lost_partitions = {2, 5};
+  auto store = OpenFaulted(plan);
+
+  const size_t n = fx.pt->num_partitions();
+  std::vector<size_t> reachable;
+  for (size_t p = 0; p < n; ++p) {
+    if (p != 2 && p != 5) reachable.push_back(p);
+  }
+  const std::vector<query::WeightedPartition> sel =
+      query::DegradedSelection(reachable, n);
+
+  for (size_t i = 0; i < 4; ++i) {
+    const query::Query& q = fx.queries[i];
+    // Reference combine from the resident scalar partials.
+    query::ExecOptions ref;
+    ref.policy = query::ExecPolicy::kScalar;
+    ref.num_threads = 1;
+    query::ApproxCombined expected = query::CombineWeightedWithError(
+        q, query::EvaluateAllPartitions(q, *fx.pt, ref), sel);
+
+    runtime::QueryScheduler scheduler;
+    runtime::ApproxAnswer first;
+    for (size_t shards : {size_t{2}, size_t{5}}) {
+      io::ColdShardedSource cold(store.get(), shards);
+      for (auto policy :
+           {query::ExecPolicy::kScalar, query::ExecPolicy::kVectorized}) {
+        runtime::SubmitOptions submit;
+        submit.degraded_mode = runtime::DegradedMode::kApproximate;
+        query::ExecOptions opts;
+        opts.policy = policy;
+        opts.num_threads = 2;
+        runtime::ApproxAnswer ans =
+            scheduler.SubmitDegradable(q, cold, submit, opts).get();
+        ExpectAnswerBitIdentical(expected.value, ans.value, "degraded-value");
+        ExpectAnswerBitIdentical(expected.error, ans.error_estimate,
+                                 "degraded-error");
+        EXPECT_EQ(ans.partitions_scanned, n - 2);
+        EXPECT_EQ(ans.partitions_total, n);
+        EXPECT_GT(ans.bytes_moved, 0u);
+        if (shards == 2 && policy == query::ExecPolicy::kScalar) {
+          first = ans;
+        } else {
+          ExpectApproxBitIdentical(first, ans, "degraded-across-configs");
+        }
+      }
+    }
+  }
+}
+
+TEST(DegradedServing, HealthyDegradableIsExactWithZeroError) {
+  // Nothing lost: every HT weight is exactly 1, so the degradable path
+  // costs nothing in fidelity — the exact bits, a zero error surface,
+  // and full scan accounting.
+  StreamFixture& fx = Fixture();
+  auto store = OpenFaulted(io::FaultPlan{});
+  io::ColdShardedSource cold(store.get(), 4);
+  runtime::QueryScheduler scheduler;
+  for (size_t i = 0; i < 4; ++i) {
+    runtime::SubmitOptions submit;
+    submit.degraded_mode = runtime::DegradedMode::kApproximate;
+    runtime::ApproxAnswer ans =
+        scheduler.SubmitDegradable(fx.queries[i], cold, submit).get();
+    ExpectAnswerBitIdentical(fx.serial[i], ans.value, "healthy-degradable");
+    EXPECT_EQ(ans.partitions_scanned, fx.pt->num_partitions());
+    EXPECT_EQ(ans.partitions_total, fx.pt->num_partitions());
+    ASSERT_EQ(ans.error_estimate.size(), ans.value.size());
+    for (const auto& [key, errs] : ans.error_estimate) {
+      for (double e : errs) EXPECT_EQ(e, 0.0) << "weight-1 strata report 0";
+    }
+  }
+}
+
+TEST(DegradedServing, ApproximateRePicksAroundLossDeterministically) {
+  // SubmitApproximate on a store with lost partitions: the picker's
+  // choices are re-drawn (or rescaled) around the lost set at unchanged
+  // budget, the query succeeds without ever touching a lost partition,
+  // and the whole dance replays bit-identically for the same seed.
+  StreamFixture& fx = Fixture();
+  io::FaultPlan plan;
+  plan.lost_partitions = {1, 7, 11};
+  auto store = OpenFaulted(plan);
+  io::ColdShardedSource cold(store.get(), 4);
+
+  core::PickerContext ctx;
+  ctx.table = fx.pt.get();
+  core::RandomPicker picker(ctx);
+  runtime::ApproxOptions aopts;
+  aopts.sampling_fraction = 0.5;
+  aopts.seed = 23;
+  query::ExecOptions opts;
+  opts.policy = query::ExecPolicy::kScalar;
+  opts.num_threads = 1;
+
+  std::vector<runtime::ApproxAnswer> reference;
+  {
+    runtime::QueryScheduler scheduler;
+    for (size_t i = 0; i < 4; ++i) {
+      // Success alone proves no lost partition was acquired: acquiring
+      // one fails the load, and the evaluation with it.
+      reference.push_back(
+          scheduler.SubmitApproximate(fx.queries[i], cold, picker, aopts, opts)
+              .get());
+      EXPECT_GT(reference.back().partitions_scanned, 0u);
+      EXPECT_LE(reference.back().partitions_scanned,
+                (fx.pt->num_partitions() + 1) / 2);
+    }
+  }
+  EXPECT_EQ(store->store_stats().lost_errors, 0u)
+      << "re-picking must never touch a lost partition";
+  {
+    runtime::QueryScheduler scheduler;
+    for (size_t i = 0; i < 4; ++i) {
+      ExpectApproxBitIdentical(
+          reference[i],
+          scheduler.SubmitApproximate(fx.queries[i], cold, picker, aopts, opts)
+              .get(),
+          "repick-replay");
+    }
   }
 }
 
