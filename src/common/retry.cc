@@ -43,7 +43,8 @@ Status SleepWithCancel(size_t us, const CancelToken* cancel) {
   return Status::OK();
 }
 
-bool CircuitBreaker::Admit() {
+bool CircuitBreaker::Admit(bool* claimed_probe) {
+  if (claimed_probe != nullptr) *claimed_probe = false;
   if (policy_.failure_threshold <= 0) return true;
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
@@ -57,6 +58,7 @@ bool CircuitBreaker::Admit() {
       // Cooldown elapsed: this caller becomes the half-open probe.
       state_ = State::kHalfOpen;
       probe_in_flight_ = true;
+      if (claimed_probe != nullptr) *claimed_probe = true;
       return true;
     case State::kHalfOpen:
       if (probe_in_flight_) {
@@ -64,6 +66,7 @@ bool CircuitBreaker::Admit() {
         return false;
       }
       probe_in_flight_ = true;
+      if (claimed_probe != nullptr) *claimed_probe = true;
       return true;
   }
   return true;
@@ -72,9 +75,24 @@ bool CircuitBreaker::Admit() {
 void CircuitBreaker::RecordSuccess() {
   if (policy_.failure_threshold <= 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  state_ = State::kClosed;
-  consecutive_failures_ = 0;
-  probe_in_flight_ = false;
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A slow load admitted before the circuit opened, landing late:
+      // it predates the outage, so it must not short-circuit the
+      // cooldown + probe discipline. Ignore it.
+      break;
+    case State::kHalfOpen:
+      // The probe (the only load Admit lets through half-open; stale
+      // pre-open successes closing here too is fine — either way the
+      // store just served a read).
+      state_ = State::kClosed;
+      consecutive_failures_ = 0;
+      probe_in_flight_ = false;
+      break;
+  }
 }
 
 void CircuitBreaker::RecordFailure() {
@@ -96,6 +114,22 @@ void CircuitBreaker::RecordFailure() {
                                      policy_.open_duration_us);
     ++opens_;
   }
+}
+
+void CircuitBreaker::RecordAbort(bool claimed_probe) {
+  // Non-probe aborts carry no signal and claimed no exclusive slot.
+  if (!claimed_probe || policy_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen && probe_in_flight_) {
+    // The probe aborted before proving anything. Release the slot and
+    // fall back to open without counting a re-open; open_until_ already
+    // elapsed when this probe was admitted, so the very next Admit()
+    // becomes the new probe.
+    probe_in_flight_ = false;
+    state_ = State::kOpen;
+  }
+  // Any other state: a stale success/failure already moved the breaker
+  // on; the slot this probe held is gone with that transition.
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {

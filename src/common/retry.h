@@ -98,14 +98,29 @@ class CircuitBreaker {
   explicit CircuitBreaker(CircuitBreakerPolicy policy) : policy_(policy) {}
 
   /// True if a load may proceed (closed, or claimed the half-open
-  /// probe); false to fail fast with Status::Unavailable.
-  bool Admit();
+  /// probe); false to fail fast with Status::Unavailable. When
+  /// `claimed_probe` is non-null it is set to whether THIS admission
+  /// took the exclusive half-open probe slot — the caller must hand
+  /// that flag back to RecordAbort if the load aborts. Every admitted
+  /// load must report back exactly once — RecordSuccess, RecordFailure,
+  /// or RecordAbort — or a claimed probe slot leaks and the breaker
+  /// rejects forever.
+  bool Admit(bool* claimed_probe = nullptr);
   /// Outcome of an admitted load step (after its retries resolved).
   void RecordSuccess();
   void RecordFailure();
+  /// An admitted load that aborted (cancel/deadline) before resolving:
+  /// says nothing about the store's health, so nothing is counted — but
+  /// if the aborted load held the half-open probe slot (`claimed_probe`
+  /// from its Admit call), the slot is released (back to open, cooldown
+  /// already elapsed) so the next Admit() can probe again instead of
+  /// wedging half-open forever.
+  void RecordAbort(bool claimed_probe);
 
   State state() const;
-  /// Closed -> open transitions so far.
+  /// Transitions to open so far, including half-open -> open re-opens
+  /// after a failed probe (so one outage with N failed probes counts
+  /// 1 + N).
   uint64_t opens() const;
   /// Loads rejected while open.
   uint64_t open_rejects() const;

@@ -377,17 +377,24 @@ Result<PartitionStore::LoadedColumns> PartitionStore::LoadColumnsOnce(
 
 void PartitionStore::RecordLoadLatency(uint64_t us) {
   if (us == 0) us = 1;  // 0 is the "no sample" sentinel
-  // Same alpha-1/4 EWMA the prefetch pipeline paces with; the second
-  // cell tracks mean absolute deviation, so mean + 3*dev approximates a
-  // p99 without keeping a histogram.
-  uint64_t prev = load_lat_ewma_us_.load(std::memory_order_relaxed);
-  uint64_t mean = prev == 0 ? us : prev + (us - prev) / 4;
-  if (mean == 0) mean = 1;
+  // Same alpha-1/4, underflow-safe EWMA form the prefetch pipeline
+  // paces with (`prev - prev/4 + sample/4` stays in range however the
+  // sample compares to the mean — the naive `prev + (sample - prev)/4`
+  // wraps unsigned whenever a sample undershoots); the second cell
+  // tracks mean absolute deviation, so mean + 3*dev approximates a p99
+  // without keeping a histogram.
+  const uint64_t prev = load_lat_ewma_us_.load(std::memory_order_relaxed);
+  const uint64_t mean =
+      prev == 0 ? us : prev - prev / 4 + std::max<uint64_t>(us / 4, 1);
   load_lat_ewma_us_.store(mean, std::memory_order_relaxed);
   const uint64_t dev_sample = us > mean ? us - mean : mean - us;
-  uint64_t prev_dev = load_dev_ewma_us_.load(std::memory_order_relaxed);
-  uint64_t dev =
-      prev == 0 ? dev_sample : prev_dev + (dev_sample - prev_dev) / 4;
+  const uint64_t prev_dev = load_dev_ewma_us_.load(std::memory_order_relaxed);
+  // No 1us floor on the dev cell: 0 is a legitimate steady-state ("no
+  // spread"), and the first sample may seed it with 0 — fine, because
+  // unlike the mean it is never used as a "seeded yet" sentinel.
+  const uint64_t dev = prev_dev == 0
+                           ? dev_sample
+                           : prev_dev - prev_dev / 4 + dev_sample / 4;
   load_dev_ewma_us_.store(dev, std::memory_order_relaxed);
 }
 
@@ -486,10 +493,25 @@ Result<PartitionStore::LoadedColumns> PartitionStore::LoadColumns(
                                " permanently lost");
   }
 
-  if (!breaker_.Admit()) {
+  bool claimed_probe = false;
+  if (!breaker_.Admit(&claimed_probe)) {
     return Status::Unavailable("circuit breaker open for store '" + dir_ +
                                "'");
   }
+  // Every admitted load reports back to the breaker exactly once.
+  // Success and failure record explicitly below and mark the guard
+  // resolved; any other exit (abort return, exception) is an abort and
+  // must release a claimed half-open probe slot, or the breaker would
+  // reject everything forever — and probes are likeliest to abort
+  // exactly when deadlines are firing.
+  struct BreakerGuard {
+    CircuitBreaker* breaker;
+    bool claimed_probe;
+    bool resolved = false;
+    ~BreakerGuard() {
+      if (!resolved) breaker->RecordAbort(claimed_probe);
+    }
+  } breaker_guard{&breaker_, claimed_probe};
 
   const RetryPolicy& retry = options_.retry;
   const auto start = std::chrono::steady_clock::now();
@@ -501,6 +523,7 @@ Result<PartitionStore::LoadedColumns> PartitionStore::LoadColumns(
   for (int attempt = 1;;) {
     auto loaded = LoadPass(i, cols, cancel);
     if (loaded.ok()) {
+      breaker_guard.resolved = true;
       breaker_.RecordSuccess();
       return loaded;
     }
@@ -557,6 +580,7 @@ Result<PartitionStore::LoadedColumns> PartitionStore::LoadColumns(
     // Anything else (missing file, out-of-range, ...) is not retryable.
     break;
   }
+  breaker_guard.resolved = true;
   breaker_.RecordFailure();
   return last;
 }

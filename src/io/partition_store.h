@@ -95,7 +95,9 @@ struct StoreStats {
   /// Hedged second reads fired / hedges that finished first.
   uint64_t hedged_loads = 0;
   uint64_t hedge_wins = 0;
-  /// Circuit-breaker transitions to open / loads rejected while open.
+  /// Circuit-breaker transitions to open (including half-open -> open
+  /// re-opens after a failed probe, so one outage can count several) /
+  /// loads rejected while open.
   uint64_t breaker_opens = 0;
   uint64_t breaker_open_rejects = 0;
   /// Single-flight waits that hit the timeout and re-claimed the load.
@@ -249,6 +251,11 @@ class PartitionStore {
   }
   /// Circuit-breaker state, for tests and ops introspection.
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+  /// Current hedge delay in microseconds: the configured fixed delay if
+  /// one is set, else mean + 3*dev of the load-latency EWMAs clamped to
+  /// the hedge bounds (0 until the first successful pass). For tests
+  /// and ops introspection.
+  size_t hedge_delay_us() const { return HedgeDelayUs(); }
 
  private:
   PartitionStore(std::string dir, Options options, storage::Schema schema,

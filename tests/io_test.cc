@@ -1615,6 +1615,138 @@ TEST(FaultBattery, BreakerOpensFailsFastHalfOpensAndCloses) {
   ASSERT_TRUE(after.ok()) << after.status().ToString();
 }
 
+TEST(FaultBattery, AbortedHalfOpenProbeDoesNotWedgeBreaker) {
+  auto bundle = workload::MakeAria(600, /*seed=*/149);
+  storage::PartitionedTable pt(bundle.table, 6);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // Partitions 0 and 1 are hopeless and open the circuit; the half-open
+  // probe targets partition 2, whose first attempt rides a 300ms spike
+  // and gets cancelled mid-spike; partition 3 is healthy.
+  io::FaultPlan plan;
+  plan.rules.push_back(RuleFor(0, 0, 1000, io::FaultKind::kTransient));
+  plan.rules.push_back(RuleFor(1, 0, 1000, io::FaultKind::kTransient));
+  io::FaultRule spike = RuleFor(2, 0, 1, io::FaultKind::kLatency);
+  spike.latency_us = 300000;
+  plan.rules.push_back(spike);
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 2;
+  opts.breaker.open_duration_us = 0;  // next load after open is the probe
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  EXPECT_FALSE((*store)->Fetch(0).ok());
+  EXPECT_FALSE((*store)->Fetch(1).ok());
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kOpen);
+
+  // The probe aborts mid-load. The probe slot must be released — a
+  // leaked slot left the breaker half-open with the probe marked
+  // in-flight forever, failing every later load fast: the store's
+  // whole cold path wedged shut exactly when deadlines were firing.
+  CancelToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel();
+  });
+  auto probe = (*store)->Fetch(2, storage::ColumnSet::All(), &token);
+  canceller.join();
+  ASSERT_FALSE(probe.ok());
+  EXPECT_EQ(probe.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kOpen)
+      << "aborted probe must release the slot back to open";
+  EXPECT_EQ((*store)->store_stats().breaker_opens, 1u)
+      << "an aborted probe is not a re-open";
+
+  // With the slot free and the cooldown already elapsed, the next load
+  // becomes a fresh probe and a healthy partition closes the circuit.
+  auto after = (*store)->Fetch(3);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ((*store)->breaker_state(), CircuitBreaker::State::kClosed);
+
+  const io::StoreStats stats = (*store)->store_stats();
+  EXPECT_EQ(stats.transient_errors, 2u) << "the abort counts nowhere";
+  EXPECT_EQ(stats.load_errors, 2u) << "only the two real failures count";
+}
+
+TEST(FaultBattery, BreakerIgnoresStaleResultsAndReleasesAbortedProbe) {
+  // Unit-level breaker discipline, independent of the store plumbing.
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_duration_us = 0;  // the next Admit after open is the probe
+  CircuitBreaker breaker(policy);
+
+  // Two loads admitted while closed; the first fails and opens the
+  // circuit, the second (slow, admitted pre-outage) lands late with a
+  // success — which must not short-circuit the cooldown + probe
+  // discipline. (Cooldown 0 means Admit would hand out a probe, so the
+  // stale result is recorded before any Admit.)
+  EXPECT_TRUE(breaker.Admit());
+  EXPECT_TRUE(breaker.Admit());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  breaker.RecordSuccess();  // stale
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen)
+      << "a pre-open success must not close an open circuit";
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  // One probe slot: the claimer learns it holds it, a second load is
+  // rejected, and a non-probe abort releases nothing.
+  bool claimed = false;
+  EXPECT_TRUE(breaker.Admit(&claimed));
+  EXPECT_TRUE(claimed);
+  bool second = true;
+  EXPECT_FALSE(breaker.Admit(&second));
+  EXPECT_FALSE(second);
+  breaker.RecordAbort(/*claimed_probe=*/false);
+  EXPECT_FALSE(breaker.Admit(&second)) << "slot still held by the probe";
+
+  // The probe's own abort releases the slot without counting a re-open;
+  // the next Admit claims a fresh probe whose success closes the
+  // circuit.
+  breaker.RecordAbort(/*claimed_probe=*/true);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_TRUE(breaker.Admit(&claimed));
+  EXPECT_TRUE(claimed);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Admit());
+}
+
+TEST(FaultBattery, HedgeDelayEstimateSurvivesFastSamples) {
+  auto bundle = workload::MakeAria(600, /*seed=*/151);
+  storage::PartitionedTable pt(bundle.table, 6);
+  const std::string dir = MakeSpillDir();
+  ASSERT_TRUE(io::PartitionStore::Spill(pt, dir).ok());
+
+  // One spiked pass seeds the latency EWMA high; the fast passes after
+  // it must decay the estimate. The naive EWMA underflowed unsigned on
+  // the first sample faster than the mean (mean ~2^62), so the adaptive
+  // hedge delay clamped to garbage and hedging misfired forever.
+  io::FaultRule spike = RuleFor(0, 0, 1, io::FaultKind::kLatency);
+  spike.latency_us = 50000;
+  io::FaultPlan plan;
+  plan.rules.push_back(spike);
+  io::PartitionStore::Options opts = FaultOptions(plan);
+  opts.hedge.enabled = true;  // fixed_delay 0: adaptive estimate
+  opts.hedge.max_delay_us = 10000000;  // wide clamp so garbage would show
+  auto store = io::PartitionStore::Open(dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  ASSERT_TRUE((*store)->Fetch(0).ok());  // ~50ms pass seeds the mean
+  const size_t seeded = (*store)->hedge_delay_us();
+  EXPECT_GE(seeded, 50000u);
+  for (size_t p = 1; p < pt.num_partitions(); ++p) {
+    ASSERT_TRUE((*store)->Fetch(p).ok());  // fast spike-free passes
+  }
+  const size_t after = (*store)->hedge_delay_us();
+  EXPECT_GT(after, 0u);
+  EXPECT_LT(after, 1000000u)
+      << "fast samples must decay the estimate, not wrap it";
+}
+
 TEST(FaultBattery, SingleFlightTimeoutStealsAndReclaims) {
   auto bundle = workload::MakeKdd(700, /*seed=*/137);
   storage::PartitionedTable pt(bundle.table, 4);
